@@ -1,0 +1,236 @@
+// Package dista's top-level benchmarks regenerate the paper's
+// evaluation tables as testing.B benchmarks:
+//
+//	BenchmarkTableV_*   — Table V: every micro-benchmark protocol group
+//	                      under the three modes (original / phosphor /
+//	                      dista);
+//	BenchmarkTableVI_*  — Table VI: every real-system workload under
+//	                      every mode and scenario column;
+//	BenchmarkTaintMap   — the Taint Map's throughput (§III-D bottleneck
+//	                      discussion);
+//	BenchmarkWireCodec  — the byte-group codec on the critical path.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package dista
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dista/internal/bench"
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/core/wire"
+	"dista/internal/microbench"
+	"dista/internal/taintmap"
+)
+
+// benchSize keeps one micro iteration around a few milliseconds.
+const benchSize = 64 << 10
+
+var benchModes = []tracker.Mode{tracker.ModeOff, tracker.ModePhosphor, tracker.ModeDista}
+
+// slug converts a group name into a benchmark-friendly label.
+func slug(s string) string {
+	return strings.NewReplacer(" ", "", "/", "-", "+", "-").Replace(s)
+}
+
+// benchMicroGroup benches one representative case id under all modes.
+func benchMicroGroup(b *testing.B, id int) {
+	c, ok := microbench.CaseByID(id)
+	if !ok {
+		b.Fatalf("no case %d", id)
+	}
+	for _, mode := range benchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.SetBytes(int64(benchSize))
+			for i := 0; i < b.N; i++ {
+				if _, err := microbench.RunCase(c, mode, benchSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Table V benchmarks: one per protocol group (the representative case
+// of each Table II row), each with off/phosphor/dista sub-benchmarks.
+
+func BenchmarkTableV_JRESocketPlain(b *testing.B)      { benchMicroGroup(b, 1) }
+func BenchmarkTableV_JRESocketBuffered(b *testing.B)   { benchMicroGroup(b, 4) }
+func BenchmarkTableV_JRESocketData(b *testing.B)       { benchMicroGroup(b, 12) }
+func BenchmarkTableV_JRESocketObject(b *testing.B)     { benchMicroGroup(b, 17) }
+func BenchmarkTableV_JREDatagram(b *testing.B)         { benchMicroGroup(b, 23) }
+func BenchmarkTableV_JRESocketChannel(b *testing.B)    { benchMicroGroup(b, 24) }
+func BenchmarkTableV_JREDatagramChannel(b *testing.B)  { benchMicroGroup(b, 25) }
+func BenchmarkTableV_JREAsyncChannel(b *testing.B)     { benchMicroGroup(b, 26) }
+func BenchmarkTableV_JREHTTP(b *testing.B)             { benchMicroGroup(b, 27) }
+func BenchmarkTableV_NettySocket(b *testing.B)         { benchMicroGroup(b, 28) }
+func BenchmarkTableV_NettyDatagramSocket(b *testing.B) { benchMicroGroup(b, 29) }
+func BenchmarkTableV_NettyHTTP(b *testing.B)           { benchMicroGroup(b, 30) }
+
+// benchSystem benches one Table VI cell.
+func benchSystem(b *testing.B, name string, mode tracker.Mode, sc bench.Scenario) {
+	var sys bench.System
+	found := false
+	for _, s := range bench.Systems() {
+		if s.Name == name {
+			sys, found = s, true
+		}
+	}
+	if !found {
+		b.Fatalf("no system %q", name)
+	}
+	cfg := bench.SystemConfig{MsgSize: 8 << 10, Messages: 10, PiSamples: 20_000, Jobs: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		if _, err := sys.Run(mode, sc, cfg, dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table VI benchmarks: 5 systems x the five columns (Original,
+// Phosphor-SDT, DisTA-SDT, Phosphor-SIM, DisTA-SIM).
+
+func benchSystemAllCells(b *testing.B, name string) {
+	cells := []struct {
+		label string
+		mode  tracker.Mode
+		sc    bench.Scenario
+	}{
+		{"Original", tracker.ModeOff, bench.SDT},
+		{"Phosphor-SDT", tracker.ModePhosphor, bench.SDT},
+		{"DisTA-SDT", tracker.ModeDista, bench.SDT},
+		{"Phosphor-SIM", tracker.ModePhosphor, bench.SIM},
+		{"DisTA-SIM", tracker.ModeDista, bench.SIM},
+	}
+	for _, cell := range cells {
+		b.Run(cell.label, func(b *testing.B) {
+			benchSystem(b, name, cell.mode, cell.sc)
+		})
+	}
+}
+
+func BenchmarkTableVI_ZooKeeper(b *testing.B)     { benchSystemAllCells(b, "ZooKeeper") }
+func BenchmarkTableVI_MapReduceYarn(b *testing.B) { benchSystemAllCells(b, "MapReduce/Yarn") }
+func BenchmarkTableVI_ActiveMQ(b *testing.B)      { benchSystemAllCells(b, "ActiveMQ") }
+func BenchmarkTableVI_RocketMQ(b *testing.B)      { benchSystemAllCells(b, "RocketMQ") }
+func BenchmarkTableVI_HBaseZooKeeper(b *testing.B) {
+	benchSystemAllCells(b, "HBase+ZooKeeper")
+}
+
+// BenchmarkTaintMap measures Register/Lookup throughput of the Taint
+// Map store — the single-point component whose throughput the paper
+// discusses as the potential bottleneck (§III-D-2).
+func BenchmarkTaintMap(b *testing.B) {
+	b.Run("RegisterDistinct", func(b *testing.B) {
+		store := taintmap.NewStore()
+		tree := taint.NewTree()
+		client := taintmap.NewLocalClient(store, tree)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := tree.NewSource(fmt.Sprintf("tag-%d", i), "bench:1")
+			if _, err := client.Register(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RegisterCached", func(b *testing.B) {
+		store := taintmap.NewStore()
+		tree := taint.NewTree()
+		client := taintmap.NewLocalClient(store, tree)
+		t := tree.NewSource("hot", "bench:1")
+		if _, err := client.Register(t); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Register(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LookupCached", func(b *testing.B) {
+		store := taintmap.NewStore()
+		src := taint.NewTree()
+		producer := taintmap.NewLocalClient(store, src)
+		id, err := producer.Register(src.NewSource("hot", "bench:1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		consumer := taintmap.NewLocalClient(store, taint.NewTree())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := consumer.Lookup(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireCodec measures the per-byte group encoding/decoding on
+// DisTA's critical path (the source of the 5x wire volume).
+func BenchmarkWireCodec(b *testing.B) {
+	data := make([]byte, 64<<10)
+	ids := make([]uint32, len(data))
+	for i := range ids {
+		ids[i] = uint32(i % 7)
+	}
+	b.Run("Encode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			_ = wire.EncodeGroups(nil, data, ids)
+		}
+	})
+	raw := wire.EncodeGroups(nil, data, ids)
+	b.Run("Decode", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			var dec wire.StreamDecoder
+			dec.Feed(raw)
+			dec.Next(len(data))
+		}
+	})
+}
+
+// BenchmarkAblationTaintMapCaching compares the production cached
+// Taint Map client against the uncached ablation baseline on a fully
+// tainted stream exchange (DESIGN.md ablation A1).
+func BenchmarkAblationTaintMapCaching(b *testing.B) {
+	b.Run("Cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := bench.MeasureCachingAblation(benchSize, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+	})
+}
+
+// BenchmarkTaintCombine measures the tag-tree union operation that
+// every tracked assignment pays (the Phosphor storage design, §II-B).
+func BenchmarkTaintCombine(b *testing.B) {
+	tree := taint.NewTree()
+	a := tree.NewSource("a", "l")
+	c := tree.NewSource("c", "l")
+	b.Run("Interned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = taint.Combine(a, c)
+		}
+	})
+	b.Run("ShadowArrayTaintAll", func(b *testing.B) {
+		buf := taint.MakeBytes(64 << 10)
+		b.SetBytes(64 << 10)
+		for i := 0; i < b.N; i++ {
+			buf.TaintAll(a)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"dista/internal/bench"
+)
+
+func tinyCfg() bench.SystemConfig {
+	return bench.SystemConfig{MsgSize: 1 << 10, Messages: 2, PiSamples: 1000, Jobs: 1}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	if err := run(0, false, false, false, false, false, 1024, 1, tinyCfg()); err == nil {
+		t.Fatal("want usage error")
+	}
+}
+
+func TestRunTableI(t *testing.T) {
+	if err := run(1, false, false, false, false, false, 1024, 1, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableII(t *testing.T) {
+	if err := run(2, false, false, false, false, false, 1024, 1, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNetworkAndAblation(t *testing.T) {
+	if err := run(0, false, true, true, false, false, 8<<10, 1, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTaintCount(t *testing.T) {
+	if err := run(0, true, false, false, false, false, 1024, 1, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

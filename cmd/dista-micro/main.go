@@ -1,0 +1,77 @@
+// Command dista-micro runs a single micro-benchmark case (Table II) in
+// a chosen tracking mode and reports what the check() sink observed —
+// the per-case RQ1 soundness/precision demonstration.
+//
+// Usage:
+//
+//	dista-micro [-case 1] [-mode dista] [-size 10485760] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dista/internal/bench"
+	"dista/internal/core/tracker"
+	"dista/internal/microbench"
+)
+
+func main() {
+	caseID := flag.Int("case", 1, "Table II case id (1-30)")
+	modeStr := flag.String("mode", "dista", "tracking mode: off | phosphor | dista")
+	size := flag.Int("size", 10<<20, "payload bytes per side (paper: ~10MB)")
+	list := flag.Bool("list", false, "list all cases and exit")
+	flag.Parse()
+
+	if err := run(*caseID, *modeStr, *size, *list); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(caseID int, modeStr string, size int, list bool) error {
+	if list {
+		bench.WriteTableII(os.Stdout)
+		return nil
+	}
+	c, ok := microbench.CaseByID(caseID)
+	if !ok {
+		return fmt.Errorf("dista-micro: no case %d (1-30)", caseID)
+	}
+	mode, err := tracker.ParseMode(modeStr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("case %d: %s / %s (mode %s, %d bytes per side)\n", c.ID, c.Group, c.Name, mode, size)
+	start := time.Now()
+	h, err := microbench.RunCase(c, mode, size)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	tags := h.SinkTags()
+	fmt.Printf("elapsed: %v\n", elapsed)
+	fmt.Printf("check() observed taints: [%s]\n", strings.Join(tags, ", "))
+	d1, w1 := h.Node1.Agent.Traffic()
+	d2, w2 := h.Node2.Agent.Traffic()
+	if d1+d2 > 0 {
+		fmt.Printf("traffic: %d payload bytes, %d wire bytes (%.2fx)\n",
+			d1+d2, w1+w2, float64(w1+w2)/float64(d1+d2))
+	}
+	fmt.Printf("global taints in Taint Map: %d\n", h.Store.Stats().GlobalTaints)
+
+	if mode == tracker.ModeDista {
+		want := "Data1, Data2"
+		if strings.Join(tags, ", ") == want {
+			fmt.Println("RESULT: sound and precise (exactly {Data1, Data2} at the sink)")
+		} else {
+			fmt.Printf("RESULT: UNEXPECTED (want [%s])\n", want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run(0, "dista", 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallCase(t *testing.T) {
+	for _, mode := range []string{"off", "phosphor", "dista"} {
+		if err := run(1, mode, 8<<10, false); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunBadCase(t *testing.T) {
+	if err := run(99, "dista", 1024, false); err == nil {
+		t.Fatal("want error for unknown case")
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := run(1, "warp", 1024, false); err == nil {
+		t.Fatal("want error for unknown mode")
+	}
+}

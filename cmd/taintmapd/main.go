@@ -1,0 +1,63 @@
+// Command taintmapd runs a standalone Taint Map server over real TCP —
+// the independent process of DSN'22 §III-D that all nodes of a DisTA
+// deployment contact to exchange Global IDs for taints.
+//
+// Usage:
+//
+//	taintmapd [-addr :7431] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dista/internal/taintmap"
+)
+
+func main() {
+	addr := flag.String("addr", ":7431", "TCP listen address")
+	verbose := flag.Bool("v", false, "log connection errors")
+	flag.Parse()
+
+	if err := run(*addr, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// tcpAcceptor adapts net.Listener to the taintmap.Acceptor interface.
+type tcpAcceptor struct {
+	l net.Listener
+}
+
+func (a tcpAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
+func (a tcpAcceptor) Close() error                        { return a.l.Close() }
+
+func run(addr string, verbose bool) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("taintmapd: listen: %w", err)
+	}
+	logf := func(string, ...any) {}
+	if verbose {
+		logf = log.Printf
+	}
+	srv := taintmap.NewServer(taintmap.NewStore(), tcpAcceptor{l: l}, logf)
+	srv.Start()
+	log.Printf("taintmapd: serving on %s", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	st := srv.Store().Stats()
+	log.Printf("taintmapd: shutting down (%d global taints, %d registrations, %d lookups)",
+		st.GlobalTaints, st.Registrations, st.Lookups)
+	return srv.Close()
+}

@@ -1,0 +1,3 @@
+module dista
+
+go 1.22

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/core/wire"
+	"dista/internal/instrument"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out:
+//
+//   - A1 caching: the Taint Map client caches (Fig. 9 step ② plus the
+//     receiver-side memo) against an uncached baseline;
+//   - A2 wire format: the fixed-width Global ID next to each byte
+//     against the naive alternative of shipping the serialized taint
+//     blob per byte (§III-D-2's motivating bandwidth argument).
+
+// AblationResult captures one cached/uncached timing pair.
+type AblationResult struct {
+	Cached   time.Duration
+	Uncached time.Duration
+}
+
+// streamExchange pushes size tainted bytes across one connection using
+// the given Taint Map clients, returning the elapsed time.
+func streamExchange(size int, mkClient func(*taintmap.Store, *taint.Tree) taintmap.Client) (time.Duration, error) {
+	net := netsim.New()
+	store := taintmap.NewStore()
+	mk := func(name string) *tracker.Agent {
+		a := tracker.New(name, tracker.ModeDista)
+		return tracker.New(name, tracker.ModeDista,
+			tracker.WithTaintMap(mkClient(store, a.Tree())))
+	}
+	aAgent, bAgent := mk("a"), mk("b")
+	ca, cb := net.Pipe()
+	sender := instrument.NewEndpoint(aAgent, ca)
+	receiver := instrument.NewEndpoint(bAgent, cb)
+
+	// Alternate two taints per byte so the endpoint's adjacent-byte
+	// run memo cannot absorb the cost: every byte forces a client call,
+	// isolating the cached-vs-uncached difference.
+	payload := taint.MakeBytes(size)
+	t1 := aAgent.Source("s", "abl1")
+	t2 := aAgent.Source("s", "abl2")
+	for i := range payload.Labels {
+		if i%2 == 0 {
+			payload.Labels[i] = t1
+		} else {
+			payload.Labels[i] = t2
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		recvErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := taint.MakeBytes(4096)
+		got := 0
+		for got < size {
+			n, err := receiver.Read(&buf)
+			if err != nil {
+				recvErr = err
+				return
+			}
+			got += n
+		}
+	}()
+
+	start := time.Now()
+	err := sender.Write(payload)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err == nil {
+		err = recvErr
+	}
+	return elapsed, err
+}
+
+// MeasureCachingAblation times the tainted stream exchange with the
+// production (cached) client and the ablation (uncached) client.
+func MeasureCachingAblation(size, iters int) (AblationResult, error) {
+	var res AblationResult
+	for i := 0; i < iters; i++ {
+		d, err := streamExchange(size, func(s *taintmap.Store, tr *taint.Tree) taintmap.Client {
+			return taintmap.NewLocalClient(s, tr)
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Cached += d
+		d, err = streamExchange(size, func(s *taintmap.Store, tr *taint.Tree) taintmap.Client {
+			return taintmap.NewUncachedClient(s, tr)
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Uncached += d
+	}
+	res.Cached /= time.Duration(iters)
+	res.Uncached /= time.Duration(iters)
+	return res, nil
+}
+
+// WireFormatComparison quantifies §III-D-2's bandwidth argument: wire
+// bytes for n data bytes under (a) the Global ID design and (b) the
+// naive serialize-the-taint-per-byte alternative.
+type WireFormatComparison struct {
+	DataBytes      int
+	GlobalIDWire   int // 5 bytes per data byte
+	InlineBlobWire int // 1 + 2 + len(blob) per data byte
+	BlobLen        int
+}
+
+// CompareWireFormats computes the comparison for n bytes all tainted by
+// one realistic taint (descriptor-style tag value).
+func CompareWireFormats(n int) (WireFormatComparison, error) {
+	tree := taint.NewTree()
+	t := tree.NewSource(
+		"org.apache.zookeeper.server.quorum.FastLeaderElection$Notification.vote",
+		"192.168.10.21:28841",
+	)
+	blob, err := taint.MarshalTaint(t)
+	if err != nil {
+		return WireFormatComparison{}, err
+	}
+	return WireFormatComparison{
+		DataBytes:      n,
+		GlobalIDWire:   wire.WireLen(n),
+		InlineBlobWire: n * (1 + 2 + len(blob)),
+		BlobLen:        len(blob),
+	}, nil
+}
+
+// WriteAblations prints both ablations.
+func WriteAblations(w io.Writer, size, iters int) error {
+	res, err := MeasureCachingAblation(size, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ABLATION A1: TAINT MAP CLIENT CACHING (%d tainted bytes)\n", size)
+	fmt.Fprintf(w, "  cached client:   %s\n", res.Cached)
+	fmt.Fprintf(w, "  uncached client: %s (%.2fx)\n\n", res.Uncached, Overhead(res.Uncached, res.Cached))
+
+	cmp, err := CompareWireFormats(size)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ABLATION A2: WIRE FORMAT (%d data bytes, %d-byte serialized taint)\n", cmp.DataBytes, cmp.BlobLen)
+	fmt.Fprintf(w, "  Global ID design: %10d wire bytes (%.2fx data)\n",
+		cmp.GlobalIDWire, float64(cmp.GlobalIDWire)/float64(cmp.DataBytes))
+	fmt.Fprintf(w, "  inline taint blob:%10d wire bytes (%.2fx data)\n",
+		cmp.InlineBlobWire, float64(cmp.InlineBlobWire)/float64(cmp.DataBytes))
+	return nil
+}

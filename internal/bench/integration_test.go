@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dista/internal/core/tracker"
+)
+
+// TestAllSystemsCoDeployed runs all five system workloads concurrently,
+// each on its own network but sharing nothing else, under full DisTA —
+// a stress test of the whole stack (tag trees, Taint Map stores,
+// instrumented transports, five protocol families) in one process.
+func TestAllSystemsCoDeployed(t *testing.T) {
+	cfg := SystemConfig{MsgSize: 4 << 10, Messages: 6, PiSamples: 5_000, Jobs: 1}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(Systems())*2)
+	for _, sys := range Systems() {
+		for _, sc := range []Scenario{SDT, SIM} {
+			wg.Add(1)
+			go func(sys System, sc Scenario) {
+				defer wg.Done()
+				st, err := sys.Run(tracker.ModeDista, sc, cfg, t.TempDir())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if st.GlobalTaints == 0 {
+					errs <- errNoTaints{sys.Name, sc}
+				}
+			}(sys, sc)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type errNoTaints struct {
+	system string
+	sc     Scenario
+}
+
+func (e errNoTaints) Error() string {
+	return e.system + "/" + e.sc.String() + ": no global taints registered"
+}
+
+// TestSystemsTableMetadata sanity-checks the Table III descriptions.
+func TestSystemsTableMetadata(t *testing.T) {
+	systems := Systems()
+	if len(systems) != 5 {
+		t.Fatalf("%d systems, Table III has 5", len(systems))
+	}
+	wantNames := []string{"ZooKeeper", "MapReduce/Yarn", "ActiveMQ", "RocketMQ", "HBase+ZooKeeper"}
+	for i, sys := range systems {
+		if sys.Name != wantNames[i] {
+			t.Fatalf("system %d = %q, want %q", i, sys.Name, wantNames[i])
+		}
+		if sys.Workload == "" || sys.Run == nil {
+			t.Fatalf("system %q incomplete", sys.Name)
+		}
+	}
+	// The workloads match the paper's Column Workload.
+	if !strings.Contains(systems[0].Workload, "election") ||
+		!strings.Contains(systems[1].Workload, "Pi") ||
+		!strings.Contains(systems[4].Workload, "table") {
+		t.Fatal("workload descriptions drifted from Table III")
+	}
+}

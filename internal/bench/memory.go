@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"dista/internal/core/taint"
+)
+
+// Memory-overhead experiment (§V-F): the paper does not re-measure
+// memory because DisTA reuses Phosphor's taint storage, whose published
+// overhead is 1x-8x (2.7x average). This harness measures the analogous
+// quantity in our runtime: heap held by tainted buffers versus plain
+// buffers, under two labelling patterns.
+
+// MemoryResult reports bytes of live heap per scenario.
+type MemoryResult struct {
+	BufferBytes int    // payload bytes allocated
+	PlainHeap   uint64 // heap holding untainted buffers
+	UniformHeap uint64 // heap with every byte sharing one taint
+	PerByteHeap uint64 // heap with a distinct taint every 64 bytes
+	TreeNodes   int    // tag-tree nodes after the per-byte scenario
+}
+
+// measureHeap runs f while keeping its result alive, and returns the
+// live-heap delta it caused.
+func measureHeap(f func() any) uint64 {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	keep := f()
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	runtime.KeepAlive(keep)
+	if after.HeapAlloc < before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// MeasureMemoryOverhead allocates `buffers` buffers of `size` bytes
+// under the three labelling regimes.
+func MeasureMemoryOverhead(buffers, size int) MemoryResult {
+	res := MemoryResult{BufferBytes: buffers * size}
+
+	res.PlainHeap = measureHeap(func() any {
+		out := make([]taint.Bytes, buffers)
+		for i := range out {
+			out[i] = taint.WrapBytes(make([]byte, size))
+		}
+		return out
+	})
+
+	res.UniformHeap = measureHeap(func() any {
+		tree := taint.NewTree()
+		tag := tree.NewSource("uniform", "bench:1")
+		out := make([]taint.Bytes, buffers)
+		for i := range out {
+			out[i] = taint.WrapBytes(make([]byte, size))
+			out[i].TaintAll(tag)
+		}
+		return out
+	})
+
+	var lastTree *taint.Tree
+	res.PerByteHeap = measureHeap(func() any {
+		tree := taint.NewTree()
+		lastTree = tree
+		out := make([]taint.Bytes, buffers)
+		for i := range out {
+			out[i] = taint.MakeBytes(size)
+			for j := 0; j < size; j += 64 {
+				tag := tree.NewSource(fmt.Sprintf("t%d-%d", i, j), "bench:1")
+				for k := j; k < j+64 && k < size; k++ {
+					out[i].Labels[k] = tag
+				}
+			}
+		}
+		return out
+	})
+	if lastTree != nil {
+		res.TreeNodes = lastTree.NodeCount()
+	}
+	return res
+}
+
+// factor renders heap as a multiple of the plain baseline.
+func (r MemoryResult) factor(heap uint64) float64 {
+	if r.PlainHeap == 0 {
+		return 0
+	}
+	return float64(heap) / float64(r.PlainHeap)
+}
+
+// WriteMemoryOverhead prints the experiment (compare against Phosphor's
+// published 1x-8x, 2.7x average).
+func WriteMemoryOverhead(w io.Writer, buffers, size int) {
+	res := MeasureMemoryOverhead(buffers, size)
+	fmt.Fprintf(w, "MEMORY OVERHEAD (%d buffers x %d bytes; Phosphor's published range: 1x-8x, 2.7x avg)\n",
+		buffers, size)
+	fmt.Fprintf(w, "  plain buffers:           %10d B (1.00x)\n", res.PlainHeap)
+	fmt.Fprintf(w, "  uniformly tainted:       %10d B (%.2fx)\n", res.UniformHeap, res.factor(res.UniformHeap))
+	fmt.Fprintf(w, "  distinct taint per 64B:  %10d B (%.2fx, %d tree nodes)\n",
+		res.PerByteHeap, res.factor(res.PerByteHeap), res.TreeNodes)
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dista/internal/core/tracker"
+	"dista/internal/microbench"
+)
+
+// MicroRow is one Table V row: a case measured under the three modes.
+type MicroRow struct {
+	Case     microbench.Case
+	Original time.Duration
+	Phosphor time.Duration
+	Dista    time.Duration
+}
+
+// PhosphorOverhead returns the Phosphor column's X factor.
+func (r MicroRow) PhosphorOverhead() float64 { return Overhead(r.Phosphor, r.Original) }
+
+// DistaOverhead returns the DisTA column's X factor.
+func (r MicroRow) DistaOverhead() float64 { return Overhead(r.Dista, r.Original) }
+
+// MeasureCase runs one case in every mode and returns its row. size is
+// the per-side payload in bytes; iters > 1 averages repeated runs.
+func MeasureCase(c microbench.Case, size, iters int) (MicroRow, error) {
+	row := MicroRow{Case: c}
+	for _, mode := range modes {
+		total := time.Duration(0)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if _, err := microbench.RunCase(c, mode, size); err != nil {
+				return MicroRow{}, err
+			}
+			total += time.Since(start)
+		}
+		avg := total / time.Duration(iters)
+		switch mode {
+		case tracker.ModeOff:
+			row.Original = avg
+		case tracker.ModePhosphor:
+			row.Phosphor = avg
+		case tracker.ModeDista:
+			row.Dista = avg
+		}
+	}
+	return row, nil
+}
+
+// MeasureAllCases measures every Table II case.
+func MeasureAllCases(size, iters int) ([]MicroRow, error) {
+	cases := microbench.Cases()
+	rows := make([]MicroRow, 0, len(cases))
+	for _, c := range cases {
+		row, err := MeasureCase(c, size, iters)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TableVRow is one printed row of Table V (a protocol group, or the
+// socket best/worst/avg aggregates, or the overall average).
+type TableVRow struct {
+	Name     string
+	Original time.Duration
+	Phosphor time.Duration
+	Dista    time.Duration
+}
+
+// SummarizeTableV folds per-case measurements into the paper's Table V
+// layout: JRE Socket Best/Worst/Avg (by DisTA overhead), one row per
+// remaining group, and the overall average.
+func SummarizeTableV(rows []MicroRow) []TableVRow {
+	var socket []MicroRow
+	groupOrder := []string{}
+	groups := make(map[string][]MicroRow)
+	for _, r := range rows {
+		if r.Case.Group == "JRE Socket" {
+			socket = append(socket, r)
+			continue
+		}
+		if _, ok := groups[r.Case.Group]; !ok {
+			groupOrder = append(groupOrder, r.Case.Group)
+		}
+		groups[r.Case.Group] = append(groups[r.Case.Group], r)
+	}
+
+	var out []TableVRow
+	if len(socket) > 0 {
+		sorted := append([]MicroRow(nil), socket...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].DistaOverhead() < sorted[j].DistaOverhead()
+		})
+		best, worst := sorted[0], sorted[len(sorted)-1]
+		out = append(out,
+			TableVRow{Name: "JRE Socket-Best", Original: best.Original, Phosphor: best.Phosphor, Dista: best.Dista},
+			TableVRow{Name: "JRE Socket-Worst", Original: worst.Original, Phosphor: worst.Phosphor, Dista: worst.Dista},
+			averageRow("JRE Socket-Avg", socket),
+		)
+	}
+	for _, g := range groupOrder {
+		out = append(out, averageRow(g, groups[g]))
+	}
+	out = append(out, averageRow("Average", rows))
+	return out
+}
+
+func averageRow(name string, rows []MicroRow) TableVRow {
+	var o, p, d time.Duration
+	for _, r := range rows {
+		o += r.Original
+		p += r.Phosphor
+		d += r.Dista
+	}
+	n := time.Duration(len(rows))
+	return TableVRow{Name: name, Original: o / n, Phosphor: p / n, Dista: d / n}
+}
+
+// WriteTableV prints the summarized table in the paper's column layout.
+func WriteTableV(w io.Writer, rows []TableVRow) {
+	fmt.Fprintf(w, "TABLE V: RUNTIME OVERHEAD FOR MICRO BENCHMARK\n")
+	fmt.Fprintf(w, "%-28s %12s %12s %9s %12s %9s\n",
+		"Case", "Original(ms)", "Phosphor(ms)", "Ovhd(X)", "DisTA(ms)", "Ovhd(X)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %12s %12s %9.2f %12s %9.2f\n",
+			r.Name, ms(r.Original),
+			ms(r.Phosphor), Overhead(r.Phosphor, r.Original),
+			ms(r.Dista), Overhead(r.Dista, r.Original))
+	}
+}
+
+// WriteTableII prints the case inventory (Table II).
+func WriteTableII(w io.Writer) {
+	fmt.Fprintf(w, "TABLE II: MICRO BENCHMARK CASES\n")
+	fmt.Fprintf(w, "%-4s %-24s %s\n", "ID", "Group", "Case")
+	for _, c := range microbench.Cases() {
+		fmt.Fprintf(w, "%-4d %-24s %s\n", c.ID, c.Group, c.Name)
+	}
+	fmt.Fprintf(w, "\nGroups:\n")
+	for _, g := range microbench.Groups() {
+		fmt.Fprintf(w, "  %-24s %d case(s)\n", g.Name, g.Count)
+	}
+}

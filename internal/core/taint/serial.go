@@ -1,0 +1,90 @@
+package taint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Taint serialization: a taint crosses nodes as the ordered list of its
+// tag keys. The paper measures a single-tag serialized taint at over 200
+// bytes (§III-D-2) — which is exactly why the Taint Map exists: the blob
+// travels to/from the Taint Map once, and only the fixed-width GlobalID
+// rides with the data bytes.
+//
+// Wire layout (all integers big-endian):
+//
+//	uint16 tagCount
+//	repeated tagCount times:
+//	  uint16 len(Value)   bytes Value
+//	  uint16 len(LocalID) bytes LocalID
+
+var (
+	// ErrTruncatedTaint is returned when a serialized taint blob ends
+	// before the declared number of tags has been decoded.
+	ErrTruncatedTaint = errors.New("taint: truncated serialized taint")
+)
+
+const maxTagStringLen = 1<<16 - 1
+
+// MarshalTaint serializes the taint's tag set.
+func MarshalTaint(t Taint) ([]byte, error) {
+	keys := t.Keys()
+	if len(keys) > maxTagStringLen {
+		return nil, fmt.Errorf("taint: %d tags exceed wire limit", len(keys))
+	}
+	size := 2
+	for _, k := range keys {
+		if len(k.Value) > maxTagStringLen || len(k.LocalID) > maxTagStringLen {
+			return nil, fmt.Errorf("taint: tag string exceeds %d bytes", maxTagStringLen)
+		}
+		size += 4 + len(k.Value) + len(k.LocalID)
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(keys)))
+	for _, k := range keys {
+		out = binary.BigEndian.AppendUint16(out, uint16(len(k.Value)))
+		out = append(out, k.Value...)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(k.LocalID)))
+		out = append(out, k.LocalID...)
+	}
+	return out, nil
+}
+
+// UnmarshalTaint decodes a taint blob into the receiver tree, interning
+// the tag path so repeated arrivals of the same taint share nodes.
+func (tr *Tree) UnmarshalTaint(blob []byte) (Taint, error) {
+	if len(blob) < 2 {
+		return Taint{}, ErrTruncatedTaint
+	}
+	count := int(binary.BigEndian.Uint16(blob))
+	blob = blob[2:]
+	keys := make([]TagKey, 0, count)
+	for i := 0; i < count; i++ {
+		value, rest, err := readString(blob)
+		if err != nil {
+			return Taint{}, err
+		}
+		localID, rest2, err := readString(rest)
+		if err != nil {
+			return Taint{}, err
+		}
+		blob = rest2
+		keys = append(keys, TagKey{Value: value, LocalID: localID})
+	}
+	if len(blob) != 0 {
+		return Taint{}, fmt.Errorf("taint: %d trailing bytes after taint blob", len(blob))
+	}
+	return tr.FromKeys(keys), nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrTruncatedTaint
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, ErrTruncatedTaint
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

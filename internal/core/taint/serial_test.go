@@ -1,0 +1,136 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalEmptyTaint(t *testing.T) {
+	blob, err := MarshalTaint(Taint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTree()
+	got, err := tr.UnmarshalTaint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Empty() {
+		t.Fatalf("round trip of empty taint = %v", got)
+	}
+}
+
+func TestMarshalRoundTripAcrossTrees(t *testing.T) {
+	sender := NewTree()
+	a := sender.NewSource("a_tag", "10.0.0.1:100")
+	b := sender.NewSource("b_tag", "10.0.0.1:100")
+	ab := Combine(a, b)
+
+	blob, err := MarshalTaint(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := NewTree()
+	got, err := receiver.UnmarshalTaint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameSet(got, ab) {
+		t.Fatalf("decoded %v, want same set as %v", got, ab)
+	}
+	if got.Tree() != receiver {
+		t.Fatal("decoded taint must live in the receiver's tree")
+	}
+}
+
+func TestUnmarshalInternsRepeatedArrivals(t *testing.T) {
+	sender := NewTree()
+	blob, err := MarshalTaint(Combine(sender.NewSource("x", "l"), sender.NewSource("y", "l")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver := NewTree()
+	t1, err := receiver.UnmarshalTaint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := receiver.NodeCount()
+	t2, err := receiver.UnmarshalTaint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.n != t2.n {
+		t.Fatal("repeated decode must intern to the same node")
+	}
+	if receiver.NodeCount() != before {
+		t.Fatal("repeated decode must not grow the tree")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	tr := NewTree()
+	cases := []struct {
+		name string
+		blob []byte
+	}{
+		{name: "empty blob", blob: nil},
+		{name: "count with no tags", blob: []byte{0, 1}},
+		{name: "truncated value", blob: []byte{0, 1, 0, 5, 'a'}},
+		{name: "missing local id", blob: []byte{0, 1, 0, 1, 'a'}},
+		{name: "trailing garbage", blob: []byte{0, 0, 0xff}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tr.UnmarshalTaint(tt.blob); err == nil {
+				t.Fatalf("want error for %q", tt.name)
+			}
+		})
+	}
+}
+
+func TestSerializedTaintIsLarge(t *testing.T) {
+	// Sanity check on the paper's motivation (§III-D-2): a realistic
+	// single-tag taint blob with descriptor-style tag values is tens to
+	// hundreds of bytes, so shipping it per byte would be ruinous.
+	tr := NewTree()
+	tag := tr.NewSource(
+		"org.apache.zookeeper.server.quorum.FastLeaderElection$Notification.vote",
+		"192.168.10.21:28841",
+	)
+	blob, err := MarshalTaint(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 50 {
+		t.Fatalf("expected a realistically large blob, got %d bytes", len(blob))
+	}
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(vals []string, locs []string) bool {
+		sender := NewTree()
+		acc := Taint{}
+		for i, v := range vals {
+			loc := "l"
+			if len(locs) > 0 {
+				loc = locs[i%len(locs)]
+			}
+			if len(v) > 1000 || len(loc) > 1000 {
+				continue
+			}
+			acc = Combine(acc, sender.NewSource(v, loc))
+		}
+		blob, err := MarshalTaint(acc)
+		if err != nil {
+			return false
+		}
+		got, err := NewTree().UnmarshalTaint(blob)
+		if err != nil {
+			return false
+		}
+		return SameSet(got, acc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

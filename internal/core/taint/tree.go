@@ -1,0 +1,117 @@
+// Package taint implements DisTA's taint storage: the Phosphor-style
+// singleton tag tree (DSN'22 §II-B) extended with DisTA's quad tags
+// <ID, Tag, LocalID, GlobalID> (§III-D-1), taints as references into the
+// tree, taint combination, shadow label arrays and tainted value wrappers.
+//
+// A Taint is a set of tags represented as a node in a per-process Tree;
+// the set is the list of tags on the path from the root to that node.
+// Combining two taints appends the missing tags of one path under the
+// other, interning nodes so that equal extensions share storage — the
+// memory-saving property the paper attributes to Phosphor.
+package taint
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TagKey identifies a source tag uniquely across the whole cluster: the
+// user-chosen tag value plus the LocalID (ip:pid) of the node that
+// generated it. Two nodes generating the same tag value produce distinct
+// TagKeys, which is exactly the tag-conflict problem LocalID solves
+// (§III-D-1).
+type TagKey struct {
+	Value   string // user-assigned tag value
+	LocalID string // "ip:pid" of the generating node
+}
+
+// String returns "value@localID".
+func (k TagKey) String() string {
+	return k.Value + "@" + k.LocalID
+}
+
+// node is one entry of the tag tree. The root has an empty TagKey and
+// id 0; every other node carries the tag appended at that tree level.
+type node struct {
+	id       int64  // unique rank of this node within its Tree
+	key      TagKey // tag added at this level (zero for root)
+	parent   *node
+	depth    int // number of tags on the path (root = 0)
+	tree     *Tree
+	globalID uint32 // Taint Map id for the taint this node represents; 0 = unassigned
+
+	mu       sync.Mutex
+	children map[TagKey]*node
+}
+
+// Tree is the per-process singleton tag tree. The zero value is not
+// usable; construct with NewTree. A Tree is safe for concurrent use.
+type Tree struct {
+	mu     sync.Mutex
+	nextID int64
+	root   *node
+}
+
+// NewTree returns an empty tag tree.
+func NewTree() *Tree {
+	t := &Tree{nextID: 1}
+	t.root = &node{tree: t}
+	return t
+}
+
+// child returns n's child carrying key, creating it if needed.
+func (n *node) child(key TagKey) *node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.children[key]; ok {
+		return c
+	}
+	if n.children == nil {
+		n.children = make(map[TagKey]*node)
+	}
+	n.tree.mu.Lock()
+	id := n.tree.nextID
+	n.tree.nextID++
+	n.tree.mu.Unlock()
+	c := &node{
+		id:     id,
+		key:    key,
+		parent: n,
+		depth:  n.depth + 1,
+		tree:   n.tree,
+	}
+	n.children[key] = c
+	return c
+}
+
+// path returns the tags from root to n, in insertion (root-first) order.
+func (n *node) path() []TagKey {
+	keys := make([]TagKey, n.depth)
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		keys[cur.depth-1] = cur.key
+	}
+	return keys
+}
+
+// contains reports whether key appears on n's path.
+func (n *node) contains(key TagKey) bool {
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		if cur.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeCount returns the number of nodes currently interned in the tree,
+// excluding the root. Useful for memory-sharing assertions.
+func (t *Tree) NodeCount() int {
+	t.mu.Lock()
+	n := t.nextID - 1
+	t.mu.Unlock()
+	return int(n)
+}
+
+func (t *Tree) String() string {
+	return fmt.Sprintf("taint.Tree{nodes: %d}", t.NodeCount())
+}

@@ -1,0 +1,177 @@
+package taint
+
+import "fmt"
+
+// Bytes is a byte slice with a per-byte shadow label array — the
+// byte-level tracking granularity of DisTA (§III-A). Labels[i] is the
+// taint of Data[i]; a nil Labels slice means every byte is untainted.
+//
+// Bytes follows slice semantics: sub-slicing shares the underlying
+// arrays; use Clone for a deep copy.
+type Bytes struct {
+	Data   []byte
+	Labels []Taint
+}
+
+// MakeBytes allocates an untainted Bytes of length n with shadow storage.
+func MakeBytes(n int) Bytes {
+	return Bytes{Data: make([]byte, n), Labels: make([]Taint, n)}
+}
+
+// WrapBytes wraps a plain byte slice as untainted Bytes. The data is not
+// copied; the shadow array is allocated lazily on first taint.
+func WrapBytes(b []byte) Bytes {
+	return Bytes{Data: b}
+}
+
+// FromString wraps the bytes of s, each carrying taint t.
+func FromString(s string, t Taint) Bytes {
+	b := Bytes{Data: []byte(s)}
+	if !t.Empty() {
+		b.TaintAll(t)
+	}
+	return b
+}
+
+// Len returns the number of data bytes.
+func (b Bytes) Len() int { return len(b.Data) }
+
+// LabelAt returns the taint of byte i (empty if no shadow storage).
+func (b Bytes) LabelAt(i int) Taint {
+	if b.Labels == nil {
+		return Taint{}
+	}
+	return b.Labels[i]
+}
+
+// ensureLabels allocates the shadow array if absent.
+func (b *Bytes) ensureLabels() {
+	if b.Labels == nil {
+		b.Labels = make([]Taint, len(b.Data))
+	}
+}
+
+// SetLabel assigns taint t to byte i.
+func (b *Bytes) SetLabel(i int, t Taint) {
+	if t.Empty() && b.Labels == nil {
+		return
+	}
+	b.ensureLabels()
+	b.Labels[i] = t
+}
+
+// TaintAll combines taint t into every byte's label.
+func (b *Bytes) TaintAll(t Taint) {
+	if t.Empty() {
+		return
+	}
+	b.ensureLabels()
+	for i := range b.Labels {
+		b.Labels[i] = Combine(b.Labels[i], t)
+	}
+}
+
+// Slice returns b[from:to] sharing the underlying storage.
+func (b Bytes) Slice(from, to int) Bytes {
+	out := Bytes{Data: b.Data[from:to]}
+	if b.Labels != nil {
+		out.Labels = b.Labels[from:to]
+	}
+	return out
+}
+
+// Clone returns a deep copy of b.
+func (b Bytes) Clone() Bytes {
+	out := Bytes{Data: make([]byte, len(b.Data))}
+	copy(out.Data, b.Data)
+	if b.Labels != nil {
+		out.Labels = make([]Taint, len(b.Labels))
+		copy(out.Labels, b.Labels)
+	}
+	return out
+}
+
+// Append appends other to b, propagating labels, and returns the result
+// (like the append builtin, the receiver's storage may be reused).
+func (b Bytes) Append(other Bytes) Bytes {
+	n := len(b.Data)
+	out := Bytes{Data: append(b.Data, other.Data...)}
+	if b.Labels == nil && other.Labels == nil {
+		return out
+	}
+	labels := b.Labels
+	if labels == nil {
+		labels = make([]Taint, n, len(out.Data))
+	}
+	if other.Labels != nil {
+		labels = append(labels, other.Labels...)
+	} else {
+		labels = append(labels, make([]Taint, len(other.Data))...)
+	}
+	out.Labels = labels
+	return out
+}
+
+// CopyInto copies b's data and labels into dst starting at offset off.
+// It returns the number of bytes copied.
+func (b Bytes) CopyInto(dst *Bytes, off int) int {
+	n := copy(dst.Data[off:], b.Data)
+	if b.Labels != nil {
+		dst.ensureLabels()
+		copy(dst.Labels[off:off+n], b.Labels[:n])
+	} else if dst.Labels != nil {
+		for i := off; i < off+n; i++ {
+			dst.Labels[i] = Taint{}
+		}
+	}
+	return n
+}
+
+// Union returns the combination of all byte labels — the taint of the
+// value as a whole.
+func (b Bytes) Union() Taint {
+	var acc Taint
+	for _, l := range b.Labels {
+		acc = Combine(acc, l)
+	}
+	return acc
+}
+
+// String is a tainted string value: the text plus one taint covering it.
+// It models a tracked String variable (e.g. the TomcatMessage text of
+// the ActiveMQ scenario).
+type String struct {
+	Value string
+	Label Taint
+}
+
+// Bytes converts the tainted string to per-byte tainted Bytes.
+func (s String) Bytes() Bytes { return FromString(s.Value, s.Label) }
+
+// StringOf reconstructs a tainted String from Bytes, unioning all byte
+// labels into one value-level taint.
+func StringOf(b Bytes) String {
+	return String{Value: string(b.Data), Label: b.Union()}
+}
+
+// Int64 is a tainted 64-bit integer (e.g. a transaction id / zxid).
+type Int64 struct {
+	Value int64
+	Label Taint
+}
+
+// Int32 is a tainted 32-bit integer.
+type Int32 struct {
+	Value int32
+	Label Taint
+}
+
+func (v Int64) String() string { return fmt.Sprintf("%d%s", v.Value, labelSuffix(v.Label)) }
+func (v Int32) String() string { return fmt.Sprintf("%d%s", v.Value, labelSuffix(v.Label)) }
+
+func labelSuffix(t Taint) string {
+	if t.Empty() {
+		return ""
+	}
+	return t.String()
+}

@@ -1,0 +1,192 @@
+package taint
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeBytes(t *testing.T) {
+	b := MakeBytes(4)
+	if b.Len() != 4 || len(b.Labels) != 4 {
+		t.Fatalf("MakeBytes(4) = len %d labels %d", b.Len(), len(b.Labels))
+	}
+	for i := 0; i < 4; i++ {
+		if !b.LabelAt(i).Empty() {
+			t.Fatalf("byte %d must start untainted", i)
+		}
+	}
+}
+
+func TestWrapBytesLazyShadow(t *testing.T) {
+	b := WrapBytes([]byte("hi"))
+	if b.Labels != nil {
+		t.Fatal("WrapBytes must not allocate shadow storage")
+	}
+	if !b.LabelAt(1).Empty() {
+		t.Fatal("wrapped bytes must read as untainted")
+	}
+	b.SetLabel(0, Taint{}) // setting the empty taint must stay lazy
+	if b.Labels != nil {
+		t.Fatal("setting an empty label must not allocate shadow storage")
+	}
+}
+
+func TestTaintAllAndUnion(t *testing.T) {
+	tr := NewTree()
+	a := tr.NewSource("a", "l")
+	b := FromString("abc", a)
+	for i := 0; i < 3; i++ {
+		if !b.LabelAt(i).Has("a") {
+			t.Fatalf("byte %d missing taint", i)
+		}
+	}
+	if u := b.Union(); !SameSet(u, a) {
+		t.Fatalf("union = %v, want %v", u, a)
+	}
+
+	c := tr.NewSource("c", "l")
+	b.TaintAll(c)
+	if got := b.Union().Values(); len(got) != 2 {
+		t.Fatalf("after TaintAll union = %v", got)
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	tr := NewTree()
+	b := MakeBytes(8)
+	sub := b.Slice(2, 5)
+	sub.SetLabel(0, tr.NewSource("x", "l"))
+	if !b.LabelAt(2).Has("x") {
+		t.Fatal("slicing must alias the shadow array")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := NewTree()
+	b := FromString("abc", tr.NewSource("a", "l"))
+	c := b.Clone()
+	c.Data[0] = 'z'
+	c.SetLabel(1, Taint{})
+	if b.Data[0] != 'a' {
+		t.Fatal("Clone must copy data")
+	}
+	if !b.LabelAt(1).Has("a") {
+		t.Fatal("Clone must copy labels")
+	}
+}
+
+func TestAppendPropagatesLabels(t *testing.T) {
+	tr := NewTree()
+	a := FromString("aa", tr.NewSource("a", "l"))
+	plain := WrapBytes([]byte("pp"))
+	b := FromString("bb", tr.NewSource("b", "l"))
+
+	out := a.Append(plain).Append(b)
+	if got := string(out.Data); got != "aappbb" {
+		t.Fatalf("data = %q", got)
+	}
+	wants := []string{"a", "a", "", "", "b", "b"}
+	for i, w := range wants {
+		l := out.LabelAt(i)
+		if w == "" && !l.Empty() {
+			t.Fatalf("byte %d should be clean, got %v", i, l)
+		}
+		if w != "" && !l.Has(w) {
+			t.Fatalf("byte %d should have %q, got %v", i, w, l)
+		}
+	}
+}
+
+func TestAppendPlainOntoPlainStaysLazy(t *testing.T) {
+	out := WrapBytes([]byte("ab")).Append(WrapBytes([]byte("cd")))
+	if out.Labels != nil {
+		t.Fatal("appending untainted onto untainted must not allocate shadows")
+	}
+}
+
+func TestAppendTaintedOntoPlain(t *testing.T) {
+	tr := NewTree()
+	out := WrapBytes([]byte("ab")).Append(FromString("c", tr.NewSource("t", "l")))
+	if !out.LabelAt(0).Empty() || !out.LabelAt(1).Empty() {
+		t.Fatal("prefix must stay untainted")
+	}
+	if !out.LabelAt(2).Has("t") {
+		t.Fatal("suffix must carry taint")
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	tr := NewTree()
+	src := FromString("xy", tr.NewSource("s", "l"))
+	dst := MakeBytes(5)
+	n := src.CopyInto(&dst, 2)
+	if n != 2 {
+		t.Fatalf("copied %d", n)
+	}
+	if string(dst.Data) != "\x00\x00xy\x00" {
+		t.Fatalf("data = %q", dst.Data)
+	}
+	if !dst.LabelAt(2).Has("s") || !dst.LabelAt(3).Has("s") {
+		t.Fatal("labels not copied")
+	}
+	if !dst.LabelAt(0).Empty() || !dst.LabelAt(4).Empty() {
+		t.Fatal("untouched bytes must stay clean")
+	}
+}
+
+func TestCopyIntoClearsStaleLabels(t *testing.T) {
+	tr := NewTree()
+	dst := FromString("abcd", tr.NewSource("old", "l"))
+	src := WrapBytes([]byte("xy"))
+	src.CopyInto(&dst, 1)
+	if dst.LabelAt(1).Has("old") || dst.LabelAt(2).Has("old") {
+		t.Fatal("overwritten bytes must lose their old labels")
+	}
+	if !dst.LabelAt(0).Has("old") || !dst.LabelAt(3).Has("old") {
+		t.Fatal("untouched bytes must keep labels")
+	}
+}
+
+func TestStringOfRoundTrip(t *testing.T) {
+	tr := NewTree()
+	s := String{Value: "vote", Label: tr.NewSource("v", "l")}
+	got := StringOf(s.Bytes())
+	if got.Value != "vote" || !SameSet(got.Label, s.Label) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestTaintedIntStringer(t *testing.T) {
+	tr := NewTree()
+	v := Int64{Value: 7, Label: tr.NewSource("z", "l")}
+	if got := v.String(); got != "7{z@l}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := (Int32{Value: 3}).String(); got != "3" {
+		t.Fatalf("untainted String() = %q", got)
+	}
+}
+
+func TestQuickAppendPreservesLengthAlignment(t *testing.T) {
+	tr := NewTree()
+	tag := tr.NewSource("q", "l")
+	f := func(a, b []byte, taintA bool) bool {
+		left := WrapBytes(append([]byte(nil), a...))
+		if taintA {
+			left.TaintAll(tag)
+		}
+		right := WrapBytes(append([]byte(nil), b...))
+		out := left.Append(right)
+		if len(out.Data) != len(a)+len(b) {
+			return false
+		}
+		if out.Labels != nil && len(out.Labels) != len(out.Data) {
+			return false
+		}
+		return bytes.Equal(out.Data[:len(a)], a) && bytes.Equal(out.Data[len(a):], b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

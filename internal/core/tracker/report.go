@@ -1,0 +1,75 @@
+package tracker
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Reporting: human-readable summaries of what sinks observed across a
+// cluster — the output a user of the tool reads after a tracking run
+// (the checking workflow of §V-D).
+
+// WriteReport prints, per agent, each sink with the tag values it
+// observed and their origins, sorted for stable output.
+func WriteReport(w io.Writer, agents ...*Agent) {
+	for _, a := range agents {
+		obs := a.Observations()
+		fmt.Fprintf(w, "node %s (%s, mode %s): %d tainted sink observation(s)\n",
+			a.Node(), a.LocalID(), a.Mode(), len(obs))
+		bySink := make(map[string]map[string]bool)
+		for _, o := range obs {
+			if bySink[o.Sink] == nil {
+				bySink[o.Sink] = make(map[string]bool)
+			}
+			for _, k := range o.Taint.Keys() {
+				bySink[o.Sink][k.String()] = true
+			}
+		}
+		sinks := make([]string, 0, len(bySink))
+		for s := range bySink {
+			sinks = append(sinks, s)
+		}
+		sort.Strings(sinks)
+		for _, s := range sinks {
+			tags := make([]string, 0, len(bySink[s]))
+			for t := range bySink[s] {
+				tags = append(tags, t)
+			}
+			sort.Strings(tags)
+			fmt.Fprintf(w, "  sink %s:\n", s)
+			for _, t := range tags {
+				fmt.Fprintf(w, "    %s\n", t)
+			}
+		}
+	}
+}
+
+// CrossNodeFlows extracts the observations whose taints originated on a
+// *different* node — the inter-node flows DisTA exists to find. Each
+// entry reads "origin -> node: sink saw tag".
+func CrossNodeFlows(agents ...*Agent) []string {
+	var flows []string
+	for _, a := range agents {
+		for _, o := range a.Observations() {
+			for _, k := range o.Taint.Keys() {
+				if k.LocalID == a.LocalID() {
+					continue
+				}
+				flows = append(flows, fmt.Sprintf("%s -> %s: %s saw %s", k.LocalID, a.LocalID(), o.Sink, k.Value))
+			}
+		}
+	}
+	sort.Strings(flows)
+	return dedupeStrings(flows)
+}
+
+func dedupeStrings(in []string) []string {
+	var out []string
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package tracker
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+)
+
+func TestWriteReport(t *testing.T) {
+	a := New("n2", ModeDista)
+	remote := a.Tree().FromKeys([]taint.TagKey{{Value: "vote", LocalID: "n1:1"}})
+	local := a.Source("s", "own")
+	a.CheckSink("checkLeader", remote)
+	a.CheckSink("LOG#info", local)
+
+	var buf bytes.Buffer
+	WriteReport(&buf, a)
+	out := buf.String()
+	for _, want := range []string{"node n2", "sink LOG#info", "sink checkLeader", "vote@n1:1", "own@n2:1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCrossNodeFlows(t *testing.T) {
+	a := New("n2", ModeDista)
+	remote := a.Tree().FromKeys([]taint.TagKey{{Value: "vote", LocalID: "n1:1"}})
+	local := a.Source("s", "own")
+	a.CheckSink("checkLeader", remote)
+	a.CheckSink("checkLeader", remote) // duplicate observation dedupes
+	a.CheckSink("LOG#info", local)     // local-origin taint is not a cross-node flow
+
+	got := CrossNodeFlows(a)
+	want := []string{"n1:1 -> n2:1: checkLeader saw vote"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("flows = %v, want %v", got, want)
+	}
+}
+
+func TestCrossNodeFlowsEmpty(t *testing.T) {
+	a := New("n", ModeDista)
+	if got := CrossNodeFlows(a); got != nil {
+		t.Fatalf("flows = %v", got)
+	}
+}

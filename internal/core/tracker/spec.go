@@ -1,0 +1,158 @@
+package tracker
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Spec is the user's taint source/sink specification, the content of the
+// "source and sink files" of §V-E: method descriptors whose return
+// values are tainted (sources) and whose parameters are checked (sinks).
+//
+// The zero Spec enables everything, which is what the micro benchmark
+// and SDT scenarios with hard-coded points use; SIM scenarios load a
+// spec file.
+type Spec struct {
+	sources map[string]bool
+	sinks   map[string]bool
+}
+
+// NewSpec builds a spec from explicit descriptor lists. Nil slices mean
+// "everything enabled" for that kind.
+func NewSpec(sources, sinks []string) Spec {
+	var s Spec
+	if sources != nil {
+		s.sources = make(map[string]bool, len(sources))
+		for _, d := range sources {
+			s.sources[d] = true
+		}
+	}
+	if sinks != nil {
+		s.sinks = make(map[string]bool, len(sinks))
+		for _, d := range sinks {
+			s.sinks[d] = true
+		}
+	}
+	return s
+}
+
+// SourceEnabled reports whether the descriptor is a configured source.
+func (s Spec) SourceEnabled(desc string) bool {
+	return s.sources == nil || s.sources[desc]
+}
+
+// SinkEnabled reports whether the descriptor is a configured sink.
+func (s Spec) SinkEnabled(desc string) bool {
+	return s.sinks == nil || s.sinks[desc]
+}
+
+// Sources returns the configured source descriptors (nil = all).
+func (s Spec) Sources() []string { return descList(s.sources) }
+
+// Sinks returns the configured sink descriptors (nil = all).
+func (s Spec) Sinks() []string { return descList(s.sinks) }
+
+func descList(m map[string]bool) []string {
+	if m == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	return out
+}
+
+// ParseSpec reads a spec in the file format of §V-E: one entry per line,
+//
+//	source <method descriptor>
+//	sink <method descriptor>
+//
+// with '#' comments and blank lines ignored. A file that names no
+// sources (or sinks) leaves that kind restricted to the named set of the
+// other kind only — i.e. parsing always produces explicit (possibly
+// empty) sets, unlike the zero Spec.
+func ParseSpec(r io.Reader) (Spec, error) {
+	s := Spec{
+		sources: make(map[string]bool),
+		sinks:   make(map[string]bool),
+	}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		kind, desc, ok := strings.Cut(text, " ")
+		desc = strings.TrimSpace(desc)
+		if !ok || desc == "" {
+			return Spec{}, fmt.Errorf("tracker: spec line %d: want \"source|sink <descriptor>\", got %q", line, text)
+		}
+		switch kind {
+		case "source":
+			s.sources[desc] = true
+		case "sink":
+			s.sinks[desc] = true
+		default:
+			return Spec{}, fmt.Errorf("tracker: spec line %d: unknown kind %q", line, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Spec{}, fmt.Errorf("tracker: read spec: %w", err)
+	}
+	return s, nil
+}
+
+// LoadSpec parses a spec file from disk.
+func LoadSpec(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	return ParseSpec(f)
+}
+
+// AgentArgs is the parsed form of the single launch-script flag a system
+// needs to enable DisTA (the paper's -javaagent:DisTA.jar=... line).
+type AgentArgs struct {
+	Mode     Mode
+	TaintMap string // Taint Map address; empty = none
+	SpecPath string // source/sink file; empty = everything enabled
+}
+
+// ParseAgentArgs parses "mode=dista,taintmap=host:port,spec=path". Every
+// key is optional; mode defaults to dista (attaching the agent means
+// tracking).
+func ParseAgentArgs(s string) (AgentArgs, error) {
+	args := AgentArgs{Mode: ModeDista}
+	if strings.TrimSpace(s) == "" {
+		return args, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return AgentArgs{}, fmt.Errorf("tracker: agent arg %q: want key=value", kv)
+		}
+		switch key {
+		case "mode":
+			m, err := ParseMode(val)
+			if err != nil {
+				return AgentArgs{}, err
+			}
+			args.Mode = m
+		case "taintmap":
+			args.TaintMap = val
+		case "spec", "sources": // the paper's flag spells it taintSources
+			args.SpecPath = val
+		default:
+			return AgentArgs{}, fmt.Errorf("tracker: unknown agent arg %q", key)
+		}
+	}
+	return args, nil
+}

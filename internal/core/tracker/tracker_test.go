@@ -1,0 +1,248 @@
+package tracker
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/taintmap"
+)
+
+func TestModeParseRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeOff, ModePhosphor, ModeDista} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("want error for unknown mode")
+	}
+	if got := Mode(99).String(); got != "Mode(99)" {
+		t.Fatalf("unknown mode String() = %q", got)
+	}
+}
+
+func TestAgentDefaults(t *testing.T) {
+	a := New("node1", ModeDista)
+	if a.Node() != "node1" || a.LocalID() != "node1:1" {
+		t.Fatalf("node=%q localID=%q", a.Node(), a.LocalID())
+	}
+	if !a.Tracking() || !a.InterNode() {
+		t.Fatal("dista agent must track and be inter-node")
+	}
+	p := New("n", ModePhosphor)
+	if !p.Tracking() || p.InterNode() {
+		t.Fatal("phosphor agent tracks intra-node only")
+	}
+	o := New("n", ModeOff)
+	if o.Tracking() {
+		t.Fatal("off agent must not track")
+	}
+}
+
+func TestSourceRespectsMode(t *testing.T) {
+	off := New("n", ModeOff)
+	if !off.Source("X#y", "tag").Empty() {
+		t.Fatal("off mode must not generate taints")
+	}
+	on := New("n", ModeDista)
+	tt := on.Source("X#y", "tag")
+	if tt.Empty() || !tt.Has("tag") {
+		t.Fatalf("source taint = %v", tt)
+	}
+	keys := tt.Keys()
+	if keys[0].LocalID != "n:1" {
+		t.Fatalf("taint LocalID = %q", keys[0].LocalID)
+	}
+}
+
+func TestSourceRespectsSpec(t *testing.T) {
+	spec := NewSpec([]string{"FileTxnLog#read"}, []string{"LOG#info"})
+	a := New("n", ModeDista, WithSpec(spec))
+	if !a.Source("Other#method", "t").Empty() {
+		t.Fatal("unlisted source must not fire")
+	}
+	if a.Source("FileTxnLog#read", "t").Empty() {
+		t.Fatal("listed source must fire")
+	}
+}
+
+func TestSourceSeq(t *testing.T) {
+	a := New("n", ModeDista)
+	t1 := a.SourceSeq("F#read", "zxid")
+	t2 := a.SourceSeq("F#read", "zxid")
+	t3 := a.SourceSeq("F#read", "zxid")
+	if !t1.Has("zxid1") || !t2.Has("zxid2") || !t3.Has("zxid3") {
+		t.Fatalf("seq tags = %v %v %v", t1, t2, t3)
+	}
+	if off := New("n", ModeOff); !off.SourceSeq("F#read", "z").Empty() {
+		t.Fatal("off mode SourceSeq must be empty")
+	}
+}
+
+func TestCheckSinkRecordsOnlyTainted(t *testing.T) {
+	a := New("n2", ModeDista)
+	tt := a.Source("src", "vote")
+	if hit := a.CheckSink("checkLeader", taint.Taint{}); hit {
+		t.Fatal("untainted check must not hit")
+	}
+	if hit := a.CheckSink("checkLeader", tt, taint.Taint{}); !hit {
+		t.Fatal("tainted check must hit")
+	}
+	obs := a.Observations()
+	if len(obs) != 1 || obs[0].Sink != "checkLeader" || obs[0].Node != "n2" {
+		t.Fatalf("observations = %+v", obs)
+	}
+	if got := a.SinkFireCount("checkLeader"); got != 2 {
+		t.Fatalf("fire count = %d", got)
+	}
+	if got := a.SinkTagValues("checkLeader"); !reflect.DeepEqual(got, []string{"vote"}) {
+		t.Fatalf("tag values = %v", got)
+	}
+}
+
+func TestCheckSinkRespectsSpec(t *testing.T) {
+	a := New("n", ModeDista, WithSpec(NewSpec(nil, []string{"LOG#info"})))
+	tt := a.Source("s", "x")
+	if a.CheckSink("other", tt) {
+		t.Fatal("unlisted sink must be ignored")
+	}
+	if !a.CheckSink("LOG#info", tt) {
+		t.Fatal("listed sink must record")
+	}
+}
+
+func TestCheckSinkBytes(t *testing.T) {
+	a := New("n", ModeDista)
+	b := taint.FromString("secret", a.Source("s", "leak"))
+	if !a.CheckSinkBytes("LOG#info", b) {
+		t.Fatal("tainted bytes must hit the sink")
+	}
+	if a.CheckSinkBytes("LOG#info", taint.WrapBytes([]byte("clean"))) {
+		t.Fatal("clean bytes must not hit")
+	}
+	off := New("n", ModeOff)
+	if off.CheckSinkBytes("LOG#info", b) {
+		t.Fatal("off mode must not hit")
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	a := New("n", ModeDista)
+	a.AddTraffic(100, 500)
+	a.AddTraffic(1, 5)
+	data, wire := a.Traffic()
+	if data != 101 || wire != 505 {
+		t.Fatalf("traffic = %d/%d", data, wire)
+	}
+}
+
+func TestWithTaintMap(t *testing.T) {
+	store := taintmap.NewStore()
+	a := New("n", ModeDista)
+	c := taintmap.NewLocalClient(store, a.Tree())
+	a2 := New("n", ModeDista, WithTaintMap(c))
+	if a2.TaintMap() == nil {
+		t.Fatal("taint map client not installed")
+	}
+	if a.TaintMap() != nil {
+		t.Fatal("default agent must have no taint map")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	text := `
+# ZooKeeper SIM scenario
+source FileTxnLog#read
+source Config#load
+
+sink LOG#info
+`
+	spec, err := ParseSpec(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.SourceEnabled("FileTxnLog#read") || !spec.SourceEnabled("Config#load") {
+		t.Fatal("sources missing")
+	}
+	if spec.SourceEnabled("Other#x") {
+		t.Fatal("unlisted source enabled")
+	}
+	if !spec.SinkEnabled("LOG#info") || spec.SinkEnabled("Other#x") {
+		t.Fatal("sink set wrong")
+	}
+	if len(spec.Sources()) != 2 || len(spec.Sinks()) != 1 {
+		t.Fatalf("lists = %v / %v", spec.Sources(), spec.Sinks())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{"source", "sink ", "taint X#y", "source\tX"} {
+		if _, err := ParseSpec(strings.NewReader(bad)); err == nil {
+			t.Fatalf("want error for %q", bad)
+		}
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.txt")
+	if err := os.WriteFile(path, []byte("source A#b\nsink C#d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.SourceEnabled("A#b") || !spec.SinkEnabled("C#d") {
+		t.Fatal("spec not loaded")
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestZeroSpecEnablesEverything(t *testing.T) {
+	var s Spec
+	if !s.SourceEnabled("anything") || !s.SinkEnabled("anything") {
+		t.Fatal("zero spec must enable all points")
+	}
+	if s.Sources() != nil || s.Sinks() != nil {
+		t.Fatal("zero spec lists must be nil")
+	}
+}
+
+func TestParseAgentArgs(t *testing.T) {
+	args, err := ParseAgentArgs("mode=phosphor,taintmap=tm:7,spec=/tmp/s.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AgentArgs{Mode: ModePhosphor, TaintMap: "tm:7", SpecPath: "/tmp/s.txt"}
+	if args != want {
+		t.Fatalf("args = %+v", args)
+	}
+}
+
+func TestParseAgentArgsDefaults(t *testing.T) {
+	args, err := ParseAgentArgs("")
+	if err != nil || args.Mode != ModeDista {
+		t.Fatalf("args = %+v, %v", args, err)
+	}
+	// The paper's own flag spelling.
+	args, err = ParseAgentArgs("sources=3")
+	if err != nil || args.SpecPath != "3" {
+		t.Fatalf("args = %+v, %v", args, err)
+	}
+}
+
+func TestParseAgentArgsErrors(t *testing.T) {
+	for _, bad := range []string{"mode", "mode=warp", "color=blue"} {
+		if _, err := ParseAgentArgs(bad); err == nil {
+			t.Fatalf("want error for %q", bad)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package wire implements DisTA's inter-node taint encoding (DSN'22
+// §III-D): every data byte travels as a fixed-length group of the byte
+// followed by the 4-byte big-endian Global ID of its taint (0 =
+// untainted). The fixed group length is what lets a receiver enlarge its
+// buffer by a known factor and never receive a partial taint — the
+// "mismatched serialized taint length" problem the Taint Map solves.
+//
+// Three codecs cover the paper's three instrumentation types:
+//
+//   - stream codec (Type 1): a continuous group stream with a stateful
+//     decoder that tolerates arbitrary read fragmentation;
+//   - packet codec (Type 2): a whole datagram wrapped with a small
+//     header carrying the original length;
+//   - buffer codec (Type 3) reuses the stream encoding over the contents
+//     of a direct buffer (the dispatcher writes whole buffers).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// GlobalIDLen is the wire width of a Global ID.
+	GlobalIDLen = 4
+	// GroupLen is the wire width of one data byte with its taint id —
+	// the source of the paper's "about 5X network overhead" estimate.
+	GroupLen = 1 + GlobalIDLen
+)
+
+// ErrTruncatedPacket reports a packet shorter than its header claims.
+var ErrTruncatedPacket = errors.New("wire: truncated taint packet")
+
+// WireLen returns the encoded size of n data bytes in the stream codec.
+func WireLen(n int) int { return n * GroupLen }
+
+// DataLen returns how many whole data bytes fit in w wire bytes.
+func DataLen(w int) int { return w / GroupLen }
+
+// EncodeGroups appends the group encoding of data (with per-byte ids) to
+// dst and returns the extended slice. ids may be nil (all untainted) or
+// must have len(data) entries.
+func EncodeGroups(dst, data []byte, ids []uint32) []byte {
+	if ids != nil && len(ids) != len(data) {
+		panic(fmt.Sprintf("wire: %d ids for %d bytes", len(ids), len(data)))
+	}
+	need := len(dst) + WireLen(len(data))
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, b := range data {
+		var id uint32
+		if ids != nil {
+			id = ids[i]
+		}
+		dst = append(dst, b,
+			byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return dst
+}
+
+// DecodeGroups splits a whole-group wire buffer into data bytes and ids.
+// len(raw) must be a multiple of GroupLen.
+func DecodeGroups(raw []byte) (data []byte, ids []uint32, err error) {
+	if len(raw)%GroupLen != 0 {
+		return nil, nil, fmt.Errorf("wire: %d bytes is not a whole number of groups", len(raw))
+	}
+	n := len(raw) / GroupLen
+	data = make([]byte, n)
+	ids = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		g := raw[i*GroupLen:]
+		data[i] = g[0]
+		ids[i] = binary.BigEndian.Uint32(g[1:GroupLen])
+	}
+	return data, ids, nil
+}
+
+// StreamDecoder reassembles groups from an arbitrarily fragmented byte
+// stream. Feed it raw reads; Next pops decoded bytes. A partial group
+// stays buffered until its remaining bytes arrive.
+type StreamDecoder struct {
+	partial [GroupLen]byte
+	nburied int // valid bytes in partial
+
+	data []byte
+	ids  []uint32
+}
+
+// Feed consumes raw wire bytes, decoding every completed group.
+func (d *StreamDecoder) Feed(raw []byte) {
+	for len(raw) > 0 {
+		if d.nburied > 0 || len(raw) < GroupLen {
+			n := copy(d.partial[d.nburied:], raw)
+			d.nburied += n
+			raw = raw[n:]
+			if d.nburied == GroupLen {
+				d.data = append(d.data, d.partial[0])
+				d.ids = append(d.ids, binary.BigEndian.Uint32(d.partial[1:]))
+				d.nburied = 0
+			}
+			continue
+		}
+		whole := len(raw) / GroupLen * GroupLen
+		for i := 0; i < whole; i += GroupLen {
+			d.data = append(d.data, raw[i])
+			d.ids = append(d.ids, binary.BigEndian.Uint32(raw[i+1:i+GroupLen]))
+		}
+		raw = raw[whole:]
+	}
+}
+
+// Buffered returns how many decoded data bytes are ready.
+func (d *StreamDecoder) Buffered() int { return len(d.data) }
+
+// PendingPartial reports whether a fraction of a group is buffered.
+func (d *StreamDecoder) PendingPartial() bool { return d.nburied > 0 }
+
+// Next pops up to max decoded bytes with their ids.
+func (d *StreamDecoder) Next(max int) (data []byte, ids []uint32) {
+	n := len(d.data)
+	if n > max {
+		n = max
+	}
+	data = make([]byte, n)
+	ids = make([]uint32, n)
+	copy(data, d.data[:n])
+	copy(ids, d.ids[:n])
+	d.data = d.data[n:]
+	d.ids = d.ids[n:]
+	if len(d.data) == 0 {
+		d.data, d.ids = nil, nil
+	}
+	return data, ids
+}
+
+// Packet codec (Type 2): header = magic "DT" + uint32 data length,
+// followed by the group encoding. The header lets the receiver verify
+// integrity; the sender builds a *new* packet rather than mutating the
+// caller's, preserving the original's semantics (§III-C Type 2).
+
+var packetMagic = [2]byte{'D', 'T'}
+
+// PacketOverhead is the extra size of an encoded packet beyond
+// WireLen(n).
+const PacketOverhead = 6
+
+// EncodePacket wraps one datagram payload with its per-byte ids.
+func EncodePacket(data []byte, ids []uint32) []byte {
+	out := make([]byte, 0, PacketOverhead+WireLen(len(data)))
+	out = append(out, packetMagic[0], packetMagic[1])
+	out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
+	return EncodeGroups(out, data, ids)
+}
+
+// DecodePacketPrefix decodes as much of a possibly truncated encoded
+// datagram as arrived whole — the analogue of UDP's silent truncation
+// when the receiver's (enlarged) buffer is still smaller than the
+// packet. Only the header must be intact.
+func DecodePacketPrefix(raw []byte) (data []byte, ids []uint32, err error) {
+	data, ids, err = DecodePacket(raw)
+	if err == nil || !errors.Is(err, ErrTruncatedPacket) || len(raw) < PacketOverhead {
+		return data, ids, err
+	}
+	body := raw[PacketOverhead:]
+	whole := len(body) / GroupLen * GroupLen
+	return DecodeGroups(body[:whole])
+}
+
+// DecodePacket splits an encoded datagram into payload and ids.
+func DecodePacket(raw []byte) (data []byte, ids []uint32, err error) {
+	if len(raw) < PacketOverhead {
+		return nil, nil, ErrTruncatedPacket
+	}
+	if raw[0] != packetMagic[0] || raw[1] != packetMagic[1] {
+		return nil, nil, errors.New("wire: bad taint packet magic")
+	}
+	n := int(binary.BigEndian.Uint32(raw[2:6]))
+	body := raw[PacketOverhead:]
+	if len(body) < WireLen(n) {
+		return nil, nil, fmt.Errorf("%w: %d groups declared, %d wire bytes", ErrTruncatedPacket, n, len(body))
+	}
+	return DecodeGroups(body[:WireLen(n)])
+}

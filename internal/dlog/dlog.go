@@ -1,0 +1,99 @@
+// Package dlog is the node logger of the SIM scenarios (DSN'22 §V-B):
+// "we set LOG.info method as sink points for all systems, and check if
+// any log statement prints a tainted variable". Logger.Info formats a
+// message and runs the agent's sink check over every tainted argument.
+package dlog
+
+import (
+	"fmt"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+)
+
+// SinkDesc is the descriptor SIM spec files use for the log sink point.
+const SinkDesc = "LOG#info"
+
+// Entry is one recorded log line.
+type Entry struct {
+	Node    string
+	Message string
+	Tainted bool // whether any argument carried a taint
+}
+
+// Logger is a per-node logger wired to the node's agent.
+type Logger struct {
+	agent *tracker.Agent
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// New returns a logger for the agent's node.
+func New(agent *tracker.Agent) *Logger {
+	return &Logger{agent: agent}
+}
+
+// Info logs a formatted message. Arguments of the tainted value types
+// (taint.Bytes, taint.String, taint.Int32, taint.Int64, taint.Taint)
+// are checked against the LOG#info sink before formatting; their plain
+// values are what the format sees.
+func (l *Logger) Info(format string, args ...any) {
+	tainted := false
+	plain := make([]any, len(args))
+	for i, arg := range args {
+		var t taint.Taint
+		switch v := arg.(type) {
+		case taint.Bytes:
+			t = v.Union()
+			plain[i] = string(v.Data)
+		case taint.String:
+			t = v.Label
+			plain[i] = v.Value
+		case taint.Int32:
+			t = v.Label
+			plain[i] = v.Value
+		case taint.Int64:
+			t = v.Label
+			plain[i] = v.Value
+		case taint.Taint:
+			t = v
+			plain[i] = v.String()
+		default:
+			plain[i] = arg
+		}
+		if l.agent.CheckSink(SinkDesc, t) {
+			tainted = true
+		}
+	}
+	l.mu.Lock()
+	l.entries = append(l.entries, Entry{
+		Node:    l.agent.Node(),
+		Message: fmt.Sprintf(format, plain...),
+		Tainted: tainted,
+	})
+	l.mu.Unlock()
+}
+
+// Entries returns a copy of all recorded log lines.
+func (l *Logger) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// TaintedCount returns how many log lines printed tainted data.
+func (l *Logger) TaintedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.Tainted {
+			n++
+		}
+	}
+	return n
+}

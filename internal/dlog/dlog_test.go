@@ -1,0 +1,71 @@
+package dlog
+
+import (
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+)
+
+func TestInfoRecordsTaintedArgs(t *testing.T) {
+	a := tracker.New("n1", tracker.ModeDista)
+	l := New(a)
+	secret := taint.String{Value: "zxid=7", Label: a.Source("FileTxnLog#read", "zxid2")}
+	l.Info("current epoch from %s", secret)
+	l.Info("plain message %d", 42)
+
+	entries := l.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if !entries[0].Tainted || entries[0].Message != "current epoch from zxid=7" {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if entries[1].Tainted {
+		t.Fatal("plain log must not be tainted")
+	}
+	if l.TaintedCount() != 1 {
+		t.Fatalf("tainted count = %d", l.TaintedCount())
+	}
+	if got := a.SinkTagValues(SinkDesc); len(got) != 1 || got[0] != "zxid2" {
+		t.Fatalf("sink tags = %v", got)
+	}
+}
+
+func TestInfoAllValueKinds(t *testing.T) {
+	a := tracker.New("n", tracker.ModeDista)
+	l := New(a)
+	tt := a.Source("s", "k")
+	l.Info("%s %s %d %d %s",
+		taint.FromString("b", tt),
+		taint.String{Value: "s", Label: tt},
+		taint.Int32{Value: 1, Label: tt},
+		taint.Int64{Value: 2, Label: tt},
+		tt,
+	)
+	if l.TaintedCount() != 1 {
+		t.Fatal("all tainted kinds must register")
+	}
+	if got := l.Entries()[0].Message; got != "b s 1 2 {k@n:1}" {
+		t.Fatalf("message = %q", got)
+	}
+}
+
+func TestOffModeLogsCleanly(t *testing.T) {
+	a := tracker.New("n", tracker.ModeOff)
+	l := New(a)
+	l.Info("msg %s", taint.FromString("x", taint.Taint{}))
+	if l.TaintedCount() != 0 || len(a.Observations()) != 0 {
+		t.Fatal("off mode must not observe sinks")
+	}
+}
+
+func TestSpecRestrictedSink(t *testing.T) {
+	spec := tracker.NewSpec(nil, []string{"other#sink"})
+	a := tracker.New("n", tracker.ModeDista, tracker.WithSpec(spec))
+	l := New(a)
+	l.Info("%s", taint.FromString("x", a.Tree().NewSource("t", "n:1")))
+	if l.TaintedCount() != 0 {
+		t.Fatal("LOG#info not in spec must not record")
+	}
+}

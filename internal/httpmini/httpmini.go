@@ -1,0 +1,283 @@
+// Package httpmini is a minimal HTTP/1.0-style client and server over
+// the instrumented jre socket stack: the transport behind the JRE HTTP
+// micro-benchmark case and the HTTP-flavoured protocols of the
+// message-middleware systems. Bodies are tainted byte payloads; taints
+// ride through the instrumented socket natives like any other traffic.
+//
+// The byte-level request/response codecs are exported so the minette
+// framework can reuse them in its HTTP pipeline handlers.
+package httpmini
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// Request is an HTTP request with a tainted body.
+type Request struct {
+	Method  string
+	Path    string
+	Headers map[string]string
+	Body    taint.Bytes
+}
+
+// Response is an HTTP response with a tainted body.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    taint.Bytes
+}
+
+// Handler computes the response for one request.
+type Handler func(*Request) *Response
+
+// ErrIncomplete reports that a byte-level parse needs more input.
+var ErrIncomplete = errors.New("httpmini: incomplete message")
+
+// statusText maps the handful of codes the simulation uses.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}
+
+// EncodeRequest renders a request; header bytes are untainted metadata,
+// body bytes keep their labels.
+func EncodeRequest(r *Request) taint.Bytes {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s HTTP/1.0\r\n", r.Method, r.Path)
+	writeHeaders(&sb, r.Headers, r.Body.Len())
+	return taint.WrapBytes([]byte(sb.String())).Append(r.Body)
+}
+
+// EncodeResponse renders a response.
+func EncodeResponse(r *Response) taint.Bytes {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.0 %d %s\r\n", r.Status, statusText(r.Status))
+	writeHeaders(&sb, r.Headers, r.Body.Len())
+	return taint.WrapBytes([]byte(sb.String())).Append(r.Body)
+}
+
+func writeHeaders(sb *strings.Builder, headers map[string]string, bodyLen int) {
+	keys := make([]string, 0, len(headers))
+	for k := range headers {
+		if strings.EqualFold(k, "Content-Length") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s: %s\r\n", k, headers[k])
+	}
+	fmt.Fprintf(sb, "Content-Length: %d\r\n\r\n", bodyLen)
+}
+
+// splitHead finds the header/body boundary, returning the head text and
+// the body offset, or ErrIncomplete.
+func splitHead(raw []byte) (string, int, error) {
+	idx := strings.Index(string(raw), "\r\n\r\n")
+	if idx < 0 {
+		return "", 0, ErrIncomplete
+	}
+	return string(raw[:idx]), idx + 4, nil
+}
+
+// parseHeaders parses "K: V" lines.
+func parseHeaders(lines []string) (map[string]string, error) {
+	h := make(map[string]string, len(lines))
+	for _, line := range lines {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("httpmini: bad header line %q", line)
+		}
+		h[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return h, nil
+}
+
+func contentLength(h map[string]string) (int, error) {
+	v, ok := h["Content-Length"]
+	if !ok {
+		return 0, nil
+	}
+	return strconv.Atoi(v)
+}
+
+// ParseRequestBytes parses one request from raw, returning it and the
+// number of bytes consumed, or ErrIncomplete when more input is needed.
+// Body labels are preserved by slicing raw.
+func ParseRequestBytes(raw taint.Bytes) (*Request, int, error) {
+	head, bodyOff, err := splitHead(raw.Data)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 {
+		return nil, 0, fmt.Errorf("httpmini: bad request line %q", lines[0])
+	}
+	headers, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := contentLength(headers)
+	if err != nil {
+		return nil, 0, err
+	}
+	if raw.Len() < bodyOff+n {
+		return nil, 0, ErrIncomplete
+	}
+	return &Request{
+		Method:  parts[0],
+		Path:    parts[1],
+		Headers: headers,
+		Body:    raw.Slice(bodyOff, bodyOff+n).Clone(),
+	}, bodyOff + n, nil
+}
+
+// ParseResponseBytes parses one response from raw, returning it and the
+// bytes consumed, or ErrIncomplete.
+func ParseResponseBytes(raw taint.Bytes) (*Response, int, error) {
+	head, bodyOff, err := splitHead(raw.Data)
+	if err != nil {
+		return nil, 0, err
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, 0, fmt.Errorf("httpmini: bad status line %q", lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, 0, fmt.Errorf("httpmini: bad status %q", parts[1])
+	}
+	headers, err := parseHeaders(lines[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := contentLength(headers)
+	if err != nil {
+		return nil, 0, err
+	}
+	if raw.Len() < bodyOff+n {
+		return nil, 0, ErrIncomplete
+	}
+	return &Response{
+		Status:  status,
+		Headers: headers,
+		Body:    raw.Slice(bodyOff, bodyOff+n).Clone(),
+	}, bodyOff + n, nil
+}
+
+// readMessage accumulates stream reads until parse succeeds.
+func readMessage[T any](in jre.InputStream, parse func(taint.Bytes) (T, int, error)) (T, error) {
+	var acc taint.Bytes
+	var zero T
+	chunk := taint.MakeBytes(4096)
+	for {
+		if acc.Len() > 0 {
+			msg, _, err := parse(acc)
+			if err == nil {
+				return msg, nil
+			}
+			if !errors.Is(err, ErrIncomplete) {
+				return zero, err
+			}
+		}
+		n, err := in.Read(&chunk)
+		if n > 0 {
+			acc = acc.Append(chunk.Slice(0, n).Clone())
+			continue
+		}
+		if err != nil {
+			return zero, err
+		}
+	}
+}
+
+// Server is a minimal HTTP server over jre sockets.
+type Server struct {
+	ss      *jre.ServerSocket
+	handler Handler
+	done    chan struct{}
+}
+
+// Serve starts a server at addr; each connection handles one request
+// (HTTP/1.0 style) and closes.
+func Serve(env *jre.Env, addr string, handler Handler) (*Server, error) {
+	ss, err := jre.ListenSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ss: ss, handler: handler, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		sock, err := s.ss.Accept()
+		if err != nil {
+			return
+		}
+		go s.handleConn(sock)
+	}
+}
+
+func (s *Server) handleConn(sock *jre.Socket) {
+	defer sock.Close()
+	req, err := readMessage(sock.InputStream(), ParseRequestBytes)
+	if err != nil {
+		return
+	}
+	resp := s.handler(req)
+	if resp == nil {
+		resp = &Response{Status: 500}
+	}
+	_ = sock.OutputStream().Write(EncodeResponse(resp))
+}
+
+// Close stops the server and waits for the accept loop to exit.
+func (s *Server) Close() error {
+	err := s.ss.Close()
+	<-s.done
+	return err
+}
+
+// Do sends a request to addr and waits for the response.
+func Do(env *jre.Env, addr string, req *Request) (*Response, error) {
+	sock, err := jre.DialSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer sock.Close()
+	if err := sock.OutputStream().Write(EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	return readMessage(sock.InputStream(), ParseResponseBytes)
+}
+
+// Get fetches a path.
+func Get(env *jre.Env, addr, path string) (*Response, error) {
+	return Do(env, addr, &Request{Method: "GET", Path: path})
+}
+
+// Post sends a tainted body to a path.
+func Post(env *jre.Env, addr, path string, body taint.Bytes) (*Response, error) {
+	return Do(env, addr, &Request{Method: "POST", Path: path, Body: body})
+}

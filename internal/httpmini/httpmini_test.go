@@ -1,0 +1,151 @@
+package httpmini
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+func envs(t *testing.T, mode tracker.Mode, n int) []*jre.Env {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	out := make([]*jre.Env, n)
+	for i := range out {
+		name := "node" + string(rune('1'+i))
+		a := tracker.New(name, mode)
+		a = tracker.New(name, mode, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+		out[i] = jre.NewEnv(net, a)
+	}
+	return out
+}
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	tr := taint.NewTree()
+	body := taint.FromString("payload", tr.NewSource("b", "l"))
+	req := &Request{Method: "POST", Path: "/msg", Headers: map[string]string{"X-K": "v"}, Body: body}
+	raw := EncodeRequest(req)
+	got, consumed, err := ParseRequestBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != raw.Len() {
+		t.Fatalf("consumed %d of %d", consumed, raw.Len())
+	}
+	if got.Method != "POST" || got.Path != "/msg" || got.Headers["X-K"] != "v" {
+		t.Fatalf("request = %+v", got)
+	}
+	if string(got.Body.Data) != "payload" || !got.Body.Union().Has("b") {
+		t.Fatal("body or taint lost in codec")
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	resp := &Response{Status: 404, Body: taint.WrapBytes([]byte("nope"))}
+	raw := EncodeResponse(resp)
+	got, _, err := ParseResponseBytes(raw)
+	if err != nil || got.Status != 404 || string(got.Body.Data) != "nope" {
+		t.Fatalf("response = %+v, %v", got, err)
+	}
+}
+
+func TestParseIncomplete(t *testing.T) {
+	req := &Request{Method: "GET", Path: "/", Body: taint.WrapBytes([]byte("12345"))}
+	raw := EncodeRequest(req)
+	for _, cut := range []int{3, raw.Len() - 8, raw.Len() - 1} {
+		if _, _, err := ParseRequestBytes(raw.Slice(0, cut)); !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("cut %d: err = %v, want ErrIncomplete", cut, err)
+		}
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []string{
+		"BROKEN\r\n\r\n",
+		"GET / HTTP/1.0\r\nNoColonHeader\r\n\r\n",
+		"GET / HTTP/1.0\r\nContent-Length: x\r\n\r\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ParseRequestBytes(taint.WrapBytes([]byte(c))); err == nil || errors.Is(err, ErrIncomplete) {
+			t.Fatalf("case %q: err = %v", c, err)
+		}
+	}
+	if _, _, err := ParseResponseBytes(taint.WrapBytes([]byte("HTTP/1.0 xx\r\n\r\n"))); err == nil {
+		t.Fatal("bad status must error")
+	}
+}
+
+func TestServerTaintedEcho(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	srv, err := Serve(e[1], "web:80", func(r *Request) *Response {
+		// Echo the body back with a marker header.
+		return &Response{Status: 200, Headers: map[string]string{"X-Echo": "1"}, Body: r.Body}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	secret := taint.FromString(strings.Repeat("html ", 100), e[0].Agent.Source("s", "page"))
+	resp, err := Post(e[0], "web:80", "/echo", secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || resp.Headers["X-Echo"] != "1" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if string(resp.Body.Data) != string(secret.Data) {
+		t.Fatal("body corrupted")
+	}
+	// The taint crossed client -> server -> client.
+	if !resp.Body.Union().Has("page") {
+		t.Fatal("taint lost across the HTTP round trip")
+	}
+}
+
+func TestServerGet(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	srv, err := Serve(e[1], "web:80", func(r *Request) *Response {
+		if r.Path != "/index.html" {
+			return &Response{Status: 404}
+		}
+		return &Response{Status: 200, Body: taint.WrapBytes([]byte("<html>hi</html>"))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := Get(e[0], "web:80", "/index.html")
+	if err != nil || resp.Status != 200 || string(resp.Body.Data) != "<html>hi</html>" {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	resp, err = Get(e[0], "web:80", "/missing")
+	if err != nil || resp.Status != 404 {
+		t.Fatalf("missing = %+v, %v", resp, err)
+	}
+}
+
+func TestPhosphorModeDropsBodyTaint(t *testing.T) {
+	e := envs(t, tracker.ModePhosphor, 2)
+	srv, err := Serve(e[1], "web:80", func(r *Request) *Response {
+		return &Response{Status: 200, Body: r.Body}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	secret := taint.FromString("x", e[0].Agent.Source("s", "gone"))
+	resp, err := Post(e[0], "web:80", "/", secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body.Union().Has("gone") {
+		t.Fatal("phosphor mode must not carry taints across HTTP")
+	}
+}

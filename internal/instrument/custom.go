@@ -1,0 +1,143 @@
+package instrument
+
+import (
+	"io"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/core/wire"
+)
+
+// Support for system-specific native communication methods (§VI
+// "Support for specific JNI methods"): developers with their own native
+// transport wrap it in a RawTransport and register it, and DisTA's
+// Type 1 wrapper semantics apply unchanged.
+
+// RawTransport is the minimal surface of a custom native send/receive
+// pair: the analogue of a user's own JNI methods.
+type RawTransport interface {
+	// SendRaw transmits the whole buffer.
+	SendRaw(b []byte) error
+	// RecvRaw performs one read, returning the byte count; io.EOF at
+	// end of stream.
+	RecvRaw(b []byte) (int, error)
+}
+
+// CustomEndpoint applies the stream-oriented (Type 1) wrapper to a
+// custom transport, exactly as Endpoint does for the standard socket
+// natives.
+type CustomEndpoint struct {
+	agent *tracker.Agent
+	rt    RawTransport
+
+	wmu sync.Mutex
+
+	rmu     sync.Mutex
+	dec     wire.StreamDecoder
+	readErr error
+}
+
+// WrapCustom instruments a custom transport for the given agent. The
+// method pair should also be announced with RegisterCustomMethods so
+// audits of the instrumentation surface (Table I listings) include it.
+func WrapCustom(agent *tracker.Agent, rt RawTransport) *CustomEndpoint {
+	return &CustomEndpoint{agent: agent, rt: rt}
+}
+
+// Write sends b with its taints through the custom native.
+func (e *CustomEndpoint) Write(b taint.Bytes) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.agent.Mode() != tracker.ModeDista {
+		e.agent.AddTraffic(len(b.Data), len(b.Data))
+		return e.rt.SendRaw(b.Data)
+	}
+	ids, err := registerLabels(e.agent, b.Labels, len(b.Data))
+	if err != nil {
+		return err
+	}
+	raw := wire.EncodeGroups(nil, b.Data, ids)
+	e.agent.AddTraffic(len(b.Data), len(raw))
+	return e.rt.SendRaw(raw)
+}
+
+// Read fills buf with data and taints from the custom native.
+func (e *CustomEndpoint) Read(buf *taint.Bytes) (int, error) {
+	if len(buf.Data) == 0 {
+		return 0, nil
+	}
+	if e.agent.Mode() != tracker.ModeDista {
+		return e.rt.RecvRaw(buf.Data)
+	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if err := e.fill(len(buf.Data)); err != nil {
+		return 0, err
+	}
+	data, ids := e.dec.Next(len(buf.Data))
+	labels, err := resolveIDs(e.agent, ids)
+	if err != nil {
+		return 0, err
+	}
+	copy(buf.Data, data)
+	if buf.Labels == nil && anyNonZero(ids) {
+		buf.Labels = make([]taint.Taint, len(buf.Data))
+	}
+	if buf.Labels != nil {
+		copy(buf.Labels[:len(data)], labels)
+	}
+	return len(data), nil
+}
+
+func (e *CustomEndpoint) fill(want int) error {
+	if e.dec.Buffered() > 0 {
+		return nil
+	}
+	if e.readErr != nil {
+		return e.readErr
+	}
+	raw := make([]byte, wire.WireLen(want))
+	for e.dec.Buffered() == 0 {
+		n, err := e.rt.RecvRaw(raw)
+		if n > 0 {
+			e.dec.Feed(raw[:n])
+		}
+		if err != nil {
+			if err == io.EOF && e.dec.PendingPartial() {
+				err = io.ErrUnexpectedEOF
+			}
+			e.readErr = err
+			if e.dec.Buffered() > 0 {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// customRegistry holds user-registered method rows.
+var customRegistry struct {
+	mu      sync.Mutex
+	methods []Method
+}
+
+// RegisterCustomMethods announces user-instrumented native methods so
+// they appear alongside the built-in Table I registry.
+func RegisterCustomMethods(methods ...Method) {
+	customRegistry.mu.Lock()
+	defer customRegistry.mu.Unlock()
+	customRegistry.methods = append(customRegistry.methods, methods...)
+}
+
+// ExtendedRegistry returns the built-in registry plus all registered
+// custom methods.
+func ExtendedRegistry() []Method {
+	customRegistry.mu.Lock()
+	defer customRegistry.mu.Unlock()
+	out := make([]Method, 0, len(Registry)+len(customRegistry.methods))
+	out = append(out, Registry...)
+	out = append(out, customRegistry.methods...)
+	return out
+}

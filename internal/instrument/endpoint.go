@@ -1,0 +1,265 @@
+package instrument
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/core/wire"
+	"dista/internal/jni"
+	"dista/internal/netsim"
+)
+
+// ErrNoTaintMap is returned when a dista-mode agent has no Taint Map
+// client configured: inter-node tracking cannot proceed without one.
+var ErrNoTaintMap = errors.New("instrument: dista mode requires a Taint Map client")
+
+// Endpoint is the taint-aware wrapper around one stream connection. It
+// is the runtime object behind the Type 1 wrappers (socketWrite0 /
+// socketRead0, Fig. 6) and is reused by the Type 3 dispatcher wrappers,
+// since NIO socket channels carry the same continuous group stream.
+//
+// Exactly one Endpoint must wrap each connection end: it owns the
+// stream decoder state that reassembles 5-byte groups across
+// arbitrarily fragmented reads.
+type Endpoint struct {
+	agent *tracker.Agent
+	conn  *netsim.Conn
+
+	wmu sync.Mutex // serializes writes so groups never interleave
+
+	rmu     sync.Mutex // protects dec and readErr
+	dec     wire.StreamDecoder
+	readErr error
+}
+
+// NewEndpoint wraps conn for the given agent.
+func NewEndpoint(agent *tracker.Agent, conn *netsim.Conn) *Endpoint {
+	return &Endpoint{agent: agent, conn: conn}
+}
+
+// Conn exposes the wrapped connection (for close/addr operations).
+func (e *Endpoint) Conn() *netsim.Conn { return e.conn }
+
+// Agent returns the endpoint's agent.
+func (e *Endpoint) Agent() *tracker.Agent { return e.agent }
+
+// registerLabels maps a label slice to Global IDs via the Taint Map
+// (Fig. 9 steps ①②). Untainted bytes map to 0 without any lookup.
+func registerLabels(agent *tracker.Agent, labels []taint.Taint, n int) ([]uint32, error) {
+	if labels == nil {
+		return nil, nil
+	}
+	tm := agent.TaintMap()
+	if tm == nil {
+		return nil, ErrNoTaintMap
+	}
+	ids := make([]uint32, n)
+	// Adjacent bytes overwhelmingly share one taint (a tainted buffer is
+	// labelled uniformly), so memoize the last label's id across the run.
+	var (
+		lastLabel taint.Taint
+		lastID    uint32
+		havePrev  bool
+	)
+	for i := 0; i < n; i++ {
+		if labels[i].Empty() {
+			continue
+		}
+		if havePrev && labels[i] == lastLabel {
+			ids[i] = lastID
+			continue
+		}
+		id, err := tm.Register(labels[i])
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+		lastLabel, lastID, havePrev = labels[i], id, true
+	}
+	return ids, nil
+}
+
+// resolveIDs maps Global IDs back to taints in the agent's tree (Fig. 9
+// steps ④⑤).
+func resolveIDs(agent *tracker.Agent, ids []uint32) ([]taint.Taint, error) {
+	tm := agent.TaintMap()
+	if tm == nil {
+		return nil, ErrNoTaintMap
+	}
+	labels := make([]taint.Taint, len(ids))
+	var (
+		lastID    uint32
+		lastTaint taint.Taint
+	)
+	for i, id := range ids {
+		if id == 0 {
+			continue
+		}
+		if id == lastID {
+			labels[i] = lastTaint
+			continue
+		}
+		t, err := tm.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		labels[i] = t
+		lastID, lastTaint = id, t
+	}
+	return labels, nil
+}
+
+// Write sends b through the instrumented socketWrite0 wrapper.
+//
+//   - off:      the original native — raw data only;
+//   - phosphor: the original native — the labels are *dropped* at the
+//     JNI boundary, exactly the limitation of §II-C;
+//   - dista:    each byte is serialized with the Global ID of its taint
+//     (Fig. 6 sender side).
+func (e *Endpoint) Write(b taint.Bytes) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.agent.Mode() != tracker.ModeDista {
+		e.agent.AddTraffic(len(b.Data), len(b.Data))
+		return jni.SocketWrite0(e.conn, b.Data)
+	}
+	ids, err := registerLabels(e.agent, b.Labels, len(b.Data))
+	if err != nil {
+		return err
+	}
+	raw := wire.EncodeGroups(nil, b.Data, ids)
+	e.agent.AddTraffic(len(b.Data), len(raw))
+	return jni.SocketWrite0(e.conn, raw)
+}
+
+// Read fills buf through the instrumented socketRead0 wrapper and
+// returns the number of data bytes read.
+//
+//   - off:      the original native;
+//   - phosphor: the original native; received bytes keep whatever taint
+//     the caller's buffer already had — the wrong "taint of the
+//     parameter" flow of Fig. 4;
+//   - dista:    reads the enlarged wire stream, splits data from Global
+//     IDs, resolves them through the Taint Map, and labels buf.
+func (e *Endpoint) Read(buf *taint.Bytes) (int, error) {
+	if len(buf.Data) == 0 {
+		return 0, nil
+	}
+	if e.agent.Mode() != tracker.ModeDista {
+		return jni.SocketRead0(e.conn, buf.Data)
+	}
+
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if err := e.fillDecoder(len(buf.Data)); err != nil {
+		return 0, err
+	}
+	data, ids := e.dec.Next(len(buf.Data))
+	labels, err := resolveIDs(e.agent, ids)
+	if err != nil {
+		return 0, err
+	}
+	copy(buf.Data, data)
+	if buf.Labels == nil && anyNonZero(ids) {
+		buf.Labels = make([]taint.Taint, len(buf.Data))
+	}
+	if buf.Labels != nil {
+		copy(buf.Labels[:len(data)], labels)
+	}
+	return len(data), nil
+}
+
+// fillDecoder reads raw wire bytes until at least one whole group is
+// buffered (or an error occurs). The receive buffer is enlarged by the
+// group factor, mirroring the paper's receiver-side buffer enlargement.
+func (e *Endpoint) fillDecoder(want int) error {
+	if e.dec.Buffered() > 0 {
+		return nil
+	}
+	if e.readErr != nil {
+		return e.readErr
+	}
+	raw := make([]byte, wire.WireLen(want))
+	for e.dec.Buffered() == 0 {
+		n, err := jni.SocketRead0(e.conn, raw)
+		if n > 0 {
+			e.dec.Feed(raw[:n])
+		}
+		if err != nil {
+			if err == io.EOF && e.dec.PendingPartial() {
+				err = io.ErrUnexpectedEOF
+			}
+			e.readErr = err
+			if e.dec.Buffered() > 0 {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func anyNonZero(ids []uint32) bool {
+	for _, id := range ids {
+		if id != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteBuffer sends the [from,to) range of a direct buffer — the Type 3
+// send path (IOUtil.writeFromNativeBuffer -> dispatcher write0, Fig. 8).
+// It returns the number of data bytes consumed.
+func (e *Endpoint) WriteBuffer(src *jni.DirectBuffer, from, to int) (int, error) {
+	src.CheckRange(from, to)
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	n := to - from
+	if e.agent.Mode() != tracker.ModeDista {
+		e.agent.AddTraffic(n, n)
+		written, err := jni.DispatcherWrite0(e.conn, src.Data[from:to])
+		return written, err
+	}
+	ids, err := registerLabels(e.agent, src.Shadow[from:to], n)
+	if err != nil {
+		return 0, err
+	}
+	raw := wire.EncodeGroups(nil, src.Data[from:to], ids)
+	e.agent.AddTraffic(n, len(raw))
+	if _, err := jni.DispatcherWrite0(e.conn, raw); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ReadBuffer fills the [from,to) range of a direct buffer — the Type 3
+// receive path (dispatcher read0 -> IOUtil.readIntoNativeBuffer). It
+// returns the number of data bytes read, or io.EOF.
+func (e *Endpoint) ReadBuffer(dst *jni.DirectBuffer, from, to int) (int, error) {
+	dst.CheckRange(from, to)
+	if to == from {
+		return 0, nil
+	}
+	if e.agent.Mode() != tracker.ModeDista {
+		// Phosphor's dispatcher wrapper behaves like Fig. 4 too: the
+		// buffer's stale shadow is left in place.
+		return jni.DispatcherRead0(e.conn, dst.Data[from:to])
+	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if err := e.fillDecoder(to - from); err != nil {
+		return 0, err
+	}
+	data, ids := e.dec.Next(to - from)
+	labels, err := resolveIDs(e.agent, ids)
+	if err != nil {
+		return 0, err
+	}
+	copy(dst.Data[from:], data)
+	copy(dst.Shadow[from:from+len(data)], labels)
+	return len(data), nil
+}

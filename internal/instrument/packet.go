@@ -1,0 +1,85 @@
+package instrument
+
+import (
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/core/wire"
+	"dista/internal/jni"
+	"dista/internal/netsim"
+)
+
+// Type 2 wrappers (Fig. 7): packet-oriented natives. The sender fetches
+// the data and its taints out of the packet, serializes them into a new
+// payload, and sends that via the original native — deliberately *not*
+// mutating the caller's packet, whose fields may be reused by following
+// code (§III-C). The receiver allocates an enlarged buffer, receives the
+// full encoded packet, and splits it back into data and taints.
+
+// PacketSend transmits one datagram payload with its labels.
+func PacketSend(agent *tracker.Agent, sock *netsim.UDPSocket, data taint.Bytes, dst string) error {
+	if agent.Mode() != tracker.ModeDista {
+		agent.AddTraffic(len(data.Data), len(data.Data))
+		return jni.DatagramSend(sock, data.Data, dst)
+	}
+	ids, err := registerLabels(agent, data.Labels, len(data.Data))
+	if err != nil {
+		return err
+	}
+	raw := wire.EncodePacket(data.Data, ids)
+	agent.AddTraffic(len(data.Data), len(raw))
+	return jni.DatagramSend(sock, raw, dst)
+}
+
+// PacketPeek inspects the next datagram without consuming it — the
+// Type 2 wrapper over the peekData native. Decoding is identical to
+// PacketReceive.
+func PacketPeek(agent *tracker.Agent, sock *netsim.UDPSocket, buf *taint.Bytes) (int, string, error) {
+	if agent.Mode() != tracker.ModeDista {
+		return jni.DatagramPeekData(sock, buf.Data)
+	}
+	enlarged := make([]byte, wire.PacketOverhead+wire.WireLen(len(buf.Data)))
+	n, from, err := jni.DatagramPeekData(sock, enlarged)
+	if err != nil {
+		return 0, "", err
+	}
+	return decodeInto(agent, enlarged[:n], buf, from)
+}
+
+// PacketReceive blocks for one datagram and fills buf with up to
+// len(buf.Data) payload bytes and their labels, returning the payload
+// length actually stored and the sender address.
+func PacketReceive(agent *tracker.Agent, sock *netsim.UDPSocket, buf *taint.Bytes) (int, string, error) {
+	if agent.Mode() != tracker.ModeDista {
+		// Original native; in phosphor mode the buffer's stale labels
+		// survive (Fig. 4 behaviour).
+		return jni.DatagramReceive0(sock, buf.Data)
+	}
+
+	// Enlarged receive buffer: header + one group per expected byte.
+	enlarged := make([]byte, wire.PacketOverhead+wire.WireLen(len(buf.Data)))
+	n, from, err := jni.DatagramReceive0(sock, enlarged)
+	if err != nil {
+		return 0, "", err
+	}
+	return decodeInto(agent, enlarged[:n], buf, from)
+}
+
+// decodeInto splits an encoded datagram into buf's data and labels.
+func decodeInto(agent *tracker.Agent, raw []byte, buf *taint.Bytes, from string) (int, string, error) {
+	data, ids, err := wire.DecodePacketPrefix(raw)
+	if err != nil {
+		return 0, "", err
+	}
+	labels, err := resolveIDs(agent, ids)
+	if err != nil {
+		return 0, "", err
+	}
+	stored := copy(buf.Data, data)
+	if buf.Labels == nil && anyNonZero(ids[:stored]) {
+		buf.Labels = make([]taint.Taint, len(buf.Data))
+	}
+	if buf.Labels != nil {
+		copy(buf.Labels[:stored], labels[:stored])
+	}
+	return stored, from, nil
+}

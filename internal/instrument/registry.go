@@ -1,0 +1,108 @@
+// Package instrument implements DisTA's instrumentation layer (DSN'22
+// §III): taint-aware wrappers around the JNI primitives of
+// internal/jni, in the paper's three styles —
+//
+//	Type 1: stream oriented  (TCP natives; Fig. 6)
+//	Type 2: packet oriented  (UDP natives; Fig. 7)
+//	Type 3: direct-buffer oriented (NIO/AIO natives; Fig. 8)
+//
+// plus the registry of all 23 instrumented methods that regenerates the
+// paper's Table I.
+package instrument
+
+// MethodType classifies an instrumented method by its wrapper style.
+type MethodType int
+
+// The three instrumentation types of §III-C.
+const (
+	TypeStream MethodType = iota + 1
+	TypePacket
+	TypeDirectBuffer
+)
+
+// String returns the numeral the paper's Table I uses.
+func (t MethodType) String() string {
+	switch t {
+	case TypeStream:
+		return "1"
+	case TypePacket:
+		return "2"
+	case TypeDirectBuffer:
+		return "3"
+	default:
+		return "?"
+	}
+}
+
+// Method is one row of the instrumented-method registry.
+type Method struct {
+	Class     string     // owning JRE class
+	Name      string     // method name
+	Type      MethodType // wrapper style
+	JNI       bool       // one of the 13 bottom-level JNI natives of §III-B
+	Direction string     // "send", "receive", or "both"
+}
+
+// Registry lists every method DisTA instruments — 23 in total (§IV),
+// of which 13 (in 5 classes) are the bottom-level network JNI natives
+// identified in §III-B.
+var Registry = []Method{
+	// TCP stream natives (Type 1).
+	{Class: "SocketInputStream", Name: "socketRead0", Type: TypeStream, JNI: true, Direction: "receive"},
+	{Class: "SocketOutputStream", Name: "socketWrite0", Type: TypeStream, JNI: true, Direction: "send"},
+	{Class: "LinuxVirtualMachine", Name: "read", Type: TypeStream, Direction: "receive"},
+	{Class: "LinuxVirtualMachine", Name: "write", Type: TypeStream, Direction: "send"},
+
+	// UDP packet natives (Type 2).
+	{Class: "PlainDatagramSocketImpl", Name: "send", Type: TypePacket, JNI: true, Direction: "send"},
+	{Class: "PlainDatagramSocketImpl", Name: "peekData", Type: TypePacket, JNI: true, Direction: "receive"},
+	{Class: "PlainDatagramSocketImpl", Name: "receive0", Type: TypePacket, JNI: true, Direction: "receive"},
+
+	// NIO/AIO dispatcher natives (Type 3). FileDispatcherImpl is
+	// extended by SocketDispatcherImpl for Linux socket channels.
+	{Class: "FileDispatcherImpl", Name: "read0", Type: TypeDirectBuffer, JNI: true, Direction: "receive"},
+	{Class: "FileDispatcherImpl", Name: "readv0", Type: TypeDirectBuffer, JNI: true, Direction: "receive"},
+	{Class: "FileDispatcherImpl", Name: "write0", Type: TypeDirectBuffer, JNI: true, Direction: "send"},
+	{Class: "FileDispatcherImpl", Name: "writev0", Type: TypeDirectBuffer, JNI: true, Direction: "send"},
+	{Class: "DatagramDispatcherImpl", Name: "read0", Type: TypeDirectBuffer, JNI: true, Direction: "receive"},
+	{Class: "DatagramDispatcherImpl", Name: "readv0", Type: TypeDirectBuffer, JNI: true, Direction: "receive"},
+	{Class: "DatagramDispatcherImpl", Name: "write0", Type: TypeDirectBuffer, JNI: true, Direction: "send"},
+	{Class: "DatagramDispatcherImpl", Name: "writev0", Type: TypeDirectBuffer, JNI: true, Direction: "send"},
+
+	// Direct-buffer accessors and helpers (Type 3, above JNI level).
+	{Class: "DirectByteBuffer", Name: "get", Type: TypeDirectBuffer, Direction: "receive"},
+	{Class: "DirectByteBuffer", Name: "put", Type: TypeDirectBuffer, Direction: "send"},
+	{Class: "IOUtil", Name: "writeFromNativeBuffer", Type: TypeDirectBuffer, Direction: "send"},
+	{Class: "IOUtil", Name: "readIntoNativeBuffer", Type: TypeDirectBuffer, Direction: "receive"},
+
+	// Asynchronous channels (Type 3).
+	{Class: "WindowsAsynchronousSocketChannelImpl", Name: "implRead", Type: TypeDirectBuffer, Direction: "receive"},
+	{Class: "WindowsAsynchronousSocketChannelImpl", Name: "implWrite", Type: TypeDirectBuffer, Direction: "send"},
+	{Class: "UnixAsynchronousSocketChannelImpl", Name: "implRead", Type: TypeDirectBuffer, Direction: "receive"},
+	{Class: "UnixAsynchronousSocketChannelImpl", Name: "implWrite", Type: TypeDirectBuffer, Direction: "send"},
+}
+
+// JNIMethods returns the subset of Registry that are bottom-level JNI
+// natives (the 13 methods of §III-B).
+func JNIMethods() []Method {
+	var out []Method
+	for _, m := range Registry {
+		if m.JNI {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// JNIClasses returns the distinct classes owning JNI natives (5).
+func JNIClasses() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range JNIMethods() {
+		if !seen[m.Class] {
+			seen[m.Class] = true
+			out = append(out, m.Class)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package instrument
+
+import (
+	"dista/internal/core/tracker"
+	"dista/internal/core/wire"
+	"dista/internal/jni"
+)
+
+// Vectored Type 3 wrappers: the writev0/readv0 dispatcher natives used
+// by NIO gathering writes and scattering reads. The dista wrapper
+// encodes each source buffer into its own group run and hands the runs
+// to the vectored native, preserving the original call shape.
+
+// WritevBuffers performs a gathering write of the [0,lens[i]) prefix of
+// each direct buffer, returning the total data bytes consumed.
+func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, error) {
+	if len(srcs) != len(lens) {
+		panic("instrument: srcs/lens length mismatch")
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+
+	if e.agent.Mode() != tracker.ModeDista {
+		raw := make([][]byte, len(srcs))
+		total := 0
+		for i, src := range srcs {
+			src.CheckRange(0, lens[i])
+			raw[i] = src.Data[:lens[i]]
+			total += lens[i]
+		}
+		e.agent.AddTraffic(total, total)
+		return jni.DispatcherWritev0(e.conn, raw)
+	}
+
+	encoded := make([][]byte, len(srcs))
+	total := 0
+	for i, src := range srcs {
+		src.CheckRange(0, lens[i])
+		ids, err := registerLabels(e.agent, src.Shadow[:lens[i]], lens[i])
+		if err != nil {
+			return 0, err
+		}
+		encoded[i] = wire.EncodeGroups(nil, src.Data[:lens[i]], ids)
+		total += lens[i]
+		e.agent.AddTraffic(lens[i], len(encoded[i]))
+	}
+	if _, err := jni.DispatcherWritev0(e.conn, encoded); err != nil {
+		return 0, err
+	}
+	return int64(total), nil
+}
+
+// ReadvBuffers performs a scattering read into the [0,lens[i]) prefixes
+// of the direct buffers, returning the total data bytes stored.
+func (e *Endpoint) ReadvBuffers(dsts []*jni.DirectBuffer, lens []int) (int64, error) {
+	if len(dsts) != len(lens) {
+		panic("instrument: dsts/lens length mismatch")
+	}
+	if e.agent.Mode() != tracker.ModeDista {
+		raw := make([][]byte, len(dsts))
+		for i, dst := range dsts {
+			dst.CheckRange(0, lens[i])
+			raw[i] = dst.Data[:lens[i]]
+		}
+		return jni.DispatcherReadv0(e.conn, raw)
+	}
+
+	// One read's worth of groups, scattered across the buffers in order.
+	var total int64
+	for i, dst := range dsts {
+		dst.CheckRange(0, lens[i])
+		n, err := e.ReadBuffer(dst, 0, lens[i])
+		if err != nil {
+			if total > 0 {
+				return total, nil
+			}
+			return 0, err
+		}
+		total += int64(n)
+		if n < lens[i] {
+			break
+		}
+		// Single-read semantics: continue into the next buffer only with
+		// data already decoded; never block for a second wire read.
+		if i+1 < len(dsts) && e.bufferedData() == 0 {
+			break
+		}
+	}
+	return total, nil
+}
+
+// bufferedData reports how many decoded bytes are ready without
+// blocking.
+func (e *Endpoint) bufferedData() int {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	return e.dec.Buffered()
+}

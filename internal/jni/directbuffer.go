@@ -1,0 +1,35 @@
+package jni
+
+import (
+	"fmt"
+
+	"dista/internal/core/taint"
+)
+
+// DirectBuffer models the off-heap memory block a DirectByteBuffer
+// manages (§III-C Type 3): NIO natives read and write it directly.
+// Because real native memory is invisible to a JVM tracker, DisTA
+// instruments the get/put accessors instead; our simulation keeps a
+// shadow label array alongside so those accessors have somewhere to
+// move labels to and from.
+type DirectBuffer struct {
+	Data   []byte
+	Shadow []taint.Taint
+}
+
+// NewDirectBuffer allocates an off-heap buffer of n bytes with shadow
+// storage.
+func NewDirectBuffer(n int) *DirectBuffer {
+	return &DirectBuffer{Data: make([]byte, n), Shadow: make([]taint.Taint, n)}
+}
+
+// Len returns the buffer's capacity.
+func (b *DirectBuffer) Len() int { return len(b.Data) }
+
+// CheckRange panics if [from,to) is not a valid range of the buffer —
+// matching the runtime bounds check of the real accessors.
+func (b *DirectBuffer) CheckRange(from, to int) {
+	if from < 0 || to < from || to > len(b.Data) {
+		panic(fmt.Sprintf("jni: direct buffer range [%d,%d) out of [0,%d)", from, to, len(b.Data)))
+	}
+}

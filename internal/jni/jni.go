@@ -1,0 +1,93 @@
+// Package jni models the bottom layer of the paper's Figure 1: the
+// native methods that JRE networking classes call to hand bytes to the
+// operating system (socketWrite0 -> NET_SEND, socketRead0 -> NET_READ,
+// the datagram natives, and the dispatcher natives used by NIO/AIO).
+// Here the "operating system" is the netsim fabric.
+//
+// These are the 13 primitives DisTA identifies in §III-B as the
+// sufficient instrumentation surface: every JRE I/O class funnels
+// through them. The instrumentation wrappers live in
+// internal/instrument; this package is the *un*instrumented bottom.
+package jni
+
+import (
+	"io"
+
+	"dista/internal/netsim"
+)
+
+// SocketWrite0 writes the whole buffer to a stream connection — the
+// native behind SocketOutputStream.write (Fig. 1 line 13-15).
+func SocketWrite0(c *netsim.Conn, b []byte) error {
+	_, err := c.Write(b)
+	return err
+}
+
+// SocketRead0 performs one read into b, returning the byte count — the
+// native behind SocketInputStream.read (Fig. 1 line 28-30). Returns
+// io.EOF at end of stream.
+func SocketRead0(c *netsim.Conn, b []byte) (int, error) {
+	return c.Read(b)
+}
+
+// DatagramSend transmits one datagram — PlainDatagramSocketImpl.send.
+func DatagramSend(s *netsim.UDPSocket, payload []byte, dst string) error {
+	return s.SendTo(payload, dst)
+}
+
+// DatagramReceive0 blocks for one datagram — PlainDatagramSocketImpl
+// .receive0. Short buffers truncate, as the real native does.
+func DatagramReceive0(s *netsim.UDPSocket, buf []byte) (n int, from string, err error) {
+	return s.ReceiveFrom(buf)
+}
+
+// DatagramPeekData inspects the next datagram without consuming it —
+// PlainDatagramSocketImpl.peekData.
+func DatagramPeekData(s *netsim.UDPSocket, buf []byte) (n int, from string, err error) {
+	return s.PeekFrom(buf)
+}
+
+// DispatcherWrite0 is the FileDispatcherImpl.write0 native used by NIO
+// socket channels on Linux (§III-B notes SocketDispatcherImpl extends
+// FileDispatcherImpl). It may write fewer bytes than supplied.
+func DispatcherWrite0(c *netsim.Conn, b []byte) (int, error) {
+	return c.Write(b)
+}
+
+// DispatcherRead0 is the FileDispatcherImpl.read0 native.
+func DispatcherRead0(c *netsim.Conn, b []byte) (int, error) {
+	return c.Read(b)
+}
+
+// DispatcherWritev0 is the vectored write native (writev0).
+func DispatcherWritev0(c *netsim.Conn, bufs [][]byte) (int64, error) {
+	var total int64
+	for _, b := range bufs {
+		n, err := c.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DispatcherReadv0 is the vectored read native (readv0). It fills the
+// buffers in order from a single read's worth of data.
+func DispatcherReadv0(c *netsim.Conn, bufs [][]byte) (int64, error) {
+	var total int64
+	for i, b := range bufs {
+		n, err := c.Read(b)
+		total += int64(n)
+		if err != nil {
+			if err == io.EOF && total > 0 {
+				return total, nil
+			}
+			return total, err
+		}
+		if n < len(b) || i == len(bufs)-1 {
+			break
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,156 @@
+package jni
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"dista/internal/netsim"
+)
+
+func pipe(t *testing.T) (*netsim.Conn, *netsim.Conn) {
+	t.Helper()
+	n := netsim.New()
+	a, b := n.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestSocketWriteReadRoundTrip(t *testing.T) {
+	a, b := pipe(t)
+	if err := SocketWrite0(a, []byte("native")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := SocketRead0(b, buf)
+	if err != nil || string(buf[:n]) != "native" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+}
+
+func TestSocketReadEOF(t *testing.T) {
+	a, b := pipe(t)
+	a.Close()
+	if _, err := SocketRead0(b, make([]byte, 1)); err != io.EOF {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDatagramNatives(t *testing.T) {
+	n := netsim.New()
+	sa, err := n.ListenPacket("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := n.ListenPacket("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DatagramSend(sa, []byte("pkt"), "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	nr, from, err := DatagramReceive0(sb, buf)
+	if err != nil || string(buf[:nr]) != "pkt" || from != "a:1" {
+		t.Fatalf("recv %q from %q, %v", buf[:nr], from, err)
+	}
+}
+
+func TestDispatcherWritevGathersInOrder(t *testing.T) {
+	a, b := pipe(t)
+	bufs := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	written, err := DispatcherWritev0(a, bufs)
+	if err != nil || written != 6 {
+		t.Fatalf("writev = %d, %v", written, err)
+	}
+	got := make([]byte, 6)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aabbcc" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDispatcherReadvScattersInOrder(t *testing.T) {
+	a, b := pipe(t)
+	if err := SocketWrite0(a, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	b1, b2, b3 := make([]byte, 3), make([]byte, 3), make([]byte, 10)
+	n, err := DispatcherReadv0(b, [][]byte{b1, b2, b3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || string(b1) != "012" || string(b2) != "345" || string(b3[:4]) != "6789" {
+		t.Fatalf("readv n=%d %q %q %q", n, b1, b2, b3[:4])
+	}
+}
+
+func TestDispatcherReadvShortData(t *testing.T) {
+	a, b := pipe(t)
+	if err := SocketWrite0(a, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := make([]byte, 4), make([]byte, 4)
+	n, err := DispatcherReadv0(b, [][]byte{b1, b2})
+	if err != nil || n != 2 {
+		t.Fatalf("short readv = %d, %v", n, err)
+	}
+}
+
+func TestDispatcherReadvEOFAfterData(t *testing.T) {
+	a, b := pipe(t)
+	if err := SocketWrite0(a, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b1, b2 := make([]byte, 4), make([]byte, 4)
+	// First buffer fills completely; the second read hits EOF: the
+	// vectored native must report the partial count, not the error.
+	n, err := DispatcherReadv0(b, [][]byte{b1, b2})
+	if err != nil || n != 4 {
+		t.Fatalf("readv at EOF = %d, %v", n, err)
+	}
+	if _, err := DispatcherReadv0(b, [][]byte{b1}); err != io.EOF {
+		t.Fatalf("drained readv err = %v", err)
+	}
+}
+
+func TestDirectBufferRangeCheck(t *testing.T) {
+	db := NewDirectBuffer(4)
+	if db.Len() != 4 || len(db.Shadow) != 4 {
+		t.Fatalf("buffer %d/%d", db.Len(), len(db.Shadow))
+	}
+	db.CheckRange(0, 4) // must not panic
+	db.CheckRange(2, 2)
+	for _, r := range [][2]int{{-1, 2}, {3, 2}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range %v must panic", r)
+				}
+			}()
+			db.CheckRange(r[0], r[1])
+		}()
+	}
+}
+
+func TestSocketWriteLargePayload(t *testing.T) {
+	a, b := pipe(t)
+	payload := bytes.Repeat([]byte{0xAB}, 1<<20)
+	done := make(chan error, 1)
+	go func() {
+		done <- SocketWrite0(a, payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted")
+	}
+}

@@ -1,0 +1,149 @@
+package jre
+
+import (
+	"dista/internal/netsim"
+)
+
+// Future is the result handle AIO operations return
+// (java.util.concurrent.Future). Get blocks until completion.
+type Future struct {
+	done chan struct{}
+	n    int
+	err  error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+func (f *Future) complete(n int, err error) {
+	f.n = n
+	f.err = err
+	close(f.done)
+}
+
+// Get waits for the operation and returns its byte count and error.
+func (f *Future) Get() (int, error) {
+	<-f.done
+	return f.n, f.err
+}
+
+// AsyncSocketChannel is the AIO stream channel (java.nio.channels
+// .AsynchronousSocketChannel): the same Type 3 data path as
+// SocketChannel, with completion delivered through Futures — the
+// implRead/implWrite instrumented methods.
+type AsyncSocketChannel struct {
+	ch *SocketChannel
+}
+
+// OpenAsyncSocketChannel connects to addr.
+func OpenAsyncSocketChannel(env *Env, addr string) (*AsyncSocketChannel, error) {
+	ch, err := OpenSocketChannel(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncSocketChannel{ch: ch}, nil
+}
+
+// Write starts an asynchronous write of src's remaining bytes
+// (implWrite).
+func (a *AsyncSocketChannel) Write(src *ByteBuffer) *Future {
+	f := newFuture()
+	go func() {
+		f.complete(a.ch.Write(src))
+	}()
+	return f
+}
+
+// Read starts an asynchronous read into dst (implRead).
+func (a *AsyncSocketChannel) Read(dst *ByteBuffer) *Future {
+	f := newFuture()
+	go func() {
+		f.complete(a.ch.Read(dst))
+	}()
+	return f
+}
+
+// Close shuts the channel down. Outstanding operations fail.
+func (a *AsyncSocketChannel) Close() error { return a.ch.Close() }
+
+// AsyncServerSocketChannel accepts AIO channels.
+type AsyncServerSocketChannel struct {
+	env *Env
+	l   *netsim.Listener
+}
+
+// OpenAsyncServerSocketChannel binds a listening AIO channel.
+func OpenAsyncServerSocketChannel(env *Env, addr string) (*AsyncServerSocketChannel, error) {
+	l, err := env.Net.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncServerSocketChannel{env: env, l: l}, nil
+}
+
+// Accept blocks for the next connection. (The real API returns a
+// Future; the synchronous form keeps server loops simple and loses no
+// generality for the workloads.)
+func (s *AsyncServerSocketChannel) Accept() (*AsyncSocketChannel, error) {
+	conn, err := s.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncSocketChannel{ch: newSocketChannel(s.env, conn)}, nil
+}
+
+// Close stops accepting.
+func (s *AsyncServerSocketChannel) Close() error { return s.l.Close() }
+
+// CompletionHandler is the callback form of AIO results
+// (java.nio.channels.CompletionHandler): exactly one of Completed or
+// Failed runs when the operation finishes.
+type CompletionHandler interface {
+	Completed(n int)
+	Failed(err error)
+}
+
+// CompletionFunc adapts two funcs to CompletionHandler.
+type CompletionFunc struct {
+	OnCompleted func(n int)
+	OnFailed    func(err error)
+}
+
+var _ CompletionHandler = CompletionFunc{}
+
+// Completed implements CompletionHandler.
+func (c CompletionFunc) Completed(n int) {
+	if c.OnCompleted != nil {
+		c.OnCompleted(n)
+	}
+}
+
+// Failed implements CompletionHandler.
+func (c CompletionFunc) Failed(err error) {
+	if c.OnFailed != nil {
+		c.OnFailed(err)
+	}
+}
+
+// dispatch invokes the handler when the future resolves.
+func dispatch(f *Future, h CompletionHandler) {
+	go func() {
+		n, err := f.Get()
+		if err != nil {
+			h.Failed(err)
+			return
+		}
+		h.Completed(n)
+	}()
+}
+
+// WriteWithHandler starts an asynchronous write and delivers the result
+// through the completion handler.
+func (a *AsyncSocketChannel) WriteWithHandler(src *ByteBuffer, h CompletionHandler) {
+	dispatch(a.Write(src), h)
+}
+
+// ReadWithHandler starts an asynchronous read and delivers the result
+// through the completion handler.
+func (a *AsyncSocketChannel) ReadWithHandler(dst *ByteBuffer, h CompletionHandler) {
+	dispatch(a.Read(dst), h)
+}

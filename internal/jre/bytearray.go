@@ -1,0 +1,77 @@
+package jre
+
+import (
+	"io"
+
+	"dista/internal/core/taint"
+)
+
+// ByteArrayOutputStream collects writes into memory
+// (java.io.ByteArrayOutputStream), keeping labels.
+type ByteArrayOutputStream struct {
+	buf taint.Bytes
+}
+
+var _ OutputStream = (*ByteArrayOutputStream)(nil)
+
+// NewByteArrayOutputStream returns an empty in-memory stream.
+func NewByteArrayOutputStream() *ByteArrayOutputStream {
+	return &ByteArrayOutputStream{}
+}
+
+// Write appends b.
+func (s *ByteArrayOutputStream) Write(b taint.Bytes) error {
+	s.buf = s.buf.Append(b.Clone())
+	return nil
+}
+
+// Flush is a no-op.
+func (s *ByteArrayOutputStream) Flush() error { return nil }
+
+// Bytes returns the accumulated content (shared storage).
+func (s *ByteArrayOutputStream) Bytes() taint.Bytes { return s.buf }
+
+// Len returns the accumulated length.
+func (s *ByteArrayOutputStream) Len() int { return s.buf.Len() }
+
+// ByteArrayInputStream reads from an in-memory tainted buffer
+// (java.io.ByteArrayInputStream).
+type ByteArrayInputStream struct {
+	buf taint.Bytes
+	off int
+}
+
+var _ InputStream = (*ByteArrayInputStream)(nil)
+
+// NewByteArrayInputStream wraps b for reading.
+func NewByteArrayInputStream(b taint.Bytes) *ByteArrayInputStream {
+	return &ByteArrayInputStream{buf: b}
+}
+
+// Read copies the next bytes of the buffer, or io.EOF when drained.
+func (s *ByteArrayInputStream) Read(buf *taint.Bytes) (int, error) {
+	if s.off >= s.buf.Len() {
+		return 0, io.EOF
+	}
+	chunk := s.buf.Slice(s.off, s.buf.Len())
+	if chunk.Len() > buf.Len() {
+		chunk = chunk.Slice(0, buf.Len())
+	}
+	n := chunk.CopyInto(buf, 0)
+	s.off += n
+	return n, nil
+}
+
+// MarshalObject serializes obj into tainted bytes via the object stream.
+func MarshalObject(obj Serializable) (taint.Bytes, error) {
+	out := NewByteArrayOutputStream()
+	if err := NewObjectOutputStream(out).WriteObject(obj); err != nil {
+		return taint.Bytes{}, err
+	}
+	return out.Bytes(), nil
+}
+
+// UnmarshalObject deserializes obj from tainted bytes.
+func UnmarshalObject(b taint.Bytes, obj Serializable) error {
+	return NewObjectInputStream(NewByteArrayInputStream(b)).ReadObject(obj)
+}

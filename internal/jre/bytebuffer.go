@@ -1,0 +1,174 @@
+package jre
+
+import (
+	"fmt"
+
+	"dista/internal/core/taint"
+	"dista/internal/jni"
+)
+
+// ByteBuffer is the heap NIO buffer (java.nio.ByteBuffer) with position
+// and limit cursors. Labels travel with the bytes through every
+// operation when shadow storage exists.
+type ByteBuffer struct {
+	buf taint.Bytes
+	pos int
+	lim int
+}
+
+// AllocateBuffer returns a heap buffer of the given capacity, cleared
+// (position 0, limit = capacity).
+func AllocateBuffer(capacity int) *ByteBuffer {
+	return &ByteBuffer{buf: taint.MakeBytes(capacity), lim: capacity}
+}
+
+// WrapBuffer wraps existing bytes as a buffer ready for reading
+// (position 0, limit = length).
+func WrapBuffer(b taint.Bytes) *ByteBuffer {
+	return &ByteBuffer{buf: b, lim: b.Len()}
+}
+
+// Capacity returns the buffer's total size.
+func (b *ByteBuffer) Capacity() int { return b.buf.Len() }
+
+// Position returns the cursor.
+func (b *ByteBuffer) Position() int { return b.pos }
+
+// Limit returns the limit.
+func (b *ByteBuffer) Limit() int { return b.lim }
+
+// Remaining returns limit - position.
+func (b *ByteBuffer) Remaining() int { return b.lim - b.pos }
+
+// HasRemaining reports whether any bytes remain.
+func (b *ByteBuffer) HasRemaining() bool { return b.Remaining() > 0 }
+
+// Flip switches from filling to draining: limit = position, position = 0.
+func (b *ByteBuffer) Flip() *ByteBuffer {
+	b.lim = b.pos
+	b.pos = 0
+	return b
+}
+
+// Clear resets for filling: position 0, limit = capacity.
+func (b *ByteBuffer) Clear() *ByteBuffer {
+	b.pos = 0
+	b.lim = b.buf.Len()
+	return b
+}
+
+// Rewind resets the position, keeping the limit.
+func (b *ByteBuffer) Rewind() *ByteBuffer {
+	b.pos = 0
+	return b
+}
+
+// Compact moves unread bytes to the front and prepares for filling.
+func (b *ByteBuffer) Compact() *ByteBuffer {
+	rest := b.buf.Slice(b.pos, b.lim)
+	n := rest.CopyInto(&b.buf, 0)
+	b.pos = n
+	b.lim = b.buf.Len()
+	return b
+}
+
+// Put copies src into the buffer at the position, advancing it.
+func (b *ByteBuffer) Put(src taint.Bytes) error {
+	if src.Len() > b.Remaining() {
+		return fmt.Errorf("jre: buffer overflow: put %d into %d remaining", src.Len(), b.Remaining())
+	}
+	src.CopyInto(&b.buf, b.pos)
+	b.pos += src.Len()
+	return nil
+}
+
+// Get copies up to n bytes out of the buffer, advancing the position.
+func (b *ByteBuffer) Get(n int) taint.Bytes {
+	if n > b.Remaining() {
+		n = b.Remaining()
+	}
+	out := b.buf.Slice(b.pos, b.pos+n).Clone()
+	b.pos += n
+	return out
+}
+
+// window exposes the active region [pos, lim) for channel I/O.
+func (b *ByteBuffer) window() taint.Bytes { return b.buf.Slice(b.pos, b.lim) }
+
+// advance moves the position after channel I/O consumed/produced n.
+func (b *ByteBuffer) advance(n int) { b.pos += n }
+
+// DirectByteBuffer is the off-heap NIO buffer whose get/put accessors
+// are instrumented (Table I rows DirectByteBuffer.get/put): they move
+// labels between heap shadow arrays and the native block's shadow, so
+// taints survive the trip through native memory.
+type DirectByteBuffer struct {
+	env *Env
+	nat *jni.DirectBuffer
+	pos int
+	lim int
+}
+
+// AllocateDirectBuffer allocates an off-heap buffer
+// (ByteBuffer.allocateDirect).
+func AllocateDirectBuffer(env *Env, capacity int) *DirectByteBuffer {
+	return &DirectByteBuffer{env: env, nat: jni.NewDirectBuffer(capacity), lim: capacity}
+}
+
+// Capacity returns the buffer's total size.
+func (b *DirectByteBuffer) Capacity() int { return b.nat.Len() }
+
+// Position returns the cursor.
+func (b *DirectByteBuffer) Position() int { return b.pos }
+
+// Remaining returns limit - position.
+func (b *DirectByteBuffer) Remaining() int { return b.lim - b.pos }
+
+// Flip switches from filling to draining.
+func (b *DirectByteBuffer) Flip() *DirectByteBuffer {
+	b.lim = b.pos
+	b.pos = 0
+	return b
+}
+
+// Clear resets for filling.
+func (b *DirectByteBuffer) Clear() *DirectByteBuffer {
+	b.pos = 0
+	b.lim = b.nat.Len()
+	return b
+}
+
+// Put is the instrumented put accessor: data bytes always move; labels
+// move into the native shadow only when the agent tracks.
+func (b *DirectByteBuffer) Put(src taint.Bytes) error {
+	if src.Len() > b.Remaining() {
+		return fmt.Errorf("jre: direct buffer overflow: put %d into %d remaining", src.Len(), b.Remaining())
+	}
+	copy(b.nat.Data[b.pos:], src.Data)
+	if b.env.Tracking() {
+		for i := 0; i < src.Len(); i++ {
+			b.nat.Shadow[b.pos+i] = src.LabelAt(i)
+		}
+	}
+	b.pos += src.Len()
+	return nil
+}
+
+// Get is the instrumented get accessor, copying data and (when
+// tracking) labels out of native memory.
+func (b *DirectByteBuffer) Get(n int) taint.Bytes {
+	if n > b.Remaining() {
+		n = b.Remaining()
+	}
+	out := taint.Bytes{Data: make([]byte, n)}
+	copy(out.Data, b.nat.Data[b.pos:b.pos+n])
+	if b.env.Tracking() {
+		out.Labels = make([]taint.Taint, n)
+		copy(out.Labels, b.nat.Shadow[b.pos:b.pos+n])
+	}
+	b.pos += n
+	return out
+}
+
+// native exposes the underlying block for dispatcher I/O.
+func (b *DirectByteBuffer) native() *jni.DirectBuffer { return b.nat }

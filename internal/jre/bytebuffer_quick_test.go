@@ -1,0 +1,106 @@
+package jre
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+// Property tests on the NIO buffer cursor algebra.
+
+func TestQuickByteBufferPutGetRoundTrip(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		total := 0
+		for _, c := range chunks {
+			total += len(c)
+		}
+		if total > 1<<16 {
+			return true
+		}
+		buf := AllocateBuffer(total)
+		var want []byte
+		for _, c := range chunks {
+			if err := buf.Put(taint.WrapBytes(c)); err != nil {
+				return false
+			}
+			want = append(want, c...)
+		}
+		buf.Flip()
+		got := buf.Get(total)
+		return bytes.Equal(got.Data, want) && buf.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickByteBufferCompactPreservesUnread(t *testing.T) {
+	f := func(data []byte, readN uint8) bool {
+		if len(data) == 0 || len(data) > 4096 {
+			return true
+		}
+		buf := AllocateBuffer(len(data) + 16)
+		if err := buf.Put(taint.WrapBytes(data)); err != nil {
+			return false
+		}
+		buf.Flip()
+		n := int(readN) % (len(data) + 1)
+		buf.Get(n)
+		buf.Compact()
+		// After compact, position == unread count and the unread bytes
+		// are at the front.
+		if buf.Position() != len(data)-n {
+			return false
+		}
+		buf.Flip()
+		rest := buf.Get(len(data) - n)
+		return bytes.Equal(rest.Data, data[n:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDirectBufferPreservesLabelsWhenTracking(t *testing.T) {
+	net := netsim.New()
+	store := taintmap.NewStore()
+	a := tracker.New("q", tracker.ModeDista)
+	a = tracker.New("q", tracker.ModeDista, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+	env := NewEnv(net, a)
+	tag := a.Tree().NewSource("q", "q:1")
+
+	f := func(data []byte, taintEvery uint8) bool {
+		if len(data) == 0 || len(data) > 4096 {
+			return true
+		}
+		step := int(taintEvery)%7 + 1
+		src := taint.WrapBytes(append([]byte(nil), data...))
+		for i := 0; i < len(data); i += step {
+			src.SetLabel(i, tag)
+		}
+		db := AllocateDirectBuffer(env, len(data))
+		if err := db.Put(src); err != nil {
+			return false
+		}
+		db.Flip()
+		got := db.Get(len(data))
+		if !bytes.Equal(got.Data, data) {
+			return false
+		}
+		for i := range data {
+			want := i%step == 0
+			if got.LabelAt(i).Has("q") != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

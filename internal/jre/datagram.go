@@ -1,0 +1,82 @@
+package jre
+
+import (
+	"dista/internal/core/taint"
+	"dista/internal/instrument"
+	"dista/internal/netsim"
+)
+
+// DatagramPacket mirrors java.net.DatagramPacket as instrumented in the
+// paper's Figure 7: the data byte array plus the added per-byte taints
+// field (here both inside taint.Bytes), the payload length, and the
+// peer address.
+type DatagramPacket struct {
+	Buf  taint.Bytes // data + taints fields of Fig. 7
+	N    int         // valid payload length within Buf
+	Addr string      // destination (send) or source (receive)
+}
+
+// NewDatagramPacket builds an outgoing packet carrying data.
+func NewDatagramPacket(data taint.Bytes, addr string) *DatagramPacket {
+	return &DatagramPacket{Buf: data, N: data.Len(), Addr: addr}
+}
+
+// NewReceivePacket builds an empty packet able to hold n payload bytes.
+func NewReceivePacket(n int) *DatagramPacket {
+	return &DatagramPacket{Buf: taint.MakeBytes(n)}
+}
+
+// Payload returns the valid portion of the packet's data.
+func (p *DatagramPacket) Payload() taint.Bytes { return p.Buf.Slice(0, p.N) }
+
+// DatagramSocket is the UDP socket class (java.net.DatagramSocket),
+// whose send/receive0 natives are the Type 2 instrumented methods.
+type DatagramSocket struct {
+	env  *Env
+	sock *netsim.UDPSocket
+}
+
+// OpenDatagramSocket binds a datagram socket.
+func OpenDatagramSocket(env *Env, addr string) (*DatagramSocket, error) {
+	sock, err := env.Net.ListenPacket(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &DatagramSocket{env: env, sock: sock}, nil
+}
+
+// Send transmits the packet through the instrumented send wrapper. The
+// caller's packet is never mutated (§III-C Type 2).
+func (s *DatagramSocket) Send(p *DatagramPacket) error {
+	return instrument.PacketSend(s.env.Agent, s.sock, p.Payload(), p.Addr)
+}
+
+// Receive blocks for a datagram, filling p's buffer, length and source
+// address through the instrumented receive0 wrapper.
+func (s *DatagramSocket) Receive(p *DatagramPacket) error {
+	n, from, err := instrument.PacketReceive(s.env.Agent, s.sock, &p.Buf)
+	if err != nil {
+		return err
+	}
+	p.N = n
+	p.Addr = from
+	return nil
+}
+
+// Peek fills p from the next datagram without consuming it
+// (the peekData path of Table I).
+func (s *DatagramSocket) Peek(p *DatagramPacket) error {
+	n, from, err := instrument.PacketPeek(s.env.Agent, s.sock, &p.Buf)
+	if err != nil {
+		return err
+	}
+	p.N = n
+	p.Addr = from
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *DatagramSocket) Addr() string { return s.sock.Addr() }
+
+// Close releases the socket.
+func (s *DatagramSocket) Close() error { return s.sock.Close() }

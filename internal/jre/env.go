@@ -1,0 +1,29 @@
+// Package jre is the simulated Java-runtime networking surface the five
+// mini distributed systems and the 30-case micro benchmark are written
+// against (DESIGN.md §1). It mirrors the class structure the paper's
+// Figure 1 walks through: Socket/ServerSocket with stream classes on
+// top (plain, buffered, data, object), DatagramSocket/DatagramPacket,
+// and the NIO/AIO channel and buffer classes — all of which bottom out
+// in the instrumented JNI wrappers of internal/instrument.
+package jre
+
+import (
+	"dista/internal/core/tracker"
+	"dista/internal/netsim"
+)
+
+// Env is one simulated JVM process: the node's network attachment plus
+// its DisTA agent (the runtime the -javaagent flag would install).
+// Every jre object is created within an Env.
+type Env struct {
+	Net   *netsim.Network
+	Agent *tracker.Agent
+}
+
+// NewEnv bundles a network and an agent into a process environment.
+func NewEnv(net *netsim.Network, agent *tracker.Agent) *Env {
+	return &Env{Net: net, Agent: agent}
+}
+
+// Tracking reports whether this process performs shadow operations.
+func (e *Env) Tracking() bool { return e.Agent.Tracking() }

@@ -1,0 +1,24 @@
+package jre
+
+import (
+	"os"
+
+	"dista/internal/core/taint"
+)
+
+// ReadFileTainted reads a whole file and taints its bytes through the
+// agent's source point desc (SIM scenarios: "we uniformly set file
+// reading methods as source points", §V-B). Each invocation generates a
+// fresh sequence tag (tagPrefix1, tagPrefix2, …), matching the three
+// distinct taints of the Fig. 11 transaction-log example.
+func ReadFileTainted(env *Env, path, desc, tagPrefix string) (taint.Bytes, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return taint.Bytes{}, err
+	}
+	b := taint.WrapBytes(raw)
+	if t := env.Agent.SourceSeq(desc, tagPrefix); !t.Empty() {
+		b.TaintAll(t)
+	}
+	return b, nil
+}

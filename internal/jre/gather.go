@@ -1,0 +1,87 @@
+package jre
+
+import (
+	"dista/internal/jni"
+)
+
+// Gathering/scattering channel I/O (SocketChannel.write(ByteBuffer[])
+// and read(ByteBuffer[])): the callers of the writev0/readv0 dispatcher
+// natives of Table I.
+
+// GatheringWrite drains the remaining bytes of every source buffer in
+// order through one vectored native call, returning the total count.
+func (c *SocketChannel) GatheringWrite(srcs []*ByteBuffer) (int64, error) {
+	natives := make([]*jni.DirectBuffer, 0, len(srcs))
+	lens := make([]int, 0, len(srcs))
+	for _, src := range srcs {
+		n := src.Remaining()
+		if n == 0 {
+			continue
+		}
+		staging := AllocateDirectBuffer(c.env, n)
+		if err := staging.Put(src.window()); err != nil {
+			return 0, err
+		}
+		natives = append(natives, staging.native())
+		lens = append(lens, n)
+	}
+	if len(natives) == 0 {
+		return 0, nil
+	}
+	written, err := c.ep.WritevBuffers(natives, lens)
+	if err != nil {
+		return 0, err
+	}
+	// All-or-nothing consumption per buffer: advance in order.
+	left := written
+	for _, src := range srcs {
+		n := int64(src.Remaining())
+		if n > left {
+			n = left
+		}
+		src.advance(int(n))
+		left -= n
+	}
+	return written, nil
+}
+
+// ScatteringRead fills the destination buffers in order from one
+// vectored read, returning the total byte count.
+func (c *SocketChannel) ScatteringRead(dsts []*ByteBuffer) (int64, error) {
+	natives := make([]*jni.DirectBuffer, 0, len(dsts))
+	lens := make([]int, 0, len(dsts))
+	targets := make([]*ByteBuffer, 0, len(dsts))
+	for _, dst := range dsts {
+		n := dst.Remaining()
+		if n == 0 {
+			continue
+		}
+		staging := AllocateDirectBuffer(c.env, n)
+		natives = append(natives, staging.native())
+		lens = append(lens, n)
+		targets = append(targets, dst)
+	}
+	if len(natives) == 0 {
+		return 0, nil
+	}
+	total, err := c.ep.ReadvBuffers(natives, lens)
+	if err != nil {
+		return 0, err
+	}
+	left := int(total)
+	for i, dst := range targets {
+		n := lens[i]
+		if n > left {
+			n = left
+		}
+		if n == 0 {
+			break
+		}
+		staging := &DirectByteBuffer{env: c.env, nat: natives[i], lim: n}
+		if err := dst.Put(staging.Get(n)); err != nil {
+			return 0, err
+		}
+		left -= n
+	}
+	return total, nil
+}

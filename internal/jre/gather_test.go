@@ -1,0 +1,74 @@
+package jre
+
+import (
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+)
+
+func TestGatheringWriteScatteringRead(t *testing.T) {
+	client, server, envs := channelPair(t, tracker.ModeDista)
+	t1 := envs[0].Agent.Source("s", "g1")
+	t2 := envs[0].Agent.Source("s", "g2")
+
+	srcs := []*ByteBuffer{
+		WrapBuffer(taint.FromString("head", t1)),
+		WrapBuffer(taint.FromString("tail!", t2)),
+	}
+	n, err := client.GatheringWrite(srcs)
+	if err != nil || n != 9 {
+		t.Fatalf("gathering write = %d, %v", n, err)
+	}
+	if srcs[0].HasRemaining() || srcs[1].HasRemaining() {
+		t.Fatal("source buffers must be fully consumed")
+	}
+
+	d1, d2 := AllocateBuffer(4), AllocateBuffer(5)
+	total := int64(0)
+	for total < 9 {
+		got, err := server.ScatteringRead([]*ByteBuffer{d1, d2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += got
+	}
+	d1.Flip()
+	d2.Flip()
+	head, tail := d1.Get(4), d2.Get(5)
+	if string(head.Data) != "head" || string(tail.Data) != "tail!" {
+		t.Fatalf("scattered %q %q", head.Data, tail.Data)
+	}
+	if !head.LabelAt(0).Has("g1") || !tail.LabelAt(4).Has("g2") {
+		t.Fatal("labels lost through vectored channel I/O")
+	}
+}
+
+func TestGatheringWriteEmptyBuffers(t *testing.T) {
+	client, _, _ := channelPair(t, tracker.ModeOff)
+	n, err := client.GatheringWrite([]*ByteBuffer{AllocateBuffer(4).Flip()})
+	if err != nil || n != 0 {
+		t.Fatalf("empty gathering write = %d, %v", n, err)
+	}
+}
+
+func TestScatteringReadOffMode(t *testing.T) {
+	client, server, _ := channelPair(t, tracker.ModeOff)
+	if _, err := client.Write(WrapBuffer(taint.WrapBytes([]byte("123456")))); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := AllocateBuffer(3), AllocateBuffer(3)
+	total := int64(0)
+	for total < 6 {
+		n, err := server.ScatteringRead([]*ByteBuffer{d1, d2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	d1.Flip()
+	d2.Flip()
+	if string(d1.Get(3).Data)+string(d2.Get(3).Data) != "123456" {
+		t.Fatal("scatter order broken")
+	}
+}

@@ -1,0 +1,778 @@
+package jre
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+// cluster builds n Envs on one network sharing a Taint Map store.
+func cluster(t *testing.T, mode tracker.Mode, n int) []*Env {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	envs := make([]*Env, n)
+	for i := range envs {
+		name := []string{"node1", "node2", "node3", "node4", "node5"}[i]
+		agent := tracker.New(name, mode)
+		agent = tracker.New(name, mode,
+			tracker.WithTaintMap(taintmap.NewLocalClient(store, agent.Tree())))
+		envs[i] = NewEnv(net, agent)
+	}
+	return envs
+}
+
+// pair returns two connected Envs and a server socket helper.
+func socketPair(t *testing.T, mode tracker.Mode) (client, server *Socket, envs []*Env) {
+	t.Helper()
+	envs = cluster(t, mode, 2)
+	ss, err := ListenSocket(envs[1], "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s, err := ss.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = s
+	}()
+	client, err = DialSocket(envs[0], "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server, envs
+}
+
+func TestSocketStreamTaintRoundTrip(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	secret := taint.FromString("hello", envs[0].Agent.Source("src", "s1"))
+	if err := client.OutputStream().Write(secret); err != nil {
+		t.Fatal(err)
+	}
+	buf := taint.MakeBytes(5)
+	if err := ReadFull(server.InputStream(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.Data) != "hello" || !buf.LabelAt(4).Has("s1") {
+		t.Fatalf("got %q label %v", buf.Data, buf.LabelAt(4))
+	}
+}
+
+func TestSocketSingleByteIO(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	tt := envs[0].Agent.Source("src", "b")
+	if err := client.OutputStream().WriteTaintedByte('Z', tt); err != nil {
+		t.Fatal(err)
+	}
+	b, lbl, err := server.InputStream().ReadTaintedByte()
+	if err != nil || b != 'Z' || !lbl.Has("b") {
+		t.Fatalf("ReadByte = %c %v %v", b, lbl, err)
+	}
+}
+
+func TestReadFullAdoptsLabels(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	if err := client.OutputStream().Write(taint.FromString("abcd", envs[0].Agent.Source("s", "x"))); err != nil {
+		t.Fatal(err)
+	}
+	buf := taint.WrapBytes(make([]byte, 4)) // no shadow pre-allocated
+	if err := ReadFull(server.InputStream(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.LabelAt(0).Has("x") {
+		t.Fatal("ReadFull must adopt labels materialized by the read")
+	}
+}
+
+func TestBufferedStreams(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	out := NewBufferedOutputStreamSize(client.OutputStream(), 16)
+	tt := envs[0].Agent.Source("src", "buffered")
+	// Write 100 tainted single bytes through a 16-byte buffer.
+	for i := 0; i < 100; i++ {
+		if err := out.WriteTaintedByte(byte('a'+i%26), tt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := out.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	in := NewBufferedInputStreamSize(server.InputStream(), 16)
+	buf := taint.MakeBytes(100)
+	if err := ReadFull(in, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if buf.Data[i] != byte('a'+i%26) {
+			t.Fatalf("byte %d = %c", i, buf.Data[i])
+		}
+		if !buf.LabelAt(i).Has("buffered") {
+			t.Fatalf("byte %d lost taint through buffering", i)
+		}
+	}
+}
+
+func TestBufferedOutputLargerThanBuffer(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	out := NewBufferedOutputStreamSize(client.OutputStream(), 8)
+	payload := taint.FromString("0123456789abcdef0123", envs[0].Agent.Source("s", "big"))
+	if err := out.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := taint.MakeBytes(20)
+	if err := ReadFull(server.InputStream(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.Data) != "0123456789abcdef0123" || !buf.LabelAt(19).Has("big") {
+		t.Fatalf("got %q", buf.Data)
+	}
+}
+
+func TestDataStreamPrimitives(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	a := envs[0].Agent
+	w := NewDataOutputStream(client.OutputStream())
+	r := NewDataInputStream(server.InputStream())
+
+	tInt := a.Source("s", "int")
+	tStr := a.Source("s", "str")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.WriteInt32(taint.Int32{Value: -7, Label: tInt}); err != nil {
+			t.Error(err)
+		}
+		if err := w.WriteInt64(taint.Int64{Value: 1 << 40}); err != nil {
+			t.Error(err)
+		}
+		if err := w.WriteUTF(taint.String{Value: "vote", Label: tStr}); err != nil {
+			t.Error(err)
+		}
+		if err := w.WriteBool(true, tInt); err != nil {
+			t.Error(err)
+		}
+		if err := w.WriteFloat64(3.5, taint.Taint{}); err != nil {
+			t.Error(err)
+		}
+		if err := w.WriteInt16(-2, taint.Taint{}); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	i32, err := r.ReadInt32()
+	if err != nil || i32.Value != -7 || !i32.Label.Has("int") {
+		t.Fatalf("ReadInt32 = %v %v", i32, err)
+	}
+	i64, err := r.ReadInt64()
+	if err != nil || i64.Value != 1<<40 || !i64.Label.Empty() {
+		t.Fatalf("ReadInt64 = %v %v", i64, err)
+	}
+	s, err := r.ReadUTF()
+	if err != nil || s.Value != "vote" || !s.Label.Has("str") {
+		t.Fatalf("ReadUTF = %v %v", s, err)
+	}
+	b, lbl, err := r.ReadBool()
+	if err != nil || !b || !lbl.Has("int") {
+		t.Fatalf("ReadBool = %v %v %v", b, lbl, err)
+	}
+	f, _, err := r.ReadFloat64()
+	if err != nil || f != 3.5 {
+		t.Fatalf("ReadFloat64 = %v %v", f, err)
+	}
+	i16, _, err := r.ReadInt16()
+	if err != nil || i16 != -2 {
+		t.Fatalf("ReadInt16 = %v %v", i16, err)
+	}
+	wg.Wait()
+}
+
+func TestDataStreamIntArray(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	w := NewDataOutputStream(client.OutputStream())
+	r := NewDataInputStream(server.InputStream())
+	tt := envs[0].Agent.Source("s", "arr")
+	vals := []int32{1, -2, 3, -4}
+	go func() {
+		if err := w.WriteInt32Array(vals, tt); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, lbl, err := r.ReadInt32Array()
+	if err != nil || !reflect.DeepEqual(got, vals) || !lbl.Has("arr") {
+		t.Fatalf("ReadInt32Array = %v %v %v", got, lbl, err)
+	}
+}
+
+func TestDataStreamString32AndBytes32(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	w := NewDataOutputStream(client.OutputStream())
+	r := NewDataInputStream(server.InputStream())
+	tt := envs[0].Agent.Source("s", "big")
+	go func() {
+		if err := w.WriteString32(taint.String{Value: "long text", Label: tt}); err != nil {
+			t.Error(err)
+		}
+		if err := w.WriteBytes32(taint.FromString("blob", tt)); err != nil {
+			t.Error(err)
+		}
+	}()
+	s, err := r.ReadString32()
+	if err != nil || s.Value != "long text" || !s.Label.Has("big") {
+		t.Fatalf("ReadString32 = %v %v", s, err)
+	}
+	b, err := r.ReadBytes32()
+	if err != nil || string(b.Data) != "blob" || !b.Union().Has("big") {
+		t.Fatalf("ReadBytes32 = %q %v", b.Data, err)
+	}
+}
+
+func TestWriteUTFTooLong(t *testing.T) {
+	client, _, _ := socketPair(t, tracker.ModeOff)
+	w := NewDataOutputStream(client.OutputStream())
+	if err := w.WriteUTF(taint.String{Value: string(make([]byte, 70000))}); err == nil {
+		t.Fatal("want error for oversized writeUTF")
+	}
+}
+
+// testObject is a Serializable with a tainted string field and an
+// untainted int, like the micro benchmark's "object with a long text
+// String field".
+type testObject struct {
+	ID   taint.Int64
+	Text taint.String
+}
+
+func (o *testObject) WriteTo(w *DataOutputStream) error {
+	if err := w.WriteInt64(o.ID); err != nil {
+		return err
+	}
+	return w.WriteString32(o.Text)
+}
+
+func (o *testObject) ReadFrom(r *DataInputStream) error {
+	id, err := r.ReadInt64()
+	if err != nil {
+		return err
+	}
+	o.ID = id
+	o.Text, err = r.ReadString32()
+	return err
+}
+
+func TestObjectStreamRoundTrip(t *testing.T) {
+	client, server, envs := socketPair(t, tracker.ModeDista)
+	oout := NewObjectOutputStream(client.OutputStream())
+	oin := NewObjectInputStream(server.InputStream())
+	tt := envs[0].Agent.Source("s", "obj")
+	src := &testObject{
+		ID:   taint.Int64{Value: 42},
+		Text: taint.String{Value: "tainted field", Label: tt},
+	}
+	go func() {
+		if err := oout.WriteObject(src); err != nil {
+			t.Error(err)
+		}
+	}()
+	var dst testObject
+	if err := oin.ReadObject(&dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.ID.Value != 42 || dst.Text.Value != "tainted field" {
+		t.Fatalf("object = %+v", dst)
+	}
+	if !dst.Text.Label.Has("obj") {
+		t.Fatal("object field lost its taint")
+	}
+	if !dst.ID.Label.Empty() {
+		t.Fatal("untainted field gained a taint (over-tainting)")
+	}
+}
+
+func TestObjectStreamBadMagic(t *testing.T) {
+	client, server, _ := socketPair(t, tracker.ModeOff)
+	go client.OutputStream().Write(taint.WrapBytes([]byte{0x00, 1, 2, 3}))
+	var dst testObject
+	if err := NewObjectInputStream(server.InputStream()).ReadObject(&dst); err != ErrBadObjectStream {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDatagramSocketTaint(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 2)
+	sa, err := OpenDatagramSocket(envs[0], "a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := OpenDatagramSocket(envs[1], "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	payload := taint.FromString("dgram", envs[0].Agent.Source("s", "udp"))
+	pkt := NewDatagramPacket(payload, "b:1")
+	if err := sa.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	// The caller's packet must be untouched (§III-C Type 2).
+	if string(pkt.Buf.Data) != "dgram" || pkt.N != 5 {
+		t.Fatal("send mutated the caller's packet")
+	}
+
+	rcv := NewReceivePacket(16)
+	if err := sb.Receive(rcv); err != nil {
+		t.Fatal(err)
+	}
+	got := rcv.Payload()
+	if string(got.Data) != "dgram" || rcv.Addr != "a:1" {
+		t.Fatalf("payload %q from %q", got.Data, rcv.Addr)
+	}
+	if !got.LabelAt(0).Has("udp") {
+		t.Fatal("datagram lost taint")
+	}
+}
+
+func TestByteBufferCursorOps(t *testing.T) {
+	b := AllocateBuffer(8)
+	if b.Capacity() != 8 || b.Remaining() != 8 || b.Position() != 0 {
+		t.Fatalf("fresh buffer %d/%d/%d", b.Capacity(), b.Remaining(), b.Position())
+	}
+	if err := b.Put(taint.WrapBytes([]byte("abc"))); err != nil {
+		t.Fatal(err)
+	}
+	b.Flip()
+	if b.Limit() != 3 || b.Remaining() != 3 {
+		t.Fatalf("after flip %d/%d", b.Limit(), b.Remaining())
+	}
+	got := b.Get(2)
+	if string(got.Data) != "ab" || b.Remaining() != 1 {
+		t.Fatalf("get = %q remaining %d", got.Data, b.Remaining())
+	}
+	b.Compact()
+	if b.Position() != 1 || b.Limit() != 8 {
+		t.Fatalf("after compact %d/%d", b.Position(), b.Limit())
+	}
+	b.Clear()
+	if b.Position() != 0 || b.Remaining() != 8 {
+		t.Fatal("clear broken")
+	}
+	if !b.HasRemaining() {
+		t.Fatal("HasRemaining")
+	}
+	b.Put(taint.WrapBytes([]byte("zz")))
+	b.Rewind()
+	if b.Position() != 0 {
+		t.Fatal("rewind broken")
+	}
+}
+
+func TestByteBufferOverflow(t *testing.T) {
+	b := AllocateBuffer(2)
+	if err := b.Put(taint.WrapBytes([]byte("abc"))); err == nil {
+		t.Fatal("want overflow error")
+	}
+}
+
+func TestByteBufferLabelsThroughPutGet(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 1)
+	tt := envs[0].Agent.Source("s", "nio")
+	b := AllocateBuffer(8)
+	if err := b.Put(taint.FromString("xy", tt)); err != nil {
+		t.Fatal(err)
+	}
+	b.Flip()
+	got := b.Get(2)
+	if !got.LabelAt(0).Has("nio") || !got.LabelAt(1).Has("nio") {
+		t.Fatal("labels lost through Put/Get")
+	}
+}
+
+func TestDirectByteBufferTracksOnlyWhenTracking(t *testing.T) {
+	onEnvs := cluster(t, tracker.ModeDista, 1)
+	tt := onEnvs[0].Agent.Source("s", "direct")
+	db := AllocateDirectBuffer(onEnvs[0], 4)
+	if err := db.Put(taint.FromString("ab", tt)); err != nil {
+		t.Fatal(err)
+	}
+	db.Flip()
+	if got := db.Get(2); !got.LabelAt(0).Has("direct") {
+		t.Fatal("direct buffer must move labels when tracking")
+	}
+
+	offEnvs := cluster(t, tracker.ModeOff, 1)
+	db2 := AllocateDirectBuffer(offEnvs[0], 4)
+	payload := taint.MakeBytes(2)
+	copy(payload.Data, "ab")
+	if err := db2.Put(payload); err != nil {
+		t.Fatal(err)
+	}
+	db2.Flip()
+	if got := db2.Get(2); got.Labels != nil {
+		t.Fatal("off mode direct buffer must skip shadow work")
+	}
+}
+
+func channelPair(t *testing.T, mode tracker.Mode) (*SocketChannel, *SocketChannel, []*Env) {
+	t.Helper()
+	envs := cluster(t, mode, 2)
+	srv, err := OpenServerSocketChannel(envs[1], "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	var server *SocketChannel
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := srv.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		server = c
+	}()
+	client, err := OpenSocketChannel(envs[0], "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server, envs
+}
+
+func TestSocketChannelTaintRoundTrip(t *testing.T) {
+	client, server, envs := channelPair(t, tracker.ModeDista)
+	tt := envs[0].Agent.Source("s", "chan")
+	src := WrapBuffer(taint.FromString("channel-data", tt))
+	if n, err := client.Write(src); err != nil || n != 12 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	dst := AllocateBuffer(12)
+	total := 0
+	for total < 12 {
+		n, err := server.Read(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	dst.Flip()
+	got := dst.Get(12)
+	if string(got.Data) != "channel-data" {
+		t.Fatalf("data = %q", got.Data)
+	}
+	for i := range got.Data {
+		if !got.LabelAt(i).Has("chan") {
+			t.Fatalf("byte %d lost taint through the Type 3 path", i)
+		}
+	}
+}
+
+func TestSocketChannelPhosphorDropsTaint(t *testing.T) {
+	client, server, envs := channelPair(t, tracker.ModePhosphor)
+	tt := envs[0].Agent.Source("s", "lost")
+	src := WrapBuffer(taint.FromString("x", tt))
+	if _, err := client.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	dst := AllocateBuffer(1)
+	if _, err := server.Read(dst); err != nil {
+		t.Fatal(err)
+	}
+	dst.Flip()
+	if got := dst.Get(1); got.Union().Has("lost") {
+		t.Fatal("phosphor mode must drop inter-node taints on channels too")
+	}
+}
+
+func TestDatagramChannelTaint(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 2)
+	ca, err := OpenDatagramChannel(envs[0], "a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := OpenDatagramChannel(envs[1], "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	tt := envs[0].Agent.Source("s", "dchan")
+	src := WrapBuffer(taint.FromString("packet", tt))
+	if _, err := ca.Send(src, "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	dst := AllocateBuffer(16)
+	from, err := cb.Receive(dst)
+	if err != nil || from != "a:1" {
+		t.Fatalf("Receive from %q, %v", from, err)
+	}
+	dst.Flip()
+	got := dst.Get(6)
+	if string(got.Data) != "packet" || !got.LabelAt(0).Has("dchan") {
+		t.Fatalf("got %q label %v", got.Data, got.LabelAt(0))
+	}
+}
+
+func TestAsyncSocketChannel(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 2)
+	srv, err := OpenAsyncServerSocketChannel(envs[1], "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	acceptDone := make(chan *AsyncSocketChannel, 1)
+	go func() {
+		c, err := srv.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acceptDone <- c
+	}()
+	client, err := OpenAsyncSocketChannel(envs[0], "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-acceptDone
+	defer server.Close()
+
+	tt := envs[0].Agent.Source("s", "aio")
+	wf := client.Write(WrapBuffer(taint.FromString("async", tt)))
+	if n, err := wf.Get(); err != nil || n != 5 {
+		t.Fatalf("write future = %d, %v", n, err)
+	}
+	dst := AllocateBuffer(5)
+	rf := server.Read(dst)
+	if n, err := rf.Get(); err != nil || n != 5 {
+		t.Fatalf("read future = %d, %v", n, err)
+	}
+	dst.Flip()
+	got := dst.Get(5)
+	if string(got.Data) != "async" || !got.LabelAt(2).Has("aio") {
+		t.Fatalf("got %q", got.Data)
+	}
+}
+
+func TestReadFileTainted(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.txt")
+	if err := os.WriteFile(path, []byte("zxid=7"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFileTainted(envs[0], path, "FileTxnLog#read", "zxid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b.Data) != "zxid=7" || !b.Union().Has("zxid1") {
+		t.Fatalf("got %q label %v", b.Data, b.Union())
+	}
+	// Second read gets a distinct sequence tag.
+	b2, err := ReadFileTainted(envs[0], path, "FileTxnLog#read", "zxid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.Union().Has("zxid2") {
+		t.Fatalf("second read label = %v", b2.Union())
+	}
+	// Off mode reads stay clean.
+	off := cluster(t, tracker.ModeOff, 1)
+	b3, err := ReadFileTainted(off[0], path, "FileTxnLog#read", "zxid")
+	if err != nil || b3.Labels != nil {
+		t.Fatalf("off mode read tainted: %v %v", b3.Labels, err)
+	}
+	if _, err := ReadFileTainted(envs[0], filepath.Join(dir, "gone"), "d", "p"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestDatagramPeekDoesNotConsume(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 2)
+	sa, err := OpenDatagramSocket(envs[0], "pa:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := OpenDatagramSocket(envs[1], "pb:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	payload := taint.FromString("peeked", envs[0].Agent.Source("s", "peek"))
+	if err := sa.Send(NewDatagramPacket(payload, "pb:1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Peek sees the datagram with its taints.
+	pk := NewReceivePacket(16)
+	if err := sb.Peek(pk); err != nil {
+		t.Fatal(err)
+	}
+	if string(pk.Payload().Data) != "peeked" || !pk.Payload().LabelAt(0).Has("peek") {
+		t.Fatalf("peek = %q label %v", pk.Payload().Data, pk.Payload().LabelAt(0))
+	}
+	// The datagram is still there for a real receive.
+	rcv := NewReceivePacket(16)
+	if err := sb.Receive(rcv); err != nil {
+		t.Fatal(err)
+	}
+	if string(rcv.Payload().Data) != "peeked" || !rcv.Payload().LabelAt(5).Has("peek") {
+		t.Fatal("receive after peek lost the datagram or its taint")
+	}
+}
+
+func TestAsyncCompletionHandler(t *testing.T) {
+	envs := cluster(t, tracker.ModeDista, 2)
+	srv, err := OpenAsyncServerSocketChannel(envs[1], "aio-h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	acceptDone := make(chan *AsyncSocketChannel, 1)
+	go func() {
+		c, err := srv.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acceptDone <- c
+	}()
+	client, err := OpenAsyncSocketChannel(envs[0], "aio-h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-acceptDone
+	defer server.Close()
+
+	tt := envs[0].Agent.Source("s", "handler")
+	wrote := make(chan int, 1)
+	client.WriteWithHandler(WrapBuffer(taint.FromString("cb", tt)), CompletionFunc{
+		OnCompleted: func(n int) { wrote <- n },
+		OnFailed:    func(err error) { t.Error(err); wrote <- 0 },
+	})
+	if n := <-wrote; n != 2 {
+		t.Fatalf("wrote %d", n)
+	}
+
+	dst := AllocateBuffer(2)
+	read := make(chan int, 1)
+	server.ReadWithHandler(dst, CompletionFunc{
+		OnCompleted: func(n int) { read <- n },
+		OnFailed:    func(err error) { t.Error(err); read <- 0 },
+	})
+	if n := <-read; n != 2 {
+		t.Fatalf("read %d", n)
+	}
+	dst.Flip()
+	got := dst.Get(2)
+	if string(got.Data) != "cb" || !got.LabelAt(0).Has("handler") {
+		t.Fatalf("got %q %v", got.Data, got.LabelAt(0))
+	}
+}
+
+func TestAsyncCompletionHandlerFailure(t *testing.T) {
+	envs := cluster(t, tracker.ModeOff, 2)
+	srv, err := OpenAsyncServerSocketChannel(envs[1], "aio-f:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptDone := make(chan *AsyncSocketChannel, 1)
+	go func() {
+		c, _ := srv.Accept()
+		acceptDone <- c
+	}()
+	client, err := OpenAsyncSocketChannel(envs[0], "aio-f:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acceptDone
+	server.Close()
+	client.Close()
+	srv.Close()
+
+	failed := make(chan error, 1)
+	client.ReadWithHandler(AllocateBuffer(4), CompletionFunc{
+		OnCompleted: func(int) { failed <- nil },
+		OnFailed:    func(err error) { failed <- err },
+	})
+	if err := <-failed; err == nil {
+		t.Fatal("read on closed channel must fail through the handler")
+	}
+}
+
+func TestDataStreamTruncatedValue(t *testing.T) {
+	client, server, _ := socketPair(t, tracker.ModeOff)
+	// Send 2 bytes then close: a ReadInt32 on the other side must fail
+	// with an unexpected-EOF style error, not hang or succeed.
+	go func() {
+		client.OutputStream().Write(taint.WrapBytes([]byte{1, 2}))
+		client.Close()
+	}()
+	r := NewDataInputStream(server.InputStream())
+	if _, err := r.ReadInt32(); err == nil {
+		t.Fatal("truncated int32 must error")
+	}
+}
+
+func TestReadFullUnexpectedEOF(t *testing.T) {
+	client, server, _ := socketPair(t, tracker.ModeOff)
+	go func() {
+		client.OutputStream().Write(taint.WrapBytes([]byte("ab")))
+		client.Close()
+	}()
+	buf := taint.MakeBytes(5)
+	if err := ReadFull(server.InputStream(), &buf); err == nil {
+		t.Fatal("short stream must fail ReadFull")
+	}
+}
+
+func TestByteArrayStreamsRoundTrip(t *testing.T) {
+	tr := taint.NewTree()
+	out := NewByteArrayOutputStream()
+	w := NewDataOutputStream(out)
+	tt := tr.NewSource("mem", "l")
+	if err := w.WriteString32(taint.String{Value: "in-memory", Label: tt}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("nothing buffered")
+	}
+	r := NewDataInputStream(NewByteArrayInputStream(out.Bytes()))
+	s, err := r.ReadString32()
+	if err != nil || s.Value != "in-memory" || !s.Label.Has("mem") {
+		t.Fatalf("round trip = %+v, %v", s, err)
+	}
+	// Drained stream returns EOF.
+	one := taint.MakeBytes(1)
+	if _, err := NewByteArrayInputStream(taint.Bytes{}).Read(&one); err == nil {
+		t.Fatal("empty byte-array stream must EOF")
+	}
+}

@@ -1,0 +1,77 @@
+package jre
+
+import (
+	"errors"
+	"fmt"
+
+	"dista/internal/core/taint"
+)
+
+// Object serialization (java.io.ObjectOutputStream/ObjectInputStream).
+// Objects describe their own wire form through the Serializable
+// interface; the typed primitives of DataOutputStream keep byte-level
+// taints attached through serialization, which is how an object field's
+// taint survives the trip (the ObjectStream micro cases and the Vote /
+// Message objects of the real-system workloads).
+
+// Serializable is implemented by any object that can cross the wire.
+type Serializable interface {
+	// WriteTo serializes the object's fields.
+	WriteTo(w *DataOutputStream) error
+	// ReadFrom deserializes into the receiver.
+	ReadFrom(r *DataInputStream) error
+}
+
+// objectStreamMagic guards against misaligned streams, like the real
+// ObjectStream header.
+const objectStreamMagic = 0xED
+
+// ErrBadObjectStream reports a corrupt or misaligned object stream.
+var ErrBadObjectStream = errors.New("jre: bad object stream header")
+
+// ObjectOutputStream writes Serializable objects.
+type ObjectOutputStream struct {
+	w *DataOutputStream
+}
+
+// NewObjectOutputStream wraps an output stream.
+func NewObjectOutputStream(out OutputStream) *ObjectOutputStream {
+	return &ObjectOutputStream{w: NewDataOutputStream(out)}
+}
+
+// WriteObject serializes one object (ObjectOutputStream.writeObject).
+func (o *ObjectOutputStream) WriteObject(obj Serializable) error {
+	if err := o.w.WriteByteValue(objectStreamMagic, taint.Taint{}); err != nil {
+		return err
+	}
+	if err := obj.WriteTo(o.w); err != nil {
+		return fmt.Errorf("jre: write object: %w", err)
+	}
+	return o.w.Flush()
+}
+
+// ObjectInputStream reads Serializable objects.
+type ObjectInputStream struct {
+	r *DataInputStream
+}
+
+// NewObjectInputStream wraps an input stream.
+func NewObjectInputStream(in InputStream) *ObjectInputStream {
+	return &ObjectInputStream{r: NewDataInputStream(in)}
+}
+
+// ReadObject deserializes the next object into obj
+// (ObjectInputStream.readObject).
+func (o *ObjectInputStream) ReadObject(obj Serializable) error {
+	magic, _, err := o.r.ReadByteValue()
+	if err != nil {
+		return err
+	}
+	if magic != objectStreamMagic {
+		return ErrBadObjectStream
+	}
+	if err := obj.ReadFrom(o.r); err != nil {
+		return fmt.Errorf("jre: read object: %w", err)
+	}
+	return nil
+}

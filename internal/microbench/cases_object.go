@@ -1,0 +1,312 @@
+package microbench
+
+import (
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// The 6 ObjectStream cases (Table II ids 17-22): objects with different
+// field shapes crossing the wire through writeObject/readObject.
+
+// textMessage is "an object with a long text String field" (§V-A).
+type textMessage struct {
+	ID   taint.Int64
+	Text taint.String
+}
+
+func (m *textMessage) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteInt64(m.ID); err != nil {
+		return err
+	}
+	return w.WriteString32(m.Text)
+}
+
+func (m *textMessage) ReadFrom(r *jre.DataInputStream) error {
+	id, err := r.ReadInt64()
+	if err != nil {
+		return err
+	}
+	m.ID = id
+	m.Text, err = r.ReadString32()
+	return err
+}
+
+// arrayMessage carries a large int array.
+type arrayMessage struct {
+	Vals  []int32
+	Label taint.Taint
+}
+
+func (m *arrayMessage) WriteTo(w *jre.DataOutputStream) error {
+	return w.WriteInt32Array(m.Vals, m.Label)
+}
+
+func (m *arrayMessage) ReadFrom(r *jre.DataInputStream) error {
+	vals, lbl, err := r.ReadInt32Array()
+	if err != nil {
+		return err
+	}
+	m.Vals, m.Label = vals, lbl
+	return nil
+}
+
+// nestedMessage nests a textMessage inside an envelope.
+type nestedMessage struct {
+	Seq   taint.Int32
+	Inner textMessage
+}
+
+func (m *nestedMessage) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteInt32(m.Seq); err != nil {
+		return err
+	}
+	return m.Inner.WriteTo(w)
+}
+
+func (m *nestedMessage) ReadFrom(r *jre.DataInputStream) error {
+	seq, err := r.ReadInt32()
+	if err != nil {
+		return err
+	}
+	m.Seq = seq
+	return m.Inner.ReadFrom(r)
+}
+
+// bytesMessage carries a raw tainted blob.
+type bytesMessage struct {
+	Blob taint.Bytes
+}
+
+func (m *bytesMessage) WriteTo(w *jre.DataOutputStream) error {
+	return w.WriteBytes32(m.Blob)
+}
+
+func (m *bytesMessage) ReadFrom(r *jre.DataInputStream) error {
+	blob, err := r.ReadBytes32()
+	if err != nil {
+		return err
+	}
+	m.Blob = blob
+	return nil
+}
+
+// mixedMessage has tainted and untainted fields of several types.
+type mixedMessage struct {
+	Name  taint.String
+	Count taint.Int32
+	Bulk  taint.Bytes
+	Flag  bool
+}
+
+func (m *mixedMessage) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteUTF(m.Name); err != nil {
+		return err
+	}
+	if err := w.WriteInt32(m.Count); err != nil {
+		return err
+	}
+	if err := w.WriteBytes32(m.Bulk); err != nil {
+		return err
+	}
+	return w.WriteBool(m.Flag, taint.Taint{})
+}
+
+func (m *mixedMessage) ReadFrom(r *jre.DataInputStream) error {
+	name, err := r.ReadUTF()
+	if err != nil {
+		return err
+	}
+	m.Name = name
+	if m.Count, err = r.ReadInt32(); err != nil {
+		return err
+	}
+	if m.Bulk, err = r.ReadBytes32(); err != nil {
+		return err
+	}
+	m.Flag, _, err = r.ReadBool()
+	return err
+}
+
+// objectStreams builds the object stream pair over buffered sockets.
+func objectStreams(sock *jre.Socket) (*jre.ObjectOutputStream, *jre.ObjectInputStream, *jre.BufferedOutputStream) {
+	bout := jre.NewBufferedOutputStream(sock.OutputStream())
+	return jre.NewObjectOutputStream(bout),
+		jre.NewObjectInputStream(jre.NewBufferedInputStream(sock.InputStream())),
+		bout
+}
+
+// objectCase builds a case exchanging objects built from a payload.
+// make constructs Node-side objects from the tainted payload; taintOf
+// extracts the union taint of a received object for checking.
+func objectCase(id int, name string, sizeDiv int,
+	make func(data taint.Bytes) jre.Serializable,
+	fresh func() jre.Serializable,
+	taintOf func(obj jre.Serializable) taint.Taint,
+) Case {
+	return Case{
+		ID:      id,
+		Group:   "JRE Socket",
+		Name:    name,
+		SizeDiv: sizeDiv,
+		Run: func(h *Harness) error {
+			size := h.Size
+			return h.tcpExchange(
+				func(sock *jre.Socket) error { // Node2
+					oout, oin, bout := objectStreams(sock)
+					got := fresh()
+					if err := oin.ReadObject(got); err != nil {
+						return err
+					}
+					// Combine: payload taint of the received object plus
+					// a fresh Data2 payload.
+					combined := labelOnly(size, taintOf(got)).Append(h.Data2(size))
+					if err := oout.WriteObject(make(combined)); err != nil {
+						return err
+					}
+					return bout.Flush()
+				},
+				func(sock *jre.Socket) error { // Node1
+					oout, oin, bout := objectStreams(sock)
+					if err := oout.WriteObject(make(h.Data1(size))); err != nil {
+						return err
+					}
+					if err := bout.Flush(); err != nil {
+						return err
+					}
+					got := fresh()
+					if err := oin.ReadObject(got); err != nil {
+						return err
+					}
+					h.CheckTaints(taintOf(got))
+					return nil
+				},
+			)
+		},
+	}
+}
+
+// objectCases returns the ObjectStream cases (ids 17-22).
+func objectCases() []Case {
+	return []Case{
+		objectCase(17, "ObjectStream object with long text String field", 1,
+			func(data taint.Bytes) jre.Serializable {
+				return &textMessage{ID: taint.Int64{Value: 1}, Text: taint.StringOf(data)}
+			},
+			func() jre.Serializable { return &textMessage{} },
+			func(obj jre.Serializable) taint.Taint { return obj.(*textMessage).Text.Label },
+		),
+		objectCase(18, "ObjectStream object with large int array field", 1,
+			func(data taint.Bytes) jre.Serializable {
+				return &arrayMessage{Vals: make([]int32, data.Len()/4+1), Label: data.Union()}
+			},
+			func() jre.Serializable { return &arrayMessage{} },
+			func(obj jre.Serializable) taint.Taint { return obj.(*arrayMessage).Label },
+		),
+		objectCase(19, "ObjectStream nested object graph", 1,
+			func(data taint.Bytes) jre.Serializable {
+				return &nestedMessage{
+					Seq:   taint.Int32{Value: 7},
+					Inner: textMessage{Text: taint.StringOf(data)},
+				}
+			},
+			func() jre.Serializable { return &nestedMessage{} },
+			func(obj jre.Serializable) taint.Taint { return obj.(*nestedMessage).Inner.Text.Label },
+		),
+		objectCase(21, "ObjectStream mixed tainted/untainted fields", 1,
+			func(data taint.Bytes) jre.Serializable {
+				return &mixedMessage{
+					Name:  taint.String{Value: "payload"},
+					Count: taint.Int32{Value: int32(data.Len())},
+					Bulk:  data,
+					Flag:  true,
+				}
+			},
+			func() jre.Serializable { return &mixedMessage{} },
+			func(obj jre.Serializable) taint.Taint { return obj.(*mixedMessage).Bulk.Union() },
+		),
+		objectCase(22, "ObjectStream raw byte-blob field", 1,
+			func(data taint.Bytes) jre.Serializable { return &bytesMessage{Blob: data} },
+			func() jre.Serializable { return &bytesMessage{} },
+			func(obj jre.Serializable) taint.Taint { return obj.(*bytesMessage).Blob.Union() },
+		),
+		manySmallObjectsCase(),
+	}
+}
+
+// manySmallObjectsCase (id 20) streams a sequence of small objects.
+func manySmallObjectsCase() Case {
+	const piece = 1024
+	return Case{
+		ID:      20,
+		Group:   "JRE Socket",
+		Name:    "ObjectStream sequence of small objects",
+		SizeDiv: 4,
+		Run: func(h *Harness) error {
+			size := h.Size
+			sendAll := func(oout *jre.ObjectOutputStream, bout *jre.BufferedOutputStream, data taint.Bytes, w *jre.DataOutputStream) error {
+				n := (data.Len() + piece - 1) / piece
+				if err := w.WriteInt32(taint.Int32{Value: int32(n)}); err != nil {
+					return err
+				}
+				for off := 0; off < data.Len(); off += piece {
+					end := off + piece
+					if end > data.Len() {
+						end = data.Len()
+					}
+					if err := oout.WriteObject(&bytesMessage{Blob: data.Slice(off, end)}); err != nil {
+						return err
+					}
+				}
+				return bout.Flush()
+			}
+			recvAll := func(oin *jre.ObjectInputStream, r *jre.DataInputStream) (taint.Taint, error) {
+				n, err := r.ReadInt32()
+				if err != nil {
+					return taint.Taint{}, err
+				}
+				var lbl taint.Taint
+				for i := int32(0); i < n.Value; i++ {
+					var m bytesMessage
+					if err := oin.ReadObject(&m); err != nil {
+						return taint.Taint{}, err
+					}
+					lbl = taint.Combine(lbl, m.Blob.Union())
+				}
+				return lbl, nil
+			}
+			return h.tcpExchange(
+				func(sock *jre.Socket) error { // Node2
+					bout := jre.NewBufferedOutputStream(sock.OutputStream())
+					oout := jre.NewObjectOutputStream(bout)
+					w := jre.NewDataOutputStream(bout)
+					bin := jre.NewBufferedInputStream(sock.InputStream())
+					oin := jre.NewObjectInputStream(bin)
+					r := jre.NewDataInputStream(bin)
+					lbl, err := recvAll(oin, r)
+					if err != nil {
+						return err
+					}
+					combined := labelOnly(size, lbl).Append(h.Data2(size))
+					return sendAll(oout, bout, combined, w)
+				},
+				func(sock *jre.Socket) error { // Node1
+					bout := jre.NewBufferedOutputStream(sock.OutputStream())
+					oout := jre.NewObjectOutputStream(bout)
+					w := jre.NewDataOutputStream(bout)
+					bin := jre.NewBufferedInputStream(sock.InputStream())
+					oin := jre.NewObjectInputStream(bin)
+					r := jre.NewDataInputStream(bin)
+					if err := sendAll(oout, bout, h.Data1(size), w); err != nil {
+						return err
+					}
+					lbl, err := recvAll(oin, r)
+					if err != nil {
+						return err
+					}
+					h.CheckTaints(lbl)
+					return nil
+				},
+			)
+		},
+	}
+}

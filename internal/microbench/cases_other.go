@@ -1,0 +1,520 @@
+package microbench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"dista/internal/core/taint"
+	"dista/internal/httpmini"
+	"dista/internal/jre"
+	"dista/internal/minette"
+)
+
+// Cases 23-30: the non-Socket protocol groups of Table II.
+
+// datagramChunk is the payload size per datagram in the UDP cases.
+const datagramChunk = 32 << 10
+
+// exchangeTimeout bounds the message-driven cases.
+const exchangeTimeout = 30 * time.Second
+
+// datagramCase (id 23) runs the Fig. 10 workload over DatagramSocket:
+// a count-prefixed burst of datagrams each way.
+func datagramCase() Case {
+	return Case{
+		ID:    23,
+		Group: "JRE Datagram",
+		Name:  "DatagramSocket send/receive byte array",
+		Run: func(h *Harness) error {
+			size := h.Size
+			s1, err := jre.OpenDatagramSocket(h.Node1, "udp-node1:1")
+			if err != nil {
+				return err
+			}
+			defer s1.Close()
+			s2, err := jre.OpenDatagramSocket(h.Node2, "udp-node2:1")
+			if err != nil {
+				return err
+			}
+			defer s2.Close()
+
+			sendBurst := func(sock *jre.DatagramSocket, data taint.Bytes, dst string) error {
+				count := (data.Len() + datagramChunk - 1) / datagramChunk
+				hdr := taint.WrapBytes(binary.BigEndian.AppendUint32(nil, uint32(count)))
+				if err := sock.Send(jre.NewDatagramPacket(hdr, dst)); err != nil {
+					return err
+				}
+				for off := 0; off < data.Len(); off += datagramChunk {
+					end := off + datagramChunk
+					if end > data.Len() {
+						end = data.Len()
+					}
+					if err := sock.Send(jre.NewDatagramPacket(data.Slice(off, end), dst)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			recvBurst := func(sock *jre.DatagramSocket) (taint.Bytes, error) {
+				hdr := jre.NewReceivePacket(4)
+				if err := sock.Receive(hdr); err != nil {
+					return taint.Bytes{}, err
+				}
+				count := int(binary.BigEndian.Uint32(hdr.Buf.Data))
+				var acc taint.Bytes
+				for i := 0; i < count; i++ {
+					pkt := jre.NewReceivePacket(datagramChunk)
+					if err := sock.Receive(pkt); err != nil {
+						return taint.Bytes{}, err
+					}
+					acc = acc.Append(pkt.Payload().Clone())
+				}
+				return acc, nil
+			}
+
+			errc := make(chan error, 1)
+			go func() { // Node2
+				got, err := recvBurst(s2)
+				if err != nil {
+					errc <- err
+					return
+				}
+				errc <- sendBurst(s2, got.Append(h.Data2(size)), "udp-node1:1")
+			}()
+
+			if err := sendBurst(s1, h.Data1(size), "udp-node2:1"); err != nil {
+				return err
+			}
+			combined, err := recvBurst(s1)
+			if err != nil {
+				return err
+			}
+			if err := <-errc; err != nil {
+				return err
+			}
+			h.Check(combined)
+			return nil
+		},
+	}
+}
+
+// channelWriteAll drains a buffer through a SocketChannel.
+func channelWriteAll(ch *jre.SocketChannel, data taint.Bytes) error {
+	buf := jre.WrapBuffer(data)
+	for buf.HasRemaining() {
+		if _, err := ch.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// channelReadAll reads exactly n bytes from a SocketChannel.
+func channelReadAll(ch *jre.SocketChannel, n int) (taint.Bytes, error) {
+	dst := jre.AllocateBuffer(n)
+	for dst.Position() < n {
+		if _, err := ch.Read(dst); err != nil {
+			return taint.Bytes{}, err
+		}
+	}
+	dst.Flip()
+	return dst.Get(n), nil
+}
+
+// socketChannelCase (id 24) is the NIO TCP case.
+func socketChannelCase() Case {
+	return Case{
+		ID:    24,
+		Group: "JRE SocketChannel",
+		Name:  "SocketChannel read/write ByteBuffer",
+		Run: func(h *Harness) error {
+			size := h.Size
+			srv, err := jre.OpenServerSocketChannel(h.Node2, "nio-node2:1")
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+
+			errc := make(chan error, 1)
+			go func() { // Node2
+				ch, err := srv.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer ch.Close()
+				got, err := channelReadAll(ch, size)
+				if err != nil {
+					errc <- err
+					return
+				}
+				errc <- channelWriteAll(ch, got.Append(h.Data2(size)))
+			}()
+
+			ch, err := jre.OpenSocketChannel(h.Node1, "nio-node2:1")
+			if err != nil {
+				return err
+			}
+			defer ch.Close()
+			if err := channelWriteAll(ch, h.Data1(size)); err != nil {
+				return err
+			}
+			combined, err := channelReadAll(ch, 2*size)
+			if err != nil {
+				return err
+			}
+			if err := <-errc; err != nil {
+				return err
+			}
+			h.Check(combined)
+			return nil
+		},
+	}
+}
+
+// datagramChannelCase (id 25) is the NIO UDP case.
+func datagramChannelCase() Case {
+	return Case{
+		ID:    25,
+		Group: "JRE DatagramChannel",
+		Name:  "DatagramChannel send/receive ByteBuffer",
+		Run: func(h *Harness) error {
+			size := h.Size
+			c1, err := jre.OpenDatagramChannel(h.Node1, "dchan-node1:1")
+			if err != nil {
+				return err
+			}
+			defer c1.Close()
+			c2, err := jre.OpenDatagramChannel(h.Node2, "dchan-node2:1")
+			if err != nil {
+				return err
+			}
+			defer c2.Close()
+
+			sendBurst := func(c *jre.DatagramChannel, data taint.Bytes, dst string) error {
+				count := (data.Len() + datagramChunk - 1) / datagramChunk
+				hdr := jre.WrapBuffer(taint.WrapBytes(binary.BigEndian.AppendUint32(nil, uint32(count))))
+				if _, err := c.Send(hdr, dst); err != nil {
+					return err
+				}
+				for off := 0; off < data.Len(); off += datagramChunk {
+					end := off + datagramChunk
+					if end > data.Len() {
+						end = data.Len()
+					}
+					if _, err := c.Send(jre.WrapBuffer(data.Slice(off, end)), dst); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			recvBurst := func(c *jre.DatagramChannel) (taint.Bytes, error) {
+				hdr := jre.AllocateBuffer(4)
+				if _, err := c.Receive(hdr); err != nil {
+					return taint.Bytes{}, err
+				}
+				hdr.Flip()
+				count := int(binary.BigEndian.Uint32(hdr.Get(4).Data))
+				var acc taint.Bytes
+				for i := 0; i < count; i++ {
+					buf := jre.AllocateBuffer(datagramChunk)
+					if _, err := c.Receive(buf); err != nil {
+						return taint.Bytes{}, err
+					}
+					buf.Flip()
+					acc = acc.Append(buf.Get(buf.Remaining()))
+				}
+				return acc, nil
+			}
+
+			errc := make(chan error, 1)
+			go func() { // Node2
+				got, err := recvBurst(c2)
+				if err != nil {
+					errc <- err
+					return
+				}
+				errc <- sendBurst(c2, got.Append(h.Data2(size)), "dchan-node1:1")
+			}()
+			if err := sendBurst(c1, h.Data1(size), "dchan-node2:1"); err != nil {
+				return err
+			}
+			combined, err := recvBurst(c1)
+			if err != nil {
+				return err
+			}
+			if err := <-errc; err != nil {
+				return err
+			}
+			h.Check(combined)
+			return nil
+		},
+	}
+}
+
+// asyncChannelCase (id 26) is the AIO case.
+func asyncChannelCase() Case {
+	return Case{
+		ID:    26,
+		Group: "JRE AsyncSocketChannel",
+		Name:  "AsynchronousSocketChannel read/write futures",
+		Run: func(h *Harness) error {
+			size := h.Size
+			srv, err := jre.OpenAsyncServerSocketChannel(h.Node2, "aio-node2:1")
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+
+			asyncReadAll := func(ch *jre.AsyncSocketChannel, n int) (taint.Bytes, error) {
+				dst := jre.AllocateBuffer(n)
+				for dst.Position() < n {
+					if _, err := ch.Read(dst).Get(); err != nil {
+						return taint.Bytes{}, err
+					}
+				}
+				dst.Flip()
+				return dst.Get(n), nil
+			}
+			asyncWriteAll := func(ch *jre.AsyncSocketChannel, data taint.Bytes) error {
+				buf := jre.WrapBuffer(data)
+				for buf.HasRemaining() {
+					if _, err := ch.Write(buf).Get(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+
+			errc := make(chan error, 1)
+			go func() { // Node2
+				ch, err := srv.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer ch.Close()
+				got, err := asyncReadAll(ch, size)
+				if err != nil {
+					errc <- err
+					return
+				}
+				errc <- asyncWriteAll(ch, got.Append(h.Data2(size)))
+			}()
+
+			ch, err := jre.OpenAsyncSocketChannel(h.Node1, "aio-node2:1")
+			if err != nil {
+				return err
+			}
+			defer ch.Close()
+			if err := asyncWriteAll(ch, h.Data1(size)); err != nil {
+				return err
+			}
+			combined, err := asyncReadAll(ch, 2*size)
+			if err != nil {
+				return err
+			}
+			if err := <-errc; err != nil {
+				return err
+			}
+			h.Check(combined)
+			return nil
+		},
+	}
+}
+
+// httpCase (id 27) posts an HTML page body and checks the combined
+// response.
+func httpCase() Case {
+	return Case{
+		ID:    27,
+		Group: "JRE HTTP",
+		Name:  "HTTP POST HTML page, combined response",
+		Run: func(h *Harness) error {
+			size := h.Size
+			srv, err := httpmini.Serve(h.Node2, "web-node2:80", func(r *httpmini.Request) *httpmini.Response {
+				return &httpmini.Response{Status: 200, Body: r.Body.Append(h.Data2(size))}
+			})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+
+			resp, err := httpmini.Post(h.Node1, "web-node2:80", "/page.html", h.Data1(size))
+			if err != nil {
+				return err
+			}
+			if resp.Status != 200 || resp.Body.Len() != 2*size {
+				return fmt.Errorf("http response status %d body %d", resp.Status, resp.Body.Len())
+			}
+			h.Check(resp.Body)
+			return nil
+		},
+	}
+}
+
+// minetteSocketCase (id 28) is the Netty Socket case: framed bytes
+// through minette pipelines.
+func minetteSocketCase() Case {
+	return Case{
+		ID:    28,
+		Group: "Netty Socket",
+		Name:  "minette framed byte channel (3rd-party TCP)",
+		Run: func(h *Harness) error {
+			size := h.Size
+			server := minette.NewServerBootstrap(h.Node2, func() []minette.Handler {
+				return []minette.Handler{&minette.LengthFieldCodec{}, combineHandler{h: h, size: size}}
+			}, nil)
+			if err := server.Bind("minette-node2:1"); err != nil {
+				return err
+			}
+			defer server.Close()
+
+			got := make(chan taint.Bytes, 1)
+			client := minette.NewBootstrap(h.Node1, func() []minette.Handler {
+				return []minette.Handler{&minette.LengthFieldCodec{}}
+			}, func(_ *minette.Channel, msg any) {
+				if b, ok := msg.(taint.Bytes); ok {
+					got <- b
+				}
+			})
+			ch, err := client.Connect("minette-node2:1")
+			if err != nil {
+				return err
+			}
+			defer ch.Close()
+			if err := ch.Write(h.Data1(size)); err != nil {
+				return err
+			}
+			select {
+			case combined := <-got:
+				h.Check(combined)
+				return nil
+			case <-time.After(exchangeTimeout):
+				return fmt.Errorf("minette socket case timed out")
+			}
+		},
+	}
+}
+
+// combineHandler appends Data2 to every inbound frame and echoes it.
+type combineHandler struct {
+	h    *Harness
+	size int
+}
+
+func (c combineHandler) OnRead(ctx *minette.Context, msg any) error {
+	frame, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("combine handler got %T", msg)
+	}
+	return ctx.Channel().Write(frame.Append(c.h.Data2(c.size)))
+}
+
+// minetteDatagramCase (id 29) is the Netty DatagramSocket case.
+func minetteDatagramCase() Case {
+	return Case{
+		ID:    29,
+		Group: "Netty DatagramSocket",
+		Name:  "minette datagram endpoint (3rd-party UDP)",
+		Run: func(h *Harness) error {
+			size := h.Size
+			if size > datagramChunk {
+				size = datagramChunk // single-datagram exchange
+			}
+			var node2 *minette.DatagramEndpoint
+			node2, err := minette.BindDatagram(h.Node2, "mdg-node2:1", func(from string, p taint.Bytes) {
+				_ = node2.Send(p.Append(h.Data2(size)), from)
+			})
+			if err != nil {
+				return err
+			}
+			defer node2.Close()
+
+			got := make(chan taint.Bytes, 1)
+			node1, err := minette.BindDatagram(h.Node1, "mdg-node1:1", func(_ string, p taint.Bytes) {
+				got <- p
+			})
+			if err != nil {
+				return err
+			}
+			defer node1.Close()
+
+			if err := node1.Send(h.Data1(size), "mdg-node2:1"); err != nil {
+				return err
+			}
+			select {
+			case combined := <-got:
+				h.Check(combined)
+				return nil
+			case <-time.After(exchangeTimeout):
+				return fmt.Errorf("minette datagram case timed out")
+			}
+		},
+	}
+}
+
+// minetteHTTPCase (id 30) is the Netty HTTP case.
+func minetteHTTPCase() Case {
+	return Case{
+		ID:    30,
+		Group: "Netty HTTP",
+		Name:  "minette HTTP codec pipeline (3rd-party HTTP)",
+		Run: func(h *Harness) error {
+			size := h.Size
+			server := minette.NewServerBootstrap(h.Node2, func() []minette.Handler {
+				return []minette.Handler{&minette.HTTPServerCodec{}, httpCombine{h: h, size: size}}
+			}, nil)
+			if err := server.Bind("mweb-node2:80"); err != nil {
+				return err
+			}
+			defer server.Close()
+
+			got := make(chan *httpmini.Response, 1)
+			client := minette.NewBootstrap(h.Node1, func() []minette.Handler {
+				return []minette.Handler{&minette.HTTPClientCodec{}}
+			}, func(_ *minette.Channel, msg any) {
+				if r, ok := msg.(*httpmini.Response); ok {
+					got <- r
+				}
+			})
+			ch, err := client.Connect("mweb-node2:80")
+			if err != nil {
+				return err
+			}
+			defer ch.Close()
+			req := &httpmini.Request{Method: "POST", Path: "/page.html", Body: h.Data1(size)}
+			if err := ch.Write(req); err != nil {
+				return err
+			}
+			select {
+			case resp := <-got:
+				if resp.Status != 200 {
+					return fmt.Errorf("minette http status %d", resp.Status)
+				}
+				h.Check(resp.Body)
+				return nil
+			case <-time.After(exchangeTimeout):
+				return fmt.Errorf("minette http case timed out")
+			}
+		},
+	}
+}
+
+// httpCombine answers requests with body+Data2.
+type httpCombine struct {
+	h    *Harness
+	size int
+}
+
+func (c httpCombine) OnRead(ctx *minette.Context, msg any) error {
+	req, ok := msg.(*httpmini.Request)
+	if !ok {
+		return fmt.Errorf("http combine got %T", msg)
+	}
+	return ctx.Channel().Write(&httpmini.Response{
+		Status: 200,
+		Body:   req.Body.Append(c.h.Data2(c.size)),
+	})
+}

@@ -1,0 +1,54 @@
+package microbench
+
+import "sort"
+
+// Cases returns all 30 micro-benchmark cases in Table II order.
+func Cases() []Case {
+	cases := socketCases()
+	cases = append(cases,
+		datagramCase(),
+		socketChannelCase(),
+		datagramChannelCase(),
+		asyncChannelCase(),
+		httpCase(),
+		minetteSocketCase(),
+		minetteDatagramCase(),
+		minetteHTTPCase(),
+	)
+	sort.Slice(cases, func(i, j int) bool { return cases[i].ID < cases[j].ID })
+	return cases
+}
+
+// GroupInfo is one protocol group of Table II with its case count.
+type GroupInfo struct {
+	Name  string
+	Count int
+}
+
+// Groups returns the protocol groups in Table II order with their case
+// counts.
+func Groups() []GroupInfo {
+	var order []string
+	counts := make(map[string]int)
+	for _, c := range Cases() {
+		if counts[c.Group] == 0 {
+			order = append(order, c.Group)
+		}
+		counts[c.Group]++
+	}
+	out := make([]GroupInfo, len(order))
+	for i, g := range order {
+		out[i] = GroupInfo{Name: g, Count: counts[g]}
+	}
+	return out
+}
+
+// CaseByID returns the case with the given Table II id, or false.
+func CaseByID(id int) (Case, bool) {
+	for _, c := range Cases() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Case{}, false
+}

@@ -1,0 +1,171 @@
+package minette
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dista/internal/core/taint"
+	"dista/internal/httpmini"
+)
+
+// LengthFieldCodec frames messages with a 4-byte big-endian length
+// prefix (Netty's LengthFieldBasedFrameDecoder + LengthFieldPrepender).
+// Inbound it reassembles frames from arbitrary chunks and fires one
+// taint.Bytes per frame; outbound it prepends the length.
+type LengthFieldCodec struct {
+	acc taint.Bytes
+}
+
+var (
+	_ InboundHandler  = (*LengthFieldCodec)(nil)
+	_ OutboundHandler = (*LengthFieldCodec)(nil)
+)
+
+// maxFrameLen guards against corrupt length prefixes.
+const maxFrameLen = 64 << 20
+
+// OnRead implements InboundHandler.
+func (c *LengthFieldCodec) OnRead(ctx *Context, msg any) error {
+	chunk, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("minette: length codec got %T", msg)
+	}
+	c.acc = c.acc.Append(chunk)
+	for c.acc.Len() >= 4 {
+		n := int(binary.BigEndian.Uint32(c.acc.Data))
+		if n < 0 || n > maxFrameLen {
+			return errors.New("minette: corrupt frame length")
+		}
+		if c.acc.Len() < 4+n {
+			break
+		}
+		frame := c.acc.Slice(4, 4+n).Clone()
+		c.acc = c.acc.Slice(4+n, c.acc.Len())
+		if err := ctx.FireRead(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnWrite implements OutboundHandler.
+func (c *LengthFieldCodec) OnWrite(ctx *Context, msg any) error {
+	b, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("minette: length codec cannot encode %T", msg)
+	}
+	hdr := taint.WrapBytes(binary.BigEndian.AppendUint32(nil, uint32(b.Len())))
+	return ctx.Send(hdr.Append(b))
+}
+
+// StringCodec converts between taint.String messages and framed bytes;
+// stack it above a LengthFieldCodec.
+type StringCodec struct{}
+
+var (
+	_ InboundHandler  = StringCodec{}
+	_ OutboundHandler = StringCodec{}
+)
+
+// OnRead implements InboundHandler.
+func (StringCodec) OnRead(ctx *Context, msg any) error {
+	b, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("minette: string codec got %T", msg)
+	}
+	return ctx.FireRead(taint.StringOf(b))
+}
+
+// OnWrite implements OutboundHandler.
+func (StringCodec) OnWrite(ctx *Context, msg any) error {
+	s, ok := msg.(taint.String)
+	if !ok {
+		return fmt.Errorf("minette: string codec cannot encode %T", msg)
+	}
+	return ctx.Send(s.Bytes())
+}
+
+// HTTPServerCodec decodes inbound bytes into *httpmini.Request and
+// encodes outbound *httpmini.Response (Netty's HttpServerCodec).
+type HTTPServerCodec struct {
+	acc taint.Bytes
+}
+
+var (
+	_ InboundHandler  = (*HTTPServerCodec)(nil)
+	_ OutboundHandler = (*HTTPServerCodec)(nil)
+)
+
+// OnRead implements InboundHandler.
+func (c *HTTPServerCodec) OnRead(ctx *Context, msg any) error {
+	chunk, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("minette: http codec got %T", msg)
+	}
+	c.acc = c.acc.Append(chunk)
+	for {
+		req, consumed, err := httpmini.ParseRequestBytes(c.acc)
+		if errors.Is(err, httpmini.ErrIncomplete) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.acc = c.acc.Slice(consumed, c.acc.Len())
+		if err := ctx.FireRead(req); err != nil {
+			return err
+		}
+	}
+}
+
+// OnWrite implements OutboundHandler.
+func (c *HTTPServerCodec) OnWrite(ctx *Context, msg any) error {
+	resp, ok := msg.(*httpmini.Response)
+	if !ok {
+		return fmt.Errorf("minette: http server codec cannot encode %T", msg)
+	}
+	return ctx.Send(httpmini.EncodeResponse(resp))
+}
+
+// HTTPClientCodec is the client-side mirror: encodes *httpmini.Request,
+// decodes *httpmini.Response.
+type HTTPClientCodec struct {
+	acc taint.Bytes
+}
+
+var (
+	_ InboundHandler  = (*HTTPClientCodec)(nil)
+	_ OutboundHandler = (*HTTPClientCodec)(nil)
+)
+
+// OnRead implements InboundHandler.
+func (c *HTTPClientCodec) OnRead(ctx *Context, msg any) error {
+	chunk, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("minette: http codec got %T", msg)
+	}
+	c.acc = c.acc.Append(chunk)
+	for {
+		resp, consumed, err := httpmini.ParseResponseBytes(c.acc)
+		if errors.Is(err, httpmini.ErrIncomplete) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.acc = c.acc.Slice(consumed, c.acc.Len())
+		if err := ctx.FireRead(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// OnWrite implements OutboundHandler.
+func (c *HTTPClientCodec) OnWrite(ctx *Context, msg any) error {
+	req, ok := msg.(*httpmini.Request)
+	if !ok {
+		return fmt.Errorf("minette: http client codec cannot encode %T", msg)
+	}
+	return ctx.Send(httpmini.EncodeRequest(req))
+}

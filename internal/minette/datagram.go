@@ -1,0 +1,59 @@
+package minette
+
+import (
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// DatagramEndpoint is minette's connectionless transport (Netty's
+// Bootstrap with a NioDatagramChannel): a bound datagram channel with a
+// receive loop delivering packets to a sink callback.
+type DatagramEndpoint struct {
+	env  *Env
+	dc   *jre.DatagramChannel
+	done chan struct{}
+}
+
+// BindDatagram opens a datagram endpoint at addr; sink receives each
+// packet with its source address.
+func BindDatagram(env *Env, addr string, sink func(from string, payload taint.Bytes)) (*DatagramEndpoint, error) {
+	dc, err := jre.OpenDatagramChannel(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DatagramEndpoint{env: env, dc: dc, done: make(chan struct{})}
+	go d.receiveLoop(sink)
+	return d, nil
+}
+
+func (d *DatagramEndpoint) receiveLoop(sink func(string, taint.Bytes)) {
+	defer close(d.done)
+	for {
+		buf := jre.AllocateBuffer(64 << 10)
+		from, err := d.dc.Receive(buf)
+		if err != nil {
+			return
+		}
+		buf.Flip()
+		payload := buf.Get(buf.Remaining())
+		if sink != nil {
+			sink(from, payload)
+		}
+	}
+}
+
+// Send transmits one datagram.
+func (d *DatagramEndpoint) Send(payload taint.Bytes, dst string) error {
+	_, err := d.dc.Send(jre.WrapBuffer(payload), dst)
+	return err
+}
+
+// Addr returns the bound address.
+func (d *DatagramEndpoint) Addr() string { return d.dc.Addr() }
+
+// Close stops the endpoint and waits for the receive loop.
+func (d *DatagramEndpoint) Close() error {
+	err := d.dc.Close()
+	<-d.done
+	return err
+}

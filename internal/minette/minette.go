@@ -1,0 +1,254 @@
+// Package minette is the third-party network-application framework of
+// the micro benchmark (the paper evaluates three Netty-based cases:
+// Netty Socket, Netty DatagramSocket, Netty HTTP). Like Netty it offers
+// an event-loop channel with a handler pipeline and pluggable codecs —
+// and, crucially for the paper's argument, it sits *on top of* the same
+// JRE channel classes, so DisTA's JNI-level instrumentation covers it
+// without framework-specific work.
+package minette
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// ErrChannelClosed reports a write on a closed channel.
+var ErrChannelClosed = errors.New("minette: channel closed")
+
+// InboundHandler processes messages flowing from the wire toward the
+// application. Implementations call ctx.FireRead to pass (possibly
+// transformed, possibly several) messages to the next handler.
+type InboundHandler interface {
+	OnRead(ctx *Context, msg any) error
+}
+
+// OutboundHandler processes messages flowing from the application
+// toward the wire. Implementations call ctx.Send to pass the
+// transformed message onward; the message reaching the wire must be a
+// taint.Bytes.
+type OutboundHandler interface {
+	OnWrite(ctx *Context, msg any) error
+}
+
+// Handler is any pipeline element: it may implement InboundHandler,
+// OutboundHandler, or both.
+type Handler any
+
+// Context locates a handler within a channel's pipeline and moves
+// messages to its neighbours, like Netty's ChannelHandlerContext.
+type Context struct {
+	ch  *Channel
+	idx int // position in the pipeline of the handler this ctx belongs to
+}
+
+// Channel returns the owning channel.
+func (c *Context) Channel() *Channel { return c.ch }
+
+// FireRead passes msg to the next inbound handler toward the
+// application. A message that falls off the end of the pipeline is
+// delivered to the channel's terminal sink, if any.
+func (c *Context) FireRead(msg any) error {
+	for i := c.idx + 1; i < len(c.ch.pipeline); i++ {
+		if h, ok := c.ch.pipeline[i].(InboundHandler); ok {
+			return h.OnRead(&Context{ch: c.ch, idx: i}, msg)
+		}
+	}
+	if c.ch.sink != nil {
+		c.ch.sink(c.ch, msg)
+	}
+	return nil
+}
+
+// Send passes msg to the next outbound handler toward the wire. When no
+// outbound handler remains, msg must be taint.Bytes and is written to
+// the transport.
+func (c *Context) Send(msg any) error {
+	for i := c.idx - 1; i >= 0; i-- {
+		if h, ok := c.ch.pipeline[i].(OutboundHandler); ok {
+			return h.OnWrite(&Context{ch: c.ch, idx: i}, msg)
+		}
+	}
+	b, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("minette: message reaching the wire is %T, want taint.Bytes", msg)
+	}
+	return c.ch.writeWire(b)
+}
+
+// Channel is one connection with its pipeline and read event loop.
+type Channel struct {
+	env      *Env
+	sc       *jre.SocketChannel
+	pipeline []Handler
+	sink     func(*Channel, any)
+
+	wmu    sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Env aliases the jre process environment for readability at minette
+// call sites.
+type Env = jre.Env
+
+// newChannel builds a channel and starts its event loop.
+func newChannel(env *Env, sc *jre.SocketChannel, pipeline []Handler, sink func(*Channel, any)) *Channel {
+	ch := &Channel{env: env, sc: sc, pipeline: pipeline, sink: sink, done: make(chan struct{})}
+	go ch.readLoop()
+	return ch
+}
+
+// Write sends msg down the pipeline (Netty's channel.writeAndFlush).
+func (ch *Channel) Write(msg any) error {
+	ch.wmu.Lock()
+	if ch.closed {
+		ch.wmu.Unlock()
+		return ErrChannelClosed
+	}
+	ch.wmu.Unlock()
+	return (&Context{ch: ch, idx: len(ch.pipeline)}).Send(msg)
+}
+
+// writeWire is the terminal write onto the jre channel.
+func (ch *Channel) writeWire(b taint.Bytes) error {
+	ch.wmu.Lock()
+	defer ch.wmu.Unlock()
+	if ch.closed {
+		return ErrChannelClosed
+	}
+	buf := jre.WrapBuffer(b)
+	for buf.HasRemaining() {
+		if _, err := ch.sc.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readLoop pumps wire bytes into the pipeline as taint.Bytes events.
+func (ch *Channel) readLoop() {
+	defer close(ch.done)
+	for {
+		buf := jre.AllocateBuffer(4096)
+		n, err := ch.sc.Read(buf)
+		if n > 0 {
+			buf.Flip()
+			chunk := buf.Get(n)
+			if ferr := (&Context{ch: ch, idx: -1}).FireRead(chunk); ferr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				// Connection torn down; nothing to report to.
+				_ = err
+			}
+			return
+		}
+	}
+}
+
+// Close tears the channel down and waits for the event loop to exit.
+func (ch *Channel) Close() error {
+	ch.wmu.Lock()
+	if ch.closed {
+		ch.wmu.Unlock()
+		<-ch.done
+		return nil
+	}
+	ch.closed = true
+	ch.wmu.Unlock()
+	err := ch.sc.Close()
+	<-ch.done
+	return err
+}
+
+// Env returns the channel's process environment.
+func (ch *Channel) Env() *Env { return ch.env }
+
+// Bootstrap connects client channels (Netty's Bootstrap).
+type Bootstrap struct {
+	env      *Env
+	pipeline func() []Handler
+	sink     func(*Channel, any)
+}
+
+// NewBootstrap builds a client bootstrap; pipeline constructs a fresh
+// handler chain per connection, sink (optional) receives messages that
+// traverse the whole inbound pipeline.
+func NewBootstrap(env *Env, pipeline func() []Handler, sink func(*Channel, any)) *Bootstrap {
+	return &Bootstrap{env: env, pipeline: pipeline, sink: sink}
+}
+
+// Connect opens a channel to addr.
+func (b *Bootstrap) Connect(addr string) (*Channel, error) {
+	sc, err := jre.OpenSocketChannel(b.env, addr)
+	if err != nil {
+		return nil, err
+	}
+	return newChannel(b.env, sc, b.pipeline(), b.sink), nil
+}
+
+// ServerBootstrap accepts server channels (Netty's ServerBootstrap).
+type ServerBootstrap struct {
+	env      *Env
+	pipeline func() []Handler
+	sink     func(*Channel, any)
+
+	ssc  *jre.ServerSocketChannel
+	mu   sync.Mutex
+	kids []*Channel
+	done chan struct{}
+}
+
+// NewServerBootstrap builds a server bootstrap.
+func NewServerBootstrap(env *Env, pipeline func() []Handler, sink func(*Channel, any)) *ServerBootstrap {
+	return &ServerBootstrap{env: env, pipeline: pipeline, sink: sink, done: make(chan struct{})}
+}
+
+// Bind starts accepting at addr.
+func (s *ServerBootstrap) Bind(addr string) error {
+	ssc, err := jre.OpenServerSocketChannel(s.env, addr)
+	if err != nil {
+		return err
+	}
+	s.ssc = ssc
+	go s.acceptLoop()
+	return nil
+}
+
+func (s *ServerBootstrap) acceptLoop() {
+	defer close(s.done)
+	for {
+		sc, err := s.ssc.Accept()
+		if err != nil {
+			return
+		}
+		ch := newChannel(s.env, sc, s.pipeline(), s.sink)
+		s.mu.Lock()
+		s.kids = append(s.kids, ch)
+		s.mu.Unlock()
+	}
+}
+
+// Close stops accepting and closes all child channels.
+func (s *ServerBootstrap) Close() error {
+	if s.ssc == nil {
+		return nil
+	}
+	err := s.ssc.Close()
+	<-s.done
+	s.mu.Lock()
+	kids := s.kids
+	s.kids = nil
+	s.mu.Unlock()
+	for _, ch := range kids {
+		ch.Close()
+	}
+	return err
+}

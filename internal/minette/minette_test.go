@@ -1,0 +1,254 @@
+package minette
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/httpmini"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+func envs(t *testing.T, mode tracker.Mode, n int) []*jre.Env {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	out := make([]*jre.Env, n)
+	for i := range out {
+		name := "node" + string(rune('1'+i))
+		a := tracker.New(name, mode)
+		a = tracker.New(name, mode, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+		out[i] = jre.NewEnv(net, a)
+	}
+	return out
+}
+
+// collector gathers sink messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []any
+	ch   chan any
+}
+
+func newCollector() *collector { return &collector{ch: make(chan any, 64)} }
+
+func (c *collector) sink(_ *Channel, msg any) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, msg)
+	c.mu.Unlock()
+	c.ch <- msg
+}
+
+func (c *collector) wait(t *testing.T) any {
+	t.Helper()
+	select {
+	case m := <-c.ch:
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return nil
+	}
+}
+
+// echoHandler echoes every frame back through the channel.
+type echoHandler struct{}
+
+func (echoHandler) OnRead(ctx *Context, msg any) error {
+	return ctx.Channel().Write(msg)
+}
+
+func TestFramedEchoWithTaint(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+
+	server := NewServerBootstrap(e[1], func() []Handler {
+		return []Handler{&LengthFieldCodec{}, echoHandler{}}
+	}, nil)
+	if err := server.Bind("srv:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	got := newCollector()
+	client := NewBootstrap(e[0], func() []Handler {
+		return []Handler{&LengthFieldCodec{}}
+	}, got.sink)
+	ch, err := client.Connect("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	payload := taint.FromString(strings.Repeat("netty!", 1000), e[0].Agent.Source("s", "frame"))
+	if err := ch.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	msg := got.wait(t)
+	b, ok := msg.(taint.Bytes)
+	if !ok {
+		t.Fatalf("sink got %T", msg)
+	}
+	if string(b.Data) != string(payload.Data) {
+		t.Fatal("frame corrupted")
+	}
+	if !b.Union().Has("frame") {
+		t.Fatal("taint lost through minette round trip")
+	}
+}
+
+func TestMultipleFramesOneWrite(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	got := newCollector()
+	server := NewServerBootstrap(e[1], func() []Handler {
+		return []Handler{&LengthFieldCodec{}}
+	}, got.sink)
+	if err := server.Bind("srv:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client := NewBootstrap(e[0], func() []Handler {
+		return []Handler{&LengthFieldCodec{}}
+	}, nil)
+	ch, err := client.Connect("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := ch.Write(taint.WrapBytes([]byte{byte('a' + i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		b := got.wait(t).(taint.Bytes)
+		if string(b.Data) != string(rune('a'+i)) {
+			t.Fatalf("frame %d = %q", i, b.Data)
+		}
+	}
+}
+
+func TestStringCodecStack(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	got := newCollector()
+	server := NewServerBootstrap(e[1], func() []Handler {
+		return []Handler{&LengthFieldCodec{}, StringCodec{}}
+	}, got.sink)
+	if err := server.Bind("srv:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	client := NewBootstrap(e[0], func() []Handler {
+		return []Handler{&LengthFieldCodec{}, StringCodec{}}
+	}, nil)
+	ch, err := client.Connect("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	msg := taint.String{Value: "tainted text", Label: e[0].Agent.Source("s", "str")}
+	if err := ch.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got.wait(t).(taint.String)
+	if !ok || s.Value != "tainted text" || !s.Label.Has("str") {
+		t.Fatalf("got %#v", s)
+	}
+}
+
+func TestHTTPCodecs(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	server := NewServerBootstrap(e[1], func() []Handler {
+		return []Handler{&HTTPServerCodec{}, httpEcho{}}
+	}, nil)
+	if err := server.Bind("web:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	got := newCollector()
+	client := NewBootstrap(e[0], func() []Handler {
+		return []Handler{&HTTPClientCodec{}}
+	}, got.sink)
+	ch, err := client.Connect("web:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	body := taint.FromString("<html>page</html>", e[0].Agent.Source("s", "http"))
+	req := &httpmini.Request{Method: "POST", Path: "/page", Body: body}
+	if err := ch.Write(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := got.wait(t).(*httpmini.Response)
+	if !ok || resp.Status != 200 {
+		t.Fatalf("got %#v", resp)
+	}
+	if string(resp.Body.Data) != "<html>page</html>" || !resp.Body.Union().Has("http") {
+		t.Fatal("http body or taint lost")
+	}
+}
+
+// httpEcho answers every request with its own body.
+type httpEcho struct{}
+
+func (httpEcho) OnRead(ctx *Context, msg any) error {
+	req := msg.(*httpmini.Request)
+	return ctx.Channel().Write(&httpmini.Response{Status: 200, Body: req.Body})
+}
+
+func TestDatagramEndpointTaint(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	got := make(chan taint.Bytes, 1)
+	recv, err := BindDatagram(e[1], "b:1", func(from string, p taint.Bytes) {
+		got <- p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := BindDatagram(e[0], "a:1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	payload := taint.FromString("dgram", e[0].Agent.Source("s", "nd"))
+	if err := send.Send(payload, "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p.Data) != "dgram" || !p.Union().Has("nd") {
+			t.Fatalf("payload %q label %v", p.Data, p.Union())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("datagram never arrived")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	server := NewServerBootstrap(e[1], func() []Handler { return []Handler{&LengthFieldCodec{}} }, nil)
+	if err := server.Bind("srv:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	client := NewBootstrap(e[0], func() []Handler { return []Handler{&LengthFieldCodec{}} }, nil)
+	ch, err := client.Connect("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Close()
+	if err := ch.Write(taint.WrapBytes([]byte("x"))); err != ErrChannelClosed {
+		t.Fatalf("err = %v, want ErrChannelClosed", err)
+	}
+}

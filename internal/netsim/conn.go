@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"io"
+	"sync"
+)
+
+// connBufferCap bounds each direction's in-flight buffer, providing the
+// backpressure a real TCP window would. Writers block when the peer is
+// not reading.
+const connBufferCap = 1 << 18 // 256 KiB
+
+// halfPipe is one direction of a stream connection.
+type halfPipe struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	buf         []byte
+	writeClosed bool // no more data will arrive
+	readClosed  bool // reader is gone; writes fail
+}
+
+func newHalfPipe() *halfPipe {
+	h := &halfPipe{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *halfPipe) write(b []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for len(b) > 0 {
+		for len(h.buf) >= connBufferCap && !h.readClosed && !h.writeClosed {
+			h.cond.Wait()
+		}
+		if h.readClosed || h.writeClosed {
+			return total, ErrClosed
+		}
+		space := connBufferCap - len(h.buf)
+		if space > len(b) {
+			space = len(b)
+		}
+		h.buf = append(h.buf, b[:space]...)
+		b = b[space:]
+		total += space
+		h.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (h *halfPipe) read(b []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.buf) == 0 && !h.writeClosed && !h.readClosed {
+		h.cond.Wait()
+	}
+	if h.readClosed {
+		return 0, ErrClosed
+	}
+	if len(h.buf) == 0 { // writeClosed and drained
+		return 0, io.EOF
+	}
+	n := copy(b, h.buf)
+	h.buf = h.buf[n:]
+	if len(h.buf) == 0 {
+		h.buf = nil
+	}
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *halfPipe) closeWrite() {
+	h.mu.Lock()
+	h.writeClosed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *halfPipe) closeRead() {
+	h.mu.Lock()
+	h.readClosed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Conn is a reliable, ordered duplex byte stream between two hosts —
+// the TCP analogue. It is safe for one concurrent reader and one
+// concurrent writer per direction.
+type Conn struct {
+	net        *Network
+	localAddr  string
+	remoteAddr string
+	in         *halfPipe // peer -> us
+	out        *halfPipe // us -> peer
+	closeOnce  sync.Once
+}
+
+// newConnPair builds both ends of a connection.
+func newConnPair(n *Network, addrA, addrB string) (*Conn, *Conn) {
+	ab := newHalfPipe()
+	ba := newHalfPipe()
+	a := &Conn{net: n, localAddr: addrA, remoteAddr: addrB, in: ba, out: ab}
+	b := &Conn{net: n, localAddr: addrB, remoteAddr: addrA, in: ab, out: ba}
+	return a, b
+}
+
+// Read reads available bytes into b, blocking until data arrives, the
+// peer half-closes (io.EOF once drained), or the Conn closes.
+func (c *Conn) Read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	return c.in.read(b)
+}
+
+// Write writes all of b, blocking on backpressure. Partial writes only
+// happen on error.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.net.delay()
+	n, err := c.out.write(b)
+	c.net.streamBytes.Add(int64(n))
+	return n, err
+}
+
+// Close shuts down both directions. The peer sees io.EOF after draining
+// buffered data; its writes fail.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.out.closeWrite()
+		c.in.closeRead()
+	})
+	return nil
+}
+
+// CloseWrite half-closes the outgoing direction only (like shutdown(SHUT_WR)).
+func (c *Conn) CloseWrite() {
+	c.out.closeWrite()
+}
+
+// LocalAddr returns the connection's local address string.
+func (c *Conn) LocalAddr() string { return c.localAddr }
+
+// RemoteAddr returns the peer's address string.
+func (c *Conn) RemoteAddr() string { return c.remoteAddr }
+
+var (
+	_ io.ReadWriteCloser = (*Conn)(nil)
+)

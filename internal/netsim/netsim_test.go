@@ -1,0 +1,352 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDialListenRoundTrip(t *testing.T) {
+	n := New()
+	l, err := n.Listen("server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(bytes.ToUpper(buf)); err != nil {
+			t.Error(err)
+		}
+		c.Close()
+	}()
+
+	c, err := n.Dial("server:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "HELLO" {
+		t.Fatalf("got %q", buf)
+	}
+	<-done
+}
+
+func TestDialUnknownAddr(t *testing.T) {
+	n := New()
+	if _, err := n.Dial("nowhere:1"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("err = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestListenAddrInUse(t *testing.T) {
+	n := New()
+	if _, err := n.Listen("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a:1"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("err = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestListenerCloseReleasesAddr(t *testing.T) {
+	n := New()
+	l, err := n.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a:1"); err != nil {
+		t.Fatalf("address not released: %v", err)
+	}
+}
+
+func TestCloseWakesAccept(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("a:1")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	l.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Accept err = %v", err)
+	}
+}
+
+func TestEOFAfterPeerClose(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	if _, err := a.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	buf := make([]byte, 4)
+	nr, err := b.Read(buf)
+	if err != nil || nr != 2 {
+		t.Fatalf("read = %d, %v", nr, err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if _, err := b.Write([]byte("z")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write to closed peer = %v", err)
+	}
+}
+
+func TestHalfClose(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	a.CloseWrite()
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("want EOF after half close, got %v", err)
+	}
+	// The other direction still works.
+	go func() { b.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(a, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("reverse direction broken: %q %v", buf, err)
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	payload := make([]byte, 3*connBufferCap)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := a.Write(payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stream corrupted under backpressure")
+	}
+}
+
+func TestStreamByteCounter(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	go io.Copy(io.Discard, b)
+	if _, err := a.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().StreamBytes; got != 1000 {
+		t.Fatalf("StreamBytes = %d", got)
+	}
+	n.ResetStats()
+	if got := n.Stats().StreamBytes; got != 0 {
+		t.Fatalf("after reset StreamBytes = %d", got)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	n := New()
+	a, err := n.ListenPacket("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.ListenPacket("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendTo([]byte("ping"), "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	nr, from, err := b.ReceiveFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nr]) != "ping" || from != "a:1" {
+		t.Fatalf("got %q from %q", buf[:nr], from)
+	}
+}
+
+func TestUDPBoundariesAndTruncation(t *testing.T) {
+	n := New()
+	a, _ := n.ListenPacket("a:1")
+	b, _ := n.ListenPacket("b:1")
+	a.SendTo([]byte("0123456789"), "b:1")
+	a.SendTo([]byte("xy"), "b:1")
+	small := make([]byte, 4)
+	nr, _, err := b.ReceiveFrom(small)
+	if err != nil || nr != 4 || string(small) != "0123" {
+		t.Fatalf("truncated read = %q (%d) %v", small[:nr], nr, err)
+	}
+	nr, _, err = b.ReceiveFrom(small)
+	if err != nil || string(small[:nr]) != "xy" {
+		t.Fatalf("second datagram = %q %v", small[:nr], err)
+	}
+}
+
+func TestUDPUnknownDestinationDropsSilently(t *testing.T) {
+	n := New()
+	a, _ := n.ListenPacket("a:1")
+	if err := a.SendTo([]byte("gone"), "nobody:9"); err != nil {
+		t.Fatalf("UDP to unknown host must not error: %v", err)
+	}
+	if got := n.Stats().DatagramsLost; got != 1 {
+		t.Fatalf("DatagramsLost = %d", got)
+	}
+}
+
+func TestUDPLossInjection(t *testing.T) {
+	n := New()
+	n.SetDatagramLoss(1.0)
+	a, _ := n.ListenPacket("a:1")
+	if _, err := n.ListenPacket("b:1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.SendTo([]byte("x"), "b:1")
+	}
+	s := n.Stats()
+	if s.DatagramsLost != 10 || s.Datagrams != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUDPCloseWakesReceive(t *testing.T) {
+	n := New()
+	s, _ := n.ListenPacket("a:1")
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.ReceiveFrom(make([]byte, 1))
+		errc <- err
+	}()
+	s.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReceiveFrom err = %v", err)
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("a:1")
+	u, _ := n.ListenPacket("u:1")
+	n.Shutdown()
+	if _, err := n.Dial("a:1"); err == nil {
+		t.Fatal("dial after shutdown must fail")
+	}
+	if _, err := n.Listen("b:1"); !errors.Is(err, ErrNetDown) {
+		t.Fatalf("listen after shutdown = %v", err)
+	}
+	if _, err := l.Accept(); !errors.Is(err, ErrClosed) {
+		t.Fatal("accept after shutdown must fail")
+	}
+	if err := u.SendTo([]byte("x"), "u:1"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("udp send after shutdown = %v", err)
+	}
+}
+
+func TestQuickStreamPreservesBytes(t *testing.T) {
+	n := New()
+	f := func(chunks [][]byte) bool {
+		a, b := n.Pipe()
+		var want []byte
+		go func() {
+			for _, c := range chunks {
+				a.Write(c)
+			}
+			a.Close()
+		}()
+		for _, c := range chunks {
+			want = append(want, c...)
+		}
+		got, err := io.ReadAll(readerOf(b))
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readerOf adapts a Conn to io.Reader translating ErrClosed to EOF for
+// ReadAll convenience in the property test.
+func readerOf(c *Conn) io.Reader { return c }
+
+func TestUDPPeekLeavesQueueIntact(t *testing.T) {
+	n := New()
+	a, _ := n.ListenPacket("a:1")
+	b, _ := n.ListenPacket("b:1")
+	a.SendTo([]byte("first"), "b:1")
+	a.SendTo([]byte("second"), "b:1")
+	buf := make([]byte, 8)
+	nr, from, err := b.PeekFrom(buf)
+	if err != nil || string(buf[:nr]) != "first" || from != "a:1" {
+		t.Fatalf("peek = %q %q %v", buf[:nr], from, err)
+	}
+	// Peeking twice sees the same datagram.
+	nr, _, err = b.PeekFrom(buf)
+	if err != nil || string(buf[:nr]) != "first" {
+		t.Fatalf("second peek = %q %v", buf[:nr], err)
+	}
+	nr, _, _ = b.ReceiveFrom(buf)
+	if string(buf[:nr]) != "first" {
+		t.Fatal("receive after peek must consume the peeked datagram")
+	}
+	nr, _, _ = b.ReceiveFrom(buf)
+	if string(buf[:nr]) != "second" {
+		t.Fatal("queue order broken by peek")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	go io.Copy(io.Discard, b)
+	// Baseline: 20 writes with no delay.
+	start := timeNow()
+	for i := 0; i < 20; i++ {
+		a.Write([]byte("x"))
+	}
+	base := timeSince(start)
+
+	n.SetLatency(2 * time.Millisecond)
+	start = timeNow()
+	for i := 0; i < 20; i++ {
+		a.Write([]byte("x"))
+	}
+	delayed := timeSince(start)
+	if delayed < 20*2*time.Millisecond {
+		t.Fatalf("20 writes at 2ms latency took %v (baseline %v)", delayed, base)
+	}
+	n.SetLatency(0)
+}
+
+func timeNow() time.Time                  { return time.Now() }
+func timeSince(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// udpQueueCap bounds the per-socket receive queue; datagrams past it are
+// dropped, as a real kernel buffer would.
+const udpQueueCap = 1024
+
+// datagram is one queued packet with its source address.
+type datagram struct {
+	payload []byte
+	from    string
+}
+
+// UDPSocket is an unreliable, message-oriented endpoint — the UDP
+// analogue. Datagram boundaries are preserved; reads into a short buffer
+// truncate (like recvfrom).
+type UDPSocket struct {
+	net    *Network
+	addr   string
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []datagram
+	closed bool
+}
+
+// ListenPacket binds a datagram socket to addr.
+func (n *Network) ListenPacket(addr string) (*UDPSocket, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil, ErrNetDown
+	}
+	if _, ok := n.udp[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	s := &UDPSocket{net: n, addr: addr}
+	s.cond = sync.NewCond(&s.mu)
+	n.udp[addr] = s
+	return s, nil
+}
+
+// Addr returns the socket's bound address.
+func (s *UDPSocket) Addr() string { return s.addr }
+
+// SendTo sends one datagram to the socket bound at dst. Delivery is
+// best-effort: unknown destinations, full queues and injected loss all
+// drop silently, as UDP does.
+func (s *UDPSocket) SendTo(payload []byte, dst string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+
+	n := s.net
+	n.delay()
+	n.datagrams.Add(1)
+	n.datagramBytes.Add(int64(len(payload)))
+
+	n.mu.Lock()
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		n.mu.Unlock()
+		n.datagramsLost.Add(1)
+		return nil
+	}
+	peer, ok := n.udp[dst]
+	n.mu.Unlock()
+	if !ok {
+		n.datagramsLost.Add(1)
+		return nil
+	}
+
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if peer.closed || len(peer.queue) >= udpQueueCap {
+		n.datagramsLost.Add(1)
+		return nil
+	}
+	peer.queue = append(peer.queue, datagram{payload: buf, from: s.addr})
+	peer.cond.Signal()
+	return nil
+}
+
+// ReceiveFrom blocks for the next datagram, copies up to len(b) bytes of
+// it into b (truncating the rest), and returns the byte count and the
+// sender address.
+func (s *UDPSocket) ReceiveFrom(b []byte) (int, string, error) {
+	return s.receive(b, true)
+}
+
+// PeekFrom behaves like ReceiveFrom but leaves the datagram queued —
+// the semantics behind the peekData native of Table I.
+func (s *UDPSocket) PeekFrom(b []byte) (int, string, error) {
+	return s.receive(b, false)
+}
+
+func (s *UDPSocket) receive(b []byte, consume bool) (int, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return 0, "", ErrClosed
+	}
+	d := s.queue[0]
+	if consume {
+		s.queue = s.queue[1:]
+	}
+	n := copy(b, d.payload)
+	return n, d.from, nil
+}
+
+// Close unbinds the socket and wakes pending receivers.
+func (s *UDPSocket) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	s.net.mu.Lock()
+	if s.net.udp[s.addr] == s {
+		delete(s.net.udp, s.addr)
+	}
+	s.net.mu.Unlock()
+	return nil
+}

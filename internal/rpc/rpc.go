@@ -1,0 +1,236 @@
+// Package rpc is the framed request/response layer the MapReduce/Yarn
+// and HBase miniatures run on (the paper's "Yarn RPC" and "protobuf
+// RPC" transports): object-serialized messages in length-prefixed
+// frames over NIO SocketChannels, so every call exercises the Type 3
+// instrumented path end to end.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// maxBody bounds message sizes against corrupt frames.
+const maxBody = 64 << 20
+
+// Server dispatches calls by method name.
+type Server struct {
+	env      *jre.Env
+	ssc      *jre.ServerSocketChannel
+	mu       sync.Mutex
+	handlers map[string]Handler
+	done     chan struct{}
+}
+
+// Handler answers one call: it decodes the request body and returns the
+// response body.
+type Handler func(body taint.Bytes) (taint.Bytes, error)
+
+// Serve starts an RPC server at addr.
+func Serve(env *jre.Env, addr string) (*Server, error) {
+	ssc, err := jre.OpenServerSocketChannel(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		env:      env,
+		ssc:      ssc,
+		handlers: make(map[string]Handler),
+		done:     make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Handle registers the handler for a method name.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// HandleObject registers a typed handler: req is decoded into a fresh
+// request object, and the returned object is encoded as the response.
+func HandleObject[Req, Resp jre.Serializable](s *Server, method string, newReq func() Req, fn func(Req) (Resp, error)) {
+	s.Handle(method, func(body taint.Bytes) (taint.Bytes, error) {
+		req := newReq()
+		if err := jre.UnmarshalObject(body, req); err != nil {
+			return taint.Bytes{}, err
+		}
+		resp, err := fn(req)
+		if err != nil {
+			return taint.Bytes{}, err
+		}
+		return jre.MarshalObject(resp)
+	})
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		ch, err := s.ssc.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(ch)
+	}
+}
+
+func (s *Server) serveConn(ch *jre.SocketChannel) {
+	defer ch.Close()
+	for {
+		method, body, err := readFrame(ch)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h := s.handlers[method]
+		s.mu.Unlock()
+		if h == nil {
+			if err := writeFrame(ch, "!error", taint.WrapBytes([]byte("rpc: no handler for "+method))); err != nil {
+				return
+			}
+			continue
+		}
+		resp, err := h(body)
+		if err != nil {
+			if err := writeFrame(ch, "!error", taint.WrapBytes([]byte(err.Error()))); err != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(ch, method, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.ssc.Close()
+	<-s.done
+	return err
+}
+
+// Client is a connection to an RPC server; calls are serialized.
+type Client struct {
+	mu sync.Mutex
+	ch *jre.SocketChannel
+}
+
+// Dial connects to an RPC server.
+func Dial(env *jre.Env, addr string) (*Client, error) {
+	ch, err := jre.OpenSocketChannel(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ch: ch}, nil
+}
+
+// Call issues one request and waits for its response body.
+func (c *Client) Call(method string, body taint.Bytes) (taint.Bytes, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.ch, method, body); err != nil {
+		return taint.Bytes{}, err
+	}
+	gotMethod, resp, err := readFrame(c.ch)
+	if err != nil {
+		return taint.Bytes{}, err
+	}
+	if gotMethod == "!error" {
+		return taint.Bytes{}, fmt.Errorf("rpc: remote error: %s", resp.Data)
+	}
+	if gotMethod != method {
+		return taint.Bytes{}, fmt.Errorf("rpc: response for %q to a %q call", gotMethod, method)
+	}
+	return resp, nil
+}
+
+// CallObject issues a typed call.
+func (c *Client) CallObject(method string, req, resp jre.Serializable) error {
+	body, err := jre.MarshalObject(req)
+	if err != nil {
+		return err
+	}
+	out, err := c.Call(method, body)
+	if err != nil {
+		return err
+	}
+	return jre.UnmarshalObject(out, resp)
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.ch.Close() }
+
+// CallOnce dials, performs one typed call, and closes.
+func CallOnce(env *jre.Env, addr, method string, req, resp jre.Serializable) error {
+	c, err := Dial(env, addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.CallObject(method, req, resp)
+}
+
+// Frame format: uint16 method length | method | uint32 body length |
+// body. Headers are untainted metadata; body labels ride the channel.
+
+func writeFrame(ch *jre.SocketChannel, method string, body taint.Bytes) error {
+	hdr := make([]byte, 0, 2+len(method)+4)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(method)))
+	hdr = append(hdr, method...)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(body.Len()))
+	frame := taint.WrapBytes(hdr).Append(body)
+	buf := jre.WrapBuffer(frame)
+	for buf.HasRemaining() {
+		if _, err := ch.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFrame(ch *jre.SocketChannel) (string, taint.Bytes, error) {
+	hdr, err := readExact(ch, 2)
+	if err != nil {
+		return "", taint.Bytes{}, err
+	}
+	methodLen := int(binary.BigEndian.Uint16(hdr.Data))
+	method, err := readExact(ch, methodLen)
+	if err != nil {
+		return "", taint.Bytes{}, err
+	}
+	lenBuf, err := readExact(ch, 4)
+	if err != nil {
+		return "", taint.Bytes{}, err
+	}
+	bodyLen := int(binary.BigEndian.Uint32(lenBuf.Data))
+	if bodyLen > maxBody {
+		return "", taint.Bytes{}, fmt.Errorf("rpc: body of %d bytes exceeds limit", bodyLen)
+	}
+	body, err := readExact(ch, bodyLen)
+	if err != nil {
+		return "", taint.Bytes{}, err
+	}
+	return string(method.Data), body, nil
+}
+
+func readExact(ch *jre.SocketChannel, n int) (taint.Bytes, error) {
+	dst := jre.AllocateBuffer(n)
+	for dst.Position() < n {
+		if _, err := ch.Read(dst); err != nil {
+			if err == io.EOF && dst.Position() > 0 {
+				return taint.Bytes{}, io.ErrUnexpectedEOF
+			}
+			return taint.Bytes{}, err
+		}
+	}
+	dst.Flip()
+	return dst.Get(n), nil
+}

@@ -1,0 +1,180 @@
+package rpc
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+func envs(t *testing.T, mode tracker.Mode, n int) []*jre.Env {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	out := make([]*jre.Env, n)
+	for i := range out {
+		name := "node" + string(rune('1'+i))
+		a := tracker.New(name, mode)
+		a = tracker.New(name, mode, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+		out[i] = jre.NewEnv(net, a)
+	}
+	return out
+}
+
+// ping is a Serializable carrying a tainted text.
+type ping struct {
+	Text taint.String
+}
+
+func (p *ping) WriteTo(w *jre.DataOutputStream) error { return w.WriteString32(p.Text) }
+func (p *ping) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	p.Text, err = r.ReadString32()
+	return err
+}
+
+func TestMarshalObjectRoundTrip(t *testing.T) {
+	tr := taint.NewTree()
+	src := &ping{Text: taint.String{Value: "x", Label: tr.NewSource("m", "l")}}
+	b, err := jre.MarshalObject(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst ping
+	if err := jre.UnmarshalObject(b, &dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Text.Value != "x" || !dst.Text.Label.Has("m") {
+		t.Fatalf("got %+v", dst)
+	}
+}
+
+func TestCallObjectTaintRoundTrip(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	srv, err := Serve(e[1], "rpc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	HandleObject(srv, "echo", func() *ping { return &ping{} }, func(req *ping) (*ping, error) {
+		// Echo with a server-side suffix carrying the request's taint.
+		return &ping{Text: taint.String{
+			Value: req.Text.Value + "-pong",
+			Label: req.Text.Label,
+		}}, nil
+	})
+
+	req := &ping{Text: taint.String{Value: "ping", Label: e[0].Agent.Source("s", "rpc")}}
+	var resp ping
+	if err := CallOnce(e[0], "rpc:1", "echo", req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text.Value != "ping-pong" || !resp.Text.Label.Has("rpc") {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestClientReuseAcrossCalls(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	srv, err := Serve(e[1], "rpc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	HandleObject(srv, "upper", func() *ping { return &ping{} }, func(req *ping) (*ping, error) {
+		return &ping{Text: taint.String{Value: strings.ToUpper(req.Text.Value), Label: req.Text.Label}}, nil
+	})
+	c, err := Dial(e[0], "rpc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		var resp ping
+		if err := c.CallObject("upper", &ping{Text: taint.String{Value: "abc"}}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Text.Value != "ABC" {
+			t.Fatalf("call %d: %q", i, resp.Text.Value)
+		}
+	}
+}
+
+func TestUnknownMethodError(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	srv, err := Serve(e[1], "rpc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var resp ping
+	err = CallOnce(e[0], "rpc:1", "nope", &ping{}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	srv, err := Serve(e[1], "rpc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	HandleObject(srv, "fail", func() *ping { return &ping{} }, func(*ping) (*ping, error) {
+		return nil, errFail
+	})
+	var resp ping
+	err = CallOnce(e[0], "rpc:1", "fail", &ping{}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection stays usable after a handler error for persistent
+	// clients.
+	HandleObject(srv, "ok", func() *ping { return &ping{} }, func(p *ping) (*ping, error) { return p, nil })
+	if err := CallOnce(e[0], "rpc:1", "ok", &ping{Text: taint.String{Value: "v"}}, &resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "boom" }
+
+func TestConcurrentClients(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	srv, err := Serve(e[1], "rpc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	HandleObject(srv, "id", func() *ping { return &ping{} }, func(p *ping) (*ping, error) { return p, nil })
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var resp ping
+				req := &ping{Text: taint.String{Value: strings.Repeat("x", g+1)}}
+				if err := CallOnce(e[0], "rpc:1", "id", req, &resp); err != nil {
+					t.Error(err)
+					return
+				}
+				if len(resp.Text.Value) != g+1 {
+					t.Errorf("goroutine %d: wrong echo", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,383 @@
+// Package activemq is the mini-ActiveMQ of the evaluation (DSN'22
+// Table III row 3): a network of three peer brokers distributing long
+// text messages from a producer to a consumer over TCP object streams.
+// Messages hop producer -> broker1 -> broker2 -> broker3 -> consumer,
+// exercising multi-hop inter-node taint flow.
+//
+// SDT scenario (Table IV): the producer's text message (the paper's
+// TomcatMessage variable) is the source; the consumer's received
+// Message is the sink.
+//
+// SIM scenario: the producer reads a credentials file (source); the
+// broker logs the connecting user (LOG.info sink).
+package activemq
+
+import (
+	"fmt"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+)
+
+// Taint point descriptors of the ActiveMQ scenarios.
+const (
+	// SourceText is the SDT source: the producer's text message.
+	SourceText = "Producer#TextMessage"
+	// SinkConsume is the SDT sink: the Message received on the consumer.
+	SinkConsume = "Consumer#Message"
+	// SourceCredentials is the SIM source: reading the credentials file.
+	SourceCredentials = "Credentials#load"
+)
+
+// Frame kinds of the broker protocol.
+const (
+	kindConnect   = byte(1)
+	kindPublish   = byte(2)
+	kindSubscribe = byte(3)
+	kindMessage   = byte(4)
+	kindForward   = byte(5)
+	kindSubAck    = byte(6)
+)
+
+// Message is the brokered payload (the TomcatMessage analogue).
+type Message struct {
+	ID    taint.Int64
+	Topic taint.String
+	Body  taint.String
+}
+
+// Frame is the single wire unit of the broker protocol.
+type Frame struct {
+	Kind  byte
+	User  taint.String // CONNECT
+	Topic taint.String // SUBSCRIBE
+	Msg   Message      // PUBLISH / MESSAGE / FORWARD
+	TTL   taint.Int32  // FORWARD hop budget
+}
+
+var _ jre.Serializable = (*Frame)(nil)
+
+// WriteTo implements jre.Serializable.
+func (f *Frame) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteByteValue(f.Kind, taint.Taint{}); err != nil {
+		return err
+	}
+	if err := w.WriteString32(f.User); err != nil {
+		return err
+	}
+	if err := w.WriteString32(f.Topic); err != nil {
+		return err
+	}
+	if err := w.WriteInt64(f.Msg.ID); err != nil {
+		return err
+	}
+	if err := w.WriteString32(f.Msg.Topic); err != nil {
+		return err
+	}
+	if err := w.WriteString32(f.Msg.Body); err != nil {
+		return err
+	}
+	return w.WriteInt32(f.TTL)
+}
+
+// ReadFrom implements jre.Serializable.
+func (f *Frame) ReadFrom(r *jre.DataInputStream) error {
+	kind, _, err := r.ReadByteValue()
+	if err != nil {
+		return err
+	}
+	f.Kind = kind
+	if f.User, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if f.Topic, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if f.Msg.ID, err = r.ReadInt64(); err != nil {
+		return err
+	}
+	if f.Msg.Topic, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if f.Msg.Body, err = r.ReadString32(); err != nil {
+		return err
+	}
+	f.TTL, err = r.ReadInt32()
+	return err
+}
+
+// conn wraps one broker connection with a write lock.
+type conn struct {
+	sock *jre.Socket
+	mu   sync.Mutex
+	out  *jre.ObjectOutputStream
+}
+
+func (c *conn) send(f *Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out.WriteObject(f)
+}
+
+// Broker is one peer of the broker network.
+type Broker struct {
+	Name string
+	Env  *jre.Env
+	Log  *dlog.Logger
+
+	addr     string
+	forwards []string // peer broker addresses to forward publishes to
+	ss       *jre.ServerSocket
+
+	mu        sync.Mutex
+	subs      map[string][]*conn // topic -> subscriber connections
+	stompSubs []stompSub         // STOMP-frontend subscribers
+	wsSubs    []wsSub            // STOMP-over-WebSocket subscribers
+	done      chan struct{}
+}
+
+// StartBroker binds a broker at addr; forwards lists the peer brokers
+// that receive FORWARD frames for every publish.
+func StartBroker(name string, env *jre.Env, addr string, forwards []string) (*Broker, error) {
+	ss, err := jre.ListenSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	b := &Broker{
+		Name:     name,
+		Env:      env,
+		Log:      dlog.New(env.Agent),
+		addr:     addr,
+		forwards: forwards,
+		ss:       ss,
+		subs:     make(map[string][]*conn),
+		done:     make(chan struct{}),
+	}
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.addr }
+
+func (b *Broker) acceptLoop() {
+	defer close(b.done)
+	for {
+		sock, err := b.ss.Accept()
+		if err != nil {
+			return
+		}
+		go b.serveConn(sock)
+	}
+}
+
+func (b *Broker) serveConn(sock *jre.Socket) {
+	defer sock.Close()
+	c := &conn{sock: sock, out: jre.NewObjectOutputStream(sock.OutputStream())}
+	oin := jre.NewObjectInputStream(sock.InputStream())
+	for {
+		var f Frame
+		if err := oin.ReadObject(&f); err != nil {
+			return
+		}
+		switch f.Kind {
+		case kindConnect:
+			// The SIM sink: the broker logs the connecting user.
+			b.Log.Info("user %s connected to broker %s", f.User, b.Name)
+		case kindSubscribe:
+			b.mu.Lock()
+			b.subs[f.Topic.Value] = append(b.subs[f.Topic.Value], c)
+			b.mu.Unlock()
+			if err := c.send(&Frame{Kind: kindSubAck}); err != nil {
+				return
+			}
+		case kindPublish:
+			b.route(&f.Msg, 8)
+		case kindForward:
+			b.route(&f.Msg, int(f.TTL.Value))
+		}
+	}
+}
+
+// route delivers a message to local subscribers and forwards it to the
+// peer brokers while the hop budget lasts.
+func (b *Broker) route(msg *Message, ttl int) {
+	b.mu.Lock()
+	subs := append([]*conn(nil), b.subs[msg.Topic.Value]...)
+	b.mu.Unlock()
+	for _, c := range subs {
+		_ = c.send(&Frame{Kind: kindMessage, Msg: *msg})
+	}
+	b.deliverStomp(msg)
+	b.deliverWS(msg)
+	if ttl <= 0 {
+		return
+	}
+	for _, peer := range b.forwards {
+		if err := b.forward(msg, peer, ttl-1); err != nil {
+			b.Log.Info("forward to %s failed: %v", peer, err)
+		}
+	}
+}
+
+// forward ships a message to one peer broker over a fresh connection.
+func (b *Broker) forward(msg *Message, peer string, ttl int) error {
+	sock, err := jre.DialSocket(b.Env, peer)
+	if err != nil {
+		return err
+	}
+	defer sock.Close()
+	out := jre.NewObjectOutputStream(sock.OutputStream())
+	return out.WriteObject(&Frame{Kind: kindForward, Msg: *msg, TTL: taint.Int32{Value: int32(ttl)}})
+}
+
+// Close stops the broker.
+func (b *Broker) Close() error {
+	err := b.ss.Close()
+	<-b.done
+	return err
+}
+
+// Producer publishes messages to one broker.
+type Producer struct {
+	env  *jre.Env
+	conn *conn
+	seq  int64
+}
+
+// ConnectProducer dials a broker and announces the user (the SIM-
+// relevant CONNECT frame).
+func ConnectProducer(env *jre.Env, brokerAddr string, user taint.String) (*Producer, error) {
+	sock, err := jre.DialSocket(env, brokerAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Producer{env: env, conn: &conn{sock: sock, out: jre.NewObjectOutputStream(sock.OutputStream())}}
+	if err := p.conn.send(&Frame{Kind: kindConnect, User: user}); err != nil {
+		sock.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// PublishText publishes a long text message; the body is the SDT source
+// point.
+func (p *Producer) PublishText(topic string, text string) (Message, error) {
+	p.seq++
+	msg := Message{
+		ID:    taint.Int64{Value: p.seq},
+		Topic: taint.String{Value: topic},
+		Body: taint.String{
+			Value: text,
+			Label: p.env.Agent.Source(SourceText, "Message"),
+		},
+	}
+	return msg, p.conn.send(&Frame{Kind: kindPublish, Msg: msg})
+}
+
+// PublishTainted publishes a message whose body (and its taint) the
+// caller supplies — used when the payload derives from another tracked
+// value such as a data-file read.
+func (p *Producer) PublishTainted(topic string, body taint.String) (Message, error) {
+	p.seq++
+	msg := Message{
+		ID:    taint.Int64{Value: p.seq},
+		Topic: taint.String{Value: topic},
+		Body:  body,
+	}
+	return msg, p.conn.send(&Frame{Kind: kindPublish, Msg: msg})
+}
+
+// Close disconnects the producer.
+func (p *Producer) Close() error { return p.conn.sock.Close() }
+
+// Consumer subscribes to a topic on one broker and receives messages.
+type Consumer struct {
+	env  *jre.Env
+	sock *jre.Socket
+	in   *jre.ObjectInputStream
+}
+
+// ConnectConsumer dials a broker and subscribes to topic.
+func ConnectConsumer(env *jre.Env, brokerAddr, topic string) (*Consumer, error) {
+	sock, err := jre.DialSocket(env, brokerAddr)
+	if err != nil {
+		return nil, err
+	}
+	out := jre.NewObjectOutputStream(sock.OutputStream())
+	if err := out.WriteObject(&Frame{Kind: kindSubscribe, Topic: taint.String{Value: topic}}); err != nil {
+		sock.Close()
+		return nil, err
+	}
+	c := &Consumer{env: env, sock: sock, in: jre.NewObjectInputStream(sock.InputStream())}
+	// Wait for the broker's acknowledgement so a publish racing with the
+	// subscription cannot be missed.
+	var ack Frame
+	if err := c.in.ReadObject(&ack); err != nil || ack.Kind != kindSubAck {
+		sock.Close()
+		return nil, fmt.Errorf("activemq: subscribe not acknowledged: %v", err)
+	}
+	return c, nil
+}
+
+// Receive blocks for the next message and runs the SDT sink check.
+func (c *Consumer) Receive() (Message, error) {
+	for {
+		var f Frame
+		if err := c.in.ReadObject(&f); err != nil {
+			return Message{}, err
+		}
+		if f.Kind != kindMessage {
+			continue
+		}
+		c.env.Agent.CheckSink(SinkConsume, f.Msg.Body.Label)
+		return f.Msg, nil
+	}
+}
+
+// Close disconnects the consumer.
+func (c *Consumer) Close() error { return c.sock.Close() }
+
+// LoadCredentials reads a credentials file; the returned user name
+// carries the SIM source taint.
+func LoadCredentials(env *jre.Env, path string) (taint.String, error) {
+	b, err := jre.ReadFileTainted(env, path, SourceCredentials, "cred")
+	if err != nil {
+		return taint.String{}, err
+	}
+	return taint.StringOf(b), nil
+}
+
+// BrokerChainAddrs returns the canonical three-broker chain addresses
+// for a cluster id.
+func BrokerChainAddrs(id string) [3]string {
+	return [3]string{
+		fmt.Sprintf("amq-%s-broker1:61616", id),
+		fmt.Sprintf("amq-%s-broker2:61616", id),
+		fmt.Sprintf("amq-%s-broker3:61616", id),
+	}
+}
+
+// StartBrokerChain launches three brokers forwarding 1 -> 2 -> 3 on the
+// given envs.
+func StartBrokerChain(id string, envs [3]*jre.Env) ([3]*Broker, error) {
+	addrs := BrokerChainAddrs(id)
+	var brokers [3]*Broker
+	for i := 2; i >= 0; i-- {
+		var forwards []string
+		if i < 2 {
+			forwards = []string{addrs[i+1]}
+		}
+		b, err := StartBroker(fmt.Sprintf("broker%d", i+1), envs[i], addrs[i], forwards)
+		if err != nil {
+			for j := i + 1; j < 3; j++ {
+				brokers[j].Close()
+			}
+			return brokers, err
+		}
+		brokers[i] = b
+	}
+	return brokers, nil
+}

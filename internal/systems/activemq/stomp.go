@@ -1,0 +1,294 @@
+package activemq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// STOMP frontend: the paper notes ActiveMQ also speaks STOMP (§V-B,
+// "ActiveMQ and RocketMQ supports many kinds of protocols including
+// standard TCP, UDP, NIO, as well as HTTP/HTTPS, WebSocket and STOMP").
+// This file implements a minimal STOMP 1.0-style text protocol bridged
+// onto the broker: CONNECT/SEND/SUBSCRIBE in, CONNECTED/MESSAGE out.
+// Frames are `COMMAND\nheader:value\n...\n\nbody\x00`; body bytes keep
+// their taints through the instrumented socket stack like any payload.
+
+// stompFrame is one parsed frame.
+type stompFrame struct {
+	Command string
+	Headers map[string]string
+	Body    taint.Bytes
+}
+
+// encodeStompFrame renders a frame; headers are untainted metadata.
+func encodeStompFrame(f *stompFrame) taint.Bytes {
+	var sb strings.Builder
+	sb.WriteString(f.Command)
+	sb.WriteByte('\n')
+	for k, v := range f.Headers {
+		fmt.Fprintf(&sb, "%s:%s\n", k, v)
+	}
+	sb.WriteByte('\n')
+	out := taint.WrapBytes([]byte(sb.String())).Append(f.Body)
+	return out.Append(taint.WrapBytes([]byte{0}))
+}
+
+// errStompIncomplete reports that more bytes are needed.
+var errStompIncomplete = errors.New("activemq: incomplete STOMP frame")
+
+// parseStompFrame parses one frame from raw, returning it and the bytes
+// consumed.
+func parseStompFrame(raw taint.Bytes) (*stompFrame, int, error) {
+	end := -1
+	for i, b := range raw.Data {
+		if b == 0 {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return nil, 0, errStompIncomplete
+	}
+	frame := raw.Slice(0, end)
+	headEnd := strings.Index(string(frame.Data), "\n\n")
+	if headEnd < 0 {
+		return nil, 0, fmt.Errorf("activemq: STOMP frame without header terminator")
+	}
+	lines := strings.Split(string(frame.Data[:headEnd]), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, 0, fmt.Errorf("activemq: STOMP frame without command")
+	}
+	headers := make(map[string]string, len(lines)-1)
+	for _, line := range lines[1:] {
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, 0, fmt.Errorf("activemq: bad STOMP header %q", line)
+		}
+		headers[k] = v
+	}
+	return &stompFrame{
+		Command: lines[0],
+		Headers: headers,
+		Body:    frame.Slice(headEnd+2, frame.Len()).Clone(),
+	}, end + 1, nil
+}
+
+// stompConn reads/writes frames over a socket.
+type stompConn struct {
+	sock *jre.Socket
+	mu   sync.Mutex
+	acc  taint.Bytes
+}
+
+func (c *stompConn) send(f *stompFrame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sock.OutputStream().Write(encodeStompFrame(f))
+}
+
+func (c *stompConn) recv() (*stompFrame, error) {
+	chunk := taint.MakeBytes(4096)
+	for {
+		if c.acc.Len() > 0 {
+			f, consumed, err := parseStompFrame(c.acc)
+			if err == nil {
+				c.acc = c.acc.Slice(consumed, c.acc.Len())
+				return f, nil
+			}
+			if !errors.Is(err, errStompIncomplete) {
+				return nil, err
+			}
+		}
+		n, err := c.sock.InputStream().Read(&chunk)
+		if n > 0 {
+			c.acc = c.acc.Append(chunk.Slice(0, n).Clone())
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// StompListener bridges STOMP clients onto a broker.
+type StompListener struct {
+	broker *Broker
+	ss     *jre.ServerSocket
+	done   chan struct{}
+}
+
+// StartStompListener binds a STOMP endpoint at addr feeding the broker.
+func (b *Broker) StartStompListener(addr string) (*StompListener, error) {
+	ss, err := jre.ListenSocket(b.Env, addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &StompListener{broker: b, ss: ss, done: make(chan struct{})}
+	go l.acceptLoop()
+	return l, nil
+}
+
+func (l *StompListener) acceptLoop() {
+	defer close(l.done)
+	for {
+		sock, err := l.ss.Accept()
+		if err != nil {
+			return
+		}
+		go l.serveConn(sock)
+	}
+}
+
+func (l *StompListener) serveConn(sock *jre.Socket) {
+	defer sock.Close()
+	c := &stompConn{sock: sock}
+	var seq int64
+	for {
+		f, err := c.recv()
+		if err != nil {
+			return
+		}
+		switch f.Command {
+		case "CONNECT":
+			l.broker.Log.Info("user %s connected to broker %s",
+				taint.StringOf(f.Body), l.broker.Name)
+			if err := c.send(&stompFrame{Command: "CONNECTED", Headers: map[string]string{"version": "1.0"}}); err != nil {
+				return
+			}
+		case "SUBSCRIBE":
+			topic := f.Headers["destination"]
+			l.broker.mu.Lock()
+			l.broker.stompSubs = append(l.broker.stompSubs, stompSub{topic: topic, c: c})
+			l.broker.mu.Unlock()
+			if err := c.send(&stompFrame{Command: "RECEIPT", Headers: map[string]string{"receipt-id": topic}}); err != nil {
+				return
+			}
+		case "SEND":
+			seq++
+			msg := Message{
+				ID:    taint.Int64{Value: seq},
+				Topic: taint.String{Value: f.Headers["destination"]},
+				Body:  taint.StringOf(f.Body),
+			}
+			l.broker.route(&msg, 8)
+		default:
+			if err := c.send(&stompFrame{Command: "ERROR", Headers: map[string]string{"message": "unknown command " + f.Command}}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the listener.
+func (l *StompListener) Close() error {
+	err := l.ss.Close()
+	<-l.done
+	return err
+}
+
+// stompSub is a STOMP subscriber registration.
+type stompSub struct {
+	topic string
+	c     *stompConn
+}
+
+// deliverStomp pushes a routed message to matching STOMP subscribers;
+// called from Broker.route.
+func (b *Broker) deliverStomp(msg *Message) {
+	b.mu.Lock()
+	subs := append([]stompSub(nil), b.stompSubs...)
+	b.mu.Unlock()
+	for _, s := range subs {
+		if s.topic != msg.Topic.Value {
+			continue
+		}
+		_ = s.c.send(&stompFrame{
+			Command: "MESSAGE",
+			Headers: map[string]string{"destination": msg.Topic.Value},
+			Body:    msg.Body.Bytes(),
+		})
+	}
+}
+
+// StompClient is a minimal STOMP client.
+type StompClient struct {
+	env *jre.Env
+	c   *stompConn
+}
+
+// DialStomp connects and performs the CONNECT handshake; the user body
+// may carry a taint (the SIM credentials flow).
+func DialStomp(env *jre.Env, addr string, user taint.String) (*StompClient, error) {
+	sock, err := jre.DialSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := &StompClient{env: env, c: &stompConn{sock: sock}}
+	if err := sc.c.send(&stompFrame{Command: "CONNECT", Body: user.Bytes()}); err != nil {
+		sock.Close()
+		return nil, err
+	}
+	resp, err := sc.c.recv()
+	if err != nil || resp.Command != "CONNECTED" {
+		sock.Close()
+		return nil, fmt.Errorf("activemq: STOMP handshake failed: %v %v", resp, err)
+	}
+	return sc, nil
+}
+
+// Subscribe registers for a destination and waits for the receipt.
+func (sc *StompClient) Subscribe(topic string) error {
+	if err := sc.c.send(&stompFrame{Command: "SUBSCRIBE", Headers: map[string]string{"destination": topic}}); err != nil {
+		return err
+	}
+	resp, err := sc.c.recv()
+	if err != nil {
+		return err
+	}
+	if resp.Command != "RECEIPT" {
+		return fmt.Errorf("activemq: subscribe got %s", resp.Command)
+	}
+	return nil
+}
+
+// Send publishes a tainted body to a destination; the body is the SDT
+// source point when the caller taints it.
+func (sc *StompClient) Send(topic string, body taint.String) error {
+	return sc.c.send(&stompFrame{
+		Command: "SEND",
+		Headers: map[string]string{"destination": topic},
+		Body:    body.Bytes(),
+	})
+}
+
+// SendText taints the text at the producer source point and sends it.
+func (sc *StompClient) SendText(topic, text string) error {
+	return sc.Send(topic, taint.String{
+		Value: text,
+		Label: sc.env.Agent.Source(SourceText, "Message"),
+	})
+}
+
+// Receive blocks for the next MESSAGE frame and runs the consumer sink.
+func (sc *StompClient) Receive() (Message, error) {
+	for {
+		f, err := sc.c.recv()
+		if err != nil {
+			return Message{}, err
+		}
+		if f.Command != "MESSAGE" {
+			continue
+		}
+		body := taint.StringOf(f.Body)
+		sc.env.Agent.CheckSink(SinkConsume, body.Label)
+		return Message{Topic: taint.String{Value: f.Headers["destination"]}, Body: body}, nil
+	}
+}
+
+// Close disconnects the client.
+func (sc *StompClient) Close() error { return sc.c.sock.Close() }

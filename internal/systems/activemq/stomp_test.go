@@ -1,0 +1,235 @@
+package activemq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+)
+
+func stompRig(t *testing.T, mode tracker.Mode) ([3]*Broker, *StompClient, *StompClient) {
+	t.Helper()
+	brokers, prodEnv, consEnv := rig(t, mode)
+	sl, err := brokers[0].StartStompListener("amq-t-stomp1:61613")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sl.Close() })
+	sl3, err := brokers[2].StartStompListener("amq-t-stomp3:61613")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sl3.Close() })
+
+	producer, err := DialStomp(prodEnv, "amq-t-stomp1:61613", taint.String{Value: "stomp-user"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { producer.Close() })
+	consumer, err := DialStomp(consEnv, "amq-t-stomp3:61613", taint.String{Value: "reader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { consumer.Close() })
+	return brokers, producer, consumer
+}
+
+func TestStompFrameCodec(t *testing.T) {
+	tr := taint.NewTree()
+	body := taint.FromString("payload", tr.NewSource("b", "l"))
+	f := &stompFrame{
+		Command: "SEND",
+		Headers: map[string]string{"destination": "news"},
+		Body:    body,
+	}
+	raw := encodeStompFrame(f)
+	got, consumed, err := parseStompFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != raw.Len() {
+		t.Fatalf("consumed %d of %d", consumed, raw.Len())
+	}
+	if got.Command != "SEND" || got.Headers["destination"] != "news" {
+		t.Fatalf("frame = %+v", got)
+	}
+	if string(got.Body.Data) != "payload" || !got.Body.Union().Has("b") {
+		t.Fatal("body or taint lost in STOMP codec")
+	}
+}
+
+func TestStompFrameIncomplete(t *testing.T) {
+	raw := encodeStompFrame(&stompFrame{Command: "SEND", Body: taint.WrapBytes([]byte("x"))})
+	if _, _, err := parseStompFrame(raw.Slice(0, raw.Len()-1)); !errors.Is(err, errStompIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStompFrameMalformed(t *testing.T) {
+	for _, bad := range []string{"\n\n\x00", "SEND\nnocolon\n\n\x00"} {
+		if _, _, err := parseStompFrame(taint.WrapBytes([]byte(bad))); err == nil {
+			t.Fatalf("want error for %q", bad)
+		}
+	}
+}
+
+// TestStompTaintAcrossBrokerChain: a STOMP producer at broker1 and a
+// STOMP consumer at broker3, with the message hopping through the
+// object-stream broker network in between — three protocols on one
+// taint path.
+func TestStompTaintAcrossBrokerChain(t *testing.T) {
+	_, producer, consumer := stompRig(t, tracker.ModeDista)
+	if err := consumer.Subscribe("news"); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Repeat("stomp news ", 200)
+	if err := producer.SendText("news", text); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := consumer.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Body.Value != text {
+		t.Fatal("body corrupted")
+	}
+	if !msg.Body.Label.Has("Message") {
+		t.Fatal("taint lost through STOMP + broker chain")
+	}
+	tags := consumer.env.Agent.SinkTagValues(SinkConsume)
+	if len(tags) != 1 || tags[0] != "Message" {
+		t.Fatalf("sink tags = %v", tags)
+	}
+}
+
+func TestStompConnectLogsUser(t *testing.T) {
+	brokers, _, _ := stompRig(t, tracker.ModeDista)
+	found := false
+	for _, e := range brokers[0].Log.Entries() {
+		if strings.Contains(e.Message, "stomp-user") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("broker never logged the STOMP user")
+	}
+}
+
+func TestStompUnknownCommand(t *testing.T) {
+	_, producer, _ := stompRig(t, tracker.ModeOff)
+	if err := producer.c.send(&stompFrame{Command: "BOGUS"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := producer.c.recv()
+	if err != nil || resp.Command != "ERROR" {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+}
+
+func TestStompPhosphorDropsTaint(t *testing.T) {
+	_, producer, consumer := stompRig(t, tracker.ModePhosphor)
+	if err := consumer.Subscribe("news"); err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.SendText("news", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := consumer.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Body.Label.Has("Message") {
+		t.Fatal("phosphor mode carried the taint over STOMP")
+	}
+}
+
+// TestWebSocketStompAcrossBrokers: STOMP frames inside WebSocket
+// messages, producer on broker1, consumer on broker3 — the paper's
+// WebSocket transport combination.
+func TestWebSocketStompAcrossBrokers(t *testing.T) {
+	brokers, prodEnv, consEnv := rig(t, tracker.ModeDista)
+	wl1, err := brokers[0].StartWebSocketListener("amq-t-ws1:61614")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wl1.Close()
+	wl3, err := brokers[2].StartWebSocketListener("amq-t-ws3:61614")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wl3.Close()
+
+	consumer, err := DialWebSocket(consEnv, "amq-t-ws3:61614", taint.String{Value: "reader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+	if err := consumer.Subscribe("news"); err != nil {
+		t.Fatal(err)
+	}
+	producer, err := DialWebSocket(prodEnv, "amq-t-ws1:61614", taint.String{Value: "writer"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+
+	text := strings.Repeat("ws news ", 300)
+	if err := producer.SendText("news", text); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := consumer.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Body.Value != text || !msg.Body.Label.Has("Message") {
+		t.Fatal("taint or body lost over STOMP-over-WebSocket")
+	}
+	tags := consEnv.Agent.SinkTagValues(SinkConsume)
+	if len(tags) != 1 || tags[0] != "Message" {
+		t.Fatalf("sink tags = %v", tags)
+	}
+}
+
+// TestWebSocketMixedTransports: a raw-TCP STOMP producer feeding a
+// WebSocket consumer through the broker chain — three transports, one
+// taint path.
+func TestWebSocketMixedTransports(t *testing.T) {
+	brokers, prodEnv, consEnv := rig(t, tracker.ModeDista)
+	sl, err := brokers[0].StartStompListener("amq-t-mstomp:61613")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sl.Close()
+	wl, err := brokers[2].StartWebSocketListener("amq-t-mws:61614")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wl.Close()
+
+	consumer, err := DialWebSocket(consEnv, "amq-t-mws:61614", taint.String{Value: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+	if err := consumer.Subscribe("mixed"); err != nil {
+		t.Fatal(err)
+	}
+	producer, err := DialStomp(prodEnv, "amq-t-mstomp:61613", taint.String{Value: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+
+	if err := producer.SendText("mixed", "across transports"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := consumer.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Body.Value != "across transports" || !msg.Body.Label.Has("Message") {
+		t.Fatal("taint lost across mixed STOMP/WebSocket transports")
+	}
+}

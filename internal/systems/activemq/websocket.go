@@ -1,0 +1,182 @@
+package activemq
+
+import (
+	"errors"
+	"fmt"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+	"dista/internal/wsmini"
+)
+
+// STOMP-over-WebSocket: the third transport combination of §V-B
+// (ActiveMQ speaks STOMP both over raw TCP and over WebSocket). Each
+// WebSocket binary message carries one STOMP frame.
+
+// WSListener bridges STOMP-over-WebSocket clients onto a broker.
+type WSListener struct {
+	broker *Broker
+	srv    *wsmini.Server
+}
+
+// StartWebSocketListener binds a ws+stomp endpoint at addr.
+func (b *Broker) StartWebSocketListener(addr string) (*WSListener, error) {
+	l := &WSListener{broker: b}
+	srv, err := wsmini.Serve(b.Env, addr, l.serveConn)
+	if err != nil {
+		return nil, err
+	}
+	l.srv = srv
+	return l, nil
+}
+
+func (l *WSListener) serveConn(path string, conn *wsmini.Conn) {
+	defer conn.Close()
+	if path != "/stomp" {
+		return
+	}
+	var seq int64
+	for {
+		raw, err := conn.ReadMessage()
+		if err != nil {
+			return
+		}
+		f, _, err := parseStompFrame(raw)
+		if err != nil {
+			return
+		}
+		switch f.Command {
+		case "CONNECT":
+			l.broker.Log.Info("user %s connected to broker %s",
+				taint.StringOf(f.Body), l.broker.Name)
+			if err := wsSend(conn, &stompFrame{Command: "CONNECTED"}); err != nil {
+				return
+			}
+		case "SUBSCRIBE":
+			topic := f.Headers["destination"]
+			l.broker.mu.Lock()
+			l.broker.wsSubs = append(l.broker.wsSubs, wsSub{topic: topic, conn: conn})
+			l.broker.mu.Unlock()
+			if err := wsSend(conn, &stompFrame{Command: "RECEIPT"}); err != nil {
+				return
+			}
+		case "SEND":
+			seq++
+			msg := Message{
+				ID:    taint.Int64{Value: seq},
+				Topic: taint.String{Value: f.Headers["destination"]},
+				Body:  taint.StringOf(f.Body),
+			}
+			l.broker.route(&msg, 8)
+		}
+	}
+}
+
+// Close stops the listener.
+func (l *WSListener) Close() error { return l.srv.Close() }
+
+// wsSub is a WebSocket subscriber registration.
+type wsSub struct {
+	topic string
+	conn  *wsmini.Conn
+}
+
+// wsSend ships one STOMP frame as one WebSocket message.
+func wsSend(conn *wsmini.Conn, f *stompFrame) error {
+	return conn.WriteMessage(encodeStompFrame(f))
+}
+
+// deliverWS pushes a routed message to WebSocket subscribers.
+func (b *Broker) deliverWS(msg *Message) {
+	b.mu.Lock()
+	subs := append([]wsSub(nil), b.wsSubs...)
+	b.mu.Unlock()
+	for _, s := range subs {
+		if s.topic != msg.Topic.Value {
+			continue
+		}
+		_ = wsSend(s.conn, &stompFrame{
+			Command: "MESSAGE",
+			Headers: map[string]string{"destination": msg.Topic.Value},
+			Body:    msg.Body.Bytes(),
+		})
+	}
+}
+
+// WSClient is a STOMP-over-WebSocket client.
+type WSClient struct {
+	env  *jre.Env
+	conn *wsmini.Conn
+}
+
+// DialWebSocket connects, upgrades, and performs the STOMP CONNECT.
+func DialWebSocket(env *jre.Env, addr string, user taint.String) (*WSClient, error) {
+	conn, err := wsmini.Dial(env, addr, "/stomp")
+	if err != nil {
+		return nil, err
+	}
+	c := &WSClient{env: env, conn: conn}
+	if err := wsSend(conn, &stompFrame{Command: "CONNECT", Body: user.Bytes()}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp, err := c.recv()
+	if err != nil || resp.Command != "CONNECTED" {
+		conn.Close()
+		return nil, fmt.Errorf("activemq: ws handshake failed: %v %v", resp, err)
+	}
+	return c, nil
+}
+
+func (c *WSClient) recv() (*stompFrame, error) {
+	raw, err := c.conn.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	f, _, err := parseStompFrame(raw)
+	return f, err
+}
+
+// Subscribe registers for a destination.
+func (c *WSClient) Subscribe(topic string) error {
+	if err := wsSend(c.conn, &stompFrame{Command: "SUBSCRIBE", Headers: map[string]string{"destination": topic}}); err != nil {
+		return err
+	}
+	resp, err := c.recv()
+	if err != nil {
+		return err
+	}
+	if resp.Command != "RECEIPT" {
+		return errors.New("activemq: ws subscribe not acknowledged")
+	}
+	return nil
+}
+
+// SendText taints and publishes a text message.
+func (c *WSClient) SendText(topic, text string) error {
+	body := taint.String{Value: text, Label: c.env.Agent.Source(SourceText, "Message")}
+	return wsSend(c.conn, &stompFrame{
+		Command: "SEND",
+		Headers: map[string]string{"destination": topic},
+		Body:    body.Bytes(),
+	})
+}
+
+// Receive blocks for the next MESSAGE and runs the consumer sink.
+func (c *WSClient) Receive() (Message, error) {
+	for {
+		f, err := c.recv()
+		if err != nil {
+			return Message{}, err
+		}
+		if f.Command != "MESSAGE" {
+			continue
+		}
+		body := taint.StringOf(f.Body)
+		c.env.Agent.CheckSink(SinkConsume, body.Label)
+		return Message{Topic: taint.String{Value: f.Headers["destination"]}, Body: body}, nil
+	}
+}
+
+// Close disconnects the client.
+func (c *WSClient) Close() error { return c.conn.Close() }

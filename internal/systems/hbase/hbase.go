@@ -1,0 +1,496 @@
+// Package hbase is the mini-HBase of the evaluation (DSN'22 Table III
+// row 5): an HMaster and two RegionServers coordinating through the
+// mini-ZooKeeper znode service, with clients reading table rows over
+// the NIO RPC substrate. Because every lookup crosses HBase *and*
+// ZooKeeper, the workload is the paper's cross-system taint-tracking
+// scenario.
+//
+// SDT scenario (Table IV): the client's TableName variable is the
+// source; the Result variable containing the data rows is the sink.
+//
+// SIM scenario: each RegionServer reads its configuration file
+// (source); the server name from that file travels RS -> ZooKeeper ->
+// HMaster, where it is logged (LOG.info sink) — taint tracked across
+// two systems.
+package hbase
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dista/internal/core/taint"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+	"dista/internal/rpc"
+	"dista/internal/systems/zk"
+)
+
+// Taint point descriptors of the HBase scenarios.
+const (
+	// SourceTableName is the SDT source: the client's TableName.
+	SourceTableName = "Client#TableName"
+	// SinkResult is the SDT sink: the client's Result rows.
+	SinkResult = "Client#Result"
+	// SourceRSConf is the SIM source: a RegionServer's config file.
+	SourceRSConf = "RegionServerConfig#load"
+)
+
+// GetReq asks a RegionServer for one row.
+type GetReq struct {
+	Table taint.String
+	Row   taint.String
+}
+
+// WriteTo implements jre.Serializable.
+func (m *GetReq) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteString32(m.Table); err != nil {
+		return err
+	}
+	return w.WriteString32(m.Row)
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *GetReq) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if m.Table, err = r.ReadString32(); err != nil {
+		return err
+	}
+	m.Row, err = r.ReadString32()
+	return err
+}
+
+// Cell is one column of a row.
+type Cell struct {
+	Col taint.String
+	Val taint.String
+}
+
+// Result is a row's data (the paper's Result variable).
+type Result struct {
+	Table taint.String
+	Row   taint.String
+	Cells []Cell
+}
+
+// WriteTo implements jre.Serializable.
+func (m *Result) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteString32(m.Table); err != nil {
+		return err
+	}
+	if err := w.WriteString32(m.Row); err != nil {
+		return err
+	}
+	if err := w.WriteInt32(taint.Int32{Value: int32(len(m.Cells))}); err != nil {
+		return err
+	}
+	for _, c := range m.Cells {
+		if err := w.WriteString32(c.Col); err != nil {
+			return err
+		}
+		if err := w.WriteString32(c.Val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *Result) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if m.Table, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if m.Row, err = r.ReadString32(); err != nil {
+		return err
+	}
+	n, err := r.ReadInt32()
+	if err != nil {
+		return err
+	}
+	m.Cells = make([]Cell, n.Value)
+	for i := range m.Cells {
+		if m.Cells[i].Col, err = r.ReadString32(); err != nil {
+			return err
+		}
+		if m.Cells[i].Val, err = r.ReadString32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PutReq stores one cell.
+type PutReq struct {
+	Table taint.String
+	Row   taint.String
+	Col   taint.String
+	Val   taint.String
+}
+
+// WriteTo implements jre.Serializable.
+func (m *PutReq) WriteTo(w *jre.DataOutputStream) error {
+	for _, s := range []taint.String{m.Table, m.Row, m.Col, m.Val} {
+		if err := w.WriteString32(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *PutReq) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	for _, p := range []*taint.String{&m.Table, &m.Row, &m.Col, &m.Val} {
+		if *p, err = r.ReadString32(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ack acknowledges a Put.
+type Ack struct{ OK bool }
+
+// WriteTo implements jre.Serializable.
+func (m *Ack) WriteTo(w *jre.DataOutputStream) error { return w.WriteBool(m.OK, taint.Taint{}) }
+
+// ReadFrom implements jre.Serializable.
+func (m *Ack) ReadFrom(r *jre.DataInputStream) error {
+	ok, _, err := r.ReadBool()
+	m.OK = ok
+	return err
+}
+
+// RegionServer serves a share of the tables from its memstore.
+type RegionServer struct {
+	Env  *jre.Env
+	Name taint.String
+	addr string
+
+	server *rpc.Server
+	mu     sync.Mutex
+	store  map[string]map[string][]Cell // table -> row -> cells
+}
+
+// StartRegionServer launches a region server: it reads its config (the
+// SIM source), registers itself in ZooKeeper under /hbase/rs/<name>,
+// and serves get/put RPCs at addr.
+func StartRegionServer(env *jre.Env, addr, zkAddr, confPath string) (*RegionServer, error) {
+	rs := &RegionServer{
+		Env:   env,
+		Name:  taint.String{Value: env.Agent.Node()},
+		addr:  addr,
+		store: make(map[string]map[string][]Cell),
+	}
+	if confPath != "" {
+		raw, err := jre.ReadFileTainted(env, confPath, SourceRSConf, "rsConf")
+		if err != nil {
+			return nil, err
+		}
+		rs.Name = taint.StringOf(raw)
+	}
+	srv, err := rpc.Serve(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	rs.server = srv
+	rpc.HandleObject(srv, "get", func() *GetReq { return &GetReq{} }, rs.handleGet)
+	rpc.HandleObject(srv, "put", func() *PutReq { return &PutReq{} }, rs.handlePut)
+
+	// Register in ZooKeeper: the znode path is routing metadata, the
+	// payload is "<tainted name>\n<rpc addr>".
+	zc, err := zk.DialClient(env, zkAddr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	defer zc.Close()
+	payload := rs.Name.Bytes().Append(taint.WrapBytes([]byte("\n" + addr)))
+	if err := zc.Create(taint.String{Value: "/hbase/rs/" + env.Agent.Node()}, payload); err != nil {
+		srv.Close()
+		return nil, fmt.Errorf("hbase: register region server: %w", err)
+	}
+	return rs, nil
+}
+
+// handleGet answers a row lookup; the Result echoes the (possibly
+// tainted) table name and carries the stored cells.
+func (rs *RegionServer) handleGet(req *GetReq) (*Result, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rows, ok := rs.store[req.Table.Value]
+	if !ok {
+		return nil, fmt.Errorf("hbase: region server %s does not serve table %q", rs.Env.Agent.Node(), req.Table.Value)
+	}
+	cells := rows[req.Row.Value]
+	out := make([]Cell, len(cells))
+	copy(out, cells)
+	return &Result{Table: req.Table, Row: req.Row, Cells: out}, nil
+}
+
+// handlePut stores a cell.
+func (rs *RegionServer) handlePut(req *PutReq) (*Ack, error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rows, ok := rs.store[req.Table.Value]
+	if !ok {
+		return nil, fmt.Errorf("hbase: region server %s does not serve table %q", rs.Env.Agent.Node(), req.Table.Value)
+	}
+	rows[req.Row.Value] = append(rows[req.Row.Value], Cell{Col: req.Col, Val: req.Val})
+	return &Ack{OK: true}, nil
+}
+
+// assignTable makes this server authoritative for a table.
+func (rs *RegionServer) assignTable(table string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.store[table] == nil {
+		rs.store[table] = make(map[string][]Cell)
+	}
+}
+
+// Close stops the server.
+func (rs *RegionServer) Close() error { return rs.server.Close() }
+
+// Master is the HMaster: it discovers region servers in ZooKeeper,
+// assigns tables round-robin, and publishes the meta table to
+// /hbase/meta.
+type Master struct {
+	Env *jre.Env
+	Log *dlog.Logger
+}
+
+// NewMaster builds a master on env.
+func NewMaster(env *jre.Env) *Master {
+	return &Master{Env: env, Log: dlog.New(env.Agent)}
+}
+
+// AssignRegions waits for the expected number of region servers to
+// appear in ZooKeeper, logs each registration (the SIM sink point),
+// assigns the tables round-robin, and writes the meta znode.
+func (m *Master) AssignRegions(zkAddr string, rss []*RegionServer, tables []string) error {
+	zc, err := zk.DialClient(m.Env, zkAddr)
+	if err != nil {
+		return err
+	}
+	defer zc.Close()
+
+	var names []string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		names, err = zc.Children("/hbase/rs")
+		if err == nil && len(names) >= len(rss) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hbase: only %d of %d region servers registered", len(names), len(rss))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	addrs := make(map[string]string, len(names))
+	for _, node := range names {
+		payload, err := zc.Get(taint.String{Value: "/hbase/rs/" + node})
+		if err != nil {
+			return err
+		}
+		idx := strings.IndexByte(string(payload.Data), '\n')
+		if idx < 0 {
+			return fmt.Errorf("hbase: malformed registration for %s", node)
+		}
+		name := taint.StringOf(payload.Slice(0, idx))
+		addrs[node] = string(payload.Data[idx+1:])
+		// The SIM sink: the master logs the server name whose taint
+		// travelled RS -> ZooKeeper -> master.
+		m.Log.Info("registered region server %s at %s", name, addrs[node])
+	}
+
+	var meta strings.Builder
+	for i, table := range tables {
+		rs := rss[i%len(rss)]
+		rs.assignTable(table)
+		fmt.Fprintf(&meta, "%s=%s\n", table, rs.addr)
+	}
+	return zc.Set(taint.String{Value: "/hbase/meta"}, taint.WrapBytes([]byte(meta.String())))
+}
+
+// Client reads rows, resolving regions through ZooKeeper.
+type Client struct {
+	env  *jre.Env
+	zc   *zk.Client
+	meta map[string]string
+}
+
+// NewClient connects to ZooKeeper and caches the meta table.
+func NewClient(env *jre.Env, zkAddr string) (*Client, error) {
+	zc, err := zk.DialClient(env, zkAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{env: env, zc: zc}
+	if err := c.refreshMeta(); err != nil {
+		zc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) refreshMeta() error {
+	raw, err := c.zc.Get(taint.String{Value: "/hbase/meta"})
+	if err != nil {
+		return fmt.Errorf("hbase: read meta: %w", err)
+	}
+	meta := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(raw.Data)), "\n") {
+		if line == "" {
+			continue
+		}
+		table, addr, ok := strings.Cut(line, "=")
+		if !ok {
+			return fmt.Errorf("hbase: malformed meta line %q", line)
+		}
+		meta[table] = addr
+	}
+	c.meta = meta
+	return nil
+}
+
+// TableName mints the client's tainted TableName variable (the SDT
+// source point).
+func (c *Client) TableName(name string) taint.String {
+	return taint.String{Value: name, Label: c.env.Agent.Source(SourceTableName, "TableName")}
+}
+
+// regionFor resolves a table to its region server address.
+func (c *Client) regionFor(table string) (string, error) {
+	addr, ok := c.meta[table]
+	if !ok {
+		return "", fmt.Errorf("hbase: no region for table %q", table)
+	}
+	return addr, nil
+}
+
+// Get fetches a row and runs the SDT sink over the Result.
+func (c *Client) Get(table taint.String, row string) (*Result, error) {
+	addr, err := c.regionFor(table.Value)
+	if err != nil {
+		return nil, err
+	}
+	var result Result
+	req := &GetReq{Table: table, Row: taint.String{Value: row}}
+	if err := rpc.CallOnce(c.env, addr, "get", req, &result); err != nil {
+		return nil, err
+	}
+	labels := []taint.Taint{result.Table.Label}
+	for _, cell := range result.Cells {
+		labels = append(labels, cell.Col.Label, cell.Val.Label)
+	}
+	c.env.Agent.CheckSink(SinkResult, taint.CombineAll(labels...))
+	return &result, nil
+}
+
+// Put stores one cell.
+func (c *Client) Put(table taint.String, row, col, val string) error {
+	addr, err := c.regionFor(table.Value)
+	if err != nil {
+		return err
+	}
+	var ack Ack
+	req := &PutReq{
+		Table: table,
+		Row:   taint.String{Value: row},
+		Col:   taint.String{Value: col},
+		Val:   taint.String{Value: val},
+	}
+	if err := rpc.CallOnce(c.env, addr, "put", req, &ack); err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("hbase: put rejected")
+	}
+	return nil
+}
+
+// PutTainted stores one cell whose tainted value the caller supplies.
+func (c *Client) PutTainted(table taint.String, row, col string, val taint.String) error {
+	addr, err := c.regionFor(table.Value)
+	if err != nil {
+		return err
+	}
+	var ack Ack
+	req := &PutReq{
+		Table: table,
+		Row:   taint.String{Value: row},
+		Col:   taint.String{Value: col},
+		Val:   val,
+	}
+	if err := rpc.CallOnce(c.env, addr, "put", req, &ack); err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("hbase: put rejected")
+	}
+	return nil
+}
+
+// Close releases the ZooKeeper connection.
+func (c *Client) Close() error { return c.zc.Close() }
+
+// Cluster bundles a full deployment: ZooKeeper, master and region
+// servers.
+type Cluster struct {
+	ZK     *zk.Server
+	ZKAddr string
+	Master *Master
+	RSs    []*RegionServer
+}
+
+// StartCluster boots ZooKeeper, the region servers (with optional
+// per-server config files) and the master, and assigns tables.
+func StartCluster(id string, zkEnv *jre.Env, masterEnv *jre.Env, rsEnvs []*jre.Env, rsConfs []string, tables []string) (*Cluster, error) {
+	zkAddr := "hbase-" + id + "-zk:2181"
+	zkSrv, err := zk.StartServer(zkEnv, zkAddr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{ZK: zkSrv, ZKAddr: zkAddr, Master: NewMaster(masterEnv)}
+
+	boot, err := zk.DialClient(masterEnv, zkAddr)
+	if err != nil {
+		zkSrv.Close()
+		return nil, err
+	}
+	_ = boot.Create(taint.String{Value: "/hbase"}, taint.Bytes{})
+	_ = boot.Create(taint.String{Value: "/hbase/rs"}, taint.Bytes{})
+	_ = boot.Create(taint.String{Value: "/hbase/meta"}, taint.Bytes{})
+	boot.Close()
+
+	for i, env := range rsEnvs {
+		conf := ""
+		if i < len(rsConfs) {
+			conf = rsConfs[i]
+		}
+		addr := fmt.Sprintf("hbase-%s-rs%d:16020", id, i+1)
+		rs, err := StartRegionServer(env, addr, zkAddr, conf)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.RSs = append(c.RSs, rs)
+	}
+	if err := c.Master.AssignRegions(zkAddr, c.RSs, tables); err != nil {
+		c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	for _, rs := range c.RSs {
+		rs.Close()
+	}
+	c.ZK.Close()
+}

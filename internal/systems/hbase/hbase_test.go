@@ -1,0 +1,272 @@
+package hbase
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/systems/zk"
+	"dista/internal/taintmap"
+)
+
+// rig boots a full cluster: 1 zk, 1 master, 2 region servers, 1 client.
+func rig(t *testing.T, mode tracker.Mode, withConfs bool, opts ...tracker.Option) (*Cluster, *Client) {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	mk := func(name string) *jre.Env {
+		a := tracker.New(name, mode)
+		all := append([]tracker.Option{tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree()))}, opts...)
+		a = tracker.New(name, mode, all...)
+		return jre.NewEnv(net, a)
+	}
+	var confs []string
+	if withConfs {
+		dir := t.TempDir()
+		for i := 1; i <= 2; i++ {
+			path := filepath.Join(dir, "rs.conf")
+			path = path + string(rune('0'+i))
+			if err := os.WriteFile(path, []byte("rs-host-"+string(rune('0'+i))), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			confs = append(confs, path)
+		}
+	}
+	cluster, err := StartCluster("t",
+		mk("zknode"), mk("hmaster"),
+		[]*jre.Env{mk("rs1"), mk("rs2")}, confs,
+		[]string{"users", "events"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	client, err := NewClient(mk("client"), cluster.ZKAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return cluster, client
+}
+
+func TestGetPutAcrossRegionServers(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff, false)
+	// "users" lands on rs1, "events" on rs2 (round-robin assignment).
+	for _, table := range []string{"users", "events"} {
+		tn := client.TableName(table)
+		if err := client.Put(tn, "row1", "name", "alice"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := client.Get(tn, "row1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Cells) != 1 || res.Cells[0].Val.Value != "alice" {
+			t.Fatalf("table %s result = %+v", table, res)
+		}
+	}
+}
+
+// TestSDTTableNameTrace is the Table IV HBase SDT scenario: the tainted
+// TableName surfaces in the Result at the client sink after crossing to
+// the region server and back.
+func TestSDTTableNameTrace(t *testing.T) {
+	_, client := rig(t, tracker.ModeDista, false)
+	tn := client.TableName("users")
+	if tn.Label.Empty() {
+		t.Fatal("TableName must be tainted at the source")
+	}
+	if err := client.Put(tn, "row1", "name", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Get(tn, "row1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Table.Label.Has("TableName") {
+		t.Fatal("Result lost the TableName taint")
+	}
+	tags := client.env.Agent.SinkTagValues(SinkResult)
+	if !contains(tags, "TableName") {
+		t.Fatalf("sink tags = %v, want TableName", tags)
+	}
+}
+
+// TestSIMCrossSystemLeak: the region-server name read from its config
+// file travels RS -> ZooKeeper -> HMaster log: taint tracked across two
+// systems (the paper's HBase+ZooKeeper cross-system scenario).
+func TestSIMCrossSystemLeak(t *testing.T) {
+	spec := tracker.NewSpec([]string{SourceRSConf}, []string{dlog.SinkDesc})
+	cluster, _ := rig(t, tracker.ModeDista, true, tracker.WithSpec(spec))
+
+	tags := cluster.Master.Env.Agent.SinkTagValues(dlog.SinkDesc)
+	if len(tags) != 2 || tags[0] != "rsConf1" || tags[1] != "rsConf1" {
+		// Each RS generates its own rsConf1 (sequence restarts per node).
+		if !contains(tags, "rsConf1") {
+			t.Fatalf("master LOG#info tags = %v, want rsConf1 entries", tags)
+		}
+	}
+	// Both region servers' taints must arrive, each from its own node.
+	origins := make(map[string]bool)
+	for _, o := range cluster.Master.Env.Agent.Observations() {
+		for _, k := range o.Taint.Keys() {
+			origins[k.LocalID] = true
+		}
+	}
+	if !origins["rs1:1"] || !origins["rs2:1"] {
+		t.Fatalf("taint origins = %v, want both region servers", origins)
+	}
+	// The master log actually printed the leaked names.
+	leaks := 0
+	for _, e := range cluster.Master.Log.Entries() {
+		if e.Tainted && strings.Contains(e.Message, "rs-host-") {
+			leaks++
+		}
+	}
+	if leaks != 2 {
+		t.Fatalf("master printed %d tainted names, want 2", leaks)
+	}
+}
+
+func TestPhosphorDropsTableNameAcrossNodes(t *testing.T) {
+	cluster, client := rig(t, tracker.ModePhosphor, false)
+	tn := client.TableName("users")
+	if err := client.Put(tn, "r", "c", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get(tn, "r"); err != nil {
+		t.Fatal(err)
+	}
+	// No taint minted on the client may appear on any other node.
+	for _, env := range []*jre.Env{cluster.Master.Env, cluster.RSs[0].Env, cluster.RSs[1].Env} {
+		for _, o := range env.Agent.Observations() {
+			for _, k := range o.Taint.Keys() {
+				if k.LocalID == "client:1" {
+					t.Fatalf("phosphor transported client taint to %s", env.Agent.Node())
+				}
+			}
+		}
+	}
+}
+
+func TestGetUnknownTable(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff, false)
+	if _, err := client.Get(client.TableName("missing"), "r"); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestGetMissingRowReturnsEmptyResult(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff, false)
+	res, err := client.Get(client.TableName("users"), "ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 0 {
+		t.Fatalf("cells = %v", res.Cells)
+	}
+}
+
+func TestMetaDistribution(t *testing.T) {
+	cluster, client := rig(t, tracker.ModeOff, false)
+	if len(client.meta) != 2 {
+		t.Fatalf("meta = %v", client.meta)
+	}
+	if client.meta["users"] == client.meta["events"] {
+		t.Fatal("tables must round-robin across the two region servers")
+	}
+	if cluster.ZK.NodeCount() < 4 {
+		t.Fatalf("znodes = %d", cluster.ZK.NodeCount())
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStartRegionServerBadConf(t *testing.T) {
+	net := netsim.New()
+	mk := func(name string) *jre.Env {
+		return jre.NewEnv(net, tracker.New(name, tracker.ModeOff))
+	}
+	zkSrv, err := zkStart(mk("zknode"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zkSrv.Close()
+	_, err = StartRegionServer(mk("rs"), "rs-bad:1", "hbase-badconf-zk:2181",
+		filepath.Join(t.TempDir(), "missing.conf"))
+	if err == nil {
+		t.Fatal("missing conf must fail region server start")
+	}
+}
+
+// zkStart boots a zk server at the fixed test address.
+func zkStart(env *jre.Env) (*zk.Server, error) {
+	return zk.StartServer(env, "hbase-badconf-zk:2181")
+}
+
+func TestDuplicateRegionServerRegistration(t *testing.T) {
+	net := netsim.New()
+	mk := func(name string) *jre.Env {
+		return jre.NewEnv(net, tracker.New(name, tracker.ModeOff))
+	}
+	zkSrv, err := zk.StartServer(mk("zknode"), "hbase-dup-zk:2181")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer zkSrv.Close()
+	boot, err := zk.DialClient(mk("boot"), "hbase-dup-zk:2181")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot.Create(taint.String{Value: "/hbase"}, taint.Bytes{})
+	boot.Create(taint.String{Value: "/hbase/rs"}, taint.Bytes{})
+	boot.Close()
+
+	env := mk("rs1")
+	rs, err := StartRegionServer(env, "rs-dup-a:1", "hbase-dup-zk:2181", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	// A second server with the same node name collides on the znode.
+	if _, err := StartRegionServer(env, "rs-dup-b:1", "hbase-dup-zk:2181", ""); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+}
+
+func TestResultSerializationRoundTrip(t *testing.T) {
+	tr := taint.NewTree()
+	src := &Result{
+		Table: taint.String{Value: "users", Label: tr.NewSource("tn", "l")},
+		Row:   taint.String{Value: "r1"},
+		Cells: []Cell{
+			{Col: taint.String{Value: "name"}, Val: taint.String{Value: "alice", Label: tr.NewSource("v", "l")}},
+		},
+	}
+	b, err := jre.MarshalObject(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst Result
+	if err := jre.UnmarshalObject(b, &dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Table.Value != "users" || !dst.Table.Label.Has("tn") {
+		t.Fatalf("table = %+v", dst.Table)
+	}
+	if len(dst.Cells) != 1 || dst.Cells[0].Val.Value != "alice" || !dst.Cells[0].Val.Label.Has("v") {
+		t.Fatalf("cells = %+v", dst.Cells)
+	}
+}

@@ -1,0 +1,354 @@
+// Package mapreduce is the mini-MapReduce/Yarn of the evaluation
+// (DSN'22 Table III row 2): a ResourceManager, a NodeManager and a task
+// container computing Pi by Monte-Carlo sampling, communicating over
+// the NIO RPC substrate (the paper's "JRE NIO + Yarn RPC" transports).
+//
+// SDT scenario (Table IV): the job's ApplicationID generated on the
+// client is the source; the client's getApplicationReport is the sink.
+// The id travels client -> RM -> NM -> container -> NM -> RM -> client.
+//
+// SIM scenario: the client reads its job configuration file (source);
+// the ResourceManager logs the submitted queue name (LOG.info sink).
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+	"dista/internal/rpc"
+)
+
+// Taint point descriptors of the MapReduce scenarios.
+const (
+	// SourceAppID is the SDT source: the ApplicationID generated on the
+	// client.
+	SourceAppID = "JobClient#ApplicationID"
+	// SinkReport is the SDT sink: the client's getApplicationReport.
+	SinkReport = "JobClient#getApplicationReport"
+	// SourceJobConf is the SIM source: reading the job configuration.
+	SourceJobConf = "JobConf#load"
+)
+
+// Application states reported by the ResourceManager.
+const (
+	StateRunning  = "RUNNING"
+	StateFinished = "FINISHED"
+)
+
+// SubmitJob is the client -> RM submission.
+type SubmitJob struct {
+	AppID   taint.String
+	Queue   taint.String
+	Samples taint.Int64
+}
+
+// WriteTo implements jre.Serializable.
+func (m *SubmitJob) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteString32(m.AppID); err != nil {
+		return err
+	}
+	if err := w.WriteString32(m.Queue); err != nil {
+		return err
+	}
+	return w.WriteInt64(m.Samples)
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *SubmitJob) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if m.AppID, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if m.Queue, err = r.ReadString32(); err != nil {
+		return err
+	}
+	m.Samples, err = r.ReadInt64()
+	return err
+}
+
+// Ack is a generic acknowledgement.
+type Ack struct {
+	OK bool
+}
+
+// WriteTo implements jre.Serializable.
+func (m *Ack) WriteTo(w *jre.DataOutputStream) error { return w.WriteBool(m.OK, taint.Taint{}) }
+
+// ReadFrom implements jre.Serializable.
+func (m *Ack) ReadFrom(r *jre.DataInputStream) error {
+	ok, _, err := r.ReadBool()
+	m.OK = ok
+	return err
+}
+
+// TaskSpec is the RM -> NM -> container task description.
+type TaskSpec struct {
+	AppID   taint.String
+	Samples taint.Int64
+}
+
+// WriteTo implements jre.Serializable.
+func (m *TaskSpec) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteString32(m.AppID); err != nil {
+		return err
+	}
+	return w.WriteInt64(m.Samples)
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *TaskSpec) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if m.AppID, err = r.ReadString32(); err != nil {
+		return err
+	}
+	m.Samples, err = r.ReadInt64()
+	return err
+}
+
+// TaskResult is the container's answer.
+type TaskResult struct {
+	AppID  taint.String
+	Pi     float64
+	PiTag  taint.Taint
+	Inside taint.Int64
+}
+
+// WriteTo implements jre.Serializable.
+func (m *TaskResult) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteString32(m.AppID); err != nil {
+		return err
+	}
+	if err := w.WriteFloat64(m.Pi, m.PiTag); err != nil {
+		return err
+	}
+	return w.WriteInt64(m.Inside)
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *TaskResult) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if m.AppID, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if m.Pi, m.PiTag, err = r.ReadFloat64(); err != nil {
+		return err
+	}
+	m.Inside, err = r.ReadInt64()
+	return err
+}
+
+// Report is the RM's application report.
+type Report struct {
+	AppID taint.String
+	State taint.String
+	Pi    float64
+	PiTag taint.Taint
+}
+
+// WriteTo implements jre.Serializable.
+func (m *Report) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteString32(m.AppID); err != nil {
+		return err
+	}
+	if err := w.WriteString32(m.State); err != nil {
+		return err
+	}
+	return w.WriteFloat64(m.Pi, m.PiTag)
+}
+
+// ReadFrom implements jre.Serializable.
+func (m *Report) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if m.AppID, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if m.State, err = r.ReadString32(); err != nil {
+		return err
+	}
+	m.Pi, m.PiTag, err = r.ReadFloat64()
+	return err
+}
+
+// Cluster is a running mini-Yarn: RM, NM and a container host.
+type Cluster struct {
+	rmEnv, nmEnv, ctEnv    *jre.Env
+	rmAddr, nmAddr, ctAddr string
+	RMLog                  *dlog.Logger
+
+	rm, nm, ct *rpc.Server
+
+	mu   sync.Mutex
+	apps map[string]*Report
+}
+
+// Start launches the three daemons on the given envs. id isolates
+// concurrent clusters on one network.
+func Start(id string, rmEnv, nmEnv, ctEnv *jre.Env) (*Cluster, error) {
+	c := &Cluster{
+		rmEnv: rmEnv, nmEnv: nmEnv, ctEnv: ctEnv,
+		rmAddr: "mr-" + id + "-rm:8030",
+		nmAddr: "mr-" + id + "-nm:8040",
+		ctAddr: "mr-" + id + "-ct:8050",
+		RMLog:  dlog.New(rmEnv.Agent),
+		apps:   make(map[string]*Report),
+	}
+	var err error
+	if c.ct, err = rpc.Serve(ctEnv, c.ctAddr); err != nil {
+		return nil, err
+	}
+	rpc.HandleObject(c.ct, "runTask", func() *TaskSpec { return &TaskSpec{} }, c.runContainerTask)
+
+	if c.nm, err = rpc.Serve(nmEnv, c.nmAddr); err != nil {
+		c.ct.Close()
+		return nil, err
+	}
+	rpc.HandleObject(c.nm, "launchContainer", func() *TaskSpec { return &TaskSpec{} }, c.launchContainer)
+
+	if c.rm, err = rpc.Serve(rmEnv, c.rmAddr); err != nil {
+		c.nm.Close()
+		c.ct.Close()
+		return nil, err
+	}
+	rpc.HandleObject(c.rm, "submitApplication", func() *SubmitJob { return &SubmitJob{} }, c.submitApplication)
+	rpc.HandleObject(c.rm, "getApplicationReport", func() *Report { return &Report{} }, c.getApplicationReport)
+	return c, nil
+}
+
+// RMAddr returns the ResourceManager's RPC address.
+func (c *Cluster) RMAddr() string { return c.rmAddr }
+
+// Stop shuts all daemons down.
+func (c *Cluster) Stop() {
+	c.rm.Close()
+	c.nm.Close()
+	c.ct.Close()
+}
+
+// submitApplication handles a client submission on the RM: it records
+// the app, logs the queue (the SIM sink fires here if the queue name is
+// tainted), and synchronously drives the NM.
+func (c *Cluster) submitApplication(req *SubmitJob) (*Ack, error) {
+	c.RMLog.Info("Accepted application %s in queue %s", req.AppID, req.Queue)
+	c.mu.Lock()
+	c.apps[req.AppID.Value] = &Report{AppID: req.AppID, State: taint.String{Value: StateRunning}}
+	c.mu.Unlock()
+
+	spec := &TaskSpec{AppID: req.AppID, Samples: req.Samples}
+	var result TaskResult
+	if err := rpc.CallOnce(c.rmEnv, c.nmAddr, "launchContainer", spec, &result); err != nil {
+		return nil, fmt.Errorf("mapreduce: launch container: %w", err)
+	}
+	c.mu.Lock()
+	c.apps[result.AppID.Value] = &Report{
+		AppID: result.AppID,
+		State: taint.String{Value: StateFinished},
+		Pi:    result.Pi,
+		PiTag: result.PiTag,
+	}
+	c.mu.Unlock()
+	return &Ack{OK: true}, nil
+}
+
+// launchContainer runs on the NM: it forwards the task to the container
+// host and relays the result.
+func (c *Cluster) launchContainer(spec *TaskSpec) (*TaskResult, error) {
+	var result TaskResult
+	if err := rpc.CallOnce(c.nmEnv, c.ctAddr, "runTask", spec, &result); err != nil {
+		return nil, fmt.Errorf("mapreduce: run task: %w", err)
+	}
+	return &result, nil
+}
+
+// runContainerTask is the container work: estimate Pi by Monte-Carlo
+// sampling (the paper's "job to calculate the value of Pi").
+func (c *Cluster) runContainerTask(spec *TaskSpec) (*TaskResult, error) {
+	n := spec.Samples.Value
+	if n <= 0 {
+		return nil, fmt.Errorf("mapreduce: bad sample count %d", n)
+	}
+	rng := rand.New(rand.NewSource(42))
+	inside := int64(0)
+	for i := int64(0); i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1 {
+			inside++
+		}
+	}
+	pi := 4 * float64(inside) / float64(n)
+	// The result derives from the job the tainted AppID identifies; the
+	// report's Pi carries that provenance.
+	return &TaskResult{
+		AppID:  spec.AppID,
+		Pi:     pi,
+		PiTag:  spec.AppID.Label,
+		Inside: taint.Int64{Value: inside, Label: spec.Samples.Label},
+	}, nil
+}
+
+// getApplicationReport answers the client's poll.
+func (c *Cluster) getApplicationReport(req *Report) (*Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.apps[req.AppID.Value]
+	if !ok {
+		return nil, fmt.Errorf("mapreduce: unknown application %q", req.AppID.Value)
+	}
+	out := *rep
+	return &out, nil
+}
+
+// Client drives jobs against a cluster from its own node.
+type Client struct {
+	env    *jre.Env
+	rmAddr string
+	seq    int
+}
+
+// NewClient builds a job client.
+func NewClient(env *jre.Env, rmAddr string) *Client {
+	return &Client{env: env, rmAddr: rmAddr}
+}
+
+// SubmitPiJob generates an ApplicationID (the SDT source point),
+// submits the Pi job with the given queue name, and returns the id.
+func (cl *Client) SubmitPiJob(queue taint.String, samples int64) (taint.String, error) {
+	cl.seq++
+	appID := taint.String{
+		Value: fmt.Sprintf("application_%04d", cl.seq),
+		Label: cl.env.Agent.Source(SourceAppID, "ApplicationID"),
+	}
+	req := &SubmitJob{AppID: appID, Queue: queue, Samples: taint.Int64{Value: samples}}
+	var ack Ack
+	if err := rpc.CallOnce(cl.env, cl.rmAddr, "submitApplication", req, &ack); err != nil {
+		return taint.String{}, err
+	}
+	if !ack.OK {
+		return taint.String{}, fmt.Errorf("mapreduce: submission rejected")
+	}
+	return appID, nil
+}
+
+// GetApplicationReport polls the RM and runs the SDT sink check over
+// the returned report.
+func (cl *Client) GetApplicationReport(appID taint.String) (*Report, error) {
+	var rep Report
+	if err := rpc.CallOnce(cl.env, cl.rmAddr, "getApplicationReport", &Report{AppID: appID}, &rep); err != nil {
+		return nil, err
+	}
+	cl.env.Agent.CheckSink(SinkReport, rep.AppID.Label, rep.PiTag)
+	return &rep, nil
+}
+
+// LoadJobConf reads a job configuration file; the returned queue name
+// carries the SIM source taint.
+func (cl *Client) LoadJobConf(path string) (taint.String, error) {
+	b, err := jre.ReadFileTainted(cl.env, path, SourceJobConf, "conf")
+	if err != nil {
+		return taint.String{}, err
+	}
+	return taint.StringOf(b), nil
+}

@@ -1,0 +1,190 @@
+package mapreduce
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+// rig builds RM/NM/container/client envs sharing one network and store.
+func rig(t *testing.T, mode tracker.Mode, opts ...tracker.Option) (*Cluster, *Client) {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	mk := func(name string) *jre.Env {
+		a := tracker.New(name, mode)
+		all := append([]tracker.Option{tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree()))}, opts...)
+		a = tracker.New(name, mode, all...)
+		return jre.NewEnv(net, a)
+	}
+	cluster, err := Start("t", mk("rm"), mk("nm"), mk("container"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Stop)
+	return cluster, NewClient(mk("client"), cluster.RMAddr())
+}
+
+func TestPiJobComputesPi(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff)
+	appID, err := client.SubmitPiJob(taint.String{Value: "default"}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.GetApplicationReport(appID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.State.Value != StateFinished {
+		t.Fatalf("state = %q", rep.State.Value)
+	}
+	if math.Abs(rep.Pi-math.Pi) > 0.1 {
+		t.Fatalf("pi = %v", rep.Pi)
+	}
+}
+
+// TestSDTApplicationIDTrace is the Table IV MapReduce SDT scenario: the
+// ApplicationID source taint must surface at getApplicationReport after
+// the client -> RM -> NM -> container -> back round trip.
+func TestSDTApplicationIDTrace(t *testing.T) {
+	_, client := rig(t, tracker.ModeDista)
+	appID, err := client.SubmitPiJob(taint.String{Value: "default"}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appID.Label.Empty() {
+		t.Fatal("ApplicationID must be tainted at the source")
+	}
+	rep, err := client.GetApplicationReport(appID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AppID.Label.Has("ApplicationID") {
+		t.Fatal("report AppID lost its taint across four hops")
+	}
+	if !rep.PiTag.Has("ApplicationID") {
+		t.Fatal("the Pi result must carry the job's provenance")
+	}
+	tags := client.env.Agent.SinkTagValues(SinkReport)
+	if len(tags) != 1 || tags[0] != "ApplicationID" {
+		t.Fatalf("sink tags = %v, want exactly [ApplicationID]", tags)
+	}
+}
+
+// TestSDTPhosphorNoCrossNodeTransport: under intra-node-only tracking
+// no taint generated on the client may ever be *transported* to another
+// node. (The client itself may observe a stale local artifact through
+// its reused channel buffer — the Fig. 4 wrong flow — so the assertion
+// is about taint origins, not mere presence.)
+func TestSDTPhosphorNoCrossNodeTransport(t *testing.T) {
+	cluster, client := rig(t, tracker.ModePhosphor)
+	appID, err := client.SubmitPiJob(taint.String{Value: "default"}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.GetApplicationReport(appID); err != nil {
+		t.Fatal(err)
+	}
+	// Any taint the client's sink saw must be its own stale artifact.
+	for _, o := range client.env.Agent.Observations() {
+		for _, k := range o.Taint.Keys() {
+			if k.LocalID != client.env.Agent.LocalID() {
+				t.Fatalf("phosphor transported a remote taint %v", k)
+			}
+		}
+	}
+	// The RM logged the AppID it received; that value must be clean.
+	if cluster.RMLog.TaintedCount() != 0 {
+		t.Fatal("phosphor mode delivered a tainted value to the RM log")
+	}
+}
+
+// TestSIMConfLeakToRMLog is the SIM scenario: the queue name read from
+// the client's config file must fire the RM's LOG.info sink.
+func TestSIMConfLeakToRMLog(t *testing.T) {
+	// A real SIM run restricts sources to file reads and sinks to
+	// LOG.info (§V-B), so the ApplicationID source stays dormant.
+	spec := tracker.NewSpec([]string{SourceJobConf}, []string{dlog.SinkDesc})
+	cluster, client := rig(t, tracker.ModeDista, tracker.WithSpec(spec))
+	dir := t.TempDir()
+	conf := filepath.Join(dir, "job.conf")
+	if err := os.WriteFile(conf, []byte("production-queue"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	queue, err := client.LoadJobConf(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !queue.Label.Has("conf1") {
+		t.Fatalf("queue label = %v", queue.Label)
+	}
+	if _, err := client.SubmitPiJob(queue, 1000); err != nil {
+		t.Fatal(err)
+	}
+	tags := cluster.rmEnv.Agent.SinkTagValues(dlog.SinkDesc)
+	if len(tags) != 1 || tags[0] != "conf1" {
+		t.Fatalf("RM LOG#info tags = %v, want [conf1]", tags)
+	}
+	// The taint's origin is the client node, proving cross-node flow.
+	origin := ""
+	for _, o := range cluster.rmEnv.Agent.Observations() {
+		for _, k := range o.Taint.Keys() {
+			if k.Value == "conf1" {
+				origin = k.LocalID
+			}
+		}
+	}
+	if origin != "client:1" {
+		t.Fatalf("taint origin = %q, want client:1", origin)
+	}
+	// The RM's log text actually contains the leaked value.
+	leaked := false
+	for _, e := range cluster.RMLog.Entries() {
+		if e.Tainted && strings.Contains(e.Message, "production-queue") {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Fatal("RM log never printed the tainted queue name")
+	}
+}
+
+func TestUnknownApplication(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff)
+	_, err := client.GetApplicationReport(taint.String{Value: "application_9999"})
+	if err == nil || !strings.Contains(err.Error(), "unknown application") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadSampleCount(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff)
+	_, err := client.SubmitPiJob(taint.String{Value: "q"}, 0)
+	if err == nil {
+		t.Fatal("zero samples must fail")
+	}
+}
+
+func TestSequentialJobsGetDistinctIDs(t *testing.T) {
+	_, client := rig(t, tracker.ModeOff)
+	a, err := client.SubmitPiJob(taint.String{Value: "q"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := client.SubmitPiJob(taint.String{Value: "q"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value == b.Value {
+		t.Fatalf("duplicate app ids %q", a.Value)
+	}
+}

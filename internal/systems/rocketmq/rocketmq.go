@@ -1,0 +1,429 @@
+// Package rocketmq is the mini-RocketMQ of the evaluation (DSN'22
+// Table III row 4): a broker with a commit log, a producer pushing long
+// text messages and a consumer pulling them — all over the minette
+// (Netty-analogue) framed transport, matching RocketMQ's Netty-based
+// remoting.
+//
+// SDT scenario (Table IV): the producer's Message is the source; the
+// MessageExt received on the consumer is the sink.
+//
+// SIM scenario: the broker reads its configuration file (source) and
+// stamps its broker name into every pull response; the consumer logs
+// the broker name (LOG.info sink) — a server-to-client leak.
+package rocketmq
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dista/internal/core/taint"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+	"dista/internal/minette"
+)
+
+// Taint point descriptors of the RocketMQ scenarios.
+const (
+	// SourceMessage is the SDT source: the producer's Message variable.
+	SourceMessage = "Producer#Message"
+	// SinkConsume is the SDT sink: the MessageExt on the consumer.
+	SinkConsume = "Consumer#MessageExt"
+	// SourceBrokerConf is the SIM source: the broker's config file.
+	SourceBrokerConf = "BrokerConfig#load"
+)
+
+// command codes of the remoting protocol.
+const (
+	codeSend     = byte(1)
+	codeSendAck  = byte(2)
+	codePull     = byte(3)
+	codePullResp = byte(4)
+	codeError    = byte(9)
+)
+
+// Message is the producer-side payload.
+type Message struct {
+	Topic taint.String
+	Body  taint.Bytes
+}
+
+// MessageExt is the stored/delivered form with broker metadata.
+type MessageExt struct {
+	Message
+	QueueOffset taint.Int64
+	BrokerName  taint.String
+}
+
+// command is the single remoting unit.
+type command struct {
+	Code   byte
+	Topic  taint.String
+	Body   taint.Bytes
+	Offset taint.Int64
+	Max    taint.Int32
+	Broker taint.String
+	Count  taint.Int32
+	Msgs   []MessageExt
+	Err    taint.String
+}
+
+var _ jre.Serializable = (*command)(nil)
+
+// WriteTo implements jre.Serializable.
+func (c *command) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteByteValue(c.Code, taint.Taint{}); err != nil {
+		return err
+	}
+	if err := w.WriteString32(c.Topic); err != nil {
+		return err
+	}
+	if err := w.WriteBytes32(c.Body); err != nil {
+		return err
+	}
+	if err := w.WriteInt64(c.Offset); err != nil {
+		return err
+	}
+	if err := w.WriteInt32(c.Max); err != nil {
+		return err
+	}
+	if err := w.WriteString32(c.Broker); err != nil {
+		return err
+	}
+	if err := w.WriteInt32(taint.Int32{Value: int32(len(c.Msgs))}); err != nil {
+		return err
+	}
+	for i := range c.Msgs {
+		m := &c.Msgs[i]
+		if err := w.WriteString32(m.Topic); err != nil {
+			return err
+		}
+		if err := w.WriteBytes32(m.Body); err != nil {
+			return err
+		}
+		if err := w.WriteInt64(m.QueueOffset); err != nil {
+			return err
+		}
+		if err := w.WriteString32(m.BrokerName); err != nil {
+			return err
+		}
+	}
+	return w.WriteString32(c.Err)
+}
+
+// ReadFrom implements jre.Serializable.
+func (c *command) ReadFrom(r *jre.DataInputStream) error {
+	code, _, err := r.ReadByteValue()
+	if err != nil {
+		return err
+	}
+	c.Code = code
+	if c.Topic, err = r.ReadString32(); err != nil {
+		return err
+	}
+	if c.Body, err = r.ReadBytes32(); err != nil {
+		return err
+	}
+	if c.Offset, err = r.ReadInt64(); err != nil {
+		return err
+	}
+	if c.Max, err = r.ReadInt32(); err != nil {
+		return err
+	}
+	if c.Broker, err = r.ReadString32(); err != nil {
+		return err
+	}
+	n, err := r.ReadInt32()
+	if err != nil {
+		return err
+	}
+	c.Msgs = make([]MessageExt, n.Value)
+	for i := range c.Msgs {
+		m := &c.Msgs[i]
+		if m.Topic, err = r.ReadString32(); err != nil {
+			return err
+		}
+		if m.Body, err = r.ReadBytes32(); err != nil {
+			return err
+		}
+		if m.QueueOffset, err = r.ReadInt64(); err != nil {
+			return err
+		}
+		if m.BrokerName, err = r.ReadString32(); err != nil {
+			return err
+		}
+	}
+	c.Err, err = r.ReadString32()
+	return err
+}
+
+// Broker stores messages per topic in a commit log and serves
+// send/pull commands.
+type Broker struct {
+	Env  *jre.Env
+	Log  *dlog.Logger
+	name taint.String
+
+	server  *minette.ServerBootstrap
+	logFile *os.File
+
+	mu     sync.Mutex
+	queues map[string][]MessageExt
+}
+
+// StartBroker launches a broker at addr. confPath (optional) is the
+// broker config file whose first line is the broker name — read through
+// the SIM source point. logPath (optional) appends every stored message
+// to a commit-log file on disk.
+func StartBroker(env *jre.Env, addr, confPath, logPath string) (*Broker, error) {
+	b := &Broker{
+		Env:    env,
+		Log:    dlog.New(env.Agent),
+		name:   taint.String{Value: "broker-a"},
+		queues: make(map[string][]MessageExt),
+	}
+	if confPath != "" {
+		raw, err := jre.ReadFileTainted(env, confPath, SourceBrokerConf, "brokerConf")
+		if err != nil {
+			return nil, err
+		}
+		b.name = taint.StringOf(raw)
+	}
+	if logPath != "" {
+		f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		b.logFile = f
+	}
+	b.server = minette.NewServerBootstrap(env, func() []minette.Handler {
+		return []minette.Handler{&minette.LengthFieldCodec{}, brokerHandler{b: b}}
+	}, nil)
+	if err := b.server.Bind(addr); err != nil {
+		if b.logFile != nil {
+			b.logFile.Close()
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// brokerHandler decodes commands from frames and answers them.
+type brokerHandler struct {
+	b *Broker
+}
+
+func (h brokerHandler) OnRead(ctx *minette.Context, msg any) error {
+	frame, ok := msg.(taint.Bytes)
+	if !ok {
+		return fmt.Errorf("rocketmq: broker got %T", msg)
+	}
+	var cmd command
+	if err := jre.UnmarshalObject(frame, &cmd); err != nil {
+		return err
+	}
+	resp := h.b.handle(&cmd)
+	out, err := jre.MarshalObject(resp)
+	if err != nil {
+		return err
+	}
+	return ctx.Channel().Write(out)
+}
+
+// handle executes one command against the store.
+func (b *Broker) handle(cmd *command) *command {
+	switch cmd.Code {
+	case codeSend:
+		offset := b.store(cmd.Topic, cmd.Body)
+		return &command{Code: codeSendAck, Offset: offset}
+	case codePull:
+		msgs := b.fetch(cmd.Topic.Value, cmd.Offset.Value, int(cmd.Max.Value))
+		return &command{Code: codePullResp, Broker: b.name, Msgs: msgs}
+	default:
+		return &command{Code: codeError, Err: taint.String{Value: fmt.Sprintf("bad code %d", cmd.Code)}}
+	}
+}
+
+// store appends a message to the topic queue and the commit log file.
+func (b *Broker) store(topic taint.String, body taint.Bytes) taint.Int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[topic.Value]
+	offset := taint.Int64{Value: int64(len(q))}
+	b.queues[topic.Value] = append(q, MessageExt{
+		Message:     Message{Topic: topic, Body: body.Clone()},
+		QueueOffset: offset,
+		BrokerName:  b.name,
+	})
+	if b.logFile != nil {
+		fmt.Fprintf(b.logFile, "%s %d %d\n", topic.Value, offset.Value, body.Len())
+	}
+	return offset
+}
+
+// fetch returns up to max messages of a topic starting at offset.
+func (b *Broker) fetch(topic string, offset int64, max int) []MessageExt {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[topic]
+	if offset < 0 || offset >= int64(len(q)) {
+		return nil
+	}
+	end := offset + int64(max)
+	if end > int64(len(q)) {
+		end = int64(len(q))
+	}
+	out := make([]MessageExt, end-offset)
+	copy(out, q[offset:end])
+	return out
+}
+
+// QueueDepth returns the number of stored messages for a topic.
+func (b *Broker) QueueDepth(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queues[topic])
+}
+
+// Close stops the broker.
+func (b *Broker) Close() error {
+	err := b.server.Close()
+	if b.logFile != nil {
+		if cerr := b.logFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// remotingClient correlates one in-flight command per connection.
+type remotingClient struct {
+	ch   *minette.Channel
+	mu   sync.Mutex
+	resp chan taint.Bytes
+}
+
+func dialRemoting(env *jre.Env, addr string) (*remotingClient, error) {
+	rc := &remotingClient{resp: make(chan taint.Bytes, 1)}
+	boot := minette.NewBootstrap(env, func() []minette.Handler {
+		return []minette.Handler{&minette.LengthFieldCodec{}}
+	}, func(_ *minette.Channel, msg any) {
+		if b, ok := msg.(taint.Bytes); ok {
+			rc.resp <- b
+		}
+	})
+	ch, err := boot.Connect(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.ch = ch
+	return rc, nil
+}
+
+// call sends one command and waits for the response.
+func (rc *remotingClient) call(cmd *command) (*command, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out, err := jre.MarshalObject(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := rc.ch.Write(out); err != nil {
+		return nil, err
+	}
+	select {
+	case frame := <-rc.resp:
+		var resp command
+		if err := jre.UnmarshalObject(frame, &resp); err != nil {
+			return nil, err
+		}
+		if resp.Code == codeError {
+			return nil, errors.New("rocketmq: " + resp.Err.Value)
+		}
+		return &resp, nil
+	case <-time.After(30 * time.Second):
+		return nil, errors.New("rocketmq: remoting call timed out")
+	}
+}
+
+func (rc *remotingClient) close() error { return rc.ch.Close() }
+
+// Producer sends messages to a broker.
+type Producer struct {
+	env *jre.Env
+	rc  *remotingClient
+}
+
+// ConnectProducer dials the broker.
+func ConnectProducer(env *jre.Env, brokerAddr string) (*Producer, error) {
+	rc, err := dialRemoting(env, brokerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Producer{env: env, rc: rc}, nil
+}
+
+// Send publishes a message whose body is the SDT source point; it
+// returns the assigned queue offset.
+func (p *Producer) Send(topic, text string) (int64, error) {
+	body := taint.FromString(text, p.env.Agent.Source(SourceMessage, "Message"))
+	resp, err := p.rc.call(&command{Code: codeSend, Topic: taint.String{Value: topic}, Body: body})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset.Value, nil
+}
+
+// SendTainted publishes a message whose tainted body the caller
+// supplies (e.g. content read from a tracked data file).
+func (p *Producer) SendTainted(topic string, body taint.String) (int64, error) {
+	resp, err := p.rc.call(&command{Code: codeSend, Topic: taint.String{Value: topic}, Body: body.Bytes()})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Offset.Value, nil
+}
+
+// Close disconnects the producer.
+func (p *Producer) Close() error { return p.rc.close() }
+
+// Consumer pulls messages from a broker.
+type Consumer struct {
+	env *jre.Env
+	Log *dlog.Logger
+	rc  *remotingClient
+}
+
+// ConnectConsumer dials the broker.
+func ConnectConsumer(env *jre.Env, brokerAddr string) (*Consumer, error) {
+	rc, err := dialRemoting(env, brokerAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Consumer{env: env, Log: dlog.New(env.Agent), rc: rc}, nil
+}
+
+// Pull fetches up to max messages from offset; every received
+// MessageExt passes the SDT sink and the broker name is logged (SIM
+// sink).
+func (c *Consumer) Pull(topic string, offset int64, max int) ([]MessageExt, error) {
+	resp, err := c.rc.call(&command{
+		Code:   codePull,
+		Topic:  taint.String{Value: topic},
+		Offset: taint.Int64{Value: offset},
+		Max:    taint.Int32{Value: int32(max)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Log.Info("pulled %d messages from broker %s", len(resp.Msgs), resp.Broker)
+	for i := range resp.Msgs {
+		c.env.Agent.CheckSink(SinkConsume, resp.Msgs[i].Body.Union())
+	}
+	return resp.Msgs, nil
+}
+
+// Close disconnects the consumer.
+func (c *Consumer) Close() error { return c.rc.close() }

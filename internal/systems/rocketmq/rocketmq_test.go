@@ -1,0 +1,220 @@
+package rocketmq
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dista/internal/core/tracker"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+func rig(t *testing.T, mode tracker.Mode, confPath string, opts ...tracker.Option) (*Broker, *Producer, *Consumer) {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	mk := func(name string) *jre.Env {
+		a := tracker.New(name, mode)
+		all := append([]tracker.Option{tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree()))}, opts...)
+		a = tracker.New(name, mode, all...)
+		return jre.NewEnv(net, a)
+	}
+	logPath := filepath.Join(t.TempDir(), "commitlog")
+	broker, err := StartBroker(mk("broker"), "rmq-broker:10911", confPath, logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { broker.Close() })
+	producer, err := ConnectProducer(mk("producer"), "rmq-broker:10911")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { producer.Close() })
+	consumer, err := ConnectConsumer(mk("consumer"), "rmq-broker:10911")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { consumer.Close() })
+	return broker, producer, consumer
+}
+
+func TestSendPullRoundTrip(t *testing.T) {
+	broker, producer, consumer := rig(t, tracker.ModeOff, "")
+	for i := 0; i < 3; i++ {
+		off, err := producer.Send("orders", strings.Repeat("item ", 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off != int64(i) {
+			t.Fatalf("offset = %d, want %d", off, i)
+		}
+	}
+	if broker.QueueDepth("orders") != 3 {
+		t.Fatalf("depth = %d", broker.QueueDepth("orders"))
+	}
+	msgs, err := consumer.Pull("orders", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].QueueOffset.Value != 1 {
+		t.Fatalf("pull = %d msgs, first offset %d", len(msgs), msgs[0].QueueOffset.Value)
+	}
+}
+
+// TestSDTMessageTrace is the Table IV RocketMQ SDT scenario: the
+// producer's Message taint must reach the consumer's MessageExt sink.
+func TestSDTMessageTrace(t *testing.T) {
+	_, producer, consumer := rig(t, tracker.ModeDista, "")
+	if _, err := producer.Send("news", strings.Repeat("long text ", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := consumer.Pull("news", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("pulled %d", len(msgs))
+	}
+	if !msgs[0].Body.Union().Has("Message") {
+		t.Fatal("message taint lost producer -> broker -> consumer")
+	}
+	tags := consumer.env.Agent.SinkTagValues(SinkConsume)
+	if len(tags) != 1 || tags[0] != "Message" {
+		t.Fatalf("sink tags = %v, want [Message]", tags)
+	}
+	for _, o := range consumer.env.Agent.Observations() {
+		for _, k := range o.Taint.Keys() {
+			if k.LocalID != "producer:1" {
+				t.Fatalf("taint origin = %q", k.LocalID)
+			}
+		}
+	}
+}
+
+// TestSIMBrokerNameLeak: the broker name read from broker.conf reaches
+// the consumer's LOG.info sink inside the pull response.
+func TestSIMBrokerNameLeak(t *testing.T) {
+	dir := t.TempDir()
+	conf := filepath.Join(dir, "broker.conf")
+	if err := os.WriteFile(conf, []byte("broker-prod-7"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := tracker.NewSpec([]string{SourceBrokerConf}, []string{dlog.SinkDesc})
+	_, producer, consumer := rig(t, tracker.ModeDista, conf, tracker.WithSpec(spec))
+
+	if _, err := producer.Send("t", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := consumer.Pull("t", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tags := consumer.env.Agent.SinkTagValues(dlog.SinkDesc)
+	if len(tags) != 1 || tags[0] != "brokerConf1" {
+		t.Fatalf("consumer LOG#info tags = %v, want [brokerConf1]", tags)
+	}
+	leaked := false
+	for _, e := range consumer.Log.Entries() {
+		if e.Tainted && strings.Contains(e.Message, "broker-prod-7") {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Fatal("consumer log never printed the tainted broker name")
+	}
+}
+
+func TestPhosphorDropsTaint(t *testing.T) {
+	_, producer, consumer := rig(t, tracker.ModePhosphor, "")
+	if _, err := producer.Send("news", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := consumer.Pull("news", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 1 && msgs[0].Body.Union().Has("Message") {
+		t.Fatal("phosphor mode carried the message taint")
+	}
+}
+
+func TestPullPastEnd(t *testing.T) {
+	_, producer, consumer := rig(t, tracker.ModeOff, "")
+	if _, err := producer.Send("t", "only"); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := consumer.Pull("t", 5, 10)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("pull past end = %d msgs, %v", len(msgs), err)
+	}
+	msgs, err = consumer.Pull("unknown-topic", 0, 10)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("pull unknown topic = %d msgs, %v", len(msgs), err)
+	}
+}
+
+func TestCommitLogWritten(t *testing.T) {
+	broker, producer, _ := rig(t, tracker.ModeOff, "")
+	if _, err := producer.Send("t", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	// Force the buffered file content out by closing.
+	path := broker.logFile.Name()
+	broker.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "t 0 7") {
+		t.Fatalf("commit log = %q", data)
+	}
+}
+
+func TestStartBrokerBadConfPath(t *testing.T) {
+	net := netsim.New()
+	a := tracker.New("b", tracker.ModeDista)
+	env := jre.NewEnv(net, a)
+	if _, err := StartBroker(env, "rmq-x:1", filepath.Join(t.TempDir(), "missing.conf"), ""); err == nil {
+		t.Fatal("missing conf must fail broker start")
+	}
+}
+
+func TestStartBrokerAddrConflict(t *testing.T) {
+	net := netsim.New()
+	mk := func(name string) *jre.Env {
+		return jre.NewEnv(net, tracker.New(name, tracker.ModeOff))
+	}
+	b1, err := StartBroker(mk("b1"), "rmq-dup:1", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	if _, err := StartBroker(mk("b2"), "rmq-dup:1", "", ""); err == nil {
+		t.Fatal("duplicate address must fail")
+	}
+}
+
+func TestBrokerRejectsUnknownCode(t *testing.T) {
+	_, producer, _ := rig(t, tracker.ModeOff, "")
+	resp, err := producer.rc.call(&command{Code: 99})
+	if err == nil || resp != nil {
+		t.Fatalf("unknown code: resp=%v err=%v", resp, err)
+	}
+	if !strings.Contains(err.Error(), "bad code") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultBrokerName(t *testing.T) {
+	broker, _, consumer := rig(t, tracker.ModeOff, "")
+	if broker.name.Value != "broker-a" {
+		t.Fatalf("default name = %q", broker.name.Value)
+	}
+	// Pull responses carry the default name.
+	if _, err := consumer.Pull("t", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+package zk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/dlog"
+	"dista/internal/jre"
+)
+
+// Peer is one quorum member running fast leader election. Votes flow
+// through SendWorker/RecvWorker pairs over TCP object streams, the
+// communication pattern of the paper's Figure 1.
+type Peer struct {
+	ID         int64
+	Env        *jre.Env
+	Log        *dlog.Logger
+	DataDir    string // transaction-log directory (SIM sources)
+	ConfigPath string // peer configuration file (SIM source), optional
+
+	addr    string
+	ss      *jre.ServerSocket
+	senders map[int64]*jre.ObjectOutputStream
+	sconns  []*jre.Socket
+	recvCh  chan *Vote
+	wg      sync.WaitGroup
+
+	zxid  taint.Int64
+	epoch taint.Int64
+
+	mu     sync.Mutex
+	result *Vote // the elected leader's final vote
+}
+
+// peerAddr names a peer's election listener.
+func peerAddr(clusterID string, id int64) string {
+	return fmt.Sprintf("zk-%s-peer%d:3888", clusterID, id)
+}
+
+// NewPeer constructs a peer; Start wires it to the others.
+func NewPeer(id int64, env *jre.Env, dataDir string) *Peer {
+	return &Peer{
+		ID:      id,
+		Env:     env,
+		Log:     dlog.New(env.Agent),
+		DataDir: dataDir,
+		senders: make(map[int64]*jre.ObjectOutputStream),
+		recvCh:  make(chan *Vote, 64),
+	}
+}
+
+// loadTxnLogs reads the node's transaction-log files at startup (the
+// while loop of Fig. 11): each read is a SIM source generating a fresh
+// zxidN taint; only the *last* file's value is kept as the node's zxid
+// and epoch — which is why only that taint ever reaches other nodes.
+func (p *Peer) loadTxnLogs() error {
+	if p.DataDir == "" {
+		p.zxid = taint.Int64{Value: p.ID * 100}
+		p.epoch = taint.Int64{Value: 1}
+		return nil
+	}
+	entries, err := os.ReadDir(p.DataDir)
+	if err != nil {
+		return fmt.Errorf("zk: read txn log dir: %w", err)
+	}
+	var logs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			logs = append(logs, e.Name())
+		}
+	}
+	if len(logs) == 0 {
+		return fmt.Errorf("zk: no transaction logs in %s", p.DataDir)
+	}
+	for _, name := range logs { // sorted by ReadDir
+		b, err := jre.ReadFileTainted(p.Env, filepath.Join(p.DataDir, name), SourceTxnRead, "zxid")
+		if err != nil {
+			return err
+		}
+		if b.Len() < 8 {
+			return fmt.Errorf("zk: short txn log %s", name)
+		}
+		// zxid = the transaction id in the (current) file; the variable
+		// is overwritten each iteration, so the final value and taint
+		// come from the last file only.
+		p.zxid = taint.Int64{
+			Value: int64(binary.BigEndian.Uint64(b.Data[:8])),
+			Label: b.Slice(0, 8).Union(),
+		}
+	}
+	// The election epoch starts equal on all peers; its value derives
+	// from the recovered state, so it carries the zxid's taint (this is
+	// the "assigned to epoch and sent to Node 2" flow of Fig. 11). When
+	// a configuration file is present, the epoch also derives from it
+	// (ZooKeeper reads zoo.cfg during recovery).
+	epochLabel := p.zxid.Label
+	if p.ConfigPath != "" {
+		conf, err := jre.ReadFileTainted(p.Env, p.ConfigPath, SourceConfig, "zooCfg")
+		if err != nil {
+			return err
+		}
+		epochLabel = taint.Combine(epochLabel, conf.Union())
+	}
+	p.epoch = taint.Int64{Value: 1, Label: epochLabel}
+	return nil
+}
+
+// WriteTxnLogs populates a data directory with n log files whose
+// payload starts with a big-endian zxid; the last file holds the
+// largest id (ZooKeeper reads logs to find the largest transaction id).
+func WriteTxnLogs(dir string, ids ...int64) error {
+	for i, id := range ids {
+		buf := binary.BigEndian.AppendUint64(nil, uint64(id))
+		buf = append(buf, []byte(fmt.Sprintf(" log entry %d", i))...)
+		name := filepath.Join(dir, fmt.Sprintf("log.%02d", i+1))
+		if err := os.WriteFile(name, buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// listen binds the peer's election port.
+func (p *Peer) listen(clusterID string) error {
+	p.addr = peerAddr(clusterID, p.ID)
+	ss, err := jre.ListenSocket(p.Env, p.addr)
+	if err != nil {
+		return err
+	}
+	p.ss = ss
+	return nil
+}
+
+// acceptLoop runs RecvWorkers for inbound connections.
+func (p *Peer) acceptLoop(expected int) {
+	for i := 0; i < expected; i++ {
+		sock, err := p.ss.Accept()
+		if err != nil {
+			return
+		}
+		p.wg.Add(1)
+		go p.recvWorker(sock)
+	}
+}
+
+// recvWorker reads votes from one peer connection (Fig. 1's RecvWorker).
+func (p *Peer) recvWorker(sock *jre.Socket) {
+	defer p.wg.Done()
+	defer sock.Close()
+	oin := jre.NewObjectInputStream(sock.InputStream())
+	for {
+		var v Vote
+		if err := oin.ReadObject(&v); err != nil {
+			return
+		}
+		p.recvCh <- &v
+	}
+}
+
+// connectSenders opens SendWorker connections to all other peers.
+func (p *Peer) connectSenders(clusterID string, ids []int64) error {
+	for _, id := range ids {
+		if id == p.ID {
+			continue
+		}
+		sock, err := jre.DialSocket(p.Env, peerAddr(clusterID, id))
+		if err != nil {
+			return err
+		}
+		p.sconns = append(p.sconns, sock)
+		p.senders[id] = jre.NewObjectOutputStream(sock.OutputStream())
+	}
+	return nil
+}
+
+// broadcast sends the vote to every other peer (SendWorker.write of
+// Fig. 1).
+func (p *Peer) broadcast(v *Vote) error {
+	for id, out := range p.senders {
+		vv := *v
+		vv.FromID = p.ID
+		if err := out.WriteObject(&vv); err != nil {
+			return fmt.Errorf("zk: send vote to peer %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// runElection executes fast leader election and returns the winning
+// vote. quorum is the number of peers (including self) that must agree.
+func (p *Peer) runElection(total int) (*Vote, error) {
+	// The initial vote proposes self — the SDT source point ("we only
+	// select [the votes] which are first transferred into the network").
+	vote := &Vote{
+		LeaderID: taint.Int64{Value: p.ID},
+		Zxid:     p.zxid,
+		Epoch:    p.epoch,
+	}
+	if t := p.Env.Agent.Source(SourceVote, fmt.Sprintf("Vote%d", p.ID)); !t.Empty() {
+		vote.LeaderID.Label = taint.Combine(vote.LeaderID.Label, t)
+	}
+	if err := p.broadcast(vote); err != nil {
+		return nil, err
+	}
+
+	latest := make(map[int64]*Vote, total)
+	for total > 1 {
+		v := <-p.recvCh
+		latest[v.FromID] = v
+		if supersedes(v, vote) {
+			// Adopt the better proposal; taints of the adopted fields
+			// propagate with the values.
+			adopted := &Vote{LeaderID: v.LeaderID, Zxid: v.Zxid, Epoch: v.Epoch}
+			vote = adopted
+			if err := p.broadcast(vote); err != nil {
+				return nil, err
+			}
+		}
+		if len(latest) == total-1 && allAgree(latest, vote) {
+			break
+		}
+	}
+
+	p.mu.Lock()
+	p.result = vote
+	p.mu.Unlock()
+
+	if vote.LeaderID.Value != p.ID {
+		// checkLeader on a follower: the SDT sink point.
+		p.Env.Agent.CheckSink(SinkCheckLeader, vote.Labels())
+	}
+	// The SIM sink: every node logs the new epoch, printing the value
+	// whose taint (zxid from the last txn log) travelled here (Fig. 11).
+	p.Log.Info("LEADING/FOLLOWING: leader=%d new epoch %v", vote.LeaderID.Value, vote.Epoch)
+	return vote, nil
+}
+
+func allAgree(latest map[int64]*Vote, vote *Vote) bool {
+	for _, v := range latest {
+		if v.LeaderID.Value != vote.LeaderID.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Result returns the elected vote once the election finished.
+func (p *Peer) Result() *Vote {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.result
+}
+
+// closeConns shuts the peer's outbound connections and listener. The
+// inbound RecvWorkers exit once every *other* peer has done the same,
+// so shutdown is two-phase: all peers closeConns, then all peers wait.
+func (p *Peer) closeConns() {
+	for _, s := range p.sconns {
+		s.Close()
+	}
+	if p.ss != nil {
+		p.ss.Close()
+	}
+}
+
+// wait blocks until the peer's RecvWorkers have exited.
+func (p *Peer) wait() {
+	p.wg.Wait()
+}
+
+// RunElection wires count peers into a full mesh and runs the election
+// to completion, returning the peers for inspection. clusterID isolates
+// concurrent clusters on one network.
+func RunElection(clusterID string, peers []*Peer) error {
+	total := len(peers)
+	for _, p := range peers {
+		if err := p.loadTxnLogs(); err != nil {
+			return err
+		}
+		if err := p.listen(clusterID); err != nil {
+			return err
+		}
+	}
+	ids := make([]int64, len(peers))
+	for i, p := range peers {
+		ids[i] = p.ID
+	}
+	var acceptWG sync.WaitGroup
+	for _, p := range peers {
+		acceptWG.Add(1)
+		go func(p *Peer) {
+			defer acceptWG.Done()
+			p.acceptLoop(total - 1)
+		}(p)
+	}
+	for _, p := range peers {
+		if err := p.connectSenders(clusterID, ids); err != nil {
+			return err
+		}
+	}
+	acceptWG.Wait()
+
+	errs := make(chan error, total)
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *Peer) {
+			defer wg.Done()
+			_, err := p.runElection(total)
+			errs <- err
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for _, p := range peers {
+		p.closeConns()
+	}
+	for _, p := range peers {
+		p.wait()
+	}
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

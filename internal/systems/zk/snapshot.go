@@ -1,0 +1,77 @@
+package zk
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// Znode snapshot persistence: ZooKeeper periodically snapshots its data
+// tree to disk and reads the snapshot back on restart. Reading a
+// snapshot file is a SIM source just like reading a transaction log —
+// restored payloads are tainted data whose origin is the file.
+
+// SourceSnapshotRead is the SIM source descriptor for snapshot loads.
+const SourceSnapshotRead = "FileSnap#deserialize"
+
+// SaveSnapshot writes the server's znode tree to path. Taints are a
+// runtime property and do not persist — exactly like the real system,
+// where restart provenance comes from re-tainting the file read.
+func (s *Server) SaveSnapshot(path string) error {
+	s.mu.Lock()
+	paths := make([]string, 0, len(s.nodes))
+	for p := range s.nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := jre.NewByteArrayOutputStream()
+	w := jre.NewDataOutputStream(out)
+	err := w.WriteInt32(taint.Int32{Value: int32(len(paths))})
+	for _, p := range paths {
+		if err != nil {
+			break
+		}
+		if err = w.WriteString32(taint.String{Value: p}); err == nil {
+			err = w.WriteBytes32(taint.WrapBytes(s.nodes[p].Data))
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("zk: serialize snapshot: %w", err)
+	}
+	return os.WriteFile(path, out.Bytes().Data, 0o644)
+}
+
+// LoadSnapshot restores the znode tree from path into the server,
+// replacing its current contents. Every restored payload carries a
+// fresh snapshot-read taint when the env's spec enables the source.
+func (s *Server) LoadSnapshot(path string) error {
+	raw, err := jre.ReadFileTainted(s.env, path, SourceSnapshotRead, "snap")
+	if err != nil {
+		return err
+	}
+	r := jre.NewDataInputStream(jre.NewByteArrayInputStream(raw))
+	count, err := r.ReadInt32()
+	if err != nil {
+		return fmt.Errorf("zk: read snapshot header: %w", err)
+	}
+	nodes := make(map[string]taint.Bytes, count.Value)
+	for i := int32(0); i < count.Value; i++ {
+		p, err := r.ReadString32()
+		if err != nil {
+			return fmt.Errorf("zk: read snapshot entry %d: %w", i, err)
+		}
+		data, err := r.ReadBytes32()
+		if err != nil {
+			return fmt.Errorf("zk: read snapshot payload %d: %w", i, err)
+		}
+		nodes[p.Value] = data
+	}
+	s.mu.Lock()
+	s.nodes = nodes
+	s.mu.Unlock()
+	return nil
+}

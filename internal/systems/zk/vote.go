@@ -1,0 +1,89 @@
+// Package zk is the mini-ZooKeeper of the evaluation (DSN'22 Table III
+// row 1 and the cross-system substrate of the HBase row): a
+// coordination service with fast-leader-election over the instrumented
+// TCP object-stream stack, transaction-log files (the SIM sources of
+// Fig. 11), and a znode store with a client protocol.
+package zk
+
+import (
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// Taint point descriptors of the ZooKeeper scenarios (Table IV row 1).
+const (
+	// SourceVote is the SDT source: the Vote variable in
+	// FastLeaderElection.
+	SourceVote = "FastLeaderElection#Vote"
+	// SinkCheckLeader is the SDT sink: checkLeader, invoked on a
+	// follower when the leader is selected.
+	SinkCheckLeader = "FastLeaderElection#checkLeader"
+	// SourceTxnRead is the SIM source: reading a transaction log file.
+	SourceTxnRead = "FileTxnLog#read"
+	// SourceConfig is the SIM source for reading the peer configuration
+	// (the zoo.cfg analogue).
+	SourceConfig = "QuorumPeerConfig#load"
+)
+
+// Vote is the election notification exchanged between peers (the
+// Notification of Fig. 1 / the Vote of Table IV). Its fields carry
+// byte-level taints across the wire.
+type Vote struct {
+	LeaderID taint.Int64 // proposed leader
+	Zxid     taint.Int64 // proposer's last transaction id
+	Epoch    taint.Int64 // proposer's election epoch
+	FromID   int64       // sending peer (routing metadata)
+}
+
+var _ jre.Serializable = (*Vote)(nil)
+
+// WriteTo implements jre.Serializable.
+func (v *Vote) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteInt64(v.LeaderID); err != nil {
+		return err
+	}
+	if err := w.WriteInt64(v.Zxid); err != nil {
+		return err
+	}
+	if err := w.WriteInt64(v.Epoch); err != nil {
+		return err
+	}
+	return w.WriteInt64(taint.Int64{Value: v.FromID})
+}
+
+// ReadFrom implements jre.Serializable.
+func (v *Vote) ReadFrom(r *jre.DataInputStream) error {
+	var err error
+	if v.LeaderID, err = r.ReadInt64(); err != nil {
+		return err
+	}
+	if v.Zxid, err = r.ReadInt64(); err != nil {
+		return err
+	}
+	if v.Epoch, err = r.ReadInt64(); err != nil {
+		return err
+	}
+	from, err := r.ReadInt64()
+	if err != nil {
+		return err
+	}
+	v.FromID = from.Value
+	return nil
+}
+
+// supersedes reports whether candidate wins over current under the FLE
+// total order (epoch, then zxid, then server id).
+func supersedes(candidate, current *Vote) bool {
+	if candidate.Epoch.Value != current.Epoch.Value {
+		return candidate.Epoch.Value > current.Epoch.Value
+	}
+	if candidate.Zxid.Value != current.Zxid.Value {
+		return candidate.Zxid.Value > current.Zxid.Value
+	}
+	return candidate.LeaderID.Value > current.LeaderID.Value
+}
+
+// Labels returns the union taint over the vote's tracked fields.
+func (v *Vote) Labels() taint.Taint {
+	return taint.CombineAll(v.LeaderID.Label, v.Zxid.Label, v.Epoch.Label)
+}

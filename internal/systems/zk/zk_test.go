@@ -1,0 +1,383 @@
+package zk
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+// testCluster builds n peer Envs and optional txn-log dirs.
+func testCluster(t *testing.T, mode tracker.Mode, n int, withLogs bool) []*Peer {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	peers := make([]*Peer, n)
+	for i := range peers {
+		name := []string{"zk1", "zk2", "zk3", "zk4", "zk5"}[i]
+		a := tracker.New(name, mode)
+		a = tracker.New(name, mode, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+		env := jre.NewEnv(net, a)
+		dir := ""
+		if withLogs {
+			dir = t.TempDir()
+			// Three log files per node (Fig. 11); the last holds the
+			// largest zxid. Peer ids stagger so peer 3 wins.
+			base := int64(i+1) * 100
+			if err := WriteTxnLogs(dir, base+1, base+2, base+3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		peers[i] = NewPeer(int64(i+1), env, dir)
+	}
+	return peers
+}
+
+func TestElectionElectsHighestPeer(t *testing.T) {
+	peers := testCluster(t, tracker.ModeDista, 3, false)
+	if err := RunElection("t1", peers); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		r := p.Result()
+		if r == nil {
+			t.Fatalf("peer %d has no result", p.ID)
+		}
+		if r.LeaderID.Value != 3 {
+			t.Fatalf("peer %d elected %d, want 3 (highest zxid/id)", p.ID, r.LeaderID.Value)
+		}
+	}
+}
+
+// TestElectionSDTVoteTrace is the Table IV row-1 SDT scenario: the Vote
+// variables are sources, checkLeader on the followers is the sink. The
+// followers must observe the winning vote's taint.
+func TestElectionSDTVoteTrace(t *testing.T) {
+	peers := testCluster(t, tracker.ModeDista, 3, false)
+	if err := RunElection("t2", peers); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		tags := p.Env.Agent.SinkTagValues(SinkCheckLeader)
+		if p.Result().LeaderID.Value == p.ID {
+			if len(tags) != 0 {
+				t.Fatalf("leader %d hit checkLeader: %v", p.ID, tags)
+			}
+			continue
+		}
+		// Followers adopted peer 3's vote, whose LeaderID carries Vote3.
+		if !contains(tags, "Vote3") {
+			t.Fatalf("follower %d checkLeader tags = %v, want Vote3", p.ID, tags)
+		}
+		// Precision: the followers' own initial votes never reach their
+		// own sink (they were superseded, not combined).
+		for _, tag := range tags {
+			if tag != "Vote3" {
+				t.Fatalf("follower %d observed unexpected taint %q", p.ID, tag)
+			}
+		}
+	}
+}
+
+// TestFigure11ZxidPropagation is experiment E9: each node reads three
+// txn-log files (sources zxid1..zxid3); only the last file's id is
+// assigned to the zxid variable, so exactly the zxid3 taint reaches
+// other nodes' LOG.info sinks.
+func TestFigure11ZxidPropagation(t *testing.T) {
+	peers := testCluster(t, tracker.ModeDista, 3, true)
+	if err := RunElection("t3", peers); err != nil {
+		t.Fatal(err)
+	}
+	leaderID := peers[0].Result().LeaderID.Value
+	if leaderID != 3 {
+		t.Fatalf("leader = %d, want 3 (largest zxid)", leaderID)
+	}
+	for _, p := range peers {
+		tags := p.Env.Agent.SinkTagValues("LOG#info")
+		if p.ID == leaderID {
+			continue // the leader logs its own local taint
+		}
+		// The epoch printed on a follower derives from the leader's
+		// zxid, which came from the leader's *third* log file.
+		if !contains(tags, "zxid3") {
+			t.Fatalf("peer %d LOG#info tags = %v, want zxid3", p.ID, tags)
+		}
+		if contains(tags, "zxid1") && originOf(p, "zxid1") != p.Env.Agent.LocalID() {
+			t.Fatalf("peer %d observed a remote zxid1 taint; only the last file's id propagates", p.ID)
+		}
+	}
+	// Cross-node check: a follower's sink must carry the *leader's*
+	// zxid3 (LocalID = zk3), not merely its own.
+	follower := peers[0]
+	foundRemote := false
+	for _, o := range follower.Env.Agent.Observations() {
+		for _, k := range o.Taint.Keys() {
+			if k.Value == "zxid3" && k.LocalID == "zk3:1" {
+				foundRemote = true
+			}
+		}
+	}
+	if !foundRemote {
+		t.Fatal("follower never observed the leader's zxid3 taint (inter-node flow missing)")
+	}
+}
+
+// originOf returns the LocalID of the first observation tag with the
+// given value, or "".
+func originOf(p *Peer, tag string) string {
+	for _, o := range p.Env.Agent.Observations() {
+		for _, k := range o.Taint.Keys() {
+			if k.Value == tag {
+				return k.LocalID
+			}
+		}
+	}
+	return ""
+}
+
+func TestElectionPhosphorDropsCrossNodeTaint(t *testing.T) {
+	peers := testCluster(t, tracker.ModePhosphor, 3, false)
+	if err := RunElection("t4", peers); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if p.Result().LeaderID.Value == p.ID {
+			continue
+		}
+		for _, tag := range p.Env.Agent.SinkTagValues(SinkCheckLeader) {
+			if tag == "Vote3" && p.ID != 3 {
+				t.Fatalf("phosphor mode carried Vote3 to follower %d", p.ID)
+			}
+		}
+	}
+}
+
+func TestElectionOffMode(t *testing.T) {
+	peers := testCluster(t, tracker.ModeOff, 3, false)
+	if err := RunElection("t5", peers); err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].Result().LeaderID.Value != 3 {
+		t.Fatal("off mode must still elect correctly")
+	}
+	for _, p := range peers {
+		if len(p.Env.Agent.Observations()) != 0 {
+			t.Fatal("off mode must observe nothing")
+		}
+	}
+}
+
+func TestElectionFivePeers(t *testing.T) {
+	peers := testCluster(t, tracker.ModeDista, 5, false)
+	if err := RunElection("t6", peers); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if p.Result().LeaderID.Value != 5 {
+			t.Fatalf("peer %d elected %d", p.ID, p.Result().LeaderID.Value)
+		}
+	}
+}
+
+func znodeRig(t *testing.T, mode tracker.Mode) (*Server, *Client, *Client) {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	mk := func(name string) *jre.Env {
+		a := tracker.New(name, mode)
+		a = tracker.New(name, mode, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+		return jre.NewEnv(net, a)
+	}
+	srv, err := StartServer(mk("zkserver"), "zk:2181")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c1, err := DialClient(mk("client1"), "zk:2181")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c1.Close() })
+	c2, err := DialClient(mk("client2"), "zk:2181")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	return srv, c1, c2
+}
+
+func TestZnodeCRUD(t *testing.T) {
+	srv, c1, c2 := znodeRig(t, tracker.ModeDista)
+	if err := c1.Create(taint.String{Value: "/hbase"}, taint.Bytes{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Create(taint.String{Value: "/hbase/rs1"}, taint.WrapBytes([]byte("region1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Create(taint.String{Value: "/hbase/rs1"}, taint.Bytes{}); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	got, err := c2.Get(taint.String{Value: "/hbase/rs1"})
+	if err != nil || string(got.Data) != "region1" {
+		t.Fatalf("get = %q, %v", got.Data, err)
+	}
+	if !c2.Exists("/hbase/rs1") || c2.Exists("/nope") {
+		t.Fatal("exists broken")
+	}
+	if err := c2.Set(taint.String{Value: "/hbase/rs1"}, taint.WrapBytes([]byte("v2"))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c1.Get(taint.String{Value: "/hbase/rs1"})
+	if string(got.Data) != "v2" {
+		t.Fatal("set not visible across clients")
+	}
+	if err := c1.Create(taint.String{Value: "/hbase/rs2"}, taint.Bytes{}); err != nil {
+		t.Fatal(err)
+	}
+	kids, err := c2.Children("/hbase")
+	if err != nil || !reflect.DeepEqual(kids, []string{"rs1", "rs2"}) {
+		t.Fatalf("children = %v, %v", kids, err)
+	}
+	if err := c1.Delete("/hbase/rs2"); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Exists("/hbase/rs2") {
+		t.Fatal("delete broken")
+	}
+	if srv.NodeCount() != 2 {
+		t.Fatalf("node count = %d", srv.NodeCount())
+	}
+	if _, err := c1.Get(taint.String{Value: "/missing"}); err == nil || !strings.Contains(err.Error(), "no node") {
+		t.Fatalf("get missing = %v", err)
+	}
+}
+
+// TestZnodeTaintCrossesClients is the cross-system flow in miniature:
+// client1's tainted payload lands on the server and reaches client2
+// with the taint intact.
+func TestZnodeTaintCrossesClients(t *testing.T) {
+	_, c1, c2 := znodeRig(t, tracker.ModeDista)
+	secret := taint.FromString("rs-host-7", c1.Env().Agent.Source("RegionServer#name", "ServerName"))
+	if err := c1.Create(taint.String{Value: "/hbase/rs/host7"}, secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Get(taint.String{Value: "/hbase/rs/host7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Union().Has("ServerName") {
+		t.Fatal("taint lost through the znode store (client1 -> server -> client2)")
+	}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	srv, c1, c2 := znodeRig(t, tracker.ModeDista)
+	for _, kv := range [][2]string{{"/a", "1"}, {"/a/b", "2"}, {"/c", "3"}} {
+		if err := c1.Create(taint.String{Value: kv[0]}, taint.WrapBytes([]byte(kv[1]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "snapshot.0")
+	if err := srv.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe and restore.
+	if err := c1.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Get(taint.String{Value: "/a"})
+	if err != nil || string(got.Data) != "1" {
+		t.Fatalf("restored /a = %q, %v", got.Data, err)
+	}
+	if srv.NodeCount() != 3 {
+		t.Fatalf("restored %d nodes", srv.NodeCount())
+	}
+	// Restored data carries the snapshot-read taint (SIM source) and
+	// that taint crosses to clients.
+	if !got.Union().Has("snap1") {
+		t.Fatalf("restored payload taint = %v, want snap1", got.Union())
+	}
+}
+
+func TestSnapshotLoadErrors(t *testing.T) {
+	srv, _, _ := znodeRig(t, tracker.ModeOff)
+	dir := t.TempDir()
+	if err := srv.LoadSnapshot(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing snapshot must error")
+	}
+	bad := filepath.Join(dir, "corrupt")
+	if err := os.WriteFile(bad, []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadSnapshot(bad); err == nil {
+		t.Fatal("corrupt snapshot must error")
+	}
+}
+
+func TestWatchExistsFiresOnCreate(t *testing.T) {
+	_, c1, c2 := znodeRig(t, tracker.ModeDista)
+	got := make(chan taint.Bytes, 1)
+	errs := make(chan error, 1)
+	go func() {
+		data, err := c2.WatchExists("/hbase/master-elected")
+		if err != nil {
+			errs <- err
+			return
+		}
+		got <- data
+	}()
+	// Give the watcher time to register, then create the node with a
+	// tainted payload.
+	secret := taint.FromString("master-7", c1.Env().Agent.Source("Master#name", "MasterName"))
+	if err := c1.Create(taint.String{Value: "/hbase/master-elected"}, secret); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-got:
+		if string(data.Data) != "master-7" || !data.Union().Has("MasterName") {
+			t.Fatalf("watch delivered %q with %v", data.Data, data.Union())
+		}
+	case err := <-errs:
+		t.Fatal(err)
+	}
+}
+
+func TestWatchExistsImmediateWhenPresent(t *testing.T) {
+	_, c1, c2 := znodeRig(t, tracker.ModeDista)
+	if err := c1.Create(taint.String{Value: "/already"}, taint.WrapBytes([]byte("here"))); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c2.WatchExists("/already")
+	if err != nil || string(data.Data) != "here" {
+		t.Fatalf("watch = %q, %v", data.Data, err)
+	}
+}
+
+func TestSinglePeerElection(t *testing.T) {
+	peers := testCluster(t, tracker.ModeDista, 1, false)
+	if err := RunElection("solo", peers); err != nil {
+		t.Fatal(err)
+	}
+	if got := peers[0].Result().LeaderID.Value; got != 1 {
+		t.Fatalf("solo leader = %d", got)
+	}
+}

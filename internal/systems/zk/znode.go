@@ -1,0 +1,333 @@
+package zk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// The znode service: a standalone mini-ZooKeeper server holding a
+// hierarchical key space of tainted payloads, with a simple
+// object-stream client protocol. The HBase miniature coordinates
+// through it, making its workload the paper's cross-system scenario.
+
+// znode op codes.
+const (
+	opCreate  = byte(1)
+	opSet     = byte(2)
+	opGet     = byte(3)
+	opExists  = byte(4)
+	opList    = byte(5)
+	opDelete  = byte(6)
+	opWatch   = byte(7)
+	statusOK  = byte(0)
+	statusErr = byte(1)
+)
+
+// request is the client->server frame.
+type request struct {
+	Op   byte
+	Path taint.String
+	Data taint.Bytes
+}
+
+func (r *request) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteByteValue(r.Op, taint.Taint{}); err != nil {
+		return err
+	}
+	if err := w.WriteString32(r.Path); err != nil {
+		return err
+	}
+	return w.WriteBytes32(r.Data)
+}
+
+func (r *request) ReadFrom(rd *jre.DataInputStream) error {
+	op, _, err := rd.ReadByteValue()
+	if err != nil {
+		return err
+	}
+	r.Op = op
+	if r.Path, err = rd.ReadString32(); err != nil {
+		return err
+	}
+	r.Data, err = rd.ReadBytes32()
+	return err
+}
+
+// response is the server->client frame. Children is a newline-joined
+// list for opList.
+type response struct {
+	Status byte
+	Data   taint.Bytes
+	Msg    taint.String
+}
+
+func (r *response) WriteTo(w *jre.DataOutputStream) error {
+	if err := w.WriteByteValue(r.Status, taint.Taint{}); err != nil {
+		return err
+	}
+	if err := w.WriteBytes32(r.Data); err != nil {
+		return err
+	}
+	return w.WriteString32(r.Msg)
+}
+
+func (r *response) ReadFrom(rd *jre.DataInputStream) error {
+	status, _, err := rd.ReadByteValue()
+	if err != nil {
+		return err
+	}
+	r.Status = status
+	if r.Data, err = rd.ReadBytes32(); err != nil {
+		return err
+	}
+	r.Msg, err = rd.ReadString32()
+	return err
+}
+
+// Server is a standalone znode server.
+type Server struct {
+	env *jre.Env
+	ss  *jre.ServerSocket
+
+	mu        sync.Mutex
+	watchCond *sync.Cond
+	version   int64 // bumped on every mutation, wakes watchers
+	nodes     map[string]taint.Bytes
+	done      chan struct{}
+}
+
+// StartServer binds a znode server at addr.
+func StartServer(env *jre.Env, addr string) (*Server, error) {
+	ss, err := jre.ListenSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{env: env, ss: ss, nodes: make(map[string]taint.Bytes), done: make(chan struct{})}
+	s.watchCond = sync.NewCond(&s.mu)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		sock, err := s.ss.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(sock)
+	}
+}
+
+func (s *Server) serveConn(sock *jre.Socket) {
+	defer sock.Close()
+	oin := jre.NewObjectInputStream(sock.InputStream())
+	oout := jre.NewObjectOutputStream(sock.OutputStream())
+	for {
+		var req request
+		if err := oin.ReadObject(&req); err != nil {
+			return
+		}
+		var resp *response
+		if req.Op == opWatch {
+			resp = s.awaitNode(req.Path.Value)
+		} else {
+			resp = s.apply(&req)
+		}
+		if err := oout.WriteObject(resp); err != nil {
+			return
+		}
+	}
+}
+
+// awaitNode long-polls until the watched path exists, then returns its
+// payload — the one-shot exists-watch of the znode protocol. It wakes
+// on every tree mutation.
+func (s *Server) awaitNode(path string) *response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if data, ok := s.nodes[path]; ok {
+			return &response{Status: statusOK, Data: data.Clone()}
+		}
+		s.watchCond.Wait()
+	}
+}
+
+// bump wakes watchers after a mutation; callers hold s.mu.
+func (s *Server) bump() {
+	s.version++
+	s.watchCond.Broadcast()
+}
+
+// apply executes one operation against the znode tree.
+func (s *Server) apply(req *request) *response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := req.Path.Value
+	switch req.Op {
+	case opCreate:
+		if _, ok := s.nodes[path]; ok {
+			return errResp("node exists: " + path)
+		}
+		s.nodes[path] = req.Data.Clone()
+		s.bump()
+		return &response{Status: statusOK}
+	case opSet:
+		s.nodes[path] = req.Data.Clone()
+		s.bump()
+		return &response{Status: statusOK}
+	case opGet:
+		data, ok := s.nodes[path]
+		if !ok {
+			return errResp("no node: " + path)
+		}
+		return &response{Status: statusOK, Data: data.Clone()}
+	case opExists:
+		if _, ok := s.nodes[path]; ok {
+			return &response{Status: statusOK}
+		}
+		return errResp("no node: " + path)
+	case opList:
+		var kids []string
+		prefix := strings.TrimSuffix(path, "/") + "/"
+		for p := range s.nodes {
+			if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+				kids = append(kids, p[len(prefix):])
+			}
+		}
+		sort.Strings(kids)
+		return &response{Status: statusOK, Data: taint.WrapBytes([]byte(strings.Join(kids, "\n")))}
+	case opDelete:
+		delete(s.nodes, path)
+		s.bump()
+		return &response{Status: statusOK}
+	default:
+		return errResp(fmt.Sprintf("bad op %d", req.Op))
+	}
+}
+
+func errResp(msg string) *response {
+	return &response{Status: statusErr, Msg: taint.String{Value: msg}}
+}
+
+// NodeCount returns the number of stored znodes.
+func (s *Server) NodeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.nodes)
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.ss.Close()
+	<-s.done
+	return err
+}
+
+// Client is a connection to a znode server.
+type Client struct {
+	env  *jre.Env
+	mu   sync.Mutex
+	sock *jre.Socket
+	out  *jre.ObjectOutputStream
+	in   *jre.ObjectInputStream
+}
+
+// DialClient connects to a znode server.
+func DialClient(env *jre.Env, addr string) (*Client, error) {
+	sock, err := jre.DialSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		env:  env,
+		sock: sock,
+		out:  jre.NewObjectOutputStream(sock.OutputStream()),
+		in:   jre.NewObjectInputStream(sock.InputStream()),
+	}, nil
+}
+
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.out.WriteObject(req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := c.in.ReadObject(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Status != statusOK {
+		return nil, fmt.Errorf("zk: %s", resp.Msg.Value)
+	}
+	return &resp, nil
+}
+
+// Create stores a new znode.
+func (c *Client) Create(path taint.String, data taint.Bytes) error {
+	_, err := c.call(&request{Op: opCreate, Path: path, Data: data})
+	return err
+}
+
+// Set overwrites a znode.
+func (c *Client) Set(path taint.String, data taint.Bytes) error {
+	_, err := c.call(&request{Op: opSet, Path: path, Data: data})
+	return err
+}
+
+// Get fetches a znode's payload.
+func (c *Client) Get(path taint.String) (taint.Bytes, error) {
+	resp, err := c.call(&request{Op: opGet, Path: path})
+	if err != nil {
+		return taint.Bytes{}, err
+	}
+	return resp.Data, nil
+}
+
+// Exists reports whether a znode exists.
+func (c *Client) Exists(path string) bool {
+	_, err := c.call(&request{Op: opExists, Path: taint.String{Value: path}})
+	return err == nil
+}
+
+// Children lists the direct children of a path.
+func (c *Client) Children(path string) ([]string, error) {
+	resp, err := c.call(&request{Op: opList, Path: taint.String{Value: path}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Data.Len() == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(resp.Data.Data), "\n"), nil
+}
+
+// WatchExists blocks until the path exists and returns its payload —
+// the long-poll form of a ZooKeeper exists-watch. Use a dedicated
+// client connection for long watches: the call occupies the connection
+// until it fires.
+func (c *Client) WatchExists(path string) (taint.Bytes, error) {
+	resp, err := c.call(&request{Op: opWatch, Path: taint.String{Value: path}})
+	if err != nil {
+		return taint.Bytes{}, err
+	}
+	return resp.Data, nil
+}
+
+// Delete removes a znode.
+func (c *Client) Delete(path string) error {
+	_, err := c.call(&request{Op: opDelete, Path: taint.String{Value: path}})
+	return err
+}
+
+// Env returns the client's process environment.
+func (c *Client) Env() *jre.Env { return c.env }
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.sock.Close() }

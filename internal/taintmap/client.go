@@ -1,0 +1,193 @@
+package taintmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"dista/internal/core/taint"
+)
+
+// Client is a node's handle to the Taint Map. Register implements steps
+// ①/② of Figure 9 (taint -> Global ID, cached on the taint node so each
+// global taint is transferred once per node); Lookup implements steps
+// ④/⑤ (Global ID -> taint, cached per client).
+type Client interface {
+	// Register returns the Global ID for t, contacting the Taint Map only
+	// on first sight of the taint. The id is also recorded on t.
+	Register(t taint.Taint) (uint32, error)
+	// Lookup resolves a Global ID into a taint interned in this node's
+	// tree, contacting the Taint Map only on first sight of the id.
+	Lookup(id uint32) (taint.Taint, error)
+	// Close releases the client's resources.
+	Close() error
+}
+
+// cache holds the per-node id -> taint memo shared by both client kinds.
+type cache struct {
+	mu   sync.Mutex
+	byID map[uint32]taint.Taint
+}
+
+func (c *cache) get(id uint32) (taint.Taint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.byID[id]
+	return t, ok
+}
+
+func (c *cache) put(id uint32, t taint.Taint) {
+	c.mu.Lock()
+	if c.byID == nil {
+		c.byID = make(map[uint32]taint.Taint)
+	}
+	c.byID[id] = t
+	c.mu.Unlock()
+}
+
+// LocalClient talks to an in-process Store directly. It is used by
+// single-process simulations and tests; behaviourally identical to
+// RemoteClient minus the network hop.
+type LocalClient struct {
+	store *Store
+	tree  *taint.Tree
+	memo  cache
+}
+
+var _ Client = (*LocalClient)(nil)
+
+// NewLocalClient returns a client resolving taints into tree.
+func NewLocalClient(store *Store, tree *taint.Tree) *LocalClient {
+	return &LocalClient{store: store, tree: tree}
+}
+
+// Register implements Client.
+func (c *LocalClient) Register(t taint.Taint) (uint32, error) {
+	if t.Empty() {
+		return 0, nil
+	}
+	if id := t.GlobalID(); id != 0 {
+		return id, nil
+	}
+	blob, err := taint.MarshalTaint(t)
+	if err != nil {
+		return 0, err
+	}
+	id := c.store.RegisterBlob(blob)
+	t.SetGlobalID(id)
+	c.memo.put(id, t)
+	return id, nil
+}
+
+// Lookup implements Client.
+func (c *LocalClient) Lookup(id uint32) (taint.Taint, error) {
+	if id == 0 {
+		return taint.Taint{}, nil
+	}
+	if t, ok := c.memo.get(id); ok {
+		return t, nil
+	}
+	blob, err := c.store.LookupBlob(id)
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t, err := c.tree.UnmarshalTaint(blob)
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t.SetGlobalID(id)
+	c.memo.put(id, t)
+	return t, nil
+}
+
+// Close implements Client; the local client holds no resources.
+func (c *LocalClient) Close() error { return nil }
+
+// RemoteClient talks to a Taint Map server over a reliable stream (a
+// netsim conn or a real TCP connection). Requests are serialized; the
+// client is safe for concurrent use.
+type RemoteClient struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	tree *taint.Tree
+	memo cache
+}
+
+var _ Client = (*RemoteClient)(nil)
+
+// NewRemoteClient wraps an established connection to a Taint Map server.
+func NewRemoteClient(conn io.ReadWriteCloser, tree *taint.Tree) *RemoteClient {
+	return &RemoteClient{conn: conn, tree: tree}
+}
+
+// Register implements Client.
+func (c *RemoteClient) Register(t taint.Taint) (uint32, error) {
+	if t.Empty() {
+		return 0, nil
+	}
+	if id := t.GlobalID(); id != 0 {
+		return id, nil
+	}
+	blob, err := taint.MarshalTaint(t)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	reply, err := roundTrip(c.conn, opRegister, blob)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if len(reply) != 4 {
+		return 0, fmt.Errorf("taintmap: register reply of %d bytes", len(reply))
+	}
+	id := binary.BigEndian.Uint32(reply)
+	t.SetGlobalID(id)
+	c.memo.put(id, t)
+	return id, nil
+}
+
+// Lookup implements Client.
+func (c *RemoteClient) Lookup(id uint32) (taint.Taint, error) {
+	if id == 0 {
+		return taint.Taint{}, nil
+	}
+	if t, ok := c.memo.get(id); ok {
+		return t, nil
+	}
+	c.mu.Lock()
+	blob, err := roundTrip(c.conn, opLookup, binary.BigEndian.AppendUint32(nil, id))
+	c.mu.Unlock()
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t, err := c.tree.UnmarshalTaint(blob)
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t.SetGlobalID(id)
+	c.memo.put(id, t)
+	return t, nil
+}
+
+// Stats fetches the server-side counters.
+func (c *RemoteClient) Stats() (Stats, error) {
+	c.mu.Lock()
+	reply, err := roundTrip(c.conn, opStats, nil)
+	c.mu.Unlock()
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(reply) != 24 {
+		return Stats{}, fmt.Errorf("taintmap: stats reply of %d bytes", len(reply))
+	}
+	return Stats{
+		GlobalTaints:  int(binary.BigEndian.Uint64(reply[0:8])),
+		Registrations: int64(binary.BigEndian.Uint64(reply[8:16])),
+		Lookups:       int64(binary.BigEndian.Uint64(reply[16:24])),
+	}, nil
+}
+
+// Close implements Client.
+func (c *RemoteClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,119 @@
+package taintmap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: length-prefixed request/response frames over any
+// reliable stream.
+//
+//	request:  op byte | uint32 payloadLen | payload
+//	response: status byte | uint32 payloadLen | payload
+//
+// ops: 'R' register (payload = taint blob, reply = 4-byte id),
+//      'L' lookup   (payload = 4-byte id, reply = taint blob),
+//      'S' stats    (payload empty, reply = 3x uint64).
+
+const (
+	opRegister = 'R'
+	opLookup   = 'L'
+	opStats    = 'S'
+
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds payload sizes to keep a corrupted peer from forcing a
+// huge allocation.
+const maxFrame = 1 << 20
+
+// errProtocol reports a malformed frame.
+var errProtocol = errors.New("taintmap: protocol error")
+
+func writeFrame(w io.Writer, head byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes", errProtocol, len(payload))
+	}
+	buf := make([]byte, 5+len(payload))
+	buf[0] = head
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (head byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes", errProtocol, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ServeConn answers protocol requests on one connection until the peer
+// disconnects. It is the per-connection loop used by Server.
+func ServeConn(store *Store, conn io.ReadWriter) error {
+	for {
+		op, payload, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		var reply []byte
+		status := byte(statusOK)
+		switch op {
+		case opRegister:
+			id := store.RegisterBlob(payload)
+			reply = binary.BigEndian.AppendUint32(nil, id)
+		case opLookup:
+			if len(payload) != 4 {
+				status, reply = statusErr, []byte("lookup payload must be 4 bytes")
+				break
+			}
+			blob, err := store.LookupBlob(binary.BigEndian.Uint32(payload))
+			if err != nil {
+				status, reply = statusErr, []byte(err.Error())
+				break
+			}
+			reply = blob
+		case opStats:
+			st := store.Stats()
+			reply = binary.BigEndian.AppendUint64(nil, uint64(st.GlobalTaints))
+			reply = binary.BigEndian.AppendUint64(reply, uint64(st.Registrations))
+			reply = binary.BigEndian.AppendUint64(reply, uint64(st.Lookups))
+		default:
+			status, reply = statusErr, []byte(fmt.Sprintf("unknown op %q", op))
+		}
+		if err := writeFrame(conn, status, reply); err != nil {
+			return err
+		}
+	}
+}
+
+// roundTrip issues one request and decodes the response.
+func roundTrip(conn io.ReadWriter, op byte, payload []byte) ([]byte, error) {
+	if err := writeFrame(conn, op, payload); err != nil {
+		return nil, fmt.Errorf("taintmap: send request: %w", err)
+	}
+	status, reply, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("taintmap: read response: %w", err)
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("taintmap: server error: %s", reply)
+	}
+	return reply, nil
+}

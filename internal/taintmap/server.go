@@ -1,0 +1,151 @@
+package taintmap
+
+import (
+	"io"
+	"log"
+	"sync"
+
+	"dista/internal/core/taint"
+	"dista/internal/netsim"
+)
+
+// Acceptor abstracts a stream listener so the same Server runs over the
+// simulated network and over real TCP (cmd/taintmapd adapts
+// net.Listener).
+type Acceptor interface {
+	Accept() (io.ReadWriteCloser, error)
+	Close() error
+}
+
+// Server runs the Taint Map service: it accepts connections and answers
+// protocol requests against one shared Store.
+type Server struct {
+	store *Store
+	acc   Acceptor
+	logf  func(format string, args ...any)
+
+	mu      sync.Mutex
+	conns   map[io.Closer]struct{}
+	closed  bool
+	done    chan struct{}
+	started bool
+}
+
+// NewServer builds a server over the given acceptor. logf may be nil to
+// disable logging.
+func NewServer(store *Store, acc Acceptor, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		store: store,
+		acc:   acc,
+		logf:  logf,
+		conns: make(map[io.Closer]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Store returns the server's backing store (for stats inspection).
+func (s *Server) Store() *Store { return s.store }
+
+// Start launches the accept loop in a background goroutine.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.serve()
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.acc.Accept()
+		if err != nil {
+			break
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			break
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ServeConn(s.store, conn); err != nil {
+				s.logf("taintmap: connection error: %v", err)
+			}
+			conn.Close()
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// Close stops accepting, closes live connections, and waits for the
+// accept loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	started := s.started
+	conns := make([]io.Closer, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	err := s.acc.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	if started {
+		<-s.done
+	}
+	return err
+}
+
+// simAcceptor adapts a netsim.Listener to Acceptor.
+type simAcceptor struct {
+	l *netsim.Listener
+}
+
+func (a simAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
+func (a simAcceptor) Close() error                        { return a.l.Close() }
+
+// StartSimServer binds a Taint Map server on the simulated network at
+// addr and starts it.
+func StartSimServer(net *netsim.Network, addr string) (*Server, error) {
+	l, err := net.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(NewStore(), simAcceptor{l: l}, log.Printf)
+	srv.Start()
+	return srv, nil
+}
+
+// DialSim connects a RemoteClient to a Taint Map server on the simulated
+// network, resolving taints into tree.
+func DialSim(net *netsim.Network, addr string, tree *taint.Tree) (*RemoteClient, error) {
+	conn, err := net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteClient(conn, tree), nil
+}

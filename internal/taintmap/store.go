@@ -1,0 +1,102 @@
+// Package taintmap implements DisTA's Taint Map (DSN'22 §III-D-2): the
+// independent component that assigns a unique Global ID to every taint
+// that crosses node boundaries and serves the reverse mapping. With it,
+// nodes ship a fixed-length Global ID next to every data byte instead of
+// the (variable, >200-byte) serialized taint, solving both the bandwidth
+// and the mismatched-length problems the paper identifies.
+//
+// The package provides the id-allocation Store, a request/response wire
+// protocol usable over any stream (netsim conns or real TCP), a Server,
+// and two Client implementations: Remote (over a connection) and Local
+// (in-process, for tests and single-process simulations).
+package taintmap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnknownGlobalID is returned by lookups of ids never allocated.
+var ErrUnknownGlobalID = errors.New("taintmap: unknown global id")
+
+// Stats describes a Store's usage, for the SDT-vs-SIM analysis (§V-F).
+type Stats struct {
+	GlobalTaints  int   // distinct taints registered (== highest id)
+	Registrations int64 // total Register calls served, including duplicates
+	Lookups       int64 // total Lookup calls served
+}
+
+// Store is the Taint Map's state: serialized-taint blob <-> Global ID.
+// Ids start at 1; 0 means "untainted" on the wire. Safe for concurrent
+// use.
+type Store struct {
+	mu            sync.Mutex
+	byBlob        map[string]uint32
+	byID          map[uint32][]byte
+	next          uint32
+	registrations int64
+	lookups       int64
+}
+
+// NewStore returns an empty Store.
+func NewStore() *Store {
+	return &Store{
+		byBlob: make(map[string]uint32),
+		byID:   make(map[uint32][]byte),
+		next:   1,
+	}
+}
+
+// RegisterBlob returns the Global ID for the given serialized taint,
+// allocating a fresh id on first sight. Registration is idempotent: the
+// same blob always maps to the same id.
+func (s *Store) RegisterBlob(blob []byte) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.registrations++
+	if id, ok := s.byBlob[string(blob)]; ok {
+		return id
+	}
+	id := s.next
+	s.next++
+	cp := make([]byte, len(blob))
+	copy(cp, blob)
+	s.byBlob[string(cp)] = id
+	s.byID[id] = cp
+	return id
+}
+
+// LookupBlob returns the serialized taint registered under id.
+func (s *Store) LookupBlob(id uint32) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups++
+	blob, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownGlobalID, id)
+	}
+	return blob, nil
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		GlobalTaints:  int(s.next - 1),
+		Registrations: s.registrations,
+		Lookups:       s.lookups,
+	}
+}
+
+// Reset drops all state, returning the store to empty.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byBlob = make(map[string]uint32)
+	s.byID = make(map[uint32][]byte)
+	s.next = 1
+	s.registrations = 0
+	s.lookups = 0
+}

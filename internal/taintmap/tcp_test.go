@@ -1,0 +1,67 @@
+package taintmap
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"dista/internal/core/taint"
+)
+
+// netAcceptor adapts net.Listener the same way cmd/taintmapd does.
+type netAcceptor struct {
+	l net.Listener
+}
+
+func (a netAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
+func (a netAcceptor) Close() error                        { return a.l.Close() }
+
+// TestServerOverRealTCP exercises the standalone-daemon deployment: a
+// Taint Map served on a real localhost TCP socket, with remote clients
+// registering and resolving taints across distinct trees.
+func TestServerOverRealTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP available: %v", err)
+	}
+	srv := NewServer(NewStore(), netAcceptor{l: l}, nil)
+	srv.Start()
+	defer srv.Close()
+	addr := l.Addr().String()
+
+	dial := func(tree *taint.Tree) *RemoteClient {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewRemoteClient(conn, tree)
+	}
+
+	senderTree := taint.NewTree()
+	sender := dial(senderTree)
+	defer sender.Close()
+	receiverTree := taint.NewTree()
+	receiver := dial(receiverTree)
+	defer receiver.Close()
+
+	secret := taint.Combine(
+		senderTree.NewSource("password", "10.0.0.1:4242"),
+		senderTree.NewSource("salt", "10.0.0.1:4242"),
+	)
+	id, err := sender.Register(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := receiver.Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !taint.SameSet(got, secret) {
+		t.Fatalf("lookup over TCP = %v, want %v", got, secret)
+	}
+	st, err := receiver.Stats()
+	if err != nil || st.GlobalTaints != 1 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+}

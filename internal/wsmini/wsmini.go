@@ -1,0 +1,185 @@
+// Package wsmini is a minimal WebSocket-style transport over the
+// instrumented socket stack: an HTTP Upgrade handshake followed by
+// length-prefixed binary frames. It exists because the paper's §V-B
+// lists WebSocket among the protocols ActiveMQ speaks; the mini-ActiveMQ
+// exposes a STOMP-over-WebSocket listener built on this package.
+//
+// Frame layout (all metadata untainted; payload bytes keep labels):
+//
+//	byte   opcode (1 = binary, 8 = close)
+//	uint32 payload length
+//	bytes  payload
+package wsmini
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"dista/internal/core/taint"
+	"dista/internal/jre"
+)
+
+// Opcodes.
+const (
+	OpBinary = byte(1)
+	OpClose  = byte(8)
+)
+
+// ErrClosed reports a close frame from the peer.
+var ErrClosed = errors.New("wsmini: connection closed by peer")
+
+// maxFrame bounds payloads against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// Conn is an upgraded WebSocket-style connection.
+type Conn struct {
+	sock *jre.Socket
+}
+
+// WriteMessage sends one binary frame.
+func (c *Conn) WriteMessage(payload taint.Bytes) error {
+	return c.writeFrame(OpBinary, payload)
+}
+
+func (c *Conn) writeFrame(op byte, payload taint.Bytes) error {
+	hdr := make([]byte, 0, 5)
+	hdr = append(hdr, op)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(payload.Len()))
+	return c.sock.OutputStream().Write(taint.WrapBytes(hdr).Append(payload))
+}
+
+// ReadMessage blocks for the next binary frame. A close frame returns
+// ErrClosed.
+func (c *Conn) ReadMessage() (taint.Bytes, error) {
+	hdr := taint.MakeBytes(5)
+	if err := jre.ReadFull(c.sock.InputStream(), &hdr); err != nil {
+		return taint.Bytes{}, err
+	}
+	op := hdr.Data[0]
+	n := int(binary.BigEndian.Uint32(hdr.Data[1:5]))
+	if n > maxFrame {
+		return taint.Bytes{}, fmt.Errorf("wsmini: frame of %d bytes", n)
+	}
+	payload := taint.MakeBytes(n)
+	if err := jre.ReadFull(c.sock.InputStream(), &payload); err != nil {
+		return taint.Bytes{}, err
+	}
+	switch op {
+	case OpBinary:
+		return payload, nil
+	case OpClose:
+		return taint.Bytes{}, ErrClosed
+	default:
+		return taint.Bytes{}, fmt.Errorf("wsmini: unknown opcode %d", op)
+	}
+}
+
+// Close sends a close frame and tears the socket down.
+func (c *Conn) Close() error {
+	_ = c.writeFrame(OpClose, taint.Bytes{})
+	return c.sock.Close()
+}
+
+// handshake lines; a toy of RFC 6455's Upgrade exchange.
+const (
+	clientHello = "GET %s HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\n\r\n"
+	serverHello = "HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\r\n"
+)
+
+// Dial connects and performs the Upgrade handshake for a path.
+func Dial(env *jre.Env, addr, path string) (*Conn, error) {
+	sock, err := jre.DialSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	req := fmt.Sprintf(clientHello, path)
+	if err := sock.OutputStream().Write(taint.WrapBytes([]byte(req))); err != nil {
+		sock.Close()
+		return nil, err
+	}
+	resp := taint.MakeBytes(len(serverHello))
+	if err := jre.ReadFull(sock.InputStream(), &resp); err != nil {
+		sock.Close()
+		return nil, err
+	}
+	if string(resp.Data) != serverHello {
+		sock.Close()
+		return nil, fmt.Errorf("wsmini: handshake rejected: %q", resp.Data)
+	}
+	return &Conn{sock: sock}, nil
+}
+
+// Server accepts upgraded connections and hands them to a handler.
+type Server struct {
+	ss      *jre.ServerSocket
+	handler func(path string, conn *Conn)
+	done    chan struct{}
+}
+
+// Serve binds a WebSocket endpoint; handler runs per connection (and
+// owns closing it).
+func Serve(env *jre.Env, addr string, handler func(path string, conn *Conn)) (*Server, error) {
+	ss, err := jre.ListenSocket(env, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ss: ss, handler: handler, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		sock, err := s.ss.Accept()
+		if err != nil {
+			return
+		}
+		go s.upgrade(sock)
+	}
+}
+
+// upgrade reads the client hello, answers 101, and invokes the handler.
+func (s *Server) upgrade(sock *jre.Socket) {
+	// Read until the header terminator.
+	var acc []byte
+	chunk := taint.MakeBytes(512)
+	for !strings.Contains(string(acc), "\r\n\r\n") {
+		n, err := sock.InputStream().Read(&chunk)
+		if n > 0 {
+			acc = append(acc, chunk.Data[:n]...)
+		}
+		if err != nil {
+			sock.Close()
+			return
+		}
+		if len(acc) > 8192 {
+			sock.Close()
+			return
+		}
+	}
+	head := string(acc)
+	if !strings.Contains(head, "Upgrade: websocket") {
+		sock.Close()
+		return
+	}
+	parts := strings.SplitN(strings.SplitN(head, "\r\n", 2)[0], " ", 3)
+	path := "/"
+	if len(parts) == 3 {
+		path = parts[1]
+	}
+	if err := sock.OutputStream().Write(taint.WrapBytes([]byte(serverHello))); err != nil {
+		sock.Close()
+		return
+	}
+	s.handler(path, &Conn{sock: sock})
+}
+
+// Close stops accepting.
+func (s *Server) Close() error {
+	err := s.ss.Close()
+	<-s.done
+	return err
+}

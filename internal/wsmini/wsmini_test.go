@@ -1,0 +1,194 @@
+package wsmini
+
+import (
+	"errors"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/jre"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+func envs(t *testing.T, mode tracker.Mode, n int) []*jre.Env {
+	t.Helper()
+	net := netsim.New()
+	store := taintmap.NewStore()
+	out := make([]*jre.Env, n)
+	for i := range out {
+		name := "node" + string(rune('1'+i))
+		a := tracker.New(name, mode)
+		a = tracker.New(name, mode, tracker.WithTaintMap(taintmap.NewLocalClient(store, a.Tree())))
+		out[i] = jre.NewEnv(net, a)
+	}
+	return out
+}
+
+func TestHandshakeAndEchoWithTaint(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	srv, err := Serve(e[1], "ws:80", func(path string, conn *Conn) {
+		defer conn.Close()
+		if path != "/chat" {
+			return
+		}
+		for {
+			msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(msg); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := Dial(e[0], "ws:80", "/chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	secret := taint.FromString("ws-payload", e[0].Agent.Source("s", "ws"))
+	if err := conn.WriteMessage(secret); err != nil {
+		t.Fatal(err)
+	}
+	echo, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(echo.Data) != "ws-payload" {
+		t.Fatalf("echo = %q", echo.Data)
+	}
+	if !echo.Union().Has("ws") {
+		t.Fatal("taint lost across the WebSocket round trip")
+	}
+}
+
+func TestCloseFrame(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	gotClose := make(chan error, 1)
+	srv, err := Serve(e[1], "ws:80", func(_ string, conn *Conn) {
+		_, err := conn.ReadMessage()
+		gotClose <- err
+		conn.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := Dial(e[0], "ws:80", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-gotClose; !errors.Is(err, ErrClosed) {
+		t.Fatalf("server saw %v, want ErrClosed", err)
+	}
+}
+
+func TestNonWebSocketRequestRejected(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	srv, err := Serve(e[1], "ws:80", func(_ string, conn *Conn) { conn.Close() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sock, err := jre.DialSocket(e[0], "ws:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	if err := sock.OutputStream().Write(taint.WrapBytes([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))); err != nil {
+		t.Fatal(err)
+	}
+	buf := taint.MakeBytes(1)
+	if _, err := sock.InputStream().Read(&buf); err == nil {
+		t.Fatal("plain HTTP request must be dropped, not upgraded")
+	}
+}
+
+func TestMultipleMessagesPreserveOrder(t *testing.T) {
+	e := envs(t, tracker.ModeDista, 2)
+	srv, err := Serve(e[1], "ws:80", func(_ string, conn *Conn) {
+		defer conn.Close()
+		for {
+			msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(msg); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(e[0], "ws:80", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for i := 0; i < 10; i++ {
+		want := string(rune('a' + i))
+		if err := conn.WriteMessage(taint.WrapBytes([]byte(want))); err != nil {
+			t.Fatal(err)
+		}
+		got, err := conn.ReadMessage()
+		if err != nil || string(got.Data) != want {
+			t.Fatalf("msg %d = %q, %v", i, got.Data, err)
+		}
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	srv, err := Serve(e[1], "ws:80", func(_ string, conn *Conn) {
+		// Write a frame with a bogus opcode directly.
+		conn.writeFrame(5, taint.WrapBytes([]byte("x")))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(e[0], "ws:80", "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.ReadMessage(); err == nil {
+		t.Fatal("unknown opcode must error")
+	}
+}
+
+func TestDialToNonWSServerFails(t *testing.T) {
+	e := envs(t, tracker.ModeOff, 2)
+	// A plain socket server answering garbage.
+	ss, err := jre.ListenSocket(e[1], "plain:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	go func() {
+		sock, err := ss.Accept()
+		if err != nil {
+			return
+		}
+		defer sock.Close()
+		buf := taint.MakeBytes(64)
+		sock.InputStream().Read(&buf)
+		sock.OutputStream().Write(taint.WrapBytes([]byte("HTTP/1.1 400 Bad Request\r\n\r\n")))
+	}()
+	if _, err := Dial(e[0], "plain:80", "/x"); err == nil {
+		t.Fatal("dial to a non-ws server must fail the handshake")
+	}
+}
