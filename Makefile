@@ -1,0 +1,32 @@
+GO ?= go
+
+# Hot-path benchmark selection shared by `bench` and the A/B harness.
+BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
+
+.PHONY: build test race vet check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate: everything CI runs.
+check: vet build test race
+
+# Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
+# -count=3 repetitions; seed baselines are embedded in cmd/benchjson.
+bench:
+	$(GO) test -run=NONE -bench='$(BENCH_RE)' -benchmem -benchtime=1s -count=3 . | tee bench_hotpath.txt
+	$(GO) run ./cmd/benchjson -in bench_hotpath.txt -out BENCH_1.json
+
+# Short fuzz pass over the wire round-trip property (CI smoke; the
+# seeded corpus also runs as part of plain `go test`).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzStreamRoundTrip -fuzztime=20s ./internal/core/wire

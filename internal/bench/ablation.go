@@ -49,11 +49,11 @@ func streamExchange(size int, mkClient func(*taintmap.Store, *taint.Tree) taintm
 	payload := taint.MakeBytes(size)
 	t1 := aAgent.Source("s", "abl1")
 	t2 := aAgent.Source("s", "abl2")
-	for i := range payload.Labels {
+	for i := 0; i < payload.Len(); i++ {
 		if i%2 == 0 {
-			payload.Labels[i] = t1
+			payload.SetLabel(i, t1)
 		} else {
-			payload.Labels[i] = t2
+			payload.SetLabel(i, t2)
 		}
 	}
 

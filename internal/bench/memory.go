@@ -73,9 +73,11 @@ func MeasureMemoryOverhead(buffers, size int) MemoryResult {
 			out[i] = taint.MakeBytes(size)
 			for j := 0; j < size; j += 64 {
 				tag := tree.NewSource(fmt.Sprintf("t%d-%d", i, j), "bench:1")
-				for k := j; k < j+64 && k < size; k++ {
-					out[i].Labels[k] = tag
+				end := j + 64
+				if end > size {
+					end = size
 				}
+				out[i].SetRange(j, end, tag)
 			}
 		}
 		return out

@@ -1,0 +1,404 @@
+package taint
+
+// Run-based shadow labels.
+//
+// The dense one-Taint-per-byte shadow array charged every tracked byte a
+// pointer of storage and a Combine on every TaintAll/Union — yet real
+// messages almost always carry long runs of a single taint (a whole
+// message text shares one label). The shadow store therefore keeps
+// labels as (endOffset, Taint) intervals, so whole-buffer operations
+// cost O(runs) instead of O(bytes).
+//
+// Homogeneous data is the fast path, but adversarially fragmented
+// labels (alternating taints on neighbouring bytes) would turn every
+// run operation into an O(runs) splice and every lookup into a binary
+// search over thousands of intervals. When fragmentation crosses
+// denseCutoff the store falls back to the classic dense array, whose
+// per-byte reads and writes are O(1). The two representations are an
+// internal detail behind the Bytes API; a store never has both at once.
+
+// labelRun is one maximal interval of bytes sharing a single label.
+// The run covers [start, end) where start is the previous run's end
+// (0 for the first run). Empty labels are stored normalized as the
+// zero Taint so runs can be merged by == comparison.
+type labelRun struct {
+	end int
+	t   Taint
+}
+
+// denseCutoff: switch to the dense representation when the run list
+// grows beyond max(denseMinRuns, coverage>>denseCutoffShift) — i.e.
+// when the average run is shorter than 8 bytes the run bookkeeping
+// costs more than it saves.
+const (
+	denseCutoffShift = 3
+	denseMinRuns     = 16
+)
+
+// shadow is the per-byte label store shared by every Bytes view sliced
+// from the same allocation. Offsets are absolute within the store, so
+// overlapping views alias labels exactly as overlapping sub-slices of
+// the old dense array did.
+type shadow struct {
+	runs  []labelRun // run mode: sorted by end, covering [0, cov)
+	dense []Taint    // dense mode when non-nil; runs is unused then
+}
+
+// newShadow returns a run-mode store covering n untainted bytes.
+func newShadow(n int) *shadow {
+	return &shadow{runs: []labelRun{{end: n}}}
+}
+
+// norm maps every empty taint to the canonical zero Taint so run labels
+// compare with ==.
+func norm(t Taint) Taint {
+	if t.Empty() {
+		return Taint{}
+	}
+	return t
+}
+
+// cov returns the store's covered extent.
+func (s *shadow) cov() int {
+	if s.dense != nil {
+		return len(s.dense)
+	}
+	if len(s.runs) == 0 {
+		return 0
+	}
+	return s.runs[len(s.runs)-1].end
+}
+
+// grow extends coverage to at least n with untainted bytes.
+func (s *shadow) grow(n int) {
+	if s.dense != nil {
+		for len(s.dense) < n {
+			s.dense = append(s.dense, Taint{})
+		}
+		return
+	}
+	c := s.cov()
+	if n <= c {
+		return
+	}
+	if last := len(s.runs) - 1; last >= 0 && s.runs[last].t == (Taint{}) {
+		s.runs[last].end = n
+		return
+	}
+	s.runs = append(s.runs, labelRun{end: n})
+}
+
+// locate returns the index of the run containing pos: the first run
+// with end > pos, or len(runs) when pos is beyond coverage.
+func (s *shadow) locate(pos int) int {
+	lo, hi := 0, len(s.runs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.runs[mid].end <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// at returns the label of byte pos (empty beyond coverage).
+func (s *shadow) at(pos int) Taint {
+	if s.dense != nil {
+		if pos < len(s.dense) {
+			return s.dense[pos]
+		}
+		return Taint{}
+	}
+	if len(s.runs) == 1 { // uniform fast path
+		if pos < s.runs[0].end {
+			return s.runs[0].t
+		}
+		return Taint{}
+	}
+	if i := s.locate(pos); i < len(s.runs) {
+		return s.runs[i].t
+	}
+	return Taint{}
+}
+
+// runStart returns the start offset of run i.
+func (s *shadow) runStart(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return s.runs[i-1].end
+}
+
+// splice replaces runs[i:j] with segs, reusing the backing array when it
+// has room. segs must keep the end-sorted invariant with its neighbours.
+func (s *shadow) splice(i, j int, segs []labelRun) {
+	old := s.runs
+	n := len(old) - (j - i) + len(segs)
+	if n <= cap(old) {
+		tail := old[j:]
+		s.runs = old[:n]
+		copy(s.runs[i+len(segs):], tail)
+		copy(s.runs[i:], segs)
+		return
+	}
+	grown := make([]labelRun, n, n+n/2+4)
+	copy(grown, old[:i])
+	copy(grown[i:], segs)
+	copy(grown[i+len(segs):], old[j:])
+	s.runs = grown
+}
+
+// maybeDensify converts to the dense representation when the run list
+// is too fragmented for interval bookkeeping to pay off.
+func (s *shadow) maybeDensify() {
+	if s.dense != nil || len(s.runs) <= denseMinRuns {
+		return
+	}
+	c := s.cov()
+	if len(s.runs) <= c>>denseCutoffShift {
+		return
+	}
+	dense := make([]Taint, c)
+	start := 0
+	for _, r := range s.runs {
+		if r.t != (Taint{}) {
+			for i := start; i < r.end; i++ {
+				dense[i] = r.t
+			}
+		}
+		start = r.end
+	}
+	s.dense = dense
+	s.runs = nil
+}
+
+// setRange overwrites the labels of [from, to) with t, extending
+// coverage as needed.
+func (s *shadow) setRange(from, to int, t Taint) {
+	if from >= to {
+		return
+	}
+	t = norm(t)
+	s.grow(to)
+	if s.dense != nil {
+		for i := from; i < to; i++ {
+			s.dense[i] = t
+		}
+		return
+	}
+	i := s.locate(from)
+	j := s.locate(to - 1)
+	if i == j && s.runs[i].t == t { // already uniform with t
+		return
+	}
+	var seg [3]labelRun
+	k := 0
+	if start := s.runStart(i); start < from {
+		if s.runs[i].t == t {
+			// merge left partial into the new run
+		} else {
+			seg[k] = labelRun{end: from, t: s.runs[i].t}
+			k++
+		}
+	} else if i > 0 && s.runs[i-1].t == t {
+		// absorb the equal left neighbour
+		i--
+	}
+	seg[k] = labelRun{end: to, t: t}
+	k++
+	if s.runs[j].end > to {
+		if s.runs[j].t == t {
+			seg[k-1].end = s.runs[j].end
+		} else {
+			seg[k] = labelRun{end: s.runs[j].end, t: s.runs[j].t}
+			k++
+		}
+	} else if j+1 < len(s.runs) && s.runs[j+1].t == t {
+		// absorb the equal right neighbour
+		seg[k-1].end = s.runs[j+1].end
+		j++
+	}
+	s.splice(i, j+1, seg[:k])
+	s.maybeDensify()
+}
+
+// combineRange unions t into the labels of [from, to).
+func (s *shadow) combineRange(from, to int, t Taint) {
+	if from >= to || t.Empty() {
+		return
+	}
+	s.grow(to)
+	if s.dense != nil {
+		for i := from; i < to; i++ {
+			s.dense[i] = Combine(s.dense[i], t)
+		}
+		return
+	}
+	i := s.locate(from)
+	j := s.locate(to - 1)
+	if i == j { // single-run fast path: one Combine for the whole range
+		if c := norm(Combine(s.runs[i].t, t)); c != s.runs[i].t {
+			s.setRange(from, to, c)
+		}
+		return
+	}
+	var stack [8]labelRun
+	segs := stack[:0]
+	push := func(end int, t Taint) {
+		if n := len(segs); n > 0 && segs[n-1].t == t {
+			segs[n-1].end = end
+			return
+		}
+		segs = append(segs, labelRun{end: end, t: t})
+	}
+	if start := s.runStart(i); start < from {
+		push(from, s.runs[i].t)
+	}
+	for k := i; k <= j; k++ {
+		end := s.runs[k].end
+		if end > to {
+			end = to
+		}
+		push(end, norm(Combine(s.runs[k].t, t)))
+	}
+	if s.runs[j].end > to {
+		push(s.runs[j].end, s.runs[j].t)
+	}
+	if i > 0 && len(segs) > 0 && s.runs[i-1].t == segs[0].t {
+		i--
+	}
+	if j+1 < len(s.runs) && len(segs) > 0 && s.runs[j+1].t == segs[len(segs)-1].t {
+		segs[len(segs)-1].end = s.runs[j+1].end
+		j++
+	}
+	s.splice(i, j+1, segs)
+	s.maybeDensify()
+}
+
+// forEach yields the maximal label runs covering [from, to) in order,
+// including untainted gaps, as window-relative [rfrom, rto) offsets
+// shifted by -from.
+func (s *shadow) forEach(from, to int, yield func(rfrom, rto int, t Taint)) {
+	if from >= to {
+		return
+	}
+	if s.dense != nil {
+		c := len(s.dense)
+		start := from
+		var cur Taint
+		if from < c {
+			cur = s.dense[from]
+		}
+		for i := from + 1; i < to; i++ {
+			var t Taint
+			if i < c {
+				t = s.dense[i]
+			}
+			if t != cur {
+				yield(start-from, i-from, cur)
+				start, cur = i, t
+			}
+		}
+		yield(start-from, to-from, cur)
+		return
+	}
+	i := s.locate(from)
+	pos := from
+	for pos < to {
+		if i >= len(s.runs) { // beyond coverage: one untainted tail run
+			yield(pos-from, to-from, Taint{})
+			return
+		}
+		end := s.runs[i].end
+		if end > to {
+			end = to
+		}
+		yield(pos-from, end-from, s.runs[i].t)
+		pos = end
+		i++
+	}
+}
+
+// union combines every distinct label in [from, to).
+func (s *shadow) union(from, to int) Taint {
+	var acc Taint
+	if s.dense != nil {
+		if to > len(s.dense) {
+			to = len(s.dense)
+		}
+		var last Taint
+		for i := from; i < to; i++ {
+			if t := s.dense[i]; t != last {
+				acc = Combine(acc, t)
+				last = t
+			}
+		}
+		return acc
+	}
+	for i := s.locate(from); i < len(s.runs); i++ {
+		if s.runStart(i) >= to {
+			break
+		}
+		acc = Combine(acc, s.runs[i].t)
+	}
+	return acc
+}
+
+// uniform reports whether every byte of [from, to) carries the same
+// label, returning it when so.
+func (s *shadow) uniform(from, to int) (Taint, bool) {
+	if from >= to {
+		return Taint{}, true
+	}
+	if s.dense != nil {
+		if from >= len(s.dense) {
+			return Taint{}, true
+		}
+		t := s.dense[from]
+		hi := to
+		if hi > len(s.dense) {
+			if t != (Taint{}) {
+				return Taint{}, false
+			}
+			hi = len(s.dense)
+		}
+		for i := from + 1; i < hi; i++ {
+			if s.dense[i] != t {
+				return Taint{}, false
+			}
+		}
+		return t, true
+	}
+	i := s.locate(from)
+	if i >= len(s.runs) {
+		return Taint{}, true
+	}
+	if s.runs[i].end >= to {
+		return s.runs[i].t, true
+	}
+	if s.runs[i].t == (Taint{}) && i == len(s.runs)-1 {
+		// covered prefix untainted, rest beyond coverage
+		return Taint{}, true
+	}
+	return Taint{}, false
+}
+
+// window returns the runs covering [from, to) as a fresh slice with
+// ends rebased to from. Used to snapshot a source window before
+// mutating an aliased destination.
+func (s *shadow) window(from, to int) []labelRun {
+	out := make([]labelRun, 0, 8)
+	s.forEach(from, to, func(rfrom, rto int, t Taint) {
+		out = append(out, labelRun{end: rto, t: t})
+	})
+	return out
+}
+
+// runCount returns the number of maximal runs covering [from, to).
+func (s *shadow) runCount(from, to int) int {
+	n := 0
+	s.forEach(from, to, func(int, int, Taint) { n++ })
+	return n
+}

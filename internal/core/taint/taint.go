@@ -50,6 +50,11 @@ func (tr *Tree) FromKeys(keys []TagKey) Taint {
 // Tags of b missing from a's path are appended below a's node, interned
 // so repeated combinations reuse nodes. Combining with the empty taint
 // returns the other taint unchanged; Combine(t, t) == t.
+//
+// Results are memoized per (a, b) node pair in a bounded cache on a's
+// Tree, so repeated unions of the same operands skip the path walk —
+// the common case when shadow runs combine the same labels over and
+// over.
 func Combine(a, b Taint) Taint {
 	switch {
 	case a.Empty():
@@ -59,13 +64,24 @@ func Combine(a, b Taint) Taint {
 	case a.n == b.n:
 		return a
 	}
+	tr := a.n.tree
+	sameTree := b.n.tree == tr // ids are only unique within one tree
+	if sameTree {
+		if r, ok := tr.cachedCombine(a.n.id, b.n.id); ok {
+			return r
+		}
+	}
 	cur := a.n
 	for _, k := range b.n.path() {
 		if !cur.contains(k) {
 			cur = cur.child(k)
 		}
 	}
-	return Taint{n: cur}
+	r := Taint{n: cur}
+	if sameTree {
+		tr.storeCombine(a.n.id, b.n.id, r)
+	}
+	return r
 }
 
 // CombineAll folds Combine over all the given taints.
@@ -158,9 +174,7 @@ func (t Taint) GlobalID() uint32 {
 	if t.Empty() {
 		return 0
 	}
-	t.n.mu.Lock()
-	defer t.n.mu.Unlock()
-	return t.n.globalID
+	return t.n.globalID.Load()
 }
 
 // SetGlobalID records the Taint Map id for this taint. Setting it on the
@@ -170,9 +184,7 @@ func (t Taint) SetGlobalID(id uint32) {
 	if t.Empty() {
 		return
 	}
-	t.n.mu.Lock()
-	t.n.globalID = id
-	t.n.mu.Unlock()
+	t.n.globalID.Store(id)
 }
 
 // String renders the taint as "{v1@l1, v2@l2}".

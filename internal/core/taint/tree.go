@@ -1,18 +1,26 @@
 // Package taint implements DisTA's taint storage: the Phosphor-style
 // singleton tag tree (DSN'22 §II-B) extended with DisTA's quad tags
 // <ID, Tag, LocalID, GlobalID> (§III-D-1), taints as references into the
-// tree, taint combination, shadow label arrays and tainted value wrappers.
+// tree, taint combination, run-based shadow label stores and tainted
+// value wrappers.
 //
 // A Taint is a set of tags represented as a node in a per-process Tree;
 // the set is the list of tags on the path from the root to that node.
 // Combining two taints appends the missing tags of one path under the
 // other, interning nodes so that equal extensions share storage — the
 // memory-saving property the paper attributes to Phosphor.
+//
+// Lock order: at most one node mutex is held at a time (a node's own mu
+// while reading or extending its children map). The Tree itself has no
+// mutex — node-ID allocation is a lock-free atomic counter, a node's
+// globalID is an atomic — and the combine cache uses its own RWMutex,
+// taken only while no node mutex is held.
 package taint
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // TagKey identifies a source tag uniquely across the whole cluster: the
@@ -38,23 +46,40 @@ type node struct {
 	parent   *node
 	depth    int // number of tags on the path (root = 0)
 	tree     *Tree
-	globalID uint32 // Taint Map id for the taint this node represents; 0 = unassigned
+	globalID atomic.Uint32 // Taint Map id for the taint this node represents; 0 = unassigned
 
 	mu       sync.Mutex
 	children map[TagKey]*node
 }
 
+// combineKey caches one ordered Combine(a, b) pair by node id. The
+// result depends on operand order (b's missing tags are appended under
+// a), so the key is ordered too.
+type combineKey struct {
+	a, b int64
+}
+
+// combineCacheMax bounds the combine memo. When the cache fills it is
+// flushed wholesale: O(1), no bookkeeping on the hit path, and hot
+// pairs repopulate within a handful of unions. 4096 entries cover far
+// more distinct taint pairs than any workload in the paper's
+// evaluation touches between flushes.
+const combineCacheMax = 4096
+
 // Tree is the per-process singleton tag tree. The zero value is not
 // usable; construct with NewTree. A Tree is safe for concurrent use.
 type Tree struct {
-	mu     sync.Mutex
-	nextID int64
+	nextID atomic.Int64
 	root   *node
+
+	cmu     sync.RWMutex
+	combine map[combineKey]Taint
 }
 
 // NewTree returns an empty tag tree.
 func NewTree() *Tree {
-	t := &Tree{nextID: 1}
+	t := &Tree{}
+	t.nextID.Store(1)
 	t.root = &node{tree: t}
 	return t
 }
@@ -69,12 +94,8 @@ func (n *node) child(key TagKey) *node {
 	if n.children == nil {
 		n.children = make(map[TagKey]*node)
 	}
-	n.tree.mu.Lock()
-	id := n.tree.nextID
-	n.tree.nextID++
-	n.tree.mu.Unlock()
 	c := &node{
-		id:     id,
+		id:     n.tree.nextID.Add(1) - 1,
 		key:    key,
 		parent: n,
 		depth:  n.depth + 1,
@@ -82,6 +103,24 @@ func (n *node) child(key TagKey) *node {
 	}
 	n.children[key] = c
 	return c
+}
+
+// cachedCombine returns the memoized union of the (a, b) node pair.
+func (t *Tree) cachedCombine(a, b int64) (Taint, bool) {
+	t.cmu.RLock()
+	r, ok := t.combine[combineKey{a, b}]
+	t.cmu.RUnlock()
+	return r, ok
+}
+
+// storeCombine memoizes a union result, flushing the cache when full.
+func (t *Tree) storeCombine(a, b int64, r Taint) {
+	t.cmu.Lock()
+	if t.combine == nil || len(t.combine) >= combineCacheMax {
+		t.combine = make(map[combineKey]Taint, combineCacheMax/4)
+	}
+	t.combine[combineKey{a, b}] = r
+	t.cmu.Unlock()
 }
 
 // path returns the tags from root to n, in insertion (root-first) order.
@@ -106,10 +145,7 @@ func (n *node) contains(key TagKey) bool {
 // NodeCount returns the number of nodes currently interned in the tree,
 // excluding the root. Useful for memory-sharing assertions.
 func (t *Tree) NodeCount() int {
-	t.mu.Lock()
-	n := t.nextID - 1
-	t.mu.Unlock()
-	return int(n)
+	return int(t.nextID.Load() - 1)
 }
 
 func (t *Tree) String() string {

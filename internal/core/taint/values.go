@@ -2,24 +2,30 @@ package taint
 
 import "fmt"
 
-// Bytes is a byte slice with a per-byte shadow label array — the
-// byte-level tracking granularity of DisTA (§III-A). Labels[i] is the
-// taint of Data[i]; a nil Labels slice means every byte is untainted.
+// Bytes is a byte slice with a per-byte shadow label store — the
+// byte-level tracking granularity of DisTA (§III-A). Labels are kept
+// run-length encoded (see shadow.go): LabelAt(i) is the taint of
+// Data[i]; a Bytes with no shadow store reads as fully untainted.
 //
 // Bytes follows slice semantics: sub-slicing shares the underlying
-// arrays; use Clone for a deep copy.
+// data array and the shadow store, so label writes through any
+// overlapping view are visible to all views. Use Clone for a deep
+// copy. Append returns a value with its own shadow store unless the
+// receiver owns its store's whole extent, mirroring the reuse rules of
+// the append builtin (pinned down by TestAppendAliasing).
 type Bytes struct {
-	Data   []byte
-	Labels []Taint
+	Data []byte
+	sh   *shadow
+	off  int // offset of Data[0] in sh's coordinate space
 }
 
 // MakeBytes allocates an untainted Bytes of length n with shadow storage.
 func MakeBytes(n int) Bytes {
-	return Bytes{Data: make([]byte, n), Labels: make([]Taint, n)}
+	return Bytes{Data: make([]byte, n), sh: newShadow(n)}
 }
 
 // WrapBytes wraps a plain byte slice as untainted Bytes. The data is not
-// copied; the shadow array is allocated lazily on first taint.
+// copied; the shadow store is allocated lazily on first taint.
 func WrapBytes(b []byte) Bytes {
 	return Bytes{Data: b}
 }
@@ -36,46 +42,122 @@ func FromString(s string, t Taint) Bytes {
 // Len returns the number of data bytes.
 func (b Bytes) Len() int { return len(b.Data) }
 
+// HasShadow reports whether shadow storage has been allocated. A Bytes
+// without shadow storage is untainted everywhere.
+func (b Bytes) HasShadow() bool { return b.sh != nil }
+
 // LabelAt returns the taint of byte i (empty if no shadow storage).
+// The dense-store branch stays inlinable: per-byte reads over a
+// fragmented buffer are exactly the workload the dense fallback exists
+// for, so they must cost no more than the old shadow-array load.
 func (b Bytes) LabelAt(i int) Taint {
-	if b.Labels == nil {
+	if sh := b.sh; sh != nil && sh.dense != nil && uint(i) < uint(len(b.Data)) {
+		return sh.dense[b.off+i]
+	}
+	return b.labelAtSlow(i)
+}
+
+func (b Bytes) labelAtSlow(i int) Taint {
+	if b.sh == nil {
 		return Taint{}
 	}
-	return b.Labels[i]
+	if i < 0 || i >= len(b.Data) {
+		panic(fmt.Sprintf("taint: LabelAt(%d) out of [0,%d)", i, len(b.Data)))
+	}
+	return b.sh.at(b.off + i)
 }
 
-// ensureLabels allocates the shadow array if absent.
-func (b *Bytes) ensureLabels() {
-	if b.Labels == nil {
-		b.Labels = make([]Taint, len(b.Data))
+// ensureShadow allocates the shadow store if absent.
+func (b *Bytes) ensureShadow() {
+	if b.sh == nil {
+		b.sh = newShadow(len(b.Data))
+		b.off = 0
 	}
 }
 
-// SetLabel assigns taint t to byte i.
+// SetLabel assigns taint t to byte i. Like LabelAt, the dense-store
+// branch is an inlinable direct store so per-byte writes never pay the
+// run-splice machinery once the store has densified.
 func (b *Bytes) SetLabel(i int, t Taint) {
-	if t.Empty() && b.Labels == nil {
+	if sh := b.sh; sh != nil && sh.dense != nil && uint(i) < uint(len(b.Data)) {
+		sh.dense[b.off+i] = norm(t)
 		return
 	}
-	b.ensureLabels()
-	b.Labels[i] = t
+	b.SetRange(i, i+1, t)
 }
 
-// TaintAll combines taint t into every byte's label.
-func (b *Bytes) TaintAll(t Taint) {
+// SetRange overwrites the labels of bytes [from, to) with t. Setting
+// the empty taint on a Bytes without shadow storage stays lazy.
+func (b *Bytes) SetRange(from, to int, t Taint) {
+	if from < 0 || to < from || to > len(b.Data) {
+		panic(fmt.Sprintf("taint: SetRange[%d,%d) out of [0,%d)", from, to, len(b.Data)))
+	}
+	if t.Empty() && b.sh == nil {
+		return
+	}
+	b.ensureShadow()
+	b.sh.setRange(b.off+from, b.off+to, t)
+}
+
+// TaintRange combines taint t into the labels of bytes [from, to).
+func (b *Bytes) TaintRange(from, to int, t Taint) {
+	if from < 0 || to < from || to > len(b.Data) {
+		panic(fmt.Sprintf("taint: TaintRange[%d,%d) out of [0,%d)", from, to, len(b.Data)))
+	}
 	if t.Empty() {
 		return
 	}
-	b.ensureLabels()
-	for i := range b.Labels {
-		b.Labels[i] = Combine(b.Labels[i], t)
-	}
+	b.ensureShadow()
+	b.sh.combineRange(b.off+from, b.off+to, t)
 }
 
-// Slice returns b[from:to] sharing the underlying storage.
+// TaintAll combines taint t into every byte's label — one Combine per
+// run, not per byte.
+func (b *Bytes) TaintAll(t Taint) {
+	b.TaintRange(0, len(b.Data), t)
+}
+
+// ForEachRun yields the maximal label runs of b in order, including
+// untainted gaps, as [from, to) offsets into b. A Bytes without shadow
+// storage yields one untainted run (none when empty).
+func (b Bytes) ForEachRun(yield func(from, to int, t Taint)) {
+	if len(b.Data) == 0 {
+		return
+	}
+	if b.sh == nil {
+		yield(0, len(b.Data), Taint{})
+		return
+	}
+	b.sh.forEach(b.off, b.off+len(b.Data), yield)
+}
+
+// Uniform reports whether every byte carries the same label, returning
+// that label when so. An empty or shadow-free Bytes is uniform.
+func (b Bytes) Uniform() (Taint, bool) {
+	if b.sh == nil {
+		return Taint{}, true
+	}
+	return b.sh.uniform(b.off, b.off+len(b.Data))
+}
+
+// RunCount returns the number of maximal label runs in b (0 for empty,
+// 1 for a shadow-free or uniformly labelled Bytes).
+func (b Bytes) RunCount() int {
+	if len(b.Data) == 0 {
+		return 0
+	}
+	if b.sh == nil {
+		return 1
+	}
+	return b.sh.runCount(b.off, b.off+len(b.Data))
+}
+
+// Slice returns b[from:to] sharing the underlying storage: data bytes
+// and shadow labels both alias the receiver's.
 func (b Bytes) Slice(from, to int) Bytes {
 	out := Bytes{Data: b.Data[from:to]}
-	if b.Labels != nil {
-		out.Labels = b.Labels[from:to]
+	if b.sh != nil {
+		out.sh, out.off = b.sh, b.off+from
 	}
 	return out
 }
@@ -84,31 +166,44 @@ func (b Bytes) Slice(from, to int) Bytes {
 func (b Bytes) Clone() Bytes {
 	out := Bytes{Data: make([]byte, len(b.Data))}
 	copy(out.Data, b.Data)
-	if b.Labels != nil {
-		out.Labels = make([]Taint, len(b.Labels))
-		copy(out.Labels, b.Labels)
+	if b.sh != nil {
+		out.sh = &shadow{runs: b.sh.window(b.off, b.off+len(b.Data))}
+		out.sh.maybeDensify()
 	}
 	return out
 }
 
 // Append appends other to b, propagating labels, and returns the result
-// (like the append builtin, the receiver's storage may be reused).
+// (like the append builtin, the receiver's data storage may be reused;
+// the shadow store is reused only when b owns its whole extent).
 func (b Bytes) Append(other Bytes) Bytes {
 	n := len(b.Data)
 	out := Bytes{Data: append(b.Data, other.Data...)}
-	if b.Labels == nil && other.Labels == nil {
+	if b.sh == nil && other.sh == nil {
 		return out
 	}
-	labels := b.Labels
-	if labels == nil {
-		labels = make([]Taint, n, len(out.Data))
+	var src []labelRun
+	if other.sh != nil {
+		src = other.sh.window(other.off, other.off+len(other.Data))
 	}
-	if other.Labels != nil {
-		labels = append(labels, other.Labels...)
+	if b.sh != nil && b.off == 0 && b.sh.cov() == n {
+		// b owns its store's whole extent: extend it in place, like
+		// append reusing spare capacity.
+		out.sh = b.sh
 	} else {
-		labels = append(labels, make([]Taint, len(other.Data))...)
+		out.sh = &shadow{}
+		if b.sh != nil {
+			out.sh.runs = b.sh.window(b.off, b.off+n)
+		}
 	}
-	out.Labels = labels
+	out.sh.grow(n)
+	pos := n
+	for _, r := range src {
+		out.sh.setRange(pos, n+r.end, r.t)
+		pos = n + r.end
+	}
+	out.sh.grow(n + len(other.Data))
+	out.sh.maybeDensify()
 	return out
 }
 
@@ -116,25 +211,56 @@ func (b Bytes) Append(other Bytes) Bytes {
 // It returns the number of bytes copied.
 func (b Bytes) CopyInto(dst *Bytes, off int) int {
 	n := copy(dst.Data[off:], b.Data)
-	if b.Labels != nil {
-		dst.ensureLabels()
-		copy(dst.Labels[off:off+n], b.Labels[:n])
-	} else if dst.Labels != nil {
-		for i := off; i < off+n; i++ {
-			dst.Labels[i] = Taint{}
-		}
-	}
+	b.copyLabels(dst, off, n)
 	return n
 }
 
-// Union returns the combination of all byte labels — the taint of the
-// value as a whole.
-func (b Bytes) Union() Taint {
-	var acc Taint
-	for _, l := range b.Labels {
-		acc = Combine(acc, l)
+// CopyLabelsInto copies only b's labels into dst starting at offset
+// off, overwriting (and clearing) dst's labels for the covered range —
+// the label half of CopyInto, for callers that move data separately.
+func (b Bytes) CopyLabelsInto(dst *Bytes, off int) int {
+	n := len(b.Data)
+	if room := len(dst.Data) - off; n > room {
+		n = room
 	}
-	return acc
+	b.copyLabels(dst, off, n)
+	return n
+}
+
+// copyLabels transfers the labels of b[:n] into dst[off:off+n].
+func (b Bytes) copyLabels(dst *Bytes, off, n int) {
+	if n <= 0 {
+		return
+	}
+	if b.sh == nil {
+		if dst.sh != nil {
+			dst.sh.setRange(dst.off+off, dst.off+off+n, Taint{})
+		}
+		return
+	}
+	dst.ensureShadow()
+	if b.sh == dst.sh {
+		// Overlapping views of one store (e.g. a buffer compaction):
+		// snapshot the source window before splicing into it.
+		start := 0
+		for _, r := range b.sh.window(b.off, b.off+n) {
+			dst.sh.setRange(dst.off+off+start, dst.off+off+r.end, r.t)
+			start = r.end
+		}
+		return
+	}
+	b.sh.forEach(b.off, b.off+n, func(rfrom, rto int, t Taint) {
+		dst.sh.setRange(dst.off+off+rfrom, dst.off+off+rto, t)
+	})
+}
+
+// Union returns the combination of all byte labels — the taint of the
+// value as a whole. One Combine per run, not per byte.
+func (b Bytes) Union() Taint {
+	if b.sh == nil {
+		return Taint{}
+	}
+	return b.sh.union(b.off, b.off+len(b.Data))
 }
 
 // String is a tainted string value: the text plus one taint covering it.

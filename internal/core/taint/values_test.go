@@ -8,8 +8,8 @@ import (
 
 func TestMakeBytes(t *testing.T) {
 	b := MakeBytes(4)
-	if b.Len() != 4 || len(b.Labels) != 4 {
-		t.Fatalf("MakeBytes(4) = len %d labels %d", b.Len(), len(b.Labels))
+	if b.Len() != 4 || !b.HasShadow() {
+		t.Fatalf("MakeBytes(4) = len %d shadow %v", b.Len(), b.HasShadow())
 	}
 	for i := 0; i < 4; i++ {
 		if !b.LabelAt(i).Empty() {
@@ -20,14 +20,14 @@ func TestMakeBytes(t *testing.T) {
 
 func TestWrapBytesLazyShadow(t *testing.T) {
 	b := WrapBytes([]byte("hi"))
-	if b.Labels != nil {
+	if b.HasShadow() {
 		t.Fatal("WrapBytes must not allocate shadow storage")
 	}
 	if !b.LabelAt(1).Empty() {
 		t.Fatal("wrapped bytes must read as untainted")
 	}
 	b.SetLabel(0, Taint{}) // setting the empty taint must stay lazy
-	if b.Labels != nil {
+	if b.HasShadow() {
 		t.Fatal("setting an empty label must not allocate shadow storage")
 	}
 }
@@ -100,7 +100,7 @@ func TestAppendPropagatesLabels(t *testing.T) {
 
 func TestAppendPlainOntoPlainStaysLazy(t *testing.T) {
 	out := WrapBytes([]byte("ab")).Append(WrapBytes([]byte("cd")))
-	if out.Labels != nil {
+	if out.HasShadow() {
 		t.Fatal("appending untainted onto untainted must not allocate shadows")
 	}
 }
@@ -181,8 +181,11 @@ func TestQuickAppendPreservesLengthAlignment(t *testing.T) {
 		if len(out.Data) != len(a)+len(b) {
 			return false
 		}
-		if out.Labels != nil && len(out.Labels) != len(out.Data) {
-			return false
+		for i := range out.Data {
+			want := taintA && i < len(a) && len(a) > 0
+			if got := out.LabelAt(i).Has("q"); got != want {
+				return false
+			}
 		}
 		return bytes.Equal(out.Data[:len(a)], a) && bytes.Equal(out.Data[len(a):], b)
 	}

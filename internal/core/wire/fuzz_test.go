@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzStreamRoundTrip round-trips EncodeGroups → StreamDecoder.Feed
+// under fragmentation derived from the fuzz input, asserting the
+// decoded data and ids match the originals byte for byte. The seeded
+// corpus (f.Add) runs under plain `go test`; `go test -fuzz
+// FuzzStreamRoundTrip` explores further.
+//
+// The fuzz input doubles as the payload and the control stream: seed
+// selects an id pattern, frag drives the read fragmentation, and pops
+// drives how many bytes each Next call requests.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add([]byte("hello distributed taints"), int64(1), uint8(3), uint8(7))
+	f.Add([]byte{}, int64(2), uint8(0), uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, int64(3), uint8(1), uint8(255))
+	f.Add(bytes.Repeat([]byte{0xAB}, 257), int64(4), uint8(4), uint8(9))
+	f.Add([]byte("DT\x00\x00\x00\x05abcde"), int64(5), uint8(128), uint8(64))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, frag, pops uint8) {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Build an id pattern with both long constant stretches and
+		// per-byte churn, depending on the seed.
+		ids := make([]uint32, len(data))
+		var cur uint32
+		for i := range ids {
+			if rng.Intn(int(frag)+2) == 0 {
+				cur = uint32(rng.Intn(5)) // small id space → runs merge
+			}
+			ids[i] = cur
+		}
+
+		raw := EncodeGroups(nil, data, ids)
+		if len(raw) != WireLen(len(data)) {
+			t.Fatalf("encoded %d bytes, want %d", len(raw), WireLen(len(data)))
+		}
+
+		// Feed in random fragments, including empty and sub-group ones.
+		var dec StreamDecoder
+		for off := 0; off < len(raw); {
+			n := rng.Intn(int(frag) + 2) // 0..frag+1 byte chunks
+			if off+n > len(raw) {
+				n = len(raw) - off
+			}
+			dec.Feed(raw[off : off+n])
+			off += n
+		}
+		if dec.PendingPartial() {
+			t.Fatal("whole-group input left a partial buffered")
+		}
+		if dec.Buffered() != len(data) {
+			t.Fatalf("decoder buffered %d of %d bytes", dec.Buffered(), len(data))
+		}
+
+		// Drain with randomly sized pops, alternating Next and NextRuns.
+		var gotData []byte
+		var gotIDs []uint32
+		for dec.Buffered() > 0 {
+			max := rng.Intn(int(pops)+2) + 1
+			if rng.Intn(2) == 0 {
+				d, is := dec.Next(max)
+				gotData = append(gotData, d...)
+				gotIDs = append(gotIDs, is...)
+			} else {
+				d, rs := dec.NextRuns(max)
+				if RunsLen(rs) != len(d) {
+					t.Fatalf("NextRuns: runs cover %d of %d bytes", RunsLen(rs), len(d))
+				}
+				for i := 1; i < len(rs); i++ {
+					if rs[i].ID == rs[i-1].ID {
+						t.Fatalf("NextRuns returned adjacent runs with equal id %d", rs[i].ID)
+					}
+				}
+				gotData = append(gotData, d...)
+				gotIDs = append(gotIDs, ExpandRuns(rs)...)
+			}
+		}
+		if !bytes.Equal(gotData, data) {
+			t.Fatalf("data mismatch:\n got %x\nwant %x", gotData, data)
+		}
+		for i := range ids {
+			if gotIDs[i] != ids[i] {
+				t.Fatalf("id %d = %d, want %d", i, gotIDs[i], ids[i])
+			}
+		}
+	})
+}
+
+// FuzzPacketRoundTrip round-trips the packet codec (per-byte and run
+// forms) and checks the truncation path never panics and agrees between
+// forms.
+func FuzzPacketRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"), uint32(9), uint16(0))
+	f.Add([]byte{}, uint32(0), uint16(3))
+	f.Add(bytes.Repeat([]byte{1, 2}, 100), uint32(1<<31), uint16(50))
+	f.Fuzz(func(t *testing.T, data []byte, id uint32, cut uint16) {
+		pkt := EncodePacketRuns(data, []Run{{N: len(data), ID: id}})
+		if want := EncodePacket(data, uniformIDs(len(data), id)); !bytes.Equal(pkt, want) {
+			t.Fatal("EncodePacketRuns and EncodePacket disagree on the wire")
+		}
+
+		d1, ids1, err1 := DecodePacket(pkt)
+		d2, runs2, err2 := DecodePacketRuns(pkt)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("decode errors: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(d1, data) || !bytes.Equal(d2, data) {
+			t.Fatal("payload mismatch")
+		}
+		for i, got := range ids1 {
+			if got != id {
+				t.Fatalf("id %d = %d, want %d", i, got, id)
+			}
+		}
+		if got := ExpandRuns(runs2); len(got) != len(data) {
+			t.Fatalf("runs cover %d of %d", len(got), len(data))
+		}
+
+		// Truncate anywhere: both prefix decoders must agree and not
+		// panic; whole groups before the cut must survive.
+		n := int(cut) % (len(pkt) + 1)
+		p1, i1, e1 := DecodePacketPrefix(pkt[:n])
+		p2, r2, e2 := DecodePacketPrefixRuns(pkt[:n])
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("prefix decoders disagree on error: %v / %v", e1, e2)
+		}
+		if e1 == nil {
+			if !bytes.Equal(p1, p2) {
+				t.Fatal("prefix decoders disagree on payload")
+			}
+			expanded := ExpandRuns(r2)
+			if len(expanded) != len(i1) {
+				t.Fatalf("prefix id lengths disagree: %d / %d", len(i1), len(expanded))
+			}
+			for i := range i1 {
+				if i1[i] != expanded[i] {
+					t.Fatalf("prefix id %d disagrees: %d / %d", i, i1[i], expanded[i])
+				}
+			}
+		}
+	})
+}
+
+func uniformIDs(n int, id uint32) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = id
+	}
+	return ids
+}

@@ -13,12 +13,21 @@
 //     header carrying the original length;
 //   - buffer codec (Type 3) reuses the stream encoding over the contents
 //     of a direct buffer (the dispatcher writes whole buffers).
+//
+// Every codec has a run form (EncodeRuns, DecodeGroupsRuns, NextRuns,
+// EncodePacketRuns, ...) that describes taint as []Run — stretches of
+// consecutive bytes sharing one Global ID — instead of a per-byte
+// []uint32. The wire format is identical; only the in-memory shape
+// changes. Real payloads are dominated by long single-taint stretches,
+// so the run forms do the id bookkeeping once per run instead of once
+// per byte and avoid materializing 4 bytes of id per data byte.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 const (
@@ -38,32 +47,198 @@ func WireLen(n int) int { return n * GroupLen }
 // DataLen returns how many whole data bytes fit in w wire bytes.
 func DataLen(w int) int { return w / GroupLen }
 
-// EncodeGroups appends the group encoding of data (with per-byte ids) to
-// dst and returns the extended slice. ids may be nil (all untainted) or
-// must have len(data) entries.
-func EncodeGroups(dst, data []byte, ids []uint32) []byte {
-	if ids != nil && len(ids) != len(data) {
-		panic(fmt.Sprintf("wire: %d ids for %d bytes", len(ids), len(data)))
+// Run describes N consecutive data bytes that all carry the taint with
+// the given Global ID (0 = untainted). A []Run covering a payload is
+// the run-length form of a per-byte []uint32.
+type Run struct {
+	N  int
+	ID uint32
+}
+
+// RunsLen returns the number of data bytes covered by runs.
+func RunsLen(runs []Run) int {
+	n := 0
+	for _, r := range runs {
+		n += r.N
 	}
-	need := len(dst) + WireLen(len(data))
+	return n
+}
+
+// ExpandRuns materializes the per-byte id slice described by runs.
+func ExpandRuns(runs []Run) []uint32 {
+	ids := make([]uint32, RunsLen(runs))
+	pos := 0
+	for _, r := range runs {
+		for i := 0; i < r.N; i++ {
+			ids[pos] = r.ID
+			pos++
+		}
+	}
+	return ids
+}
+
+// growBytes extends dst by n writable bytes, reallocating if needed.
+func growBytes(dst []byte, n int) []byte {
+	need := len(dst) + n
 	if cap(dst) < need {
 		grown := make([]byte, len(dst), need)
 		copy(grown, dst)
 		dst = grown
 	}
-	for i, b := range data {
-		var id uint32
-		if ids != nil {
-			id = ids[i]
+	return dst[:need]
+}
+
+// encodeSlack is spare capacity reserved past the encoded end so the
+// EncodeRuns inner loop can emit each 5-byte group as a single
+// overlapping 8-byte store (the last group's store spills 3 scratch
+// bytes that stay beyond the returned length).
+const encodeSlack = 8 - GroupLen
+
+// A block is eight consecutive groups sharing one Global ID — 40 wire
+// bytes, or exactly five 64-bit words. Long runs encode and decode one
+// block per iteration: the id bytes of all eight groups are folded into
+// five precomputed lane words, so the per-byte loop collapses to one
+// 8-byte data load plus five word stores (encode) or five word loads,
+// five masked compares and one 8-byte data store (decode).
+const (
+	blockGroups = 8
+	blockBytes  = blockGroups * GroupLen
+)
+
+// laneM* mask the data-byte lanes of each word of a block: group g's
+// data byte sits at block offset 5g, i.e. word g*5/8, bit 8*(5g%8).
+const (
+	laneM0 uint64 = 0xff | 0xff<<40         // groups 0, 1
+	laneM1 uint64 = 0xff<<16 | 0xff<<56     // groups 2, 3
+	laneM2 uint64 = 0xff << 32              // group 4
+	laneM3 uint64 = 0xff<<8 | 0xff<<48      // groups 5, 6
+	laneM4 uint64 = 0xff << 24              // group 7
+)
+
+// blockLanes returns the five little-endian words of a block whose
+// eight groups all carry id, with the data-byte lanes left zero.
+func blockLanes(id uint32) (c0, c1, c2, c3, c4 uint64) {
+	var tmpl [blockBytes]byte
+	i3, i2, i1, i0 := byte(id>>24), byte(id>>16), byte(id>>8), byte(id)
+	for g := 0; g < blockGroups; g++ {
+		o := g * GroupLen
+		tmpl[o+1], tmpl[o+2], tmpl[o+3], tmpl[o+4] = i3, i2, i1, i0
+	}
+	return binary.LittleEndian.Uint64(tmpl[0:]),
+		binary.LittleEndian.Uint64(tmpl[8:]),
+		binary.LittleEndian.Uint64(tmpl[16:]),
+		binary.LittleEndian.Uint64(tmpl[24:]),
+		binary.LittleEndian.Uint64(tmpl[32:])
+}
+
+// EncodeRuns appends the group encoding of data to dst, taking taint as
+// runs instead of per-byte ids, and returns the extended slice. runs
+// may be nil (all untainted) or must cover exactly len(data) bytes.
+// The id half of each group is precomputed once per run as a shifted
+// word, so each group costs one 8-byte store instead of five byte
+// stores.
+func EncodeRuns(dst, data []byte, runs []Run) []byte {
+	var whole [1]Run
+	if runs == nil {
+		whole[0] = Run{N: len(data)}
+		runs = whole[:]
+	}
+	if got := RunsLen(runs); got != len(data) {
+		panic(fmt.Sprintf("wire: runs cover %d of %d bytes", got, len(data)))
+	}
+	w := len(dst)
+	need := w + WireLen(len(data))
+	if cap(dst) < need+encodeSlack {
+		grown := make([]byte, len(dst), need+encodeSlack)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	scratch := dst[:need+encodeSlack]
+	pos := 0
+	for _, r := range runs {
+		src := data[pos : pos+r.N]
+		pos += r.N
+		if len(src) >= 2*blockGroups {
+			c0, c1, c2, c3, c4 := blockLanes(r.ID)
+			for len(src) >= blockGroups {
+				d8 := binary.LittleEndian.Uint64(src)
+				blk := scratch[w : w+blockBytes]
+				binary.LittleEndian.PutUint64(blk[0:], c0|d8&0xff|(d8>>8&0xff)<<40)
+				binary.LittleEndian.PutUint64(blk[8:], c1|(d8>>16&0xff)<<16|(d8>>24&0xff)<<56)
+				binary.LittleEndian.PutUint64(blk[16:], c2|(d8>>32&0xff)<<32)
+				binary.LittleEndian.PutUint64(blk[24:], c3|(d8>>40&0xff)<<8|(d8>>48&0xff)<<48)
+				binary.LittleEndian.PutUint64(blk[32:], c4|(d8>>56&0xff)<<24)
+				w += blockBytes
+				src = src[blockGroups:]
+			}
 		}
-		dst = append(dst, b,
-			byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+		// Little-endian word with the 4 big-endian id bytes in byte
+		// lanes 1..4; lane 0 carries the data byte.
+		idw := uint64(bits.ReverseBytes32(r.ID)) << 8
+		for _, b := range src {
+			binary.LittleEndian.PutUint64(scratch[w:], idw|uint64(b))
+			w += GroupLen
+		}
 	}
 	return dst
 }
 
-// DecodeGroups splits a whole-group wire buffer into data bytes and ids.
-// len(raw) must be a multiple of GroupLen.
+// EncodeGroups appends the group encoding of data (with per-byte ids) to
+// dst and returns the extended slice. ids may be nil (all untainted) or
+// must have len(data) entries. Each group is emitted as one overlapping
+// 8-byte store, like EncodeRuns.
+func EncodeGroups(dst, data []byte, ids []uint32) []byte {
+	if ids == nil {
+		return EncodeRuns(dst, data, nil)
+	}
+	if len(ids) != len(data) {
+		panic(fmt.Sprintf("wire: %d ids for %d bytes", len(ids), len(data)))
+	}
+	w := len(dst)
+	need := w + WireLen(len(data))
+	if cap(dst) < need+encodeSlack {
+		grown := make([]byte, len(dst), need+encodeSlack)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	scratch := dst[:need+encodeSlack]
+	for i, b := range data {
+		binary.LittleEndian.PutUint64(scratch[w:],
+			uint64(bits.ReverseBytes32(ids[i]))<<8|uint64(b))
+		w += GroupLen
+	}
+	return dst
+}
+
+// DecodeGroupsRuns splits a whole-group wire buffer into data bytes and
+// taint runs, without materializing a per-byte id slice. len(raw) must
+// be a multiple of GroupLen.
+func DecodeGroupsRuns(raw []byte) (data []byte, runs []Run, err error) {
+	if len(raw)%GroupLen != 0 {
+		return nil, nil, fmt.Errorf("wire: %d bytes is not a whole number of groups", len(raw))
+	}
+	data = make([]byte, len(raw)/GroupLen)
+	for i, k := 0, 0; i < len(raw); {
+		id := binary.BigEndian.Uint32(raw[i+1 : i+GroupLen])
+		j := i
+		for {
+			data[k] = raw[j]
+			k++
+			j += GroupLen
+			if j >= len(raw) || binary.BigEndian.Uint32(raw[j+1:j+GroupLen]) != id {
+				break
+			}
+		}
+		runs = append(runs, Run{N: (j - i) / GroupLen, ID: id})
+		i = j
+	}
+	return data, runs, nil
+}
+
+// DecodeGroups splits a whole-group wire buffer into data bytes and
+// per-byte ids. len(raw) must be a multiple of GroupLen.
 func DecodeGroups(raw []byte) (data []byte, ids []uint32, err error) {
 	if len(raw)%GroupLen != 0 {
 		return nil, nil, fmt.Errorf("wire: %d bytes is not a whole number of groups", len(raw))
@@ -80,14 +255,16 @@ func DecodeGroups(raw []byte) (data []byte, ids []uint32, err error) {
 }
 
 // StreamDecoder reassembles groups from an arbitrarily fragmented byte
-// stream. Feed it raw reads; Next pops decoded bytes. A partial group
-// stays buffered until its remaining bytes arrive.
+// stream. Feed it raw reads; Next (or NextRuns) pops decoded bytes. A
+// partial group stays buffered until its remaining bytes arrive.
+// Internally taint is held as runs, so a long single-taint stream costs
+// one Run however many reads delivered it.
 type StreamDecoder struct {
 	partial [GroupLen]byte
 	nburied int // valid bytes in partial
 
 	data []byte
-	ids  []uint32
+	runs []Run // taint of data, covering it exactly
 }
 
 // Feed consumes raw wire bytes, decoding every completed group.
@@ -98,18 +275,98 @@ func (d *StreamDecoder) Feed(raw []byte) {
 			d.nburied += n
 			raw = raw[n:]
 			if d.nburied == GroupLen {
-				d.data = append(d.data, d.partial[0])
-				d.ids = append(d.ids, binary.BigEndian.Uint32(d.partial[1:]))
+				d.push(d.partial[0], binary.BigEndian.Uint32(d.partial[1:]))
 				d.nburied = 0
 			}
 			continue
 		}
 		whole := len(raw) / GroupLen * GroupLen
-		for i := 0; i < whole; i += GroupLen {
-			d.data = append(d.data, raw[i])
-			d.ids = append(d.ids, binary.BigEndian.Uint32(raw[i+1:i+GroupLen]))
-		}
+		d.feedWhole(raw[:whole])
 		raw = raw[whole:]
+	}
+}
+
+// push appends one decoded byte, extending the trailing run if it
+// carries the same id.
+func (d *StreamDecoder) push(b byte, id uint32) {
+	d.data = append(d.data, b)
+	if n := len(d.runs); n > 0 && d.runs[n-1].ID == id {
+		d.runs[n-1].N++
+	} else {
+		d.runs = append(d.runs, Run{N: 1, ID: id})
+	}
+}
+
+// feedWhole decodes a whole number of groups, detecting constant-id
+// stretches with one 4-byte load per group and no per-byte id storage.
+// The current run is accumulated in locals and flushed only on an id
+// change, so a uniform stream costs one append however long it is and
+// a fully fragmented one costs one append per group, not two loads.
+func (d *StreamDecoder) feedWhole(raw []byte) {
+	base := len(d.data)
+	n := len(raw) / GroupLen
+	if cap(d.data)-base < n {
+		grown := make([]byte, base, base*2+n)
+		copy(grown, d.data)
+		d.data = grown
+	}
+	d.data = d.data[:base+n]
+	var curID uint32
+	curN := 0
+	if m := len(d.runs); m > 0 {
+		curID, curN = d.runs[m-1].ID, d.runs[m-1].N
+		d.runs = d.runs[:m-1]
+	} else if n > 0 {
+		curID = binary.BigEndian.Uint32(raw[1:GroupLen])
+	}
+	k := base
+	var c0, c1, c2, c3, c4 uint64
+	lanesID, lanesOK := uint32(0), false
+	i := 0
+	for i < len(raw) {
+		// Block fast path: once eight consecutive groups carried curID
+		// the stream is in a run, so decode whole blocks until the
+		// masked id-lane compare sees a different id.
+		if curN >= blockGroups && i+blockBytes <= len(raw) {
+			if !lanesOK || lanesID != curID {
+				c0, c1, c2, c3, c4 = blockLanes(curID)
+				lanesID, lanesOK = curID, true
+			}
+			for i+blockBytes <= len(raw) {
+				blk := raw[i : i+blockBytes]
+				w0 := binary.LittleEndian.Uint64(blk[0:])
+				w1 := binary.LittleEndian.Uint64(blk[8:])
+				w2 := binary.LittleEndian.Uint64(blk[16:])
+				w3 := binary.LittleEndian.Uint64(blk[24:])
+				w4 := binary.LittleEndian.Uint64(blk[32:])
+				if w0&^laneM0 != c0 || w1&^laneM1 != c1 || w2&^laneM2 != c2 ||
+					w3&^laneM3 != c3 || w4&^laneM4 != c4 {
+					break
+				}
+				d8 := w0&0xff | (w0>>40&0xff)<<8 | (w1>>16&0xff)<<16 | (w1>>56&0xff)<<24 |
+					(w2>>32&0xff)<<32 | (w3>>8&0xff)<<40 | (w3>>48&0xff)<<48 | (w4>>24&0xff)<<56
+				binary.LittleEndian.PutUint64(d.data[k:], d8)
+				k += blockGroups
+				curN += blockGroups
+				i += blockBytes
+			}
+			if i >= len(raw) {
+				break
+			}
+		}
+		d.data[k] = raw[i]
+		k++
+		id := binary.BigEndian.Uint32(raw[i+1 : i+GroupLen])
+		i += GroupLen
+		if id == curID {
+			curN++
+			continue
+		}
+		d.runs = append(d.runs, Run{N: curN, ID: curID})
+		curID, curN = id, 1
+	}
+	if curN > 0 {
+		d.runs = append(d.runs, Run{N: curN, ID: curID})
 	}
 }
 
@@ -119,20 +376,50 @@ func (d *StreamDecoder) Buffered() int { return len(d.data) }
 // PendingPartial reports whether a fraction of a group is buffered.
 func (d *StreamDecoder) PendingPartial() bool { return d.nburied > 0 }
 
-// Next pops up to max decoded bytes with their ids.
-func (d *StreamDecoder) Next(max int) (data []byte, ids []uint32) {
+// NextRuns pops up to max decoded bytes with their taint runs. When the
+// pop lands exactly on a run boundary the returned runs alias the
+// decoder's internal slice (capped, and never mutated again by the
+// decoder), so draining a fully buffered stream allocates nothing for
+// the taint side however fragmented it is.
+func (d *StreamDecoder) NextRuns(max int) (data []byte, runs []Run) {
 	n := len(d.data)
 	if n > max {
 		n = max
 	}
 	data = make([]byte, n)
-	ids = make([]uint32, n)
 	copy(data, d.data[:n])
-	copy(ids, d.ids[:n])
 	d.data = d.data[n:]
-	d.ids = d.ids[n:]
+	k, rem := 0, n
+	for rem > 0 && d.runs[k].N <= rem {
+		rem -= d.runs[k].N
+		k++
+	}
+	if rem == 0 {
+		runs = d.runs[:k:k]
+		d.runs = d.runs[k:]
+	} else {
+		runs = make([]Run, k+1)
+		copy(runs, d.runs[:k])
+		runs[k] = Run{N: rem, ID: d.runs[k].ID}
+		d.runs = d.runs[k:]
+		d.runs[0].N -= rem
+	}
 	if len(d.data) == 0 {
-		d.data, d.ids = nil, nil
+		d.data, d.runs = nil, nil
+	}
+	return data, runs
+}
+
+// Next pops up to max decoded bytes with their per-byte ids.
+func (d *StreamDecoder) Next(max int) (data []byte, ids []uint32) {
+	data, runs := d.NextRuns(max)
+	ids = make([]uint32, len(data))
+	pos := 0
+	for _, r := range runs {
+		for i := 0; i < r.N; i++ {
+			ids[pos] = r.ID
+			pos++
+		}
 	}
 	return data, ids
 }
@@ -150,10 +437,34 @@ const PacketOverhead = 6
 
 // EncodePacket wraps one datagram payload with its per-byte ids.
 func EncodePacket(data []byte, ids []uint32) []byte {
-	out := make([]byte, 0, PacketOverhead+WireLen(len(data)))
+	return EncodeGroups(packetHeader(len(data)), data, ids)
+}
+
+// EncodePacketRuns wraps one datagram payload with its taint runs.
+func EncodePacketRuns(data []byte, runs []Run) []byte {
+	return EncodeRuns(packetHeader(len(data)), data, runs)
+}
+
+func packetHeader(n int) []byte {
+	out := make([]byte, 0, PacketOverhead+WireLen(n))
 	out = append(out, packetMagic[0], packetMagic[1])
-	out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
-	return EncodeGroups(out, data, ids)
+	return binary.BigEndian.AppendUint32(out, uint32(n))
+}
+
+// packetBody validates the header and returns the whole-group body.
+func packetBody(raw []byte) ([]byte, error) {
+	if len(raw) < PacketOverhead {
+		return nil, ErrTruncatedPacket
+	}
+	if raw[0] != packetMagic[0] || raw[1] != packetMagic[1] {
+		return nil, errors.New("wire: bad taint packet magic")
+	}
+	n := int(binary.BigEndian.Uint32(raw[2:6]))
+	body := raw[PacketOverhead:]
+	if len(body) < WireLen(n) {
+		return nil, fmt.Errorf("%w: %d groups declared, %d wire bytes", ErrTruncatedPacket, n, len(body))
+	}
+	return body[:WireLen(n)], nil
 }
 
 // DecodePacketPrefix decodes as much of a possibly truncated encoded
@@ -161,27 +472,48 @@ func EncodePacket(data []byte, ids []uint32) []byte {
 // when the receiver's (enlarged) buffer is still smaller than the
 // packet. Only the header must be intact.
 func DecodePacketPrefix(raw []byte) (data []byte, ids []uint32, err error) {
-	data, ids, err = DecodePacket(raw)
-	if err == nil || !errors.Is(err, ErrTruncatedPacket) || len(raw) < PacketOverhead {
-		return data, ids, err
+	body, err := truncatedBody(raw)
+	if err != nil {
+		return nil, nil, err
 	}
-	body := raw[PacketOverhead:]
-	whole := len(body) / GroupLen * GroupLen
-	return DecodeGroups(body[:whole])
+	return DecodeGroups(body)
 }
 
-// DecodePacket splits an encoded datagram into payload and ids.
+// DecodePacketPrefixRuns is DecodePacketPrefix in run form.
+func DecodePacketPrefixRuns(raw []byte) (data []byte, runs []Run, err error) {
+	body, err := truncatedBody(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeGroupsRuns(body)
+}
+
+// truncatedBody returns the usable whole-group body of a possibly
+// truncated packet.
+func truncatedBody(raw []byte) ([]byte, error) {
+	body, err := packetBody(raw)
+	if err == nil || !errors.Is(err, ErrTruncatedPacket) || len(raw) < PacketOverhead {
+		return body, err
+	}
+	trimmed := raw[PacketOverhead:]
+	return trimmed[:len(trimmed)/GroupLen*GroupLen], nil
+}
+
+// DecodePacket splits an encoded datagram into payload and per-byte ids.
 func DecodePacket(raw []byte) (data []byte, ids []uint32, err error) {
-	if len(raw) < PacketOverhead {
-		return nil, nil, ErrTruncatedPacket
+	body, err := packetBody(raw)
+	if err != nil {
+		return nil, nil, err
 	}
-	if raw[0] != packetMagic[0] || raw[1] != packetMagic[1] {
-		return nil, nil, errors.New("wire: bad taint packet magic")
+	return DecodeGroups(body)
+}
+
+// DecodePacketRuns splits an encoded datagram into payload and taint
+// runs.
+func DecodePacketRuns(raw []byte) (data []byte, runs []Run, err error) {
+	body, err := packetBody(raw)
+	if err != nil {
+		return nil, nil, err
 	}
-	n := int(binary.BigEndian.Uint32(raw[2:6]))
-	body := raw[PacketOverhead:]
-	if len(body) < WireLen(n) {
-		return nil, nil, fmt.Errorf("%w: %d groups declared, %d wire bytes", ErrTruncatedPacket, n, len(body))
-	}
-	return DecodeGroups(body[:WireLen(n)])
+	return DecodeGroupsRuns(body)
 }

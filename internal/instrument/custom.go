@@ -53,11 +53,11 @@ func (e *CustomEndpoint) Write(b taint.Bytes) error {
 		e.agent.AddTraffic(len(b.Data), len(b.Data))
 		return e.rt.SendRaw(b.Data)
 	}
-	ids, err := registerLabels(e.agent, b.Labels, len(b.Data))
+	runs, err := registerRuns(e.agent, b)
 	if err != nil {
 		return err
 	}
-	raw := wire.EncodeGroups(nil, b.Data, ids)
+	raw := wire.EncodeRuns(nil, b.Data, runs)
 	e.agent.AddTraffic(len(b.Data), len(raw))
 	return e.rt.SendRaw(raw)
 }
@@ -75,18 +75,13 @@ func (e *CustomEndpoint) Read(buf *taint.Bytes) (int, error) {
 	if err := e.fill(len(buf.Data)); err != nil {
 		return 0, err
 	}
-	data, ids := e.dec.Next(len(buf.Data))
-	labels, err := resolveIDs(e.agent, ids)
+	data, runs := e.dec.NextRuns(len(buf.Data))
+	labels, err := resolveRuns(e.agent, runs)
 	if err != nil {
 		return 0, err
 	}
 	copy(buf.Data, data)
-	if buf.Labels == nil && anyNonZero(ids) {
-		buf.Labels = make([]taint.Taint, len(buf.Data))
-	}
-	if buf.Labels != nil {
-		copy(buf.Labels[:len(data)], labels)
-	}
+	adoptRuns(buf, runs, labels)
 	return len(data), nil
 }
 

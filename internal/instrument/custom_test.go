@@ -91,8 +91,8 @@ func TestCustomTransportOffMode(t *testing.T) {
 	if _, err := receiver.Read(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if string(buf.Data) != "plain" || buf.Labels != nil {
-		t.Fatalf("off mode read %q labels %v", buf.Data, buf.Labels)
+	if string(buf.Data) != "plain" || buf.HasShadow() {
+		t.Fatalf("off mode read %q shadow %v", buf.Data, buf.HasShadow())
 	}
 }
 

@@ -46,70 +46,87 @@ func (e *Endpoint) Conn() *netsim.Conn { return e.conn }
 // Agent returns the endpoint's agent.
 func (e *Endpoint) Agent() *tracker.Agent { return e.agent }
 
-// registerLabels maps a label slice to Global IDs via the Taint Map
-// (Fig. 9 steps ①②). Untainted bytes map to 0 without any lookup.
-func registerLabels(agent *tracker.Agent, labels []taint.Taint, n int) ([]uint32, error) {
-	if labels == nil {
+// registerRuns maps b's label runs to wire runs via the Taint Map
+// (Fig. 9 steps ①②): one batch registration covering every distinct
+// taint, one Run per label run — never per-byte work. A shadow-free b
+// returns nil (all untainted).
+func registerRuns(agent *tracker.Agent, b taint.Bytes) ([]wire.Run, error) {
+	if !b.HasShadow() {
 		return nil, nil
 	}
 	tm := agent.TaintMap()
 	if tm == nil {
 		return nil, ErrNoTaintMap
 	}
-	ids := make([]uint32, n)
-	// Adjacent bytes overwhelmingly share one taint (a tainted buffer is
-	// labelled uniformly), so memoize the last label's id across the run.
-	var (
-		lastLabel taint.Taint
-		lastID    uint32
-		havePrev  bool
-	)
-	for i := 0; i < n; i++ {
-		if labels[i].Empty() {
-			continue
+	var runs []wire.Run
+	var pending []taint.Taint
+	var pendingAt []int
+	b.ForEachRun(func(from, to int, t taint.Taint) {
+		r := wire.Run{N: to - from}
+		if !t.Empty() {
+			// Fast path: a taint this node has already transferred
+			// carries its Global ID on the tree node (Fig. 9 step ②),
+			// so the steady state never builds a taint slice at all.
+			if id := t.GlobalID(); id != 0 {
+				r.ID = id
+			} else {
+				pending = append(pending, t)
+				pendingAt = append(pendingAt, len(runs))
+			}
 		}
-		if havePrev && labels[i] == lastLabel {
-			ids[i] = lastID
-			continue
-		}
-		id, err := tm.Register(labels[i])
+		runs = append(runs, r)
+	})
+	if len(pending) > 0 {
+		ids, err := tm.RegisterBatch(pending)
 		if err != nil {
 			return nil, err
 		}
-		ids[i] = id
-		lastLabel, lastID, havePrev = labels[i], id, true
+		for i, at := range pendingAt {
+			runs[at].ID = ids[i]
+		}
 	}
-	return ids, nil
+	return runs, nil
 }
 
-// resolveIDs maps Global IDs back to taints in the agent's tree (Fig. 9
-// steps ④⑤).
-func resolveIDs(agent *tracker.Agent, ids []uint32) ([]taint.Taint, error) {
+// resolveRuns maps decoded wire runs back to taints in the agent's tree
+// (Fig. 9 steps ④⑤) with one batch lookup; labels[i] belongs to
+// runs[i].
+func resolveRuns(agent *tracker.Agent, runs []wire.Run) ([]taint.Taint, error) {
 	tm := agent.TaintMap()
 	if tm == nil {
 		return nil, ErrNoTaintMap
 	}
-	labels := make([]taint.Taint, len(ids))
-	var (
-		lastID    uint32
-		lastTaint taint.Taint
-	)
-	for i, id := range ids {
-		if id == 0 {
-			continue
-		}
-		if id == lastID {
-			labels[i] = lastTaint
-			continue
-		}
-		t, err := tm.Lookup(id)
-		if err != nil {
-			return nil, err
-		}
-		labels[i] = t
-		lastID, lastTaint = id, t
+	ids := make([]uint32, len(runs))
+	for i, r := range runs {
+		ids[i] = r.ID
 	}
-	return labels, nil
+	return tm.LookupBatch(ids)
+}
+
+// adoptRuns writes the resolved run labels over buf's prefix. Lazy
+// shadow allocation is preserved: an entirely untainted delivery into a
+// shadow-free buf allocates nothing, while a buf that already has
+// labels gets its stale ones overwritten.
+func adoptRuns(buf *taint.Bytes, runs []wire.Run, labels []taint.Taint) {
+	pos := 0
+	for i, r := range runs {
+		buf.SetRange(pos, pos+r.N, labels[i])
+		pos += r.N
+	}
+}
+
+// trimRuns clips runs to cover at most n bytes.
+func trimRuns(runs []wire.Run, n int) []wire.Run {
+	for i := range runs {
+		if n <= 0 {
+			return runs[:i]
+		}
+		if runs[i].N > n {
+			runs[i].N = n
+		}
+		n -= runs[i].N
+	}
+	return runs
 }
 
 // Write sends b through the instrumented socketWrite0 wrapper.
@@ -126,11 +143,11 @@ func (e *Endpoint) Write(b taint.Bytes) error {
 		e.agent.AddTraffic(len(b.Data), len(b.Data))
 		return jni.SocketWrite0(e.conn, b.Data)
 	}
-	ids, err := registerLabels(e.agent, b.Labels, len(b.Data))
+	runs, err := registerRuns(e.agent, b)
 	if err != nil {
 		return err
 	}
-	raw := wire.EncodeGroups(nil, b.Data, ids)
+	raw := wire.EncodeRuns(nil, b.Data, runs)
 	e.agent.AddTraffic(len(b.Data), len(raw))
 	return jni.SocketWrite0(e.conn, raw)
 }
@@ -157,18 +174,13 @@ func (e *Endpoint) Read(buf *taint.Bytes) (int, error) {
 	if err := e.fillDecoder(len(buf.Data)); err != nil {
 		return 0, err
 	}
-	data, ids := e.dec.Next(len(buf.Data))
-	labels, err := resolveIDs(e.agent, ids)
+	data, runs := e.dec.NextRuns(len(buf.Data))
+	labels, err := resolveRuns(e.agent, runs)
 	if err != nil {
 		return 0, err
 	}
 	copy(buf.Data, data)
-	if buf.Labels == nil && anyNonZero(ids) {
-		buf.Labels = make([]taint.Taint, len(buf.Data))
-	}
-	if buf.Labels != nil {
-		copy(buf.Labels[:len(data)], labels)
-	}
+	adoptRuns(buf, runs, labels)
 	return len(data), nil
 }
 
@@ -202,15 +214,6 @@ func (e *Endpoint) fillDecoder(want int) error {
 	return nil
 }
 
-func anyNonZero(ids []uint32) bool {
-	for _, id := range ids {
-		if id != 0 {
-			return true
-		}
-	}
-	return false
-}
-
 // WriteBuffer sends the [from,to) range of a direct buffer — the Type 3
 // send path (IOUtil.writeFromNativeBuffer -> dispatcher write0, Fig. 8).
 // It returns the number of data bytes consumed.
@@ -224,11 +227,11 @@ func (e *Endpoint) WriteBuffer(src *jni.DirectBuffer, from, to int) (int, error)
 		written, err := jni.DispatcherWrite0(e.conn, src.Data[from:to])
 		return written, err
 	}
-	ids, err := registerLabels(e.agent, src.Shadow[from:to], n)
+	runs, err := registerRuns(e.agent, src.View(from, to))
 	if err != nil {
 		return 0, err
 	}
-	raw := wire.EncodeGroups(nil, src.Data[from:to], ids)
+	raw := wire.EncodeRuns(nil, src.Data[from:to], runs)
 	e.agent.AddTraffic(n, len(raw))
 	if _, err := jni.DispatcherWrite0(e.conn, raw); err != nil {
 		return 0, err
@@ -254,12 +257,13 @@ func (e *Endpoint) ReadBuffer(dst *jni.DirectBuffer, from, to int) (int, error) 
 	if err := e.fillDecoder(to - from); err != nil {
 		return 0, err
 	}
-	data, ids := e.dec.Next(to - from)
-	labels, err := resolveIDs(e.agent, ids)
+	data, runs := e.dec.NextRuns(to - from)
+	labels, err := resolveRuns(e.agent, runs)
 	if err != nil {
 		return 0, err
 	}
 	copy(dst.Data[from:], data)
-	copy(dst.Shadow[from:from+len(data)], labels)
+	sub := dst.View(from, from+len(data))
+	adoptRuns(&sub, runs, labels)
 	return len(data), nil
 }

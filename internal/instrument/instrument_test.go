@@ -181,7 +181,7 @@ func TestStreamOffModeNoTaintNoOverhead(t *testing.T) {
 	if err != nil || n != 5 || string(buf.Data) != "plain" {
 		t.Fatalf("read %q (%d) %v", buf.Data, n, err)
 	}
-	if buf.Labels != nil {
+	if buf.HasShadow() {
 		t.Fatal("off mode must not allocate shadows")
 	}
 	data, wireBytes := r.a.Traffic()
@@ -431,7 +431,7 @@ func TestPacketOffMode(t *testing.T) {
 	if err != nil || string(buf.Data[:n]) != "plain" {
 		t.Fatalf("read %q %v", buf.Data[:n], err)
 	}
-	if buf.Labels != nil {
+	if buf.HasShadow() {
 		t.Fatal("off mode must stay shadow-free")
 	}
 }
@@ -461,7 +461,7 @@ func TestBufferWriteReadRoundTrip(t *testing.T) {
 	copy(src.Data, "nio-data")
 	tt := r.a.Source("s", "nio")
 	for i := 4; i < 8; i++ {
-		src.Shadow[i] = tt
+		src.SetLabel(i, tt)
 	}
 	n, err := sender.WriteBuffer(src, 0, 8)
 	if err != nil || n != 8 {
@@ -482,7 +482,7 @@ func TestBufferWriteReadRoundTrip(t *testing.T) {
 	}
 	for i := 0; i < 8; i++ {
 		want := i >= 4
-		if got := dst.Shadow[i].Has("nio"); got != want {
+		if got := dst.Label(i).Has("nio"); got != want {
 			t.Fatalf("shadow[%d] = %v, want %v", i, got, want)
 		}
 	}

@@ -21,11 +21,11 @@ func PacketSend(agent *tracker.Agent, sock *netsim.UDPSocket, data taint.Bytes, 
 		agent.AddTraffic(len(data.Data), len(data.Data))
 		return jni.DatagramSend(sock, data.Data, dst)
 	}
-	ids, err := registerLabels(agent, data.Labels, len(data.Data))
+	runs, err := registerRuns(agent, data)
 	if err != nil {
 		return err
 	}
-	raw := wire.EncodePacket(data.Data, ids)
+	raw := wire.EncodePacketRuns(data.Data, runs)
 	agent.AddTraffic(len(data.Data), len(raw))
 	return jni.DatagramSend(sock, raw, dst)
 }
@@ -66,20 +66,16 @@ func PacketReceive(agent *tracker.Agent, sock *netsim.UDPSocket, buf *taint.Byte
 
 // decodeInto splits an encoded datagram into buf's data and labels.
 func decodeInto(agent *tracker.Agent, raw []byte, buf *taint.Bytes, from string) (int, string, error) {
-	data, ids, err := wire.DecodePacketPrefix(raw)
-	if err != nil {
-		return 0, "", err
-	}
-	labels, err := resolveIDs(agent, ids)
+	data, runs, err := wire.DecodePacketPrefixRuns(raw)
 	if err != nil {
 		return 0, "", err
 	}
 	stored := copy(buf.Data, data)
-	if buf.Labels == nil && anyNonZero(ids[:stored]) {
-		buf.Labels = make([]taint.Taint, len(buf.Data))
+	runs = trimRuns(runs, stored)
+	labels, err := resolveRuns(agent, runs)
+	if err != nil {
+		return 0, "", err
 	}
-	if buf.Labels != nil {
-		copy(buf.Labels[:stored], labels[:stored])
-	}
+	adoptRuns(buf, runs, labels)
 	return stored, from, nil
 }

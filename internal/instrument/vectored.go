@@ -36,11 +36,11 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 	total := 0
 	for i, src := range srcs {
 		src.CheckRange(0, lens[i])
-		ids, err := registerLabels(e.agent, src.Shadow[:lens[i]], lens[i])
+		runs, err := registerRuns(e.agent, src.View(0, lens[i]))
 		if err != nil {
 			return 0, err
 		}
-		encoded[i] = wire.EncodeGroups(nil, src.Data[:lens[i]], ids)
+		encoded[i] = wire.EncodeRuns(nil, src.Data[:lens[i]], runs)
 		total += lens[i]
 		e.agent.AddTraffic(lens[i], len(encoded[i]))
 	}

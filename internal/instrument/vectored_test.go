@@ -17,9 +17,9 @@ func TestWritevReadvDistaTaint(t *testing.T) {
 	src1, src2 := jni.NewDirectBuffer(4), jni.NewDirectBuffer(4)
 	copy(src1.Data, "AAAA")
 	copy(src2.Data, "BBBB")
-	for i := range src1.Shadow {
-		src1.Shadow[i] = t1
-		src2.Shadow[i] = t2
+	for i := 0; i < 4; i++ {
+		src1.SetLabel(i, t1)
+		src2.SetLabel(i, t2)
 	}
 	n, err := sender.WritevBuffers([]*jni.DirectBuffer{src1, src2}, []int{4, 4})
 	if err != nil || n != 8 {
@@ -50,8 +50,8 @@ func TestWritevReadvDistaTaint(t *testing.T) {
 		t.Fatalf("scattered %q %q", dst1.Data, dst2.Data)
 	}
 	for i := 0; i < 4; i++ {
-		if !dst1.Shadow[i].Has("vec1") || !dst2.Shadow[i].Has("vec2") {
-			t.Fatalf("shadow %d lost: %v %v", i, dst1.Shadow[i], dst2.Shadow[i])
+		if !dst1.Label(i).Has("vec1") || !dst2.Label(i).Has("vec2") {
+			t.Fatalf("shadow %d lost: %v %v", i, dst1.Label(i), dst2.Label(i))
 		}
 	}
 }
@@ -98,7 +98,7 @@ func TestReadvDoesNotBlockAcrossBuffers(t *testing.T) {
 	if err != nil || n != 2 {
 		t.Fatalf("readv = %d, %v", n, err)
 	}
-	if string(d1.Data) != "xy" || !d1.Shadow[0].Has("nb") {
-		t.Fatalf("d1 = %q %v", d1.Data, d1.Shadow[0])
+	if string(d1.Data) != "xy" || !d1.Label(0).Has("nb") {
+		t.Fatalf("d1 = %q %v", d1.Data, d1.Label(0))
 	}
 }

@@ -10,21 +10,38 @@ import (
 // manages (§III-C Type 3): NIO natives read and write it directly.
 // Because real native memory is invisible to a JVM tracker, DisTA
 // instruments the get/put accessors instead; our simulation keeps a
-// shadow label array alongside so those accessors have somewhere to
-// move labels to and from.
+// run-based shadow label store alongside so those accessors have
+// somewhere to move labels to and from.
 type DirectBuffer struct {
-	Data   []byte
-	Shadow []taint.Taint
+	Data []byte
+	// B is the tainted view of the buffer: B.Data aliases Data, and
+	// the labels live in B's shadow store. Accessors that move labels
+	// in bulk should go through B (or View) to stay O(runs).
+	B taint.Bytes
 }
 
 // NewDirectBuffer allocates an off-heap buffer of n bytes with shadow
 // storage.
 func NewDirectBuffer(n int) *DirectBuffer {
-	return &DirectBuffer{Data: make([]byte, n), Shadow: make([]taint.Taint, n)}
+	b := taint.MakeBytes(n)
+	return &DirectBuffer{Data: b.Data, B: b}
 }
 
 // Len returns the buffer's capacity.
 func (b *DirectBuffer) Len() int { return len(b.Data) }
+
+// Label returns the taint of byte i.
+func (b *DirectBuffer) Label(i int) taint.Taint { return b.B.LabelAt(i) }
+
+// SetLabel assigns taint t to byte i.
+func (b *DirectBuffer) SetLabel(i int, t taint.Taint) { b.B.SetLabel(i, t) }
+
+// View returns the tainted view of bytes [from,to), aliasing the
+// buffer's data and labels.
+func (b *DirectBuffer) View(from, to int) taint.Bytes {
+	b.CheckRange(from, to)
+	return b.B.Slice(from, to)
+}
 
 // CheckRange panics if [from,to) is not a valid range of the buffer —
 // matching the runtime bounds check of the real accessors.

@@ -119,8 +119,8 @@ func TestDispatcherReadvEOFAfterData(t *testing.T) {
 
 func TestDirectBufferRangeCheck(t *testing.T) {
 	db := NewDirectBuffer(4)
-	if db.Len() != 4 || len(db.Shadow) != 4 {
-		t.Fatalf("buffer %d/%d", db.Len(), len(db.Shadow))
+	if db.Len() != 4 || !db.B.HasShadow() || db.B.Len() != 4 {
+		t.Fatalf("buffer %d, shadow %v/%d", db.Len(), db.B.HasShadow(), db.B.Len())
 	}
 	db.CheckRange(0, 4) // must not panic
 	db.CheckRange(2, 2)

@@ -48,10 +48,8 @@ func (w *BufferedOutputStream) Write(b taint.Bytes) error {
 
 // WriteTaintedByte buffers one byte with its taint.
 func (w *BufferedOutputStream) WriteTaintedByte(b byte, t taint.Taint) error {
-	one := taint.Bytes{Data: []byte{b}}
-	if !t.Empty() {
-		one.Labels = []taint.Taint{t}
-	}
+	one := taint.WrapBytes([]byte{b})
+	one.SetLabel(0, t)
 	return w.Write(one)
 }
 

@@ -146,9 +146,7 @@ func (b *DirectByteBuffer) Put(src taint.Bytes) error {
 	}
 	copy(b.nat.Data[b.pos:], src.Data)
 	if b.env.Tracking() {
-		for i := 0; i < src.Len(); i++ {
-			b.nat.Shadow[b.pos+i] = src.LabelAt(i)
-		}
+		src.CopyLabelsInto(&b.nat.B, b.pos)
 	}
 	b.pos += src.Len()
 	return nil
@@ -160,11 +158,11 @@ func (b *DirectByteBuffer) Get(n int) taint.Bytes {
 	if n > b.Remaining() {
 		n = b.Remaining()
 	}
-	out := taint.Bytes{Data: make([]byte, n)}
-	copy(out.Data, b.nat.Data[b.pos:b.pos+n])
+	var out taint.Bytes
 	if b.env.Tracking() {
-		out.Labels = make([]taint.Taint, n)
-		copy(out.Labels, b.nat.Shadow[b.pos:b.pos+n])
+		out = b.nat.View(b.pos, b.pos+n).Clone()
+	} else {
+		out = taint.WrapBytes(append([]byte(nil), b.nat.Data[b.pos:b.pos+n]...))
 	}
 	b.pos += n
 	return out

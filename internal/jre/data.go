@@ -29,13 +29,8 @@ func (w *DataOutputStream) Flush() error { return w.out.Flush() }
 
 // writeTainted sends raw with every byte labelled t.
 func (w *DataOutputStream) writeTainted(raw []byte, t taint.Taint) error {
-	b := taint.Bytes{Data: raw}
-	if !t.Empty() {
-		b.Labels = make([]taint.Taint, len(raw))
-		for i := range b.Labels {
-			b.Labels[i] = t
-		}
-	}
+	b := taint.WrapBytes(raw)
+	b.TaintAll(t) // no-op (and no allocation) for the empty taint
 	return w.out.Write(b)
 }
 

@@ -428,7 +428,7 @@ func TestDirectByteBufferTracksOnlyWhenTracking(t *testing.T) {
 		t.Fatal(err)
 	}
 	db2.Flip()
-	if got := db2.Get(2); got.Labels != nil {
+	if got := db2.Get(2); got.HasShadow() {
 		t.Fatal("off mode direct buffer must skip shadow work")
 	}
 }
@@ -604,8 +604,8 @@ func TestReadFileTainted(t *testing.T) {
 	// Off mode reads stay clean.
 	off := cluster(t, tracker.ModeOff, 1)
 	b3, err := ReadFileTainted(off[0], path, "FileTxnLog#read", "zxid")
-	if err != nil || b3.Labels != nil {
-		t.Fatalf("off mode read tainted: %v %v", b3.Labels, err)
+	if err != nil || b3.HasShadow() {
+		t.Fatalf("off mode read tainted: %v %v", b3.HasShadow(), err)
 	}
 	if _, err := ReadFileTainted(envs[0], filepath.Join(dir, "gone"), "d", "p"); err == nil {
 		t.Fatal("want error for missing file")

@@ -29,11 +29,15 @@ func ReadFull(in InputStream, buf *taint.Bytes) error {
 	for got < len(buf.Data) {
 		sub := buf.Slice(got, len(buf.Data))
 		n, err := in.Read(&sub)
-		// A dista read may materialize labels on the sub-slice view; if
-		// the parent had no shadow array, adopt one so labels persist.
-		if sub.Labels != nil && buf.Labels == nil {
-			buf.Labels = make([]taint.Taint, len(buf.Data))
-			copy(buf.Labels[got:], sub.Labels)
+		// A dista read may materialize a shadow store on the sub-slice
+		// view; if the parent had none to alias, adopt the labels run
+		// by run so they persist.
+		if sub.HasShadow() && !buf.HasShadow() {
+			sub.ForEachRun(func(f, t int, tn taint.Taint) {
+				if !tn.Empty() {
+					buf.SetRange(got+f, got+t, tn)
+				}
+			})
 		}
 		got += n
 		if err != nil {
@@ -153,10 +157,8 @@ func (s *SocketOutputStream) Write(b taint.Bytes) error {
 
 // WriteTaintedByte sends a single byte with its taint.
 func (s *SocketOutputStream) WriteTaintedByte(b byte, t taint.Taint) error {
-	one := taint.Bytes{Data: []byte{b}}
-	if !t.Empty() {
-		one.Labels = []taint.Taint{t}
-	}
+	one := taint.WrapBytes([]byte{b})
+	one.SetLabel(0, t)
 	return s.Write(one)
 }
 

@@ -196,7 +196,7 @@ func TestHarnessPayloads(t *testing.T) {
 	}
 	// Off-mode payloads stay clean.
 	off := NewHarness(tracker.ModeOff, 8)
-	if off.Data1(8).Labels != nil {
+	if off.Data1(8).HasShadow() {
 		t.Fatal("off-mode payload must be shadow-free")
 	}
 }

@@ -20,8 +20,52 @@ type Client interface {
 	// Lookup resolves a Global ID into a taint interned in this node's
 	// tree, contacting the Taint Map only on first sight of the id.
 	Lookup(id uint32) (taint.Taint, error)
+	// RegisterBatch registers every taint, returning the parallel id
+	// slice. Duplicates and already-registered taints cost nothing
+	// extra; a remote client resolves all misses in one round trip.
+	RegisterBatch(ts []taint.Taint) ([]uint32, error)
+	// LookupBatch resolves every id, returning the parallel taint
+	// slice; all cache misses go to the Taint Map in one round trip.
+	LookupBatch(ids []uint32) ([]taint.Taint, error)
 	// Close releases the client's resources.
 	Close() error
+}
+
+// collectRegister splits ts into resolved ids and the distinct
+// unresolved taints (with the positions waiting on each), the shared
+// front half of both RegisterBatch implementations.
+func collectRegister(ts []taint.Taint) (ids []uint32, pending []taint.Taint, posOf map[taint.Taint][]int) {
+	ids = make([]uint32, len(ts))
+	for i, t := range ts {
+		if t.Empty() {
+			continue
+		}
+		if id := t.GlobalID(); id != 0 {
+			ids[i] = id
+			continue
+		}
+		if posOf == nil {
+			posOf = make(map[taint.Taint][]int)
+		}
+		if _, seen := posOf[t]; !seen {
+			pending = append(pending, t)
+		}
+		posOf[t] = append(posOf[t], i)
+	}
+	return ids, pending, posOf
+}
+
+// marshalAll serializes every taint in ts.
+func marshalAll(ts []taint.Taint) ([][]byte, error) {
+	blobs := make([][]byte, len(ts))
+	for i, t := range ts {
+		blob, err := taint.MarshalTaint(t)
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = blob
+	}
+	return blobs, nil
 }
 
 // cache holds the per-node id -> taint memo shared by both client kinds.
@@ -44,6 +88,48 @@ func (c *cache) put(id uint32, t taint.Taint) {
 	}
 	c.byID[id] = t
 	c.mu.Unlock()
+}
+
+// splitBatch resolves what it can from the memo under one lock
+// acquisition: ts holds the resolved taints (and empties for id 0),
+// missing lists the distinct unresolved ids in first-seen order. A
+// two-slot last-seen shortcut keeps fragmented streams that alternate
+// between a couple of ids (the adversarial per-byte-label case) from
+// paying a map access per run.
+func (c *cache) splitBatch(ids []uint32) (ts []taint.Taint, missing []uint32) {
+	ts = make([]taint.Taint, len(ids))
+	var seen map[uint32]bool
+	var id0, id1 uint32
+	var t0, t1 taint.Taint
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, id := range ids {
+		if id == 0 {
+			continue
+		}
+		if id == id0 {
+			ts[i] = t0
+			continue
+		}
+		if id == id1 {
+			ts[i] = t1
+			continue
+		}
+		if t, ok := c.byID[id]; ok {
+			ts[i] = t
+			id1, t1 = id0, t0
+			id0, t0 = id, t
+			continue
+		}
+		if seen == nil {
+			seen = make(map[uint32]bool)
+		}
+		if !seen[id] {
+			seen[id] = true
+			missing = append(missing, id)
+		}
+	}
+	return ts, missing
 }
 
 // LocalClient talks to an in-process Store directly. It is used by
@@ -99,6 +185,73 @@ func (c *LocalClient) Lookup(id uint32) (taint.Taint, error) {
 	t.SetGlobalID(id)
 	c.memo.put(id, t)
 	return t, nil
+}
+
+// RegisterBatch implements Client: all unregistered taints go to the
+// store under one lock acquisition.
+func (c *LocalClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
+	ids, pending, posOf := collectRegister(ts)
+	if len(pending) == 0 {
+		return ids, nil
+	}
+	blobs, err := marshalAll(pending)
+	if err != nil {
+		return nil, err
+	}
+	fresh := c.store.RegisterBlobs(blobs)
+	for i, t := range pending {
+		t.SetGlobalID(fresh[i])
+		c.memo.put(fresh[i], t)
+		for _, pos := range posOf[t] {
+			ids[pos] = fresh[i]
+		}
+	}
+	return ids, nil
+}
+
+// LookupBatch implements Client: all memo misses go to the store under
+// one lock acquisition.
+func (c *LocalClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
+	ts, missing := c.memo.splitBatch(ids)
+	if len(missing) == 0 {
+		return ts, nil
+	}
+	blobs, err := c.store.LookupBlobs(missing)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.adoptBlobs(ts, ids, missing, blobs); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// adoptBlobs unmarshals the fetched blobs into the tree and fills every
+// position of ids waiting on each fetched id.
+func (c *LocalClient) adoptBlobs(ts []taint.Taint, ids, missing []uint32, blobs [][]byte) error {
+	return adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs)
+}
+
+func adoptBlobs(tree *taint.Tree, memo *cache, ts []taint.Taint, ids, missing []uint32, blobs [][]byte) error {
+	if len(blobs) != len(missing) {
+		return fmt.Errorf("taintmap: %d blobs for %d ids", len(blobs), len(missing))
+	}
+	fetched := make(map[uint32]taint.Taint, len(missing))
+	for i, id := range missing {
+		t, err := tree.UnmarshalTaint(blobs[i])
+		if err != nil {
+			return err
+		}
+		t.SetGlobalID(id)
+		memo.put(id, t)
+		fetched[id] = t
+	}
+	for i, id := range ids {
+		if t, ok := fetched[id]; ok {
+			ts[i] = t
+		}
+	}
+	return nil
 }
 
 // Close implements Client; the local client holds no resources.
@@ -169,6 +322,60 @@ func (c *RemoteClient) Lookup(id uint32) (taint.Taint, error) {
 	t.SetGlobalID(id)
 	c.memo.put(id, t)
 	return t, nil
+}
+
+// RegisterBatch implements Client: all unregistered distinct taints go
+// to the server in one 'B' round trip.
+func (c *RemoteClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
+	ids, pending, posOf := collectRegister(ts)
+	if len(pending) == 0 {
+		return ids, nil
+	}
+	blobs, err := marshalAll(pending)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	reply, err := roundTrip(c.conn, opRegisterBatch, appendBlobList(nil, blobs))
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := parseIDList(reply)
+	if err != nil || len(fresh) != len(pending) {
+		return nil, fmt.Errorf("taintmap: register batch reply of %d bytes", len(reply))
+	}
+	for i, t := range pending {
+		t.SetGlobalID(fresh[i])
+		c.memo.put(fresh[i], t)
+		for _, pos := range posOf[t] {
+			ids[pos] = fresh[i]
+		}
+	}
+	return ids, nil
+}
+
+// LookupBatch implements Client: all memo misses go to the server in
+// one 'M' round trip.
+func (c *RemoteClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
+	ts, missing := c.memo.splitBatch(ids)
+	if len(missing) == 0 {
+		return ts, nil
+	}
+	c.mu.Lock()
+	reply, err := roundTrip(c.conn, opLookupBatch, appendIDList(nil, missing))
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	blobs, err := parseBlobList(reply)
+	if err != nil {
+		return nil, err
+	}
+	if err := adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs); err != nil {
+		return nil, err
+	}
+	return ts, nil
 }
 
 // Stats fetches the server-side counters.

@@ -15,12 +15,21 @@ import (
 //
 // ops: 'R' register (payload = taint blob, reply = 4-byte id),
 //      'L' lookup   (payload = 4-byte id, reply = taint blob),
+//      'B' register batch (payload = blob list, reply = 4-byte id per blob),
+//      'M' lookup batch   (payload = 4-byte id per entry, reply = blob list),
 //      'S' stats    (payload empty, reply = 3x uint64).
+//
+// A blob list is uint32 count followed by count (uint32 len | bytes)
+// entries. The batch ops let a node resolve every distinct taint of a
+// message in one round trip instead of one per taint (§III-D's Taint
+// Map traffic, amortized over runs).
 
 const (
-	opRegister = 'R'
-	opLookup   = 'L'
-	opStats    = 'S'
+	opRegister      = 'R'
+	opLookup        = 'L'
+	opRegisterBatch = 'B'
+	opLookupBatch   = 'M'
+	opStats         = 'S'
 
 	statusOK  = 0
 	statusErr = 1
@@ -32,6 +41,65 @@ const maxFrame = 1 << 20
 
 // errProtocol reports a malformed frame.
 var errProtocol = errors.New("taintmap: protocol error")
+
+// appendBlobList appends the wire form of a blob list to dst.
+func appendBlobList(dst []byte, blobs [][]byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(blobs)))
+	for _, b := range blobs {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// parseBlobList decodes a blob list; the returned slices alias p.
+func parseBlobList(p []byte) ([][]byte, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("%w: blob list of %d bytes", errProtocol, len(p))
+	}
+	count := binary.BigEndian.Uint32(p[:4])
+	p = p[4:]
+	if count > maxFrame/4 {
+		return nil, fmt.Errorf("%w: blob list of %d entries", errProtocol, count)
+	}
+	blobs := make([][]byte, count)
+	for i := range blobs {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("%w: truncated blob list", errProtocol)
+		}
+		n := binary.BigEndian.Uint32(p[:4])
+		p = p[4:]
+		if uint32(len(p)) < n {
+			return nil, fmt.Errorf("%w: truncated blob list", errProtocol)
+		}
+		blobs[i] = p[:n]
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after blob list", errProtocol, len(p))
+	}
+	return blobs, nil
+}
+
+// appendIDList appends each id as 4 big-endian bytes.
+func appendIDList(dst []byte, ids []uint32) []byte {
+	for _, id := range ids {
+		dst = binary.BigEndian.AppendUint32(dst, id)
+	}
+	return dst
+}
+
+// parseIDList decodes a packed 4-byte-per-entry id list.
+func parseIDList(p []byte) ([]uint32, error) {
+	if len(p)%4 != 0 {
+		return nil, fmt.Errorf("%w: id list of %d bytes", errProtocol, len(p))
+	}
+	ids := make([]uint32, len(p)/4)
+	for i := range ids {
+		ids[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	return ids, nil
+}
 
 func writeFrame(w io.Writer, head byte, payload []byte) error {
 	if len(payload) > maxFrame {
@@ -89,6 +157,25 @@ func ServeConn(store *Store, conn io.ReadWriter) error {
 				break
 			}
 			reply = blob
+		case opRegisterBatch:
+			blobs, err := parseBlobList(payload)
+			if err != nil {
+				status, reply = statusErr, []byte(err.Error())
+				break
+			}
+			reply = appendIDList(nil, store.RegisterBlobs(blobs))
+		case opLookupBatch:
+			ids, err := parseIDList(payload)
+			if err != nil {
+				status, reply = statusErr, []byte(err.Error())
+				break
+			}
+			blobs, err := store.LookupBlobs(ids)
+			if err != nil {
+				status, reply = statusErr, []byte(err.Error())
+				break
+			}
+			reply = appendBlobList(nil, blobs)
 		case opStats:
 			st := store.Stats()
 			reply = binary.BigEndian.AppendUint64(nil, uint64(st.GlobalTaints))

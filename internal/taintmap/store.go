@@ -33,7 +33,7 @@ type Stats struct {
 type Store struct {
 	mu            sync.Mutex
 	byBlob        map[string]uint32
-	byID          map[uint32][]byte
+	byID          map[uint32]string // shares its string storage with byBlob keys
 	next          uint32
 	registrations int64
 	lookups       int64
@@ -43,7 +43,7 @@ type Store struct {
 func NewStore() *Store {
 	return &Store{
 		byBlob: make(map[string]uint32),
-		byID:   make(map[uint32][]byte),
+		byID:   make(map[uint32]string),
 		next:   1,
 	}
 }
@@ -54,29 +54,67 @@ func NewStore() *Store {
 func (s *Store) RegisterBlob(blob []byte) uint32 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.registerLocked(blob)
+}
+
+// RegisterBlobs registers every blob under one lock acquisition,
+// returning the parallel id slice — the server half of the batch
+// protocol op.
+func (s *Store) RegisterBlobs(blobs [][]byte) []uint32 {
+	ids := make([]uint32, len(blobs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, blob := range blobs {
+		ids[i] = s.registerLocked(blob)
+	}
+	return ids
+}
+
+func (s *Store) registerLocked(blob []byte) uint32 {
 	s.registrations++
-	if id, ok := s.byBlob[string(blob)]; ok {
+	if id, ok := s.byBlob[string(blob)]; ok { // zero-copy map probe
 		return id
 	}
 	id := s.next
 	s.next++
-	cp := make([]byte, len(blob))
-	copy(cp, blob)
-	s.byBlob[string(cp)] = id
-	s.byID[id] = cp
+	// The one copy of the blob; byBlob's key and byID's value share it.
+	key := string(blob)
+	s.byBlob[key] = id
+	s.byID[id] = key
 	return id
 }
 
-// LookupBlob returns the serialized taint registered under id.
+// LookupBlob returns the serialized taint registered under id. The
+// returned slice is the caller's to keep.
 func (s *Store) LookupBlob(id uint32) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.lookupLocked(id)
+}
+
+// LookupBlobs resolves every id under one lock acquisition, failing on
+// the first unknown id — the server half of the batch protocol op.
+func (s *Store) LookupBlobs(ids []uint32) ([][]byte, error) {
+	blobs := make([][]byte, len(ids))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		blob, err := s.lookupLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = blob
+	}
+	return blobs, nil
+}
+
+func (s *Store) lookupLocked(id uint32) ([]byte, error) {
 	s.lookups++
 	blob, ok := s.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownGlobalID, id)
 	}
-	return blob, nil
+	return []byte(blob), nil
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -95,7 +133,7 @@ func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.byBlob = make(map[string]uint32)
-	s.byID = make(map[uint32][]byte)
+	s.byID = make(map[uint32]string)
 	s.next = 1
 	s.registrations = 0
 	s.lookups = 0

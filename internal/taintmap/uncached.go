@@ -44,5 +44,32 @@ func (c *UncachedClient) Lookup(id uint32) (taint.Taint, error) {
 	return c.tree.UnmarshalTaint(blob)
 }
 
+// RegisterBatch implements Client; the ablation still pays one store
+// call per taint, since skipping work is exactly what it must not do.
+func (c *UncachedClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
+	ids := make([]uint32, len(ts))
+	for i, t := range ts {
+		id, err := c.Register(t)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+// LookupBatch implements Client, one store call per id.
+func (c *UncachedClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
+	ts := make([]taint.Taint, len(ids))
+	for i, id := range ids {
+		t, err := c.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		ts[i] = t
+	}
+	return ts, nil
+}
+
 // Close implements Client.
 func (c *UncachedClient) Close() error { return nil }
