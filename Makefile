@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection shared by `bench` and the A/B harness.
 BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
 
-.PHONY: build test race vet check bench fuzz
+.PHONY: build test race race-taintmap vet check bench bench-taintmap fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrency-heavy taint map suite under the race detector; part of
+# `race` too, but callable alone for a quick pre-commit signal.
+race-taintmap:
+	$(GO) test -race ./internal/taintmap/...
+
 vet:
 	$(GO) vet ./...
 
 # Tier-1 gate: everything CI runs.
-check: vet build test race
+check: vet build test race fuzz-smoke
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
 # -count=3 repetitions; seed baselines are embedded in cmd/benchjson.
@@ -26,7 +31,23 @@ bench:
 	$(GO) test -run=NONE -bench='$(BENCH_RE)' -benchmem -benchtime=1s -count=3 . | tee bench_hotpath.txt
 	$(GO) run ./cmd/benchjson -in bench_hotpath.txt -out BENCH_1.json
 
+# Run the concurrent Taint Map service benchmarks (multiplexed client vs
+# the stop-and-wait baseline, plus single-client untagged latency) and
+# refresh BENCH_2.json. Medians of -count=5 repetitions: the shared box
+# is noisy, and the headline criterion is an in-run ratio, so extra
+# repetitions buy stability where it matters.
+bench-taintmap:
+	$(GO) test -run=NONE -bench=BenchmarkTaintMapConcurrent -benchmem -benchtime=1s -count=5 . | tee bench_taintmap.txt
+	$(GO) run ./cmd/benchjson -in bench_taintmap.txt -out BENCH_2.json
+
 # Short fuzz pass over the wire round-trip property (CI smoke; the
 # seeded corpus also runs as part of plain `go test`).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzStreamRoundTrip -fuzztime=20s ./internal/core/wire
+
+# ~10s per target over the taint map protocol surface: the server-side
+# frame parser (both protocol generations) and the blob/id list codecs.
+# `go test` accepts one -fuzz pattern per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzServeConn -fuzztime=10s ./internal/taintmap
+	$(GO) test -run=NONE -fuzz=FuzzParseBlobList -fuzztime=10s ./internal/taintmap

@@ -42,6 +42,13 @@ var seedBaselines = map[string]seedBaseline{}
 // copy-paste, not a code edit. Medians of 4 interleaved repetitions
 // (seed/current alternating, -benchtime=0.5s) on a shared
 // Intel Xeon @ 2.10GHz box, 2026-08-06.
+//
+// The TaintMapConcurrent entries were measured the same way against the
+// pre-sharding tree (commit fbd77bd): its stop-and-wait RemoteClient
+// driven by the identical 8-goroutine 90/10 mixed harness is the seed
+// for both Mux8 and StopAndWait8 (one client replaces it, the other is
+// its byte-compatible port), and its single-goroutine untagged register
+// loop is the seed for UntaggedSingle.
 const seedJSON = `{
   "HotPath/TaintAllUniform":          {"NsPerOp": 174195.0, "AllocsPerOp": 0},
   "HotPath/UnionUniform":             {"NsPerOp": 147903.5, "AllocsPerOp": 0},
@@ -59,7 +66,11 @@ const seedJSON = `{
   "WireCodec/Encode":                 {"NsPerOp": 101752.0, "AllocsPerOp": 1},
   "WireCodec/Decode":                 {"NsPerOp": 376847.0, "AllocsPerOp": 48},
   "TaintCombine/Interned":            {"NsPerOp": 69.75,    "AllocsPerOp": 1},
-  "TaintCombine/ShadowArrayTaintAll": {"NsPerOp": 169886.0, "AllocsPerOp": 0}
+  "TaintCombine/ShadowArrayTaintAll": {"NsPerOp": 169886.0, "AllocsPerOp": 0},
+
+  "TaintMapConcurrent/Mux8":           {"NsPerOp": 1404.5,  "AllocsPerOp": 1},
+  "TaintMapConcurrent/StopAndWait8":   {"NsPerOp": 1404.5,  "AllocsPerOp": 1},
+  "TaintMapConcurrent/UntaggedSingle": {"NsPerOp": 12829.5, "AllocsPerOp": 13}
 }`
 
 type result struct {
@@ -134,7 +145,7 @@ func main() {
 	}
 	aggs := map[string]*agg{}
 	var order []string
-	rep := report{Note: "hot-path microbenchmarks; seed = pre-run-representation baseline (commit 85f4d41) measured with the identical harness on the same host, back-to-back with this run"}
+	rep := report{Note: "seed = pre-change baseline measured with the identical harness on the same host, back-to-back: commit 85f4d41 (pre-run-representation) for the HotPath/Wire suites, commit fbd77bd (pre-sharding stop-and-wait taint map) for the TaintMapConcurrent suite"}
 
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -201,19 +212,49 @@ func main() {
 		}
 		return nil
 	}
+	// Each criterion is attached only when its benchmark is present in
+	// this run, so a partial run (say, only the taintmap suite) reports
+	// only the criteria it can actually measure instead of spurious
+	// failures for benchmarks that never executed.
 	speedupAtLeast := func(label, bench string, min float64) {
+		r := find(bench)
+		if r == nil {
+			return
+		}
 		c := criterion{Name: label, Benchmark: bench, Require: fmt.Sprintf(">= %.1fx vs seed", min)}
-		if r := find(bench); r != nil && r.Speedup > 0 {
+		if r.Speedup > 0 {
 			c.Measured = r.Speedup
 			c.Pass = r.Speedup >= min
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
 	slowdownAtMost := func(label, bench string, max float64) {
+		r := find(bench)
+		if r == nil {
+			return
+		}
 		c := criterion{Name: label, Benchmark: bench, Require: fmt.Sprintf("<= %.1fx of seed", max)}
-		if r := find(bench); r != nil && r.Speedup > 0 {
+		if r.Speedup > 0 {
 			c.Measured = 1 / r.Speedup
 			c.Pass = c.Measured <= max
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
+	// ratioAtLeast compares two benchmarks from the *same run* (slow
+	// over fast), which is immune to day-to-day drift of the host.
+	ratioAtLeast := func(label, slow, fast string, min float64) {
+		rs, rf := find(slow), find(fast)
+		if rs == nil || rf == nil {
+			return
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: fast,
+			Require:   fmt.Sprintf(">= %.1fx vs %s (same run)", min, slow),
+		}
+		if rs.NsPerOp > 0 && rf.NsPerOp > 0 {
+			c.Measured = rs.NsPerOp / rf.NsPerOp
+			c.Pass = c.Measured >= min
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
@@ -222,6 +263,10 @@ func main() {
 	speedupAtLeast("single-taint 64KiB encode path", "HotPath/EncodePathUniform", 5)
 	speedupAtLeast("single-taint 64KiB decode path", "HotPath/DecodePathUniform", 5)
 	slowdownAtMost("mixed per-byte-label workload", "HotPath/MixedStreamExchange", 1.2)
+	ratioAtLeast("concurrent taint map throughput (in-run)",
+		"TaintMapConcurrent/StopAndWait8", "TaintMapConcurrent/Mux8", 3)
+	speedupAtLeast("concurrent taint map throughput (vs seed)", "TaintMapConcurrent/Mux8", 3)
+	slowdownAtMost("untagged single-client latency", "TaintMapConcurrent/UntaggedSingle", 1.3)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -2,9 +2,15 @@
 // the independent process of DSN'22 §III-D that all nodes of a DisTA
 // deployment contact to exchange Global IDs for taints.
 //
+// The server speaks both protocol generations on every connection:
+// the legacy untagged stop-and-wait frames and the tagged pipelined
+// frames that multiplexed clients interleave on one connection. The
+// store behind it is sharded, so concurrent connections register and
+// look up taints without funneling through one lock.
+//
 // Usage:
 //
-//	taintmapd [-addr :7431] [-v]
+//	taintmapd [-addr :7431] [-v] [-stats-every 1m]
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dista/internal/taintmap"
 )
@@ -23,9 +30,11 @@ import (
 func main() {
 	addr := flag.String("addr", ":7431", "TCP listen address")
 	verbose := flag.Bool("v", false, "log connection errors")
+	statsEvery := flag.Duration("stats-every", 0,
+		"periodically log store counters (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *verbose); err != nil {
+	if err := run(*addr, *verbose, *statsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -39,7 +48,7 @@ type tcpAcceptor struct {
 func (a tcpAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
 func (a tcpAcceptor) Close() error                        { return a.l.Close() }
 
-func run(addr string, verbose bool) error {
+func run(addr string, verbose bool, statsEvery time.Duration) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("taintmapd: listen: %w", err)
@@ -52,9 +61,28 @@ func run(addr string, verbose bool) error {
 	srv.Start()
 	log.Printf("taintmapd: serving on %s", l.Addr())
 
+	stopStats := make(chan struct{})
+	if statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					st := srv.Store().Stats()
+					log.Printf("taintmapd: %d global taints, %d registrations, %d lookups",
+						st.GlobalTaints, st.Registrations, st.Lookups)
+				case <-stopStats:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopStats)
 
 	st := srv.Store().Stats()
 	log.Printf("taintmapd: shutting down (%d global taints, %d registrations, %d lookups)",

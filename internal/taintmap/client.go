@@ -1,9 +1,7 @@
 package taintmap
 
 import (
-	"encoding/binary"
 	"fmt"
-	"io"
 	"sync"
 
 	"dista/internal/core/taint"
@@ -33,7 +31,7 @@ type Client interface {
 
 // collectRegister splits ts into resolved ids and the distinct
 // unresolved taints (with the positions waiting on each), the shared
-// front half of both RegisterBatch implementations.
+// front half of every RegisterBatch implementation.
 func collectRegister(ts []taint.Taint) (ids []uint32, pending []taint.Taint, posOf map[taint.Taint][]int) {
 	ids = make([]uint32, len(ts))
 	for i, t := range ts {
@@ -68,15 +66,31 @@ func marshalAll(ts []taint.Taint) ([][]byte, error) {
 	return blobs, nil
 }
 
-// cache holds the per-node id -> taint memo shared by both client kinds.
+// adoptFresh records freshly registered ids: on the pending taints, in
+// the memo, and at every position of ids waiting on each taint — the
+// shared back half of every RegisterBatch implementation.
+func adoptFresh(memo *cache, ids, fresh []uint32, pending []taint.Taint, posOf map[taint.Taint][]int) {
+	for i, t := range pending {
+		t.SetGlobalID(fresh[i])
+		memo.put(fresh[i], t)
+		for _, pos := range posOf[t] {
+			ids[pos] = fresh[i]
+		}
+	}
+}
+
+// cache holds the per-node id -> taint memo shared by all client kinds.
+// Reads (the overwhelmingly common case once a node is warm) take only
+// the read lock, so concurrent goroutines resolving cached ids never
+// serialize.
 type cache struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	byID map[uint32]taint.Taint
 }
 
 func (c *cache) get(id uint32) (taint.Taint, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.byID[id]
 	return t, ok
 }
@@ -90,7 +104,7 @@ func (c *cache) put(id uint32, t taint.Taint) {
 	c.mu.Unlock()
 }
 
-// splitBatch resolves what it can from the memo under one lock
+// splitBatch resolves what it can from the memo under one read-lock
 // acquisition: ts holds the resolved taints (and empties for id 0),
 // missing lists the distinct unresolved ids in first-seen order. A
 // two-slot last-seen shortcut keeps fragmented streams that alternate
@@ -101,8 +115,8 @@ func (c *cache) splitBatch(ids []uint32) (ts []taint.Taint, missing []uint32) {
 	var seen map[uint32]bool
 	var id0, id1 uint32
 	var t0, t1 taint.Taint
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	for i, id := range ids {
 		if id == 0 {
 			continue
@@ -187,8 +201,8 @@ func (c *LocalClient) Lookup(id uint32) (taint.Taint, error) {
 	return t, nil
 }
 
-// RegisterBatch implements Client: all unregistered taints go to the
-// store under one lock acquisition.
+// RegisterBatch implements Client: all unregistered taints go straight
+// to the store (each blob locking only its shard).
 func (c *LocalClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
 	ids, pending, posOf := collectRegister(ts)
 	if len(pending) == 0 {
@@ -198,19 +212,12 @@ func (c *LocalClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	fresh := c.store.RegisterBlobs(blobs)
-	for i, t := range pending {
-		t.SetGlobalID(fresh[i])
-		c.memo.put(fresh[i], t)
-		for _, pos := range posOf[t] {
-			ids[pos] = fresh[i]
-		}
-	}
+	adoptFresh(&c.memo, ids, c.store.RegisterBlobs(blobs), pending, posOf)
 	return ids, nil
 }
 
-// LookupBatch implements Client: all memo misses go to the store under
-// one lock acquisition.
+// LookupBatch implements Client: all memo misses go to the store's
+// lock-free id table.
 func (c *LocalClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
 	ts, missing := c.memo.splitBatch(ids)
 	if len(missing) == 0 {
@@ -220,18 +227,14 @@ func (c *LocalClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := c.adoptBlobs(ts, ids, missing, blobs); err != nil {
+	if err := adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs); err != nil {
 		return nil, err
 	}
 	return ts, nil
 }
 
-// adoptBlobs unmarshals the fetched blobs into the tree and fills every
+// adoptBlobs unmarshals fetched blobs into the tree and fills every
 // position of ids waiting on each fetched id.
-func (c *LocalClient) adoptBlobs(ts []taint.Taint, ids, missing []uint32, blobs [][]byte) error {
-	return adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs)
-}
-
 func adoptBlobs(tree *taint.Tree, memo *cache, ts []taint.Taint, ids, missing []uint32, blobs [][]byte) error {
 	if len(blobs) != len(missing) {
 		return fmt.Errorf("taintmap: %d blobs for %d ids", len(blobs), len(missing))
@@ -256,145 +259,3 @@ func adoptBlobs(tree *taint.Tree, memo *cache, ts []taint.Taint, ids, missing []
 
 // Close implements Client; the local client holds no resources.
 func (c *LocalClient) Close() error { return nil }
-
-// RemoteClient talks to a Taint Map server over a reliable stream (a
-// netsim conn or a real TCP connection). Requests are serialized; the
-// client is safe for concurrent use.
-type RemoteClient struct {
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	tree *taint.Tree
-	memo cache
-}
-
-var _ Client = (*RemoteClient)(nil)
-
-// NewRemoteClient wraps an established connection to a Taint Map server.
-func NewRemoteClient(conn io.ReadWriteCloser, tree *taint.Tree) *RemoteClient {
-	return &RemoteClient{conn: conn, tree: tree}
-}
-
-// Register implements Client.
-func (c *RemoteClient) Register(t taint.Taint) (uint32, error) {
-	if t.Empty() {
-		return 0, nil
-	}
-	if id := t.GlobalID(); id != 0 {
-		return id, nil
-	}
-	blob, err := taint.MarshalTaint(t)
-	if err != nil {
-		return 0, err
-	}
-	c.mu.Lock()
-	reply, err := roundTrip(c.conn, opRegister, blob)
-	c.mu.Unlock()
-	if err != nil {
-		return 0, err
-	}
-	if len(reply) != 4 {
-		return 0, fmt.Errorf("taintmap: register reply of %d bytes", len(reply))
-	}
-	id := binary.BigEndian.Uint32(reply)
-	t.SetGlobalID(id)
-	c.memo.put(id, t)
-	return id, nil
-}
-
-// Lookup implements Client.
-func (c *RemoteClient) Lookup(id uint32) (taint.Taint, error) {
-	if id == 0 {
-		return taint.Taint{}, nil
-	}
-	if t, ok := c.memo.get(id); ok {
-		return t, nil
-	}
-	c.mu.Lock()
-	blob, err := roundTrip(c.conn, opLookup, binary.BigEndian.AppendUint32(nil, id))
-	c.mu.Unlock()
-	if err != nil {
-		return taint.Taint{}, err
-	}
-	t, err := c.tree.UnmarshalTaint(blob)
-	if err != nil {
-		return taint.Taint{}, err
-	}
-	t.SetGlobalID(id)
-	c.memo.put(id, t)
-	return t, nil
-}
-
-// RegisterBatch implements Client: all unregistered distinct taints go
-// to the server in one 'B' round trip.
-func (c *RemoteClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
-	ids, pending, posOf := collectRegister(ts)
-	if len(pending) == 0 {
-		return ids, nil
-	}
-	blobs, err := marshalAll(pending)
-	if err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	reply, err := roundTrip(c.conn, opRegisterBatch, appendBlobList(nil, blobs))
-	c.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	fresh, err := parseIDList(reply)
-	if err != nil || len(fresh) != len(pending) {
-		return nil, fmt.Errorf("taintmap: register batch reply of %d bytes", len(reply))
-	}
-	for i, t := range pending {
-		t.SetGlobalID(fresh[i])
-		c.memo.put(fresh[i], t)
-		for _, pos := range posOf[t] {
-			ids[pos] = fresh[i]
-		}
-	}
-	return ids, nil
-}
-
-// LookupBatch implements Client: all memo misses go to the server in
-// one 'M' round trip.
-func (c *RemoteClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
-	ts, missing := c.memo.splitBatch(ids)
-	if len(missing) == 0 {
-		return ts, nil
-	}
-	c.mu.Lock()
-	reply, err := roundTrip(c.conn, opLookupBatch, appendIDList(nil, missing))
-	c.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	blobs, err := parseBlobList(reply)
-	if err != nil {
-		return nil, err
-	}
-	if err := adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs); err != nil {
-		return nil, err
-	}
-	return ts, nil
-}
-
-// Stats fetches the server-side counters.
-func (c *RemoteClient) Stats() (Stats, error) {
-	c.mu.Lock()
-	reply, err := roundTrip(c.conn, opStats, nil)
-	c.mu.Unlock()
-	if err != nil {
-		return Stats{}, err
-	}
-	if len(reply) != 24 {
-		return Stats{}, fmt.Errorf("taintmap: stats reply of %d bytes", len(reply))
-	}
-	return Stats{
-		GlobalTaints:  int(binary.BigEndian.Uint64(reply[0:8])),
-		Registrations: int64(binary.BigEndian.Uint64(reply[8:16])),
-		Lookups:       int64(binary.BigEndian.Uint64(reply[16:24])),
-	}, nil
-}
-
-// Close implements Client.
-func (c *RemoteClient) Close() error { return c.conn.Close() }

@@ -1,14 +1,17 @@
 package taintmap
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 )
 
-// Wire protocol: length-prefixed request/response frames over any
-// reliable stream.
+// Wire protocol: length-prefixed frames over any reliable stream, in
+// two generations served side by side on the same connection.
+//
+// Untagged (legacy, stop-and-wait):
 //
 //	request:  op byte | uint32 payloadLen | payload
 //	response: status byte | uint32 payloadLen | payload
@@ -18,6 +21,26 @@ import (
 //      'B' register batch (payload = blob list, reply = 4-byte id per blob),
 //      'M' lookup batch   (payload = 4-byte id per entry, reply = blob list),
 //      'S' stats    (payload empty, reply = 3x uint64).
+//
+// Tagged (pipelined): the lowercase counterparts 'r','l','b','m','s'
+// carry a client-chosen tag so many requests can be in flight on one
+// connection; the response echoes the tag, letting a demultiplexing
+// client match replies to concurrent callers in arrival order rather
+// than issue order.
+//
+//	request:  op byte | uint32 tag | uint32 payloadLen | payload
+//	response: status byte | uint32 tag | uint32 payloadLen | payload
+//
+// Tagged responses use distinct status bytes (2 OK / 3 error) so the
+// two generations can never be confused on the wire. The server answers
+// requests of one connection in order, which for tagged traffic lets it
+// coalesce many small responses into one buffered write.
+//
+// One semantic refinement over the untagged generation: a tagged lookup
+// batch ('m') may return FEWER blobs than requested — always at least
+// one — when the full reply would overflow the frame budget; the client
+// transparently re-requests the tail. The untagged 'M' keeps its
+// historic all-or-nothing behaviour.
 //
 // A blob list is uint32 count followed by count (uint32 len | bytes)
 // entries. The batch ops let a node resolve every distinct taint of a
@@ -31,16 +54,51 @@ const (
 	opLookupBatch   = 'M'
 	opStats         = 'S'
 
-	statusOK  = 0
-	statusErr = 1
+	opRegisterTag      = 'r'
+	opLookupTag        = 'l'
+	opRegisterBatchTag = 'b'
+	opLookupBatchTag   = 'm'
+	opStatsTag         = 's'
+
+	statusOK        = 0
+	statusErr       = 1
+	statusTaggedOK  = 2
+	statusTaggedErr = 3
 )
 
 // maxFrame bounds payload sizes to keep a corrupted peer from forcing a
 // huge allocation.
 const maxFrame = 1 << 20
 
+// maxIDsPerFrame is how many 4-byte ids fit one frame; the clients
+// chunk larger id batches transparently.
+const maxIDsPerFrame = maxFrame / 4
+
+// maxReplyFrame is the response-side read bound. It exceeds maxFrame by
+// a small slack so a tagged batch-lookup reply carrying one maximum-size
+// blob (plus the count and length prefixes) still fits.
+const maxReplyFrame = maxFrame + 16
+
 // errProtocol reports a malformed frame.
 var errProtocol = errors.New("taintmap: protocol error")
+
+// taggedBase maps a tagged op to its untagged ancestor; ok is false for
+// anything that is not a tagged op.
+func taggedBase(op byte) (base byte, ok bool) {
+	switch op {
+	case opRegisterTag:
+		return opRegister, true
+	case opLookupTag:
+		return opLookup, true
+	case opRegisterBatchTag:
+		return opRegisterBatch, true
+	case opLookupBatchTag:
+		return opLookupBatch, true
+	case opStatsTag:
+		return opStats, true
+	}
+	return op, false
+}
 
 // appendBlobList appends the wire form of a blob list to dst.
 func appendBlobList(dst []byte, blobs [][]byte) []byte {
@@ -54,6 +112,12 @@ func appendBlobList(dst []byte, blobs [][]byte) []byte {
 
 // parseBlobList decodes a blob list; the returned slices alias p.
 func parseBlobList(p []byte) ([][]byte, error) {
+	return parseBlobListInto(nil, p)
+}
+
+// parseBlobListInto is parseBlobList reusing dst's backing array, the
+// zero-allocation form for the server's per-connection scratch.
+func parseBlobListInto(dst [][]byte, p []byte) ([][]byte, error) {
 	if len(p) < 4 {
 		return nil, fmt.Errorf("%w: blob list of %d bytes", errProtocol, len(p))
 	}
@@ -62,8 +126,11 @@ func parseBlobList(p []byte) ([][]byte, error) {
 	if count > maxFrame/4 {
 		return nil, fmt.Errorf("%w: blob list of %d entries", errProtocol, count)
 	}
-	blobs := make([][]byte, count)
-	for i := range blobs {
+	if cap(dst) < int(count) {
+		dst = make([][]byte, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
 		if len(p) < 4 {
 			return nil, fmt.Errorf("%w: truncated blob list", errProtocol)
 		}
@@ -72,13 +139,13 @@ func parseBlobList(p []byte) ([][]byte, error) {
 		if uint32(len(p)) < n {
 			return nil, fmt.Errorf("%w: truncated blob list", errProtocol)
 		}
-		blobs[i] = p[:n]
+		dst[i] = p[:n]
 		p = p[n:]
 	}
 	if len(p) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes after blob list", errProtocol, len(p))
 	}
-	return blobs, nil
+	return dst, nil
 }
 
 // appendIDList appends each id as 4 big-endian bytes.
@@ -91,14 +158,58 @@ func appendIDList(dst []byte, ids []uint32) []byte {
 
 // parseIDList decodes a packed 4-byte-per-entry id list.
 func parseIDList(p []byte) ([]uint32, error) {
+	return parseIDListInto(nil, p)
+}
+
+// parseIDListInto is parseIDList reusing dst's backing array.
+func parseIDListInto(dst []uint32, p []byte) ([]uint32, error) {
 	if len(p)%4 != 0 {
 		return nil, fmt.Errorf("%w: id list of %d bytes", errProtocol, len(p))
 	}
-	ids := make([]uint32, len(p)/4)
-	for i := range ids {
-		ids[i] = binary.BigEndian.Uint32(p[i*4:])
+	n := len(p) / 4
+	if cap(dst) < n {
+		dst = make([]uint32, n)
 	}
-	return ids, nil
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	return dst, nil
+}
+
+// splitBlobChunks splits blobs into consecutive chunks whose encoded
+// blob-list payloads each fit in maxFrame, so arbitrarily large batches
+// cross the wire as several frames. A single blob too large for one
+// frame is an error.
+func splitBlobChunks(blobs [][]byte) ([][][]byte, error) {
+	total := 4
+	start := 0
+	var chunks [][][]byte
+	for i, b := range blobs {
+		need := 4 + len(b)
+		if 4+need > maxFrame {
+			return nil, fmt.Errorf("%w: blob of %d bytes exceeds max frame", errProtocol, len(b))
+		}
+		if total+need > maxFrame {
+			chunks = append(chunks, blobs[start:i])
+			start, total = i, 4
+		}
+		total += need
+	}
+	return append(chunks, blobs[start:]), nil
+}
+
+// splitIDChunks splits ids into chunks that fit one frame each.
+func splitIDChunks(ids []uint32) [][]uint32 {
+	if len(ids) <= maxIDsPerFrame {
+		return [][]uint32{ids}
+	}
+	var chunks [][]uint32
+	for len(ids) > maxIDsPerFrame {
+		chunks = append(chunks, ids[:maxIDsPerFrame])
+		ids = ids[maxIDsPerFrame:]
+	}
+	return append(chunks, ids)
 }
 
 func writeFrame(w io.Writer, head byte, payload []byte) error {
@@ -129,68 +240,203 @@ func readFrame(r io.Reader) (head byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
-// ServeConn answers protocol requests on one connection until the peer
-// disconnects. It is the per-connection loop used by Server.
-func ServeConn(store *Store, conn io.ReadWriter) error {
-	for {
-		op, payload, err := readFrame(conn)
+// writeTaggedFrame writes one tagged frame (request or response — the
+// head byte disambiguates) without allocating: a stack header plus the
+// caller's payload, both into w's buffer.
+func writeTaggedFrame(w *bufio.Writer, head byte, tag uint32, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame of %d bytes", errProtocol, len(payload))
+	}
+	var hdr [9]byte
+	hdr[0] = head
+	binary.BigEndian.PutUint32(hdr[1:5], tag)
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// connScratch holds one connection's reusable buffers: after warm-up
+// the server serves both protocol generations with zero allocations per
+// frame on the happy path.
+type connScratch struct {
+	payload []byte
+	reply   []byte
+	ids     []uint32
+	blobs   [][]byte
+}
+
+// grow returns a length-n payload buffer, reusing prior capacity.
+func (c *connScratch) grow(n int) []byte {
+	if cap(c.payload) < n {
+		c.payload = make([]byte, n)
+	}
+	c.payload = c.payload[:n]
+	return c.payload
+}
+
+// handle serves one request, appending the response payload into the
+// scratch reply buffer. op is the untagged op byte; tagged selects the
+// partial-reply semantics for lookup batches.
+func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool) (status byte, reply []byte) {
+	reply = c.reply[:0]
+	status = statusOK
+	switch op {
+	case opRegister:
+		reply = binary.BigEndian.AppendUint32(reply, store.RegisterBlob(payload))
+	case opLookup:
+		if len(payload) != 4 {
+			return statusErr, append(reply, "lookup payload must be 4 bytes"...)
+		}
+		id := binary.BigEndian.Uint32(payload)
+		blob, ok := store.lookupStr(id)
+		if !ok {
+			return statusErr, fmt.Appendf(reply, "%v: %d", ErrUnknownGlobalID, id)
+		}
+		reply = append(reply, blob...)
+	case opRegisterBatch:
+		blobs, err := parseBlobListInto(c.blobs[:0], payload)
 		if err != nil {
-			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
+			return statusErr, append(reply, err.Error()...)
+		}
+		c.blobs = blobs
+		for _, b := range blobs {
+			reply = binary.BigEndian.AppendUint32(reply, store.RegisterBlob(b))
+		}
+	case opLookupBatch:
+		ids, err := parseIDListInto(c.ids[:0], payload)
+		if err != nil {
+			return statusErr, append(reply, err.Error()...)
+		}
+		c.ids = ids
+		reply = binary.BigEndian.AppendUint32(reply, uint32(len(ids)))
+		included := 0
+		for _, id := range ids {
+			blob, ok := store.lookupStr(id)
+			if !ok {
+				return statusErr, fmt.Appendf(reply[:0], "%v: %d", ErrUnknownGlobalID, id)
 			}
+			if tagged && included > 0 && len(reply)+4+len(blob) > maxFrame {
+				// Partial tagged reply: stop before overflowing the
+				// frame; the client re-requests the remaining ids.
+				break
+			}
+			reply = binary.BigEndian.AppendUint32(reply, uint32(len(blob)))
+			reply = append(reply, blob...)
+			included++
+		}
+		binary.BigEndian.PutUint32(reply[:4], uint32(included))
+	case opStats:
+		st := store.Stats()
+		reply = binary.BigEndian.AppendUint64(reply, uint64(st.GlobalTaints))
+		reply = binary.BigEndian.AppendUint64(reply, uint64(st.Registrations))
+		reply = binary.BigEndian.AppendUint64(reply, uint64(st.Lookups))
+	default:
+		return statusErr, fmt.Appendf(reply, "unknown op %q", op)
+	}
+	return status, reply
+}
+
+// ServeConn answers protocol requests on one connection until the peer
+// disconnects — the per-connection loop used by Server. Reads are
+// buffered, responses are coalesced: the writer is only flushed once no
+// further complete request is already buffered, so a pipelining client
+// pays one syscall for a burst of replies instead of one per reply.
+func ServeConn(store *Store, conn io.ReadWriter) error {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var scratch connScratch
+	for {
+		op, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return bw.Flush()
+			}
+			bw.Flush()
 			return err
 		}
-		var reply []byte
-		status := byte(statusOK)
-		switch op {
-		case opRegister:
-			id := store.RegisterBlob(payload)
-			reply = binary.BigEndian.AppendUint32(nil, id)
-		case opLookup:
-			if len(payload) != 4 {
-				status, reply = statusErr, []byte("lookup payload must be 4 bytes")
-				break
+		base, tagged := taggedBase(op)
+		var tag, n uint32
+		var hdr [8]byte
+		if tagged {
+			if _, err := io.ReadFull(br, hdr[:8]); err != nil {
+				return eofOK(err, bw)
 			}
-			blob, err := store.LookupBlob(binary.BigEndian.Uint32(payload))
-			if err != nil {
-				status, reply = statusErr, []byte(err.Error())
-				break
+			tag = binary.BigEndian.Uint32(hdr[0:4])
+			n = binary.BigEndian.Uint32(hdr[4:8])
+		} else {
+			if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+				return eofOK(err, bw)
 			}
-			reply = blob
-		case opRegisterBatch:
-			blobs, err := parseBlobList(payload)
-			if err != nil {
-				status, reply = statusErr, []byte(err.Error())
-				break
-			}
-			reply = appendIDList(nil, store.RegisterBlobs(blobs))
-		case opLookupBatch:
-			ids, err := parseIDList(payload)
-			if err != nil {
-				status, reply = statusErr, []byte(err.Error())
-				break
-			}
-			blobs, err := store.LookupBlobs(ids)
-			if err != nil {
-				status, reply = statusErr, []byte(err.Error())
-				break
-			}
-			reply = appendBlobList(nil, blobs)
-		case opStats:
-			st := store.Stats()
-			reply = binary.BigEndian.AppendUint64(nil, uint64(st.GlobalTaints))
-			reply = binary.BigEndian.AppendUint64(reply, uint64(st.Registrations))
-			reply = binary.BigEndian.AppendUint64(reply, uint64(st.Lookups))
-		default:
-			status, reply = statusErr, []byte(fmt.Sprintf("unknown op %q", op))
+			n = binary.BigEndian.Uint32(hdr[0:4])
 		}
-		if err := writeFrame(conn, status, reply); err != nil {
+		if n > maxFrame {
+			bw.Flush()
+			return fmt.Errorf("%w: frame of %d bytes", errProtocol, n)
+		}
+		payload := scratch.grow(int(n))
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return eofOK(err, bw)
+		}
+
+		status, reply := scratch.handle(store, base, payload, tagged)
+		scratch.reply = reply[:0]
+		if tagged {
+			if status == statusOK {
+				status = statusTaggedOK
+			} else {
+				status = statusTaggedErr
+			}
+			if len(reply) > maxReplyFrame {
+				bw.Flush()
+				return fmt.Errorf("%w: reply of %d bytes", errProtocol, len(reply))
+			}
+			var h [9]byte
+			h[0] = status
+			binary.BigEndian.PutUint32(h[1:5], tag)
+			binary.BigEndian.PutUint32(h[5:9], uint32(len(reply)))
+			if _, err = bw.Write(h[:]); err == nil {
+				_, err = bw.Write(reply)
+			}
+		} else {
+			if len(reply) > maxFrame {
+				// The untagged generation never learned to split
+				// replies; fail the connection as it always has.
+				bw.Flush()
+				return fmt.Errorf("%w: frame of %d bytes", errProtocol, len(reply))
+			}
+			var h [5]byte
+			h[0] = status
+			binary.BigEndian.PutUint32(h[1:5], uint32(len(reply)))
+			if _, err = bw.Write(h[:]); err == nil {
+				_, err = bw.Write(reply)
+			}
+		}
+		if err != nil {
 			return err
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		}
 	}
 }
 
-// roundTrip issues one request and decodes the response.
+// eofOK flushes pending responses and maps a mid-frame disconnect to a
+// clean close, matching the untagged protocol's historic behaviour.
+func eofOK(err error, bw *bufio.Writer) error {
+	bw.Flush()
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil
+	}
+	return err
+}
+
+// roundTrip issues one untagged request and decodes the response — the
+// stop-and-wait client's engine.
 func roundTrip(conn io.ReadWriter, op byte, payload []byte) ([]byte, error) {
 	if err := writeFrame(conn, op, payload); err != nil {
 		return nil, fmt.Errorf("taintmap: send request: %w", err)

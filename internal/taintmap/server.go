@@ -98,8 +98,14 @@ func (s *Server) serve() {
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
+		// Only wait for the accept loop if one was ever started; a
+		// repeated Close on a never-started server must not block on a
+		// done channel nothing will ever close.
+		started := s.started
 		s.mu.Unlock()
-		<-s.done
+		if started {
+			<-s.done
+		}
 		return nil
 	}
 	s.closed = true

@@ -1,0 +1,161 @@
+package taintmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"dista/internal/core/taint"
+)
+
+// StopAndWaitClient talks to a Taint Map server with the original
+// untagged ops ('R','L','B','M','S'), one serialized request/response
+// round trip at a time. It is kept as the compatibility client for
+// legacy peers and as the measured baseline the multiplexed
+// RemoteClient is compared against; new code should use RemoteClient.
+type StopAndWaitClient struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	tree *taint.Tree
+	memo cache
+}
+
+var _ Client = (*StopAndWaitClient)(nil)
+
+// NewStopAndWaitClient wraps an established connection to a Taint Map
+// server, speaking the legacy untagged protocol.
+func NewStopAndWaitClient(conn io.ReadWriteCloser, tree *taint.Tree) *StopAndWaitClient {
+	return &StopAndWaitClient{conn: conn, tree: tree}
+}
+
+// Register implements Client.
+func (c *StopAndWaitClient) Register(t taint.Taint) (uint32, error) {
+	if t.Empty() {
+		return 0, nil
+	}
+	if id := t.GlobalID(); id != 0 {
+		return id, nil
+	}
+	blob, err := taint.MarshalTaint(t)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	reply, err := roundTrip(c.conn, opRegister, blob)
+	c.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if len(reply) != 4 {
+		return 0, fmt.Errorf("taintmap: register reply of %d bytes", len(reply))
+	}
+	id := binary.BigEndian.Uint32(reply)
+	t.SetGlobalID(id)
+	c.memo.put(id, t)
+	return id, nil
+}
+
+// Lookup implements Client.
+func (c *StopAndWaitClient) Lookup(id uint32) (taint.Taint, error) {
+	if id == 0 {
+		return taint.Taint{}, nil
+	}
+	if t, ok := c.memo.get(id); ok {
+		return t, nil
+	}
+	c.mu.Lock()
+	blob, err := roundTrip(c.conn, opLookup, binary.BigEndian.AppendUint32(nil, id))
+	c.mu.Unlock()
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t, err := c.tree.UnmarshalTaint(blob)
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t.SetGlobalID(id)
+	c.memo.put(id, t)
+	return t, nil
+}
+
+// RegisterBatch implements Client: all unregistered distinct taints go
+// to the server in one 'B' round trip per frame-sized chunk.
+func (c *StopAndWaitClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
+	ids, pending, posOf := collectRegister(ts)
+	if len(pending) == 0 {
+		return ids, nil
+	}
+	blobs, err := marshalAll(pending)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := splitBlobChunks(blobs)
+	if err != nil {
+		return nil, err
+	}
+	fresh := make([]uint32, 0, len(pending))
+	for _, chunk := range chunks {
+		c.mu.Lock()
+		reply, err := roundTrip(c.conn, opRegisterBatch, appendBlobList(nil, chunk))
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		got, err := parseIDList(reply)
+		if err != nil || len(got) != len(chunk) {
+			return nil, fmt.Errorf("taintmap: register batch reply of %d bytes", len(reply))
+		}
+		fresh = append(fresh, got...)
+	}
+	adoptFresh(&c.memo, ids, fresh, pending, posOf)
+	return ids, nil
+}
+
+// LookupBatch implements Client: all memo misses go to the server in
+// one 'M' round trip per frame-sized chunk.
+func (c *StopAndWaitClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
+	ts, missing := c.memo.splitBatch(ids)
+	if len(missing) == 0 {
+		return ts, nil
+	}
+	blobs := make([][]byte, 0, len(missing))
+	for _, chunk := range splitIDChunks(missing) {
+		c.mu.Lock()
+		reply, err := roundTrip(c.conn, opLookupBatch, appendIDList(nil, chunk))
+		c.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		got, err := parseBlobList(reply)
+		if err != nil {
+			return nil, err
+		}
+		blobs = append(blobs, got...)
+	}
+	if err := adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Stats fetches the server-side counters.
+func (c *StopAndWaitClient) Stats() (Stats, error) {
+	c.mu.Lock()
+	reply, err := roundTrip(c.conn, opStats, nil)
+	c.mu.Unlock()
+	if err != nil {
+		return Stats{}, err
+	}
+	if len(reply) != 24 {
+		return Stats{}, fmt.Errorf("taintmap: stats reply of %d bytes", len(reply))
+	}
+	return Stats{
+		GlobalTaints:  int(binary.BigEndian.Uint64(reply[0:8])),
+		Registrations: int64(binary.BigEndian.Uint64(reply[8:16])),
+		Lookups:       int64(binary.BigEndian.Uint64(reply[16:24])),
+	}, nil
+}
+
+// Close implements Client.
+func (c *StopAndWaitClient) Close() error { return c.conn.Close() }

@@ -7,14 +7,16 @@
 //
 // The package provides the id-allocation Store, a request/response wire
 // protocol usable over any stream (netsim conns or real TCP), a Server,
-// and two Client implementations: Remote (over a connection) and Local
-// (in-process, for tests and single-process simulations).
+// and three Client implementations: Remote (multiplexed, over a
+// connection), StopAndWait (serialized, the legacy untagged protocol)
+// and Local (in-process, for tests and single-process simulations).
 package taintmap
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrUnknownGlobalID is returned by lookups of ids never allocated.
@@ -27,79 +29,157 @@ type Stats struct {
 	Lookups       int64 // total Lookup calls served
 }
 
+// Sharding and page-table geometry. The blob->id direction is split
+// across storeShards independently locked maps (a register only
+// contends with registers hashing to the same shard); the id->blob
+// direction is a lock-free append-only page table so lookups never take
+// any lock.
+const (
+	storeShards = 16
+
+	pageBits = 10 // ids per page
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// shard is one slice of the blob->id map.
+type shard struct {
+	mu     sync.Mutex
+	byBlob map[string]uint32
+}
+
+// page is one fixed-size block of the id->blob table. Slots are
+// published with an atomic store after the id is allocated and before
+// the id is revealed to any caller, so a reader holding a legitimately
+// obtained id always finds its slot non-nil.
+type page [pageSize]atomic.Pointer[string]
+
 // Store is the Taint Map's state: serialized-taint blob <-> Global ID.
 // Ids start at 1; 0 means "untainted" on the wire. Safe for concurrent
-// use.
+// use; lookups are lock-free.
 type Store struct {
-	mu            sync.Mutex
-	byBlob        map[string]uint32
-	byID          map[uint32]string // shares its string storage with byBlob keys
-	next          uint32
-	registrations int64
-	lookups       int64
+	shards [storeShards]shard
+
+	// pages points at a grow-only slice of page pointers; readers
+	// atomically load the slice and index it without locking. growMu
+	// serializes growth (and Reset, which swaps the whole table).
+	pages  atomic.Pointer[[]*page]
+	growMu sync.Mutex
+
+	next          atomic.Uint32 // last allocated id
+	registrations atomic.Int64
+	lookups       atomic.Int64
 }
 
 // NewStore returns an empty Store.
 func NewStore() *Store {
-	return &Store{
-		byBlob: make(map[string]uint32),
-		byID:   make(map[uint32]string),
-		next:   1,
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].byBlob = make(map[string]uint32)
 	}
+	return s
+}
+
+// shardOf picks the shard for a blob (FNV-1a over its bytes).
+func shardOf(blob []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range blob {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h & (storeShards - 1)
 }
 
 // RegisterBlob returns the Global ID for the given serialized taint,
 // allocating a fresh id on first sight. Registration is idempotent: the
 // same blob always maps to the same id.
 func (s *Store) RegisterBlob(blob []byte) uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.registerLocked(blob)
+	s.registrations.Add(1)
+	sh := &s.shards[shardOf(blob)]
+	sh.mu.Lock()
+	if id, ok := sh.byBlob[string(blob)]; ok { // zero-copy map probe
+		sh.mu.Unlock()
+		return id
+	}
+	// The one copy of the blob; the shard's key and the page table's
+	// slot share it.
+	key := string(blob)
+	id := s.next.Add(1)
+	s.publish(id, &key)
+	sh.byBlob[key] = id
+	sh.mu.Unlock()
+	return id
 }
 
-// RegisterBlobs registers every blob under one lock acquisition,
-// returning the parallel id slice — the server half of the batch
-// protocol op.
+// RegisterBlobs registers every blob, returning the parallel id slice —
+// the server half of the batch protocol op. With the sharded store each
+// blob only locks its own shard.
 func (s *Store) RegisterBlobs(blobs [][]byte) []uint32 {
 	ids := make([]uint32, len(blobs))
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i, blob := range blobs {
-		ids[i] = s.registerLocked(blob)
+		ids[i] = s.RegisterBlob(blob)
 	}
 	return ids
 }
 
-func (s *Store) registerLocked(blob []byte) uint32 {
-	s.registrations++
-	if id, ok := s.byBlob[string(blob)]; ok { // zero-copy map probe
-		return id
+// publish installs id->key into the page table, growing it if needed.
+// Must complete before id escapes to any caller.
+func (s *Store) publish(id uint32, key *string) {
+	pi := int(id) >> pageBits
+	pages := s.pages.Load()
+	if pages == nil || pi >= len(*pages) {
+		s.growMu.Lock()
+		pages = s.pages.Load()
+		if pages == nil || pi >= len(*pages) {
+			var grown []*page
+			if pages != nil {
+				grown = append(grown, *pages...)
+			}
+			for pi >= len(grown) {
+				grown = append(grown, new(page))
+			}
+			s.pages.Store(&grown)
+			pages = &grown
+		}
+		s.growMu.Unlock()
 	}
-	id := s.next
-	s.next++
-	// The one copy of the blob; byBlob's key and byID's value share it.
-	key := string(blob)
-	s.byBlob[key] = id
-	s.byID[id] = key
-	return id
+	(*pages)[pi][int(id)&pageMask].Store(key)
+}
+
+// lookupStr resolves id to its interned blob string without locking or
+// copying. ok is false for ids never published.
+func (s *Store) lookupStr(id uint32) (string, bool) {
+	s.lookups.Add(1)
+	pages := s.pages.Load()
+	if pages == nil {
+		return "", false
+	}
+	pi := int(id) >> pageBits
+	if pi >= len(*pages) {
+		return "", false
+	}
+	p := (*pages)[pi][int(id)&pageMask].Load()
+	if p == nil {
+		return "", false
+	}
+	return *p, true
 }
 
 // LookupBlob returns the serialized taint registered under id. The
-// returned slice is the caller's to keep.
+// returned slice is the caller's to keep. Lock-free.
 func (s *Store) LookupBlob(id uint32) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lookupLocked(id)
+	blob, ok := s.lookupStr(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownGlobalID, id)
+	}
+	return []byte(blob), nil
 }
 
-// LookupBlobs resolves every id under one lock acquisition, failing on
-// the first unknown id — the server half of the batch protocol op.
+// LookupBlobs resolves every id, failing on the first unknown id — the
+// server half of the batch protocol op. Lock-free.
 func (s *Store) LookupBlobs(ids []uint32) ([][]byte, error) {
 	blobs := make([][]byte, len(ids))
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i, id := range ids {
-		blob, err := s.lookupLocked(id)
+		blob, err := s.LookupBlob(id)
 		if err != nil {
 			return nil, err
 		}
@@ -108,33 +188,33 @@ func (s *Store) LookupBlobs(ids []uint32) ([][]byte, error) {
 	return blobs, nil
 }
 
-func (s *Store) lookupLocked(id uint32) ([]byte, error) {
-	s.lookups++
-	blob, ok := s.byID[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownGlobalID, id)
-	}
-	return []byte(blob), nil
-}
-
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return Stats{
-		GlobalTaints:  int(s.next - 1),
-		Registrations: s.registrations,
-		Lookups:       s.lookups,
+		GlobalTaints:  int(s.next.Load()),
+		Registrations: s.registrations.Load(),
+		Lookups:       s.lookups.Load(),
 	}
 }
 
-// Reset drops all state, returning the store to empty.
+// Reset drops all state, returning the store to empty. Concurrent
+// readers see either the old or the new (empty) table. Lock order
+// matches RegisterBlob (shard, then growMu): all shard locks are held
+// first, which also quiesces every page-table writer.
 func (s *Store) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.byBlob = make(map[string]uint32)
-	s.byID = make(map[uint32]string)
-	s.next = 1
-	s.registrations = 0
-	s.lookups = 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	s.growMu.Lock()
+	for i := range s.shards {
+		s.shards[i].byBlob = make(map[string]uint32)
+	}
+	s.pages.Store(nil)
+	s.next.Store(0)
+	s.registrations.Store(0)
+	s.lookups.Store(0)
+	s.growMu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
 }

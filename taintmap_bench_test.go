@@ -1,0 +1,173 @@
+package dista
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/taintmap"
+)
+
+// BenchmarkTaintMapConcurrent measures the Taint Map *service* (store +
+// wire protocol + client) under concurrent load: 8 goroutines sharing
+// one client connection to one server over real loopback TCP, issuing a
+// mixed 90/10 hit/miss register+lookup stream. This is the §III-D-2
+// single-point-bottleneck scenario: the hits model taints already known
+// to the node (free, per-node caches), the misses pay a Taint Map round
+// trip.
+//
+// A miss must stay a miss no matter how many iterations the harness
+// runs, or the fast client would exhaust any finite pool of unseen
+// taints and quietly degrade into measuring cache hits. So each miss
+// re-registers a taint from a fixed per-goroutine pool with its cached
+// Global ID cleared: the client has no shortcut and pays the full wire
+// round trip, while the server-side store dedups, keeping the heap and
+// the miss rate constant at every b.N.
+//
+// Sub-benchmarks:
+//
+//	Mux8           — 8 goroutines, one multiplexed tagged-protocol client
+//	StopAndWait8   — 8 goroutines, one serialized request/response client
+//	                 (byte-identical to the pre-sharding RemoteClient —
+//	                 the in-run baseline the tentpole is measured against)
+//	UntaggedSingle — 1 goroutine, pure round-trip latency of the untagged
+//	                 ops (must stay unchanged within noise)
+const (
+	benchClients = 8
+	benchHotN    = 64
+	benchMissN   = 1 << 12 // distinct miss-path taints per goroutine
+)
+
+type tmBenchEnv struct {
+	addr string
+	srv  *taintmap.Server
+}
+
+type tcpAcceptor struct{ l net.Listener }
+
+func (a tcpAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
+func (a tcpAcceptor) Close() error                        { return a.l.Close() }
+
+// newTMBenchEnv starts a Taint Map server on loopback TCP.
+func newTMBenchEnv(b *testing.B) *tmBenchEnv {
+	b.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Skipf("no loopback TCP available: %v", err)
+	}
+	srv := taintmap.NewServer(taintmap.NewStore(), tcpAcceptor{l: l}, nil)
+	srv.Start()
+	env := &tmBenchEnv{addr: l.Addr().String(), srv: srv}
+	b.Cleanup(func() { srv.Close() })
+	return env
+}
+
+func (e *tmBenchEnv) dial(b *testing.B) io.ReadWriteCloser {
+	b.Helper()
+	conn, err := net.Dial("tcp", e.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return conn
+}
+
+// runMixed drives the 90/10 workload through one shared client: per 10
+// ops, 9 hits (a GlobalID-cached register alternating with a
+// memo-cached lookup) and 1 miss (a register whose Global ID cache is
+// cleared, forcing the full wire round trip). All taints are minted
+// before the clock starts so the timed loop measures the Taint Map
+// service, not the taint constructor.
+func runMixed(b *testing.B, env *tmBenchEnv, client taintmap.Client, tree *taint.Tree, goroutines int) {
+	b.Helper()
+	hot := make([]taint.Taint, benchHotN)
+	hotIDs := make([]uint32, benchHotN)
+	for i := range hot {
+		hot[i] = tree.NewSource(fmt.Sprintf("hot-%d", i), "bench:1")
+		id, err := client.Register(hot[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		hotIDs[i] = id
+	}
+	// Per-goroutine miss pools: names are distinct across goroutines so
+	// the mux client's singleflight table cannot collapse two misses
+	// into one request.
+	miss := make([][]taint.Taint, goroutines)
+	for g := range miss {
+		miss[g] = make([]taint.Taint, benchMissN)
+		for i := range miss[g] {
+			miss[g][i] = tree.NewSource(fmt.Sprintf("miss-%d-%d", g, i), "bench:1")
+		}
+	}
+	perG := b.N / goroutines
+	if perG == 0 {
+		perG = 1
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			nextMiss := 0
+			for i := 0; i < perG; i++ {
+				k := i*goroutines + g
+				var err error
+				if i%10 == 7 { // miss: uncached register round trip
+					t := miss[g][nextMiss%benchMissN]
+					nextMiss++
+					t.SetGlobalID(0)
+					_, err = client.Register(t)
+				} else if k%2 == 0 { // hit: register of an already-known taint
+					_, err = client.Register(hot[k%benchHotN])
+				} else { // hit: lookup of a memo-resident id
+					_, err = client.Lookup(hotIDs[k%benchHotN])
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+}
+
+func BenchmarkTaintMapConcurrent(b *testing.B) {
+	b.Run("Mux8", func(b *testing.B) {
+		env := newTMBenchEnv(b)
+		tree := taint.NewTree()
+		client := taintmap.NewRemoteClient(env.dial(b), tree)
+		defer client.Close()
+		runMixed(b, env, client, tree, benchClients)
+	})
+	b.Run("StopAndWait8", func(b *testing.B) {
+		env := newTMBenchEnv(b)
+		tree := taint.NewTree()
+		client := taintmap.NewStopAndWaitClient(env.dial(b), tree)
+		defer client.Close()
+		runMixed(b, env, client, tree, benchClients)
+	})
+	b.Run("UntaggedSingle", func(b *testing.B) {
+		env := newTMBenchEnv(b)
+		tree := taint.NewTree()
+		client := taintmap.NewStopAndWaitClient(env.dial(b), tree)
+		defer client.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Register(tree.NewSource(fmt.Sprintf("lat-%d", i), "bench:1")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
