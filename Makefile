@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection shared by `bench` and the A/B harness.
 BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
 
-.PHONY: build test race race-taintmap vet check bench bench-taintmap fuzz fuzz-smoke
+.PHONY: build test race race-taintmap vet check chaos bench bench-taintmap bench-resilience fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,15 @@ race-taintmap:
 vet:
 	$(GO) vet ./...
 
+# Chaos suite under the race detector: kill/restart the Taint Map server
+# mid-workload, random stream resets — every taint must survive with a
+# correct, stable resolution. Part of `check`; callable alone when
+# iterating on the resilience layer.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/taintmap
+
 # Tier-1 gate: everything CI runs.
-check: vet build test race fuzz-smoke
+check: vet build test race chaos fuzz-smoke
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
 # -count=3 repetitions; seed baselines are embedded in cmd/benchjson.
@@ -39,6 +46,14 @@ bench:
 bench-taintmap:
 	$(GO) test -run=NONE -bench=BenchmarkTaintMapConcurrent -benchmem -benchtime=1s -count=5 . | tee bench_taintmap.txt
 	$(GO) run ./cmd/benchjson -in bench_taintmap.txt -out BENCH_2.json
+
+# Measure the resilience wrapper's fault-free overhead: ResilientClient
+# vs the bare multiplexed client on the same mixed workload, refreshed
+# into BENCH_3.json. The acceptance criterion is an in-run ratio
+# (Resilient8 <= 1.10x Mux8), so host drift cancels out.
+bench-resilience:
+	$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/(Mux8|Resilient8)$$' -benchmem -benchtime=1s -count=5 . | tee bench_resilience.txt
+	$(GO) run ./cmd/benchjson -in bench_resilience.txt -out BENCH_3.json
 
 # Short fuzz pass over the wire round-trip property (CI smoke; the
 # seeded corpus also runs as part of plain `go test`).

@@ -258,6 +258,24 @@ func main() {
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
+	// ratioAtMost bounds one benchmark by another from the same run
+	// (num over denom) — the overhead form of ratioAtLeast.
+	ratioAtMost := func(label, num, denom string, max float64) {
+		rn, rd := find(num), find(denom)
+		if rn == nil || rd == nil {
+			return
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: num,
+			Require:   fmt.Sprintf("<= %.2fx of %s (same run)", max, denom),
+		}
+		if rn.NsPerOp > 0 && rd.NsPerOp > 0 {
+			c.Measured = rn.NsPerOp / rd.NsPerOp
+			c.Pass = c.Measured <= max
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
 	speedupAtLeast("uniform TaintAll", "HotPath/TaintAllUniform", 5)
 	speedupAtLeast("uniform Union", "HotPath/UnionUniform", 5)
 	speedupAtLeast("single-taint 64KiB encode path", "HotPath/EncodePathUniform", 5)
@@ -267,6 +285,8 @@ func main() {
 		"TaintMapConcurrent/StopAndWait8", "TaintMapConcurrent/Mux8", 3)
 	speedupAtLeast("concurrent taint map throughput (vs seed)", "TaintMapConcurrent/Mux8", 3)
 	slowdownAtMost("untagged single-client latency", "TaintMapConcurrent/UntaggedSingle", 1.3)
+	ratioAtMost("resilience wrapper overhead (fault-free, in-run)",
+		"TaintMapConcurrent/Resilient8", "TaintMapConcurrent/Mux8", 1.10)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

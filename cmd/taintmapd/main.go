@@ -10,7 +10,12 @@
 //
 // Usage:
 //
-//	taintmapd [-addr :7431] [-v] [-stats-every 1m]
+//	taintmapd [-addr :7431] [-v] [-stats-every 1m] [-read-timeout 0]
+//	          [-max-conns 0] [-grace 5s]
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// lets in-flight connections finish (bounded by -grace), logs the final
+// store counters, and exits. A second signal forces an immediate stop.
 package main
 
 import (
@@ -32,9 +37,15 @@ func main() {
 	verbose := flag.Bool("v", false, "log connection errors")
 	statsEvery := flag.Duration("stats-every", 0,
 		"periodically log store counters (0 disables)")
+	readTimeout := flag.Duration("read-timeout", 0,
+		"drop connections idle or mid-frame for this long (0 disables)")
+	maxConns := flag.Int("max-conns", 0,
+		"refuse connections over this concurrency cap (0 means unlimited)")
+	grace := flag.Duration("grace", 5*time.Second,
+		"how long a signal-triggered shutdown waits for connections to drain")
 	flag.Parse()
 
-	if err := run(*addr, *verbose, *statsEvery); err != nil {
+	if err := run(*addr, *verbose, *statsEvery, *readTimeout, *maxConns, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -48,7 +59,7 @@ type tcpAcceptor struct {
 func (a tcpAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
 func (a tcpAcceptor) Close() error                        { return a.l.Close() }
 
-func run(addr string, verbose bool, statsEvery time.Duration) error {
+func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxConns int, grace time.Duration) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("taintmapd: listen: %w", err)
@@ -57,7 +68,8 @@ func run(addr string, verbose bool, statsEvery time.Duration) error {
 	if verbose {
 		logf = log.Printf
 	}
-	srv := taintmap.NewServer(taintmap.NewStore(), tcpAcceptor{l: l}, logf)
+	srv := taintmap.NewServer(taintmap.NewStore(), tcpAcceptor{l: l}, logf,
+		taintmap.WithReadTimeout(readTimeout), taintmap.WithMaxConns(maxConns))
 	srv.Start()
 	log.Printf("taintmapd: serving on %s", l.Addr())
 
@@ -83,9 +95,18 @@ func run(addr string, verbose bool, statsEvery time.Duration) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stopStats)
+	log.Printf("taintmapd: draining (up to %v); signal again to force stop", grace)
+
+	// A second signal skips the drain.
+	go func() {
+		<-sig
+		log.Printf("taintmapd: forced stop")
+		srv.Close()
+	}()
+	err = srv.Shutdown(grace)
 
 	st := srv.Store().Stats()
-	log.Printf("taintmapd: shutting down (%d global taints, %d registrations, %d lookups)",
+	log.Printf("taintmapd: shut down (%d global taints, %d registrations, %d lookups)",
 		st.GlobalTaints, st.Registrations, st.Lookups)
-	return srv.Close()
+	return err
 }

@@ -2,6 +2,7 @@ package instrument
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"dista/internal/core/wire"
 	"dista/internal/jni"
 	"dista/internal/netsim"
+	"dista/internal/taintmap"
 )
 
 // ErrNoTaintMap is returned when a dista-mode agent has no Taint Map
@@ -82,6 +84,15 @@ func registerRuns(agent *tracker.Agent, b taint.Bytes) ([]wire.Run, error) {
 			return nil, err
 		}
 		for i, at := range pendingAt {
+			// A provisional id is only valid inside this node: a degraded
+			// Taint Map client minted it locally, and the receiving node
+			// could never resolve it. Refuse the transfer loudly — the
+			// taint itself stays tracked and will get its real Global ID
+			// when the client's journal drains.
+			if taintmap.IsProvisional(ids[i]) {
+				return nil, fmt.Errorf("instrument: cannot transfer taint: %w",
+					taintmap.ErrGlobalIDPending)
+			}
 			runs[at].ID = ids[i]
 		}
 	}

@@ -1,7 +1,10 @@
 package instrument
 
 import (
+	"errors"
+	"io"
 	"testing"
+	"time"
 
 	"dista/internal/core/taint"
 	"dista/internal/core/tracker"
@@ -108,6 +111,50 @@ func TestTaintMapOutageFailsLoudly(t *testing.T) {
 	// Global ID is cached on the node (Fig. 9 step ②).
 	if err := sender.Write(taint.FromString("z", agent.Tree().NewSource("t1", "n1:1"))); err != nil {
 		t.Fatalf("cached-taint send should survive the outage: %v", err)
+	}
+}
+
+// TestDegradedTaintMapRefusesTransferKeepsTracking: with the Taint Map
+// unreachable and the resilient client degraded, a cross-node send of a
+// freshly tainted payload must fail with the typed ErrGlobalIDPending —
+// the taint exists, its Global ID is provisional — while intra-node
+// tracking of that same taint keeps working.
+func TestDegradedTaintMapRefusesTransferKeepsTracking(t *testing.T) {
+	r := newRig(t, tracker.ModeDista)
+	a := tracker.New("n1", tracker.ModeDista)
+	client := taintmap.NewResilientClient(
+		func() (io.ReadWriteCloser, error) { return nil, errors.New("no route to taint map") },
+		a.Tree(),
+		taintmap.ResilientOptions{
+			BackoffBase:      time.Millisecond,
+			BackoffMax:       5 * time.Millisecond,
+			BreakerThreshold: 1,
+		})
+	defer client.Close()
+	agent := tracker.New("n1", tracker.ModeDista, tracker.WithTaintMap(client))
+
+	ca, cb := r.net.Pipe()
+	defer cb.Close()
+	sender := NewEndpoint(agent, ca)
+
+	tag := agent.Tree().NewSource("secret", "n1:1")
+	err := sender.Write(taint.FromString("x", tag))
+	if !errors.Is(err, taintmap.ErrGlobalIDPending) {
+		t.Fatalf("degraded-mode send = %v, want ErrGlobalIDPending", err)
+	}
+	// The taint is still live on this node: its provisional id resolves
+	// locally, so sink checks keep seeing it.
+	id, err := client.Register(agent.Tree().NewSource("secret", "n1:1"))
+	if err != nil || !taintmap.IsProvisional(id) {
+		t.Fatalf("degraded register = %d, %v, want provisional id", id, err)
+	}
+	got, err := client.Lookup(id)
+	if err != nil || got.Empty() || !got.Has("secret") {
+		t.Fatalf("local lookup of provisional id = %v, %v", got, err)
+	}
+	// Untainted traffic is unaffected.
+	if err := sender.Write(taint.WrapBytes([]byte("plain"))); err != nil {
+		t.Fatalf("untainted send while degraded: %v", err)
 	}
 }
 

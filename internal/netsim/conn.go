@@ -3,6 +3,8 @@ package netsim
 import (
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // connBufferCap bounds each direction's in-flight buffer, providing the
@@ -15,8 +17,12 @@ type halfPipe struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	buf         []byte
-	writeClosed bool // no more data will arrive
-	readClosed  bool // reader is gone; writes fail
+	writeClosed bool  // no more data will arrive
+	readClosed  bool  // reader is gone; writes fail
+	failErr     error // connection reset/failed: both sides see this
+
+	deadline time.Time   // read deadline; zero = none
+	dlTimer  *time.Timer // wakes waiters when the deadline passes
 }
 
 func newHalfPipe() *halfPipe {
@@ -30,8 +36,11 @@ func (h *halfPipe) write(b []byte) (int, error) {
 	defer h.mu.Unlock()
 	total := 0
 	for len(b) > 0 {
-		for len(h.buf) >= connBufferCap && !h.readClosed && !h.writeClosed {
+		for len(h.buf) >= connBufferCap && !h.readClosed && !h.writeClosed && h.failErr == nil {
 			h.cond.Wait()
+		}
+		if h.failErr != nil {
+			return total, h.failErr
 		}
 		if h.readClosed || h.writeClosed {
 			return total, ErrClosed
@@ -48,17 +57,29 @@ func (h *halfPipe) write(b []byte) (int, error) {
 	return total, nil
 }
 
+// deadlineExpiredLocked reports whether a set read deadline has passed.
+func (h *halfPipe) deadlineExpiredLocked() bool {
+	return !h.deadline.IsZero() && !time.Now().Before(h.deadline)
+}
+
 func (h *halfPipe) read(b []byte) (int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	for len(h.buf) == 0 && !h.writeClosed && !h.readClosed {
+	for len(h.buf) == 0 && !h.writeClosed && !h.readClosed &&
+		h.failErr == nil && !h.deadlineExpiredLocked() {
 		h.cond.Wait()
+	}
+	if h.failErr != nil {
+		return 0, h.failErr
 	}
 	if h.readClosed {
 		return 0, ErrClosed
 	}
-	if len(h.buf) == 0 { // writeClosed and drained
-		return 0, io.EOF
+	if len(h.buf) == 0 {
+		if h.writeClosed { // drained
+			return 0, io.EOF
+		}
+		return 0, ErrDeadline
 	}
 	n := copy(b, h.buf)
 	h.buf = h.buf[n:]
@@ -67,6 +88,40 @@ func (h *halfPipe) read(b []byte) (int, error) {
 	}
 	h.cond.Broadcast()
 	return n, nil
+}
+
+// setReadDeadline installs (or clears, with the zero time) the read
+// deadline and arms a timer to wake blocked readers when it passes.
+func (h *halfPipe) setReadDeadline(t time.Time) {
+	h.mu.Lock()
+	h.deadline = t
+	if h.dlTimer != nil {
+		h.dlTimer.Stop()
+		h.dlTimer = nil
+	}
+	if !t.IsZero() {
+		if d := time.Until(t); d <= 0 {
+			h.cond.Broadcast()
+		} else {
+			h.dlTimer = time.AfterFunc(d, func() {
+				h.mu.Lock()
+				h.cond.Broadcast()
+				h.mu.Unlock()
+			})
+		}
+	}
+	h.mu.Unlock()
+}
+
+// fail poisons the pipe: readers and writers on both ends observe err
+// from now on (a connection reset).
+func (h *halfPipe) fail(err error) {
+	h.mu.Lock()
+	if h.failErr == nil {
+		h.failErr = err
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
 }
 
 func (h *halfPipe) closeWrite() {
@@ -93,6 +148,9 @@ type Conn struct {
 	in         *halfPipe // peer -> us
 	out        *halfPipe // us -> peer
 	closeOnce  sync.Once
+
+	dead    atomic.Bool                  // closed or reset; stall waits check it
+	corrupt atomic.Pointer[func([]byte)] // write-side corruption hook
 }
 
 // newConnPair builds both ends of a connection.
@@ -105,7 +163,8 @@ func newConnPair(n *Network, addrA, addrB string) (*Conn, *Conn) {
 }
 
 // Read reads available bytes into b, blocking until data arrives, the
-// peer half-closes (io.EOF once drained), or the Conn closes.
+// peer half-closes (io.EOF once drained), the read deadline passes
+// (ErrDeadline), or the Conn closes.
 func (c *Conn) Read(b []byte) (int, error) {
 	if len(b) == 0 {
 		return 0, nil
@@ -114,8 +173,23 @@ func (c *Conn) Read(b []byte) (int, error) {
 }
 
 // Write writes all of b, blocking on backpressure. Partial writes only
-// happen on error.
+// happen on error. Configured faults apply here: a stalled network
+// freezes the write, a partition fails it with ErrPartitioned, and the
+// reset coin may kill the connection (ErrReset).
 func (c *Conn) Write(b []byte) (int, error) {
+	if c.net.faulty.Load() {
+		if err := c.net.writeFaults(c); err != nil {
+			return 0, err
+		}
+	}
+	if fp := c.corrupt.Load(); fp != nil {
+		// Corrupt a private copy: the caller's buffer is not ours to
+		// scribble on.
+		dup := make([]byte, len(b))
+		copy(dup, b)
+		(*fp)(dup)
+		b = dup
+	}
 	c.net.delay()
 	n, err := c.out.write(b)
 	c.net.streamBytes.Add(int64(n))
@@ -126,10 +200,42 @@ func (c *Conn) Write(b []byte) (int, error) {
 // buffered data; its writes fail.
 func (c *Conn) Close() error {
 	c.closeOnce.Do(func() {
+		c.dead.Store(true)
 		c.out.closeWrite()
 		c.in.closeRead()
+		c.net.wakeStalled()
 	})
 	return nil
+}
+
+// Reset hard-kills the connection the way a TCP RST does: both ends
+// observe ErrReset on every subsequent read and write, with no EOF
+// grace for buffered data.
+func (c *Conn) Reset() {
+	c.dead.Store(true)
+	c.in.fail(ErrReset)
+	c.out.fail(ErrReset)
+	c.net.wakeStalled()
+}
+
+// SetReadDeadline makes reads fail with ErrDeadline once t passes; the
+// zero time clears it. It mirrors net.Conn's method so deadline-aware
+// servers run unchanged over the simulated network.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.in.setReadDeadline(t)
+	return nil
+}
+
+// SetCorruptor installs fn as this connection's write-side corruption
+// hook: every written payload is copied and fn may mutate the copy
+// before it enters the stream. nil removes the hook. Corruption models
+// a faulty link or peer, for testing protocol robustness.
+func (c *Conn) SetCorruptor(fn func(p []byte)) {
+	if fn == nil {
+		c.corrupt.Store(nil)
+		return
+	}
+	c.corrupt.Store(&fn)
 }
 
 // CloseWrite half-closes the outgoing direction only (like shutdown(SHUT_WR)).

@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+)
+
+// Fault-injection plane. The simulated network can misbehave on demand
+// so robustness tests exercise the failure paths the paper's Linux
+// testbed would only hit by accident: partitions between hosts, stream
+// connections reset mid-flight, frozen (stalled) writes, and corrupted
+// bytes. All injection is driven by the Network's own seeded generator
+// (see Reseed) so a failing schedule replays exactly.
+//
+// Hosts are the address prefix before the first ':' (the whole address
+// when there is none): "tm:7" is host "tm", a dial-side synthesized
+// "client-3" is host "client-3". The wildcard "*" matches any host.
+
+// Fault errors, matched by callers with errors.Is.
+var (
+	ErrPartitioned = errors.New("netsim: network partitioned")
+	ErrReset       = errors.New("netsim: connection reset by peer")
+	ErrDeadline    = errors.New("netsim: i/o deadline exceeded")
+)
+
+// host extracts the host part of an address: everything before the
+// first ':', or the whole string when there is no colon.
+func host(addr string) string {
+	if i := strings.IndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// hostPair is one partitioned host pair, stored in normalized (sorted)
+// order so Partition(a,b) and Partition(b,a) are the same cut.
+type hostPair struct{ a, b string }
+
+func normPair(a, b string) hostPair {
+	if a > b {
+		a, b = b, a
+	}
+	return hostPair{a, b}
+}
+
+// Reseed replaces the network's random generator with one seeded as
+// given, so a fault-injection schedule (datagram loss, stream resets)
+// is reproducible run to run. New starts every network at seed 1.
+func (n *Network) Reseed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetStreamResetRate configures the probability in [0,1] that any
+// single stream Write resets the whole connection: both ends observe
+// ErrReset on every subsequent read and write, as a TCP RST would
+// cause. Zero (the default) disables injection.
+func (n *Network) SetStreamResetRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.resetRate = rate
+	n.refreshFaultyLocked()
+}
+
+// SetStall freezes (true) or thaws (false) every stream write on the
+// network: a frozen write blocks — it does not error — until the stall
+// is lifted or its connection dies. This models a peer that is alive
+// but not draining its socket, the failure mode read deadlines exist
+// for.
+func (n *Network) SetStall(stalled bool) {
+	n.mu.Lock()
+	n.stalled = stalled
+	n.refreshFaultyLocked()
+	n.stallCond.Broadcast()
+	n.mu.Unlock()
+}
+
+// Partition cuts all traffic between hosts a and b (either may be the
+// "*" wildcard): stream writes across the cut fail with ErrPartitioned,
+// dials across it are refused, and datagrams are silently dropped
+// (counted as lost). Existing connections are not torn down — traffic
+// resumes on them after Heal, like a routing failure rather than a
+// crash.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitions == nil {
+		n.partitions = make(map[hostPair]struct{})
+	}
+	n.partitions[normPair(a, b)] = struct{}{}
+	n.refreshFaultyLocked()
+}
+
+// Heal removes the Partition cut between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, normPair(a, b))
+	n.refreshFaultyLocked()
+}
+
+// HealAll removes every partition cut.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	clear(n.partitions)
+	n.refreshFaultyLocked()
+}
+
+// refreshFaultyLocked recomputes the fast-path flag that lets fault-free
+// writes skip the injection checks entirely. Caller holds n.mu.
+func (n *Network) refreshFaultyLocked() {
+	n.faulty.Store(n.stalled || n.resetRate > 0 || len(n.partitions) > 0)
+}
+
+// partitionedLocked reports whether hosts ha and hb are across any
+// configured cut. Caller holds n.mu.
+func (n *Network) partitionedLocked(ha, hb string) bool {
+	if len(n.partitions) == 0 {
+		return false
+	}
+	match := func(pat, h string) bool { return pat == "*" || pat == h }
+	for p := range n.partitions {
+		if (match(p.a, ha) && match(p.b, hb)) || (match(p.a, hb) && match(p.b, ha)) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFaults applies the configured stream faults to one Write on c:
+// it blocks while the network is stalled, fails the write across a
+// partition cut, and flips the reset coin. A nil return means the write
+// may proceed.
+func (n *Network) writeFaults(c *Conn) error {
+	n.mu.Lock()
+	for n.stalled && !c.dead.Load() {
+		n.stallCond.Wait()
+	}
+	if c.dead.Load() {
+		// The connection died while frozen; let the pipe report the
+		// precise error (reset vs closed).
+		n.mu.Unlock()
+		return nil
+	}
+	if n.partitionedLocked(host(c.localAddr), host(c.remoteAddr)) {
+		n.mu.Unlock()
+		return ErrPartitioned
+	}
+	reset := n.resetRate > 0 && n.rng.Float64() < n.resetRate
+	n.mu.Unlock()
+	if reset {
+		c.Reset()
+		return ErrReset
+	}
+	return nil
+}
+
+// wakeStalled unblocks writers frozen by SetStall so they can observe
+// their connection dying.
+func (n *Network) wakeStalled() {
+	n.mu.Lock()
+	n.stallCond.Broadcast()
+	n.mu.Unlock()
+}

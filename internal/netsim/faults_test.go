@@ -1,0 +1,329 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestPartitionAndHeal cuts the client<->server link: established
+// connections fail writes with ErrPartitioned, dials are refused, and
+// after Heal the same connection carries traffic again.
+func TestPartitionAndHeal(t *testing.T) {
+	n := New()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.Dial("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+
+	n.Partition("srv", "*")
+	if _, err := conn.Write([]byte("cut")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write across cut = %v, want ErrPartitioned", err)
+	}
+	if _, err := peer.Write([]byte("cut")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("server-side write across cut = %v, want ErrPartitioned", err)
+	}
+	if _, err := n.Dial("srv:1"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial across cut = %v, want ErrPartitioned", err)
+	}
+	if _, err := n.DialFrom("other:9", "srv:1"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("named dial across cut = %v, want ErrPartitioned", err)
+	}
+
+	n.Heal("srv", "*")
+	if _, err := conn.Write([]byte("back")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	buf := make([]byte, 16)
+	if m, err := peer.Read(buf); err != nil || string(buf[:m]) != "okback" {
+		t.Fatalf("post-heal read = %q, %v", buf[:m], err)
+	}
+}
+
+// TestPartitionNamedPair cuts only a<->b: a third host keeps talking to
+// both sides.
+func TestPartitionNamedPair(t *testing.T) {
+	n := New()
+	l, err := n.Listen("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	n.Partition("a", "b")
+	if _, err := n.DialFrom("a:5", "b:1"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("a->b dial = %v, want ErrPartitioned", err)
+	}
+	cc, err := n.DialFrom("c:5", "b:1")
+	if err != nil {
+		t.Fatalf("c->b dial across unrelated cut: %v", err)
+	}
+	if _, err := cc.Write([]byte("x")); err != nil {
+		t.Fatalf("c->b write: %v", err)
+	}
+	n.HealAll()
+	if _, err := n.DialFrom("a:5", "b:1"); err != nil {
+		t.Fatalf("a->b dial after HealAll: %v", err)
+	}
+}
+
+// TestPartitionDropsDatagrams: datagrams across a cut vanish silently
+// and are counted as lost.
+func TestPartitionDropsDatagrams(t *testing.T) {
+	n := New()
+	sa, err := n.ListenPacket("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := n.ListenPacket("b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("a", "b")
+	if err := sa.SendTo([]byte("gone"), "b:1"); err != nil {
+		t.Fatalf("send across cut should drop silently, got %v", err)
+	}
+	if lost := n.Stats().DatagramsLost; lost != 1 {
+		t.Fatalf("DatagramsLost = %d, want 1", lost)
+	}
+	n.Heal("a", "b")
+	if err := sa.SendTo([]byte("here"), "b:1"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	m, from, err := sb.ReceiveFrom(buf)
+	if err != nil || string(buf[:m]) != "here" || from != "a:1" {
+		t.Fatalf("post-heal receive = %q from %s, %v", buf[:m], from, err)
+	}
+}
+
+// TestStreamReset: with rate 1 the first write resets the connection
+// and both ends observe ErrReset on reads and writes.
+func TestStreamReset(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	n.SetStreamResetRate(1)
+	if _, err := a.Write([]byte("boom")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write = %v, want ErrReset", err)
+	}
+	if _, err := a.Write([]byte("again")); !errors.Is(err, ErrReset) {
+		t.Fatalf("second write = %v, want ErrReset", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := b.Read(buf); !errors.Is(err, ErrReset) {
+		t.Fatalf("peer read = %v, want ErrReset", err)
+	}
+	n.SetStreamResetRate(0)
+	// A fresh connection is unaffected.
+	c, d := n.Pipe()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := d.Read(buf); err != nil || string(buf[:m]) != "ok" {
+		t.Fatalf("fresh conn read = %q, %v", buf[:m], err)
+	}
+}
+
+// TestStallFreezesWrites: a stalled network blocks writes without
+// erroring; lifting the stall releases them; closing a conn releases
+// its frozen writer too.
+func TestStallFreezesWrites(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	n.SetStall(true)
+
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write([]byte("frozen"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed during stall: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	n.SetStall(false)
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("thawed write: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still frozen after SetStall(false)")
+	}
+	buf := make([]byte, 16)
+	if m, err := b.Read(buf); err != nil || string(buf[:m]) != "frozen" {
+		t.Fatalf("read = %q, %v", buf[:m], err)
+	}
+
+	// A conn closed while frozen must release its writer.
+	c, _ := n.Pipe()
+	n.SetStall(true)
+	wrote2 := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("doomed"))
+		wrote2 <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-wrote2:
+		if err == nil {
+			t.Fatal("write on closed conn succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frozen writer not released by Close")
+	}
+	n.SetStall(false)
+}
+
+// TestCorruptorMutatesStream: a write-side corruption hook changes the
+// bytes the peer receives, without touching the caller's buffer.
+func TestCorruptorMutatesStream(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	a.SetCorruptor(func(p []byte) {
+		for i := range p {
+			p[i] ^= 0xFF
+		}
+	})
+	orig := []byte("data")
+	if _, err := a.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != "data" {
+		t.Fatalf("corruptor scribbled on the caller's buffer: %q", orig)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if buf[i] != orig[i]^0xFF {
+			t.Fatalf("byte %d = %x, want %x", i, buf[i], orig[i]^0xFF)
+		}
+	}
+	a.SetCorruptor(nil)
+	if _, err := a.Write([]byte("pure")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "pure" {
+		t.Fatalf("post-removal read = %q, %v", buf, err)
+	}
+}
+
+// TestReadDeadline: a blocked read fails with ErrDeadline once the
+// deadline passes; clearing the deadline restores blocking reads.
+func TestReadDeadline(t *testing.T) {
+	n := New()
+	a, b := n.Pipe()
+	a.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 4)
+	start := time.Now()
+	if _, err := a.Read(buf); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("read = %v, want ErrDeadline", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline read blocked far past the deadline")
+	}
+	// Data present: read succeeds even with an expired deadline armed.
+	if _, err := b.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := a.Read(buf); err != nil || m != 1 {
+		t.Fatalf("read with buffered data = %d, %v", m, err)
+	}
+	// Clearing the deadline restores blocking semantics.
+	a.SetReadDeadline(time.Time{})
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.Read(buf)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("cleared-deadline read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.Write([]byte("y"))
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReseedReproducesLossSchedule: two networks with the same seed and
+// loss rate drop exactly the same datagrams — fault schedules replay.
+func TestReseedReproducesLossSchedule(t *testing.T) {
+	deliveredSet := func(seed int64) map[int]bool {
+		n := New()
+		n.Reseed(seed)
+		n.SetDatagramLoss(0.5)
+		src, err := n.ListenPacket("src:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := n.ListenPacket("dst:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total = 64
+		for i := 0; i < total; i++ {
+			if err := src.SendTo([]byte(fmt.Sprintf("%02d", i)), "dst:1"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := make(map[int]bool)
+		buf := make([]byte, 4)
+		delivered := int(n.Stats().Datagrams - n.Stats().DatagramsLost)
+		for i := 0; i < delivered; i++ {
+			m, _, err := dst.ReceiveFrom(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var idx int
+			fmt.Sscanf(string(buf[:m]), "%d", &idx)
+			got[idx] = true
+		}
+		if len(got) == 0 || len(got) == total {
+			t.Fatalf("loss schedule degenerate: %d of %d delivered", len(got), total)
+		}
+		return got
+	}
+	a := deliveredSet(42)
+	b := deliveredSet(42)
+	c := deliveredSet(43)
+	if len(a) != len(b) {
+		t.Fatalf("same seed delivered %d vs %d datagrams", len(a), len(b))
+	}
+	for k := range a {
+		if !b[k] {
+			t.Fatalf("same seed diverged at datagram %d", k)
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for k := range a {
+			if !c[k] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical schedule; Reseed is a no-op")
+	}
+}

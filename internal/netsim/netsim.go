@@ -47,6 +47,14 @@ type Network struct {
 	latency   time.Duration // one-way delay injected per send operation
 	rng       *rand.Rand
 
+	// Fault-injection state (see faults.go). faulty caches whether any
+	// stream fault is configured so fault-free writes skip the checks.
+	partitions map[hostPair]struct{}
+	resetRate  float64
+	stalled    bool
+	stallCond  *sync.Cond
+	faulty     atomic.Bool
+
 	streamBytes   atomic.Int64
 	datagramBytes atomic.Int64
 	datagrams     atomic.Int64
@@ -56,11 +64,13 @@ type Network struct {
 
 // New returns an empty network.
 func New() *Network {
-	return &Network{
+	n := &Network{
 		listeners: make(map[string]*Listener),
 		udp:       make(map[string]*UDPSocket),
 		rng:       rand.New(rand.NewSource(1)),
 	}
+	n.stallCond = sync.NewCond(&n.mu)
+	return n
 }
 
 // SetDatagramLoss configures the probability in [0,1] that a datagram is
@@ -208,19 +218,39 @@ func (l *Listener) Close() error {
 // Dial opens a stream connection to a listening address. The returned
 // Conn's local address is synthesized from the dial count.
 func (n *Network) Dial(addr string) (*Conn, error) {
+	return n.DialFrom("", addr)
+}
+
+// DialFrom is Dial with an explicit local address, which gives the
+// dialing side a stable host identity that Partition can target. An
+// empty local address synthesizes one from the dial count.
+func (n *Network) DialFrom(local, addr string) (*Conn, error) {
 	n.mu.Lock()
 	if n.down {
 		n.mu.Unlock()
 		return nil, ErrNetDown
 	}
 	l, ok := n.listeners[addr]
+	// A synthesized local name only ever matches a "*" cut, so any
+	// placeholder host gives the same partition answer.
+	dialHost := "client"
+	if local != "" {
+		dialHost = host(local)
+	}
+	if n.partitionedLocked(dialHost, host(addr)) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: dial %s", ErrPartitioned, addr)
+	}
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 
 	id := n.conns.Add(1)
-	client, server := newConnPair(n, fmt.Sprintf("client-%d", id), addr)
+	if local == "" {
+		local = fmt.Sprintf("client-%d", id)
+	}
+	client, server := newConnPair(n, local, addr)
 
 	l.mu.Lock()
 	if l.closed {

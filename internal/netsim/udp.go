@@ -63,6 +63,11 @@ func (s *UDPSocket) SendTo(payload []byte, dst string) error {
 	n.datagramBytes.Add(int64(len(payload)))
 
 	n.mu.Lock()
+	if n.partitionedLocked(host(s.addr), host(dst)) {
+		n.mu.Unlock()
+		n.datagramsLost.Add(1)
+		return nil
+	}
 	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 		n.mu.Unlock()
 		n.datagramsLost.Add(1)

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dista/internal/core/taint"
 )
@@ -27,7 +28,16 @@ import (
 type RemoteClient struct {
 	conn io.ReadWriteCloser
 	tree *taint.Tree
-	memo cache
+	memo *cache
+
+	// timeout bounds each call's wait for a response. It is enforced
+	// out-of-band: a watchdog goroutine scans the pending table at
+	// timeout/4 granularity and declares the whole connection wedged
+	// (ErrCallTimeout) when any call has waited longer than timeout.
+	// The per-call cost is one time.Now() on the wire path — no timer
+	// churn, no extra select cases — so the deadline-bearing client is
+	// as fast as the bare one. Zero disables enforcement entirely.
+	timeout time.Duration
 
 	bw      *bufio.Writer // owned by the writer goroutine
 	writeCh chan muxWrite
@@ -35,7 +45,7 @@ type RemoteClient struct {
 	nextTag atomic.Uint32
 
 	pmu     sync.Mutex
-	pending map[uint32]chan muxReply
+	pending map[uint32]pendingCall
 	// regBatch maps the tag of a writer-coalesced register batch to the
 	// member tags whose single-register requests it absorbed; the demux
 	// goroutine fans the id-list reply back out to the members.
@@ -43,6 +53,9 @@ type RemoteClient struct {
 	broken   error // set once the connection is unusable
 
 	done chan struct{} // closed when the demux goroutine exits
+
+	closeOnce sync.Once
+	closeErr  error
 
 	sfMu sync.Mutex
 	sf   map[string]*regFlight
@@ -54,6 +67,14 @@ var _ Client = (*RemoteClient)(nil)
 type muxReply struct {
 	status  byte
 	payload []byte
+}
+
+// pendingCall is one outstanding tagged request: the channel its caller
+// waits on and, when a per-call deadline is configured, the time the
+// request was issued (zero otherwise — the watchdog never runs then).
+type pendingCall struct {
+	ch chan muxReply
+	at time.Time
 }
 
 // muxWrite is one queued request frame handed to the writer goroutine.
@@ -71,8 +92,18 @@ type regFlight struct {
 	err  error
 }
 
-// errClientClosed reports use of a closed RemoteClient.
-var errClientClosed = errors.New("taintmap: client closed")
+// ErrClientClosed reports use of a RemoteClient whose connection is
+// gone — closed by the caller or lost to a transport error. Every call
+// pending at the moment of failure and every call issued afterwards
+// fails with an error matching it under errors.Is, so wrappers like
+// ResilientClient can tell "the connection died" apart from "the server
+// rejected this request".
+var ErrClientClosed = errors.New("taintmap: client closed")
+
+// ErrCallTimeout reports a call that exceeded the client's per-call
+// deadline. The connection is presumed wedged (stalled peer, silent
+// drop): the caller should tear the client down and reconnect.
+var ErrCallTimeout = errors.New("taintmap: call timed out")
 
 // replyChans recycles the one-shot reply channels used by call: each
 // channel carries exactly one response and comes back empty, so reuse
@@ -86,18 +117,72 @@ var replyChans = sync.Pool{
 // NewRemoteClient wraps an established connection to a Taint Map
 // server and starts the response demultiplexer.
 func NewRemoteClient(conn io.ReadWriteCloser, tree *taint.Tree) *RemoteClient {
+	return newRemoteClientWith(conn, tree, &cache{}, 0)
+}
+
+// newRemoteClientWith is NewRemoteClient with an injected memo cache
+// and per-call timeout. ResilientClient threads one cache through every
+// connection epoch so taints resolved before a reconnect stay warm
+// after it.
+func newRemoteClientWith(conn io.ReadWriteCloser, tree *taint.Tree, memo *cache, timeout time.Duration) *RemoteClient {
 	c := &RemoteClient{
 		conn:     conn,
 		tree:     tree,
+		memo:     memo,
+		timeout:  timeout,
 		bw:       bufio.NewWriterSize(conn, 64<<10),
 		writeCh:  make(chan muxWrite, 128),
-		pending:  make(map[uint32]chan muxReply),
+		pending:  make(map[uint32]pendingCall),
 		regBatch: make(map[uint32][]uint32),
 		done:     make(chan struct{}),
 	}
 	go c.demux()
 	go c.writer()
+	if timeout > 0 {
+		go c.watchdog()
+	}
 	return c
+}
+
+// watchdog enforces the per-call deadline out-of-band: every timeout/4
+// it scans the pending table, and the moment any call has been waiting
+// longer than timeout it declares the connection wedged — broken is set
+// to an ErrCallTimeout-wrapping error and the connection is torn down,
+// which fails every pending and future call with that error. Detection
+// granularity is timeout/4, which is plenty for a liveness deadline;
+// in exchange the wire path pays nothing per call.
+func (c *RemoteClient) watchdog() {
+	tick := c.timeout / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tk.C:
+		}
+		now := time.Now()
+		wedged := false
+		c.pmu.Lock()
+		if c.broken == nil {
+			for _, pc := range c.pending {
+				if now.Sub(pc.at) > c.timeout {
+					wedged = true
+					break
+				}
+			}
+			if wedged {
+				c.broken = fmt.Errorf("%w: no response within %v", ErrCallTimeout, c.timeout)
+			}
+		}
+		c.pmu.Unlock()
+		if wedged {
+			c.conn.Close() // demux observes the failure and sweeps pending
+		}
+	}
 }
 
 // muxLingerSpins bounds how many scheduler yields the writer spends
@@ -261,7 +346,7 @@ loop:
 			break
 		}
 		c.pmu.Lock()
-		ch := c.pending[tag]
+		ch := c.pending[tag].ch
 		delete(c.pending, tag)
 		var members []uint32
 		if ch == nil {
@@ -278,7 +363,7 @@ loop:
 				delete(c.regBatch, tag)
 				chans = chans[:0]
 				for _, mt := range members {
-					chans = append(chans, c.pending[mt])
+					chans = append(chans, c.pending[mt].ch)
 					delete(c.pending, mt)
 				}
 			}
@@ -293,11 +378,11 @@ loop:
 	}
 	c.pmu.Lock()
 	if c.broken == nil {
-		c.broken = fmt.Errorf("taintmap: connection lost: %w", err)
+		c.broken = fmt.Errorf("%w: connection lost: %v", ErrClientClosed, err)
 	}
-	for tag, ch := range c.pending {
+	for tag, pc := range c.pending {
 		delete(c.pending, tag)
-		close(ch)
+		close(pc.ch)
 	}
 	clear(c.regBatch)
 	c.pmu.Unlock()
@@ -335,6 +420,12 @@ func (c *RemoteClient) call(op byte, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("taintmap: send request: %w: frame of %d bytes", errProtocol, len(payload))
 	}
 	ch := replyChans.Get().(chan muxReply)
+	// The timestamp exists only when a deadline is configured; it is the
+	// watchdog's input and the deadline's entire per-call cost.
+	var at time.Time
+	if c.timeout > 0 {
+		at = time.Now()
+	}
 	c.pmu.Lock()
 	if c.broken != nil {
 		err := c.broken
@@ -342,7 +433,7 @@ func (c *RemoteClient) call(op byte, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	tag := c.nextTag.Add(1)
-	c.pending[tag] = ch
+	c.pending[tag] = pendingCall{ch: ch, at: at}
 	c.pmu.Unlock()
 
 	select {
@@ -474,7 +565,7 @@ func (c *RemoteClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
 		}
 		fresh = append(fresh, got...)
 	}
-	adoptFresh(&c.memo, ids, fresh, pending, posOf)
+	adoptFresh(c.memo, ids, fresh, pending, posOf)
 	return ids, nil
 }
 
@@ -505,7 +596,7 @@ func (c *RemoteClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
 			chunk = chunk[len(got):]
 		}
 	}
-	if err := adoptBlobs(c.tree, &c.memo, ts, ids, missing, blobs); err != nil {
+	if err := adoptBlobs(c.tree, c.memo, ts, ids, missing, blobs); err != nil {
 		return nil, err
 	}
 	return ts, nil
@@ -528,14 +619,18 @@ func (c *RemoteClient) Stats() (Stats, error) {
 }
 
 // Close implements Client: it tears down the connection and waits for
-// the demux goroutine to drain, failing any in-flight calls.
+// the demux goroutine to drain, failing any in-flight calls. Close is
+// idempotent — second and later calls return the first call's result
+// without touching the connection again.
 func (c *RemoteClient) Close() error {
-	c.pmu.Lock()
-	if c.broken == nil {
-		c.broken = errClientClosed
-	}
-	c.pmu.Unlock()
-	err := c.conn.Close()
-	<-c.done
-	return err
+	c.closeOnce.Do(func() {
+		c.pmu.Lock()
+		if c.broken == nil {
+			c.broken = ErrClientClosed
+		}
+		c.pmu.Unlock()
+		c.closeErr = c.conn.Close()
+		<-c.done
+	})
+	return c.closeErr
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Wire protocol: length-prefixed frames over any reliable stream, in
@@ -345,10 +346,32 @@ func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool)
 // further complete request is already buffered, so a pipelining client
 // pays one syscall for a burst of replies instead of one per reply.
 func ServeConn(store *Store, conn io.ReadWriter) error {
+	return serveConn(store, conn, 0)
+}
+
+// readDeadliner is the slice of net.Conn (and netsim.Conn) the server
+// needs to bound how long a connection may sit idle or dribble a frame.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// serveConn is ServeConn with an idle/read timeout: when nonzero and
+// the connection supports read deadlines, the deadline is re-armed
+// before each frame, so a peer that goes silent (or stalls mid-frame)
+// holds its server goroutine for at most readTimeout instead of
+// forever.
+func serveConn(store *Store, conn io.ReadWriter, readTimeout time.Duration) error {
+	var rd readDeadliner
+	if readTimeout > 0 {
+		rd, _ = conn.(readDeadliner)
+	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	var scratch connScratch
 	for {
+		if rd != nil {
+			rd.SetReadDeadline(time.Now().Add(readTimeout))
+		}
 		op, err := br.ReadByte()
 		if err != nil {
 			if err == io.EOF {

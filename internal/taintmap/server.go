@@ -4,6 +4,7 @@ import (
 	"io"
 	"log"
 	"sync"
+	"time"
 
 	"dista/internal/core/taint"
 	"dista/internal/netsim"
@@ -20,9 +21,14 @@ type Acceptor interface {
 // Server runs the Taint Map service: it accepts connections and answers
 // protocol requests against one shared Store.
 type Server struct {
-	store *Store
-	acc   Acceptor
-	logf  func(format string, args ...any)
+	store       *Store
+	acc         Acceptor
+	logf        func(format string, args ...any)
+	readTimeout time.Duration
+	maxConns    int
+
+	accOnce sync.Once // the acceptor closes once, via Shutdown or Close
+	accErr  error
 
 	mu      sync.Mutex
 	conns   map[io.Closer]struct{}
@@ -31,19 +37,43 @@ type Server struct {
 	started bool
 }
 
+// ServerOption configures optional server hardening knobs.
+type ServerOption func(*Server)
+
+// WithReadTimeout bounds how long a connection may sit idle or dribble
+// a single frame before the server drops it, so silent or wedged peers
+// cannot pin server goroutines forever. Zero (the default) disables the
+// timeout. Connections whose transport lacks SetReadDeadline are served
+// without one.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithMaxConns caps concurrently served connections; arrivals over the
+// cap are closed immediately rather than queued, keeping an aggressive
+// reconnect storm from exhausting server goroutines. Zero (the default)
+// means unlimited.
+func WithMaxConns(n int) ServerOption {
+	return func(s *Server) { s.maxConns = n }
+}
+
 // NewServer builds a server over the given acceptor. logf may be nil to
 // disable logging.
-func NewServer(store *Store, acc Acceptor, logf func(string, ...any)) *Server {
+func NewServer(store *Store, acc Acceptor, logf func(string, ...any), opts ...ServerOption) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		store: store,
 		acc:   acc,
 		logf:  logf,
 		conns: make(map[io.Closer]struct{}),
 		done:  make(chan struct{}),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Store returns the server's backing store (for stats inspection).
@@ -75,13 +105,19 @@ func (s *Server) serve() {
 			conn.Close()
 			break
 		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			conn.Close()
+			s.logf("taintmap: connection refused: %d connections at cap", s.maxConns)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := ServeConn(s.store, conn); err != nil {
+			if err := serveConn(s.store, conn, s.readTimeout); err != nil {
 				s.logf("taintmap: connection error: %v", err)
 			}
 			conn.Close()
@@ -116,7 +152,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
-	err := s.acc.Close()
+	err := s.closeAcc()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -124,6 +160,34 @@ func (s *Server) Close() error {
 		<-s.done
 	}
 	return err
+}
+
+// closeAcc closes the acceptor exactly once, remembering its result so
+// Shutdown followed by Close reports a consistent error.
+func (s *Server) closeAcc() error {
+	s.accOnce.Do(func() { s.accErr = s.acc.Close() })
+	return s.accErr
+}
+
+// Shutdown drains the server gracefully: it stops accepting, then gives
+// in-flight connections up to grace to finish their current requests
+// and disconnect before forcing the remainder closed (Close). Servers
+// fronted by reconnecting clients should prefer this over Close so a
+// restart never cuts a request mid-reply.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.closeAcc()
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		n := len(s.conns)
+		closed := s.closed
+		s.mu.Unlock()
+		if n == 0 || closed {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return s.Close()
 }
 
 // simAcceptor adapts a netsim.Listener to Acceptor.

@@ -30,6 +30,10 @@ import (
 // Sub-benchmarks:
 //
 //	Mux8           — 8 goroutines, one multiplexed tagged-protocol client
+//	Resilient8     — 8 goroutines, the multiplexed client wrapped in the
+//	                 resilience layer (default options) on a fault-free
+//	                 network — measures the wrapper's overhead, which must
+//	                 stay within 1.10x of Mux8
 //	StopAndWait8   — 8 goroutines, one serialized request/response client
 //	                 (byte-identical to the pre-sharding RemoteClient —
 //	                 the in-run baseline the tentpole is measured against)
@@ -148,6 +152,15 @@ func BenchmarkTaintMapConcurrent(b *testing.B) {
 		env := newTMBenchEnv(b)
 		tree := taint.NewTree()
 		client := taintmap.NewRemoteClient(env.dial(b), tree)
+		defer client.Close()
+		runMixed(b, env, client, tree, benchClients)
+	})
+	b.Run("Resilient8", func(b *testing.B) {
+		env := newTMBenchEnv(b)
+		tree := taint.NewTree()
+		client := taintmap.NewResilientClient(
+			func() (io.ReadWriteCloser, error) { return net.Dial("tcp", env.addr) },
+			tree, taintmap.ResilientOptions{})
 		defer client.Close()
 		runMixed(b, env, client, tree, benchClients)
 	})
