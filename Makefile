@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection shared by `bench` and the A/B harness.
 BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
 
-.PHONY: build test race race-taintmap vet check chaos bench bench-taintmap bench-resilience fuzz fuzz-smoke
+.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-taintmap bench-resilience fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ race-taintmap:
 vet:
 	$(GO) vet ./...
 
+# distavet: the in-tree static-analysis suite (internal/analysis) that
+# enforces the taint-soundness invariants — shadowdrop, labelcopy,
+# errcmp, lockorder, mustcheck. Exits non-zero on any finding; silence
+# a deliberate exception with `//lint:ignore distavet/<name> reason`.
+lint:
+	$(GO) run ./cmd/distavet ./...
+
 # Chaos suite under the race detector: kill/restart the Taint Map server
 # mid-workload, random stream resets — every taint must survive with a
 # correct, stable resolution. Part of `check`; callable alone when
@@ -30,7 +37,10 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/taintmap
 
 # Tier-1 gate: everything CI runs.
-check: vet build test race chaos fuzz-smoke
+check: vet lint build test race chaos fuzz-smoke
+
+# Alias for CI pipelines: the full gate, spelled out in build order.
+ci: build vet lint test race fuzz-smoke chaos
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
 # -count=3 repetitions; seed baselines are embedded in cmd/benchjson.

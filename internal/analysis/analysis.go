@@ -1,0 +1,230 @@
+// Package analysis is distavet's static-analysis suite: a small
+// go/analysis-style framework plus the analyzers that machine-check
+// the taint-soundness invariants of this tree (see DESIGN.md §6).
+//
+// The framework mirrors golang.org/x/tools/go/analysis in shape — an
+// Analyzer runs over one type-checked package via a Pass and reports
+// position-anchored diagnostics — but is built entirely on the
+// standard library so the module keeps zero external dependencies.
+//
+// A finding can be silenced with a staticcheck-style comment on the
+// offending line or the line directly above it:
+//
+//	//lint:ignore distavet/<analyzer> reason the drop is deliberate
+//
+// The reason is mandatory: a suppression without one is itself
+// reported (as analyzer "suppression") so audits never go stale.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"dista/internal/analysis/loader"
+)
+
+// An Analyzer checks one invariant over one package at a time.
+type Analyzer struct {
+	Name string // short name; diagnostics print as "file:line: <Name>: msg"
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass)
+}
+
+// A Pass is one (analyzer, package) execution: the type-checked
+// package plus the reporting sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Path     string // import path of the package under analysis
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// All returns the full distavet suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{ShadowDrop, LabelCopy, ErrCmp, LockOrder, MustCheck}
+}
+
+// ByName resolves a comma-separated analyzer-name list against All.
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package (external test packages
+// included), honors //lint:ignore suppressions, and returns the
+// surviving diagnostics sorted by position. Malformed suppression
+// comments are reported under the pseudo-analyzer "suppression".
+func Run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	var targets []*loader.Package
+	for _, pkg := range pkgs {
+		targets = append(targets, pkg)
+		if pkg.XTest != nil {
+			targets = append(targets, pkg.XTest)
+		}
+	}
+	for _, pkg := range targets {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Path:     pkg.Path,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sup, bad := collectSuppressions(fset, targets)
+	diags = append(diags, bad...)
+	diags = applySuppressions(diags, sup)
+	diags = dedup(diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// dedup collapses identical findings: analyses that rescan a region
+// under a different symbolic state (lockorder's loop-carried pass) may
+// report the same violation twice.
+func dedup(diags []Diagnostic) []Diagnostic {
+	seen := make(map[Diagnostic]bool, len(diags))
+	keep := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			keep = append(keep, d)
+		}
+	}
+	return keep
+}
+
+// suppression is one well-formed //lint:ignore comment: it silences
+// the named analyzers on its own line and the line directly below.
+type suppression struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(distavet/\w+(?:\s*,\s*distavet/\w+)*)\s+(\S.*)$`)
+
+// collectSuppressions scans every comment of every file for
+// //lint:ignore markers, returning the valid suppressions and a
+// diagnostic for each malformed one.
+func collectSuppressions(fset *token.FileSet, pkgs []*loader.Package) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, "//lint:ignore") {
+						continue
+					}
+					m := ignoreRE.FindStringSubmatch(text)
+					if m == nil {
+						bad = append(bad, Diagnostic{
+							Analyzer: "suppression",
+							Pos:      fset.Position(c.Pos()),
+							Message:  "malformed //lint:ignore comment: needs a reason (//lint:ignore distavet/<analyzer> reason)",
+						})
+						continue
+					}
+					names := make(map[string]bool)
+					for _, n := range strings.Split(m[1], ",") {
+						names[strings.TrimPrefix(strings.TrimSpace(n), "distavet/")] = true
+					}
+					pos := fset.Position(c.Pos())
+					sups = append(sups, suppression{file: pos.Filename, line: pos.Line, analyzers: names})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// applySuppressions drops the diagnostics covered by a suppression.
+func applySuppressions(diags []Diagnostic, sups []suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	keep := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.file == d.Pos.Filename && (s.line == d.Pos.Line || s.line+1 == d.Pos.Line) &&
+				s.analyzers[d.Analyzer] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			keep = append(keep, d)
+		}
+	}
+	return keep
+}

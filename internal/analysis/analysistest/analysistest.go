@@ -1,0 +1,139 @@
+// Package analysistest is the golden-test harness for distavet
+// analyzers. A test points it at a testdata/src/<analyzer> package
+// seeded with deliberate violations; expectations are written inline
+// as comments on the offending lines:
+//
+//	conn.Write(b.Data) // want "raw .Data"
+//	//lint:ignore distavet/shadowdrop reason   ← suppressions are honored,
+//	conn.Write(b.Data)                         //   so no want comment here
+//
+// Each `// want "substr"` expects one diagnostic from the analyzer
+// under test at that exact line whose message contains substr;
+// several quoted strings expect several diagnostics. A named form
+// `// want suppression "substr"` matches the given analyzer name
+// instead (used to pin malformed-suppression reporting). Unexpected
+// diagnostics and unmatched expectations both fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dista/internal/analysis"
+	"dista/internal/analysis/loader"
+)
+
+var (
+	progMu sync.Mutex
+	progs  = map[string]*loader.Program{} // one shared load session per module root
+)
+
+// sharedProgram returns the cached Program for the module enclosing
+// the current directory, so the golden tests type-check the standard
+// library once instead of once per analyzer.
+func sharedProgram(t *testing.T) *loader.Program {
+	t.Helper()
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progs[root]; ok {
+		return p
+	}
+	p, err := loader.New(root, true)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	progs[root] = p
+	return p
+}
+
+// expectation is one parsed want comment entry.
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+// wantRE captures an optional analyzer name and the quoted substrings.
+var wantRE = regexp.MustCompile(`//\s*want\s+((?:\w+\s+)?)((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the package in dir, applies the analyzer (suppressions
+// included), and compares the surviving diagnostics against the want
+// comments in the package's files.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	prog := sharedProgram(t)
+	progMu.Lock()
+	pkg, err := prog.LoadDir(dir)
+	progMu.Unlock()
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		filename := prog.Fset.File(f.Pos()).Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				name := strings.TrimSpace(m[1])
+				if name == "" {
+					name = a.Name
+				}
+				line := prog.Fset.Position(c.Pos()).Line
+				for _, q := range wantStrRE.FindAllStringSubmatch(m[2], -1) {
+					wants = append(wants, &expectation{
+						file: filename, line: line, analyzer: name, substr: unquote(q[1]),
+					})
+				}
+			}
+		}
+	}
+
+	diags := analysis.Run(prog.Fset, []*loader.Package{pkg}, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		if matchWant(wants, d) {
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected %s diagnostic containing %q, got none",
+				w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+// matchWant consumes the first unmatched expectation covering d.
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+			w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unquote undoes the minimal escaping the want regexp allows.
+func unquote(s string) string {
+	out, err := strconv.Unquote(`"` + s + `"`)
+	if err != nil {
+		return s
+	}
+	return out
+}

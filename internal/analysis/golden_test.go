@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dista/internal/analysis"
+	"dista/internal/analysis/analysistest"
+	"dista/internal/analysis/loader"
+)
+
+// TestGolden runs every analyzer over its seeded violation package
+// under testdata/src: positives must be reported at their exact lines
+// (the want comments), clean code must stay silent, and //lint:ignore
+// suppressions must be honored.
+func TestGolden(t *testing.T) {
+	for _, a := range analysis.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			analysistest.Run(t, a, filepath.Join("testdata", "src", a.Name))
+		})
+	}
+}
+
+// TestSuppressions pins the //lint:ignore machinery directly: a
+// well-formed suppression (line-above and trailing form) silences its
+// finding, a reason-less one suppresses nothing and is itself
+// reported, and the un-suppressed violation under it still surfaces.
+func TestSuppressions(t *testing.T) {
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loader.New(root, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := prog.LoadDir(filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(prog.Fset, []*loader.Package{pkg}, []*analysis.Analyzer{analysis.ErrCmp})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want exactly 2 diagnostics (malformed comment + unsuppressed finding), got %d:\n%s",
+			len(diags), strings.Join(got, "\n"))
+	}
+	if diags[0].Analyzer != "suppression" || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("first diagnostic should flag the malformed suppression, got %s", got[0])
+	}
+	if diags[1].Analyzer != "errcmp" {
+		t.Errorf("the violation under the malformed suppression must still be reported, got %s", got[1])
+	}
+	if diags[0].Pos.Line+1 != diags[1].Pos.Line {
+		t.Errorf("expected the surviving errcmp finding directly under the malformed comment (lines %d, %d)",
+			diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+// TestByName covers the -run analyzer selection used by the driver.
+func TestByName(t *testing.T) {
+	as, err := analysis.ByName("errcmp, lockorder")
+	if err != nil || len(as) != 2 || as[0].Name != "errcmp" || as[1].Name != "lockorder" {
+		t.Fatalf("ByName = %v, %v", as, err)
+	}
+	if _, err := analysis.ByName("nosuch"); err == nil {
+		t.Fatal("ByName must reject unknown analyzers")
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hasPathSuffix reports whether pkg's import path equals suffix or
+// ends in "/"+suffix. Matching by suffix instead of the full "dista/…"
+// path keeps the analyzers working if the module is ever renamed.
+func hasPathSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// pathHasSuffix is hasPathSuffix for a bare import-path string.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// unparen strips any number of parentheses around e.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// namedOf unwraps pointers and aliases down to the named type of t.
+func namedOf(t types.Type) (*types.Named, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// calleeFunc resolves the called function or method of a call, or nil
+// for builtins, conversions and calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// taintedValueType reports whether named is one of the tracked value
+// types whose Data field is raw label-less storage: core/taint.Bytes
+// or jni.DirectBuffer.
+func taintedValueType(named *types.Named) (string, bool) {
+	obj := named.Obj()
+	switch {
+	case obj.Name() == "Bytes" && hasPathSuffix(obj.Pkg(), "internal/core/taint"):
+		return "taint.Bytes", true
+	case obj.Name() == "DirectBuffer" && hasPathSuffix(obj.Pkg(), "internal/jni"):
+		return "jni.DirectBuffer", true
+	}
+	return "", false
+}
+
+// taintedRawData reports whether e denotes the raw []byte backing a
+// tracked value: a (possibly re-sliced) selection of the Data field of
+// taint.Bytes or jni.DirectBuffer. The returned string names the
+// owning type for the diagnostic.
+func taintedRawData(pass *Pass, e ast.Expr) (string, bool) {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			sel := pass.Info.Selections[v]
+			if sel == nil || sel.Kind() != types.FieldVal || sel.Obj().Name() != "Data" {
+				return "", false
+			}
+			named, ok := namedOf(sel.Recv())
+			if !ok {
+				return "", false
+			}
+			return taintedValueType(named)
+		default:
+			return "", false
+		}
+	}
+}
+
+// corePackages are the layers allowed to touch raw tainted storage:
+// the label store itself and the instrumented native/JRE surface that
+// is responsible for moving labels alongside data.
+var corePackages = []string{
+	"internal/core/taint",
+	"internal/jni",
+	"internal/jre",
+	"internal/instrument",
+}
+
+// isCorePackage reports whether the pass's package is one of the
+// whitelisted raw-data layers.
+func isCorePackage(pass *Pass) bool {
+	for _, suffix := range corePackages {
+		// The "_test" variant of a core package is core too.
+		if pathHasSuffix(strings.TrimSuffix(pass.Path, "_test"), suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import "go/ast"
+
+// LockOrder enforces the documented mutex orders of the hot-path
+// structures, which so far lived only in comments:
+//
+//   - taint tree (core/taint/tree.go): at most one node mutex is held
+//     at a time, and the combine-cache RWMutex (Tree.cmu) is taken
+//     only while no node mutex is held;
+//   - taint map store (taintmap/store.go): shard locks come before
+//     growMu — growMu is the innermost lock, so acquiring a shard
+//     lock while holding growMu inverts the Reset/RegisterBlob order
+//     and can deadlock against them.
+//
+// Lock classes are recognized by (receiver type name, field name) —
+// node.mu, Tree.cmu, shard.mu, Store.growMu — so a refactor that
+// renames the fields must update this table (a cheap, visible cost;
+// silently losing the check would be the expensive one). The analysis
+// is intra-procedural and path-insensitive: statements are scanned in
+// order, branches with a copy of the held set, and a deferred Unlock
+// keeps its mutex held to the end of the function, which matches how
+// these functions are written.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "documented mutex orders: at most one taint-tree node mutex; Tree.cmu " +
+		"never under a node mutex; no shard lock while Store.growMu is held",
+	Run: runLockOrder,
+}
+
+// lockClass identifies one mutex family in the order table.
+type lockClass int
+
+const (
+	lockNone lockClass = iota
+	lockNodeMu
+	lockTreeCmu
+	lockShardMu
+	lockGrowMu
+)
+
+var lockClassName = map[lockClass]string{
+	lockNodeMu:  "node.mu",
+	lockTreeCmu: "Tree.cmu",
+	lockShardMu: "shard.mu",
+	lockGrowMu:  "Store.growMu",
+}
+
+// forbiddenNesting maps (held, acquiring) pairs to the invariant they
+// violate.
+var forbiddenNesting = map[[2]lockClass]string{
+	{lockNodeMu, lockNodeMu}:  "at most one node mutex may be held at a time (taint tree lock order)",
+	{lockNodeMu, lockTreeCmu}: "the combine-cache mutex is taken only while no node mutex is held",
+	{lockGrowMu, lockShardMu}: "shard locks come before growMu (Store lock order); growMu is innermost",
+}
+
+func runLockOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockOrder(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// checkLockOrder analyzes one function body, then every function
+// literal inside it with a fresh held set (literals run later, on
+// their own goroutine or call).
+func checkLockOrder(pass *Pass, body *ast.BlockStmt) {
+	walkLockStmts(pass, body.List, nil)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			walkLockStmts(pass, lit.Body.List, nil)
+			return false
+		}
+		return true
+	})
+}
+
+// walkLockStmts scans a statement list in order, threading the held
+// multiset through and returning it. Branch bodies are analyzed with a
+// copy: locks taken and released inside a branch do not leak out, and
+// the fall-through path keeps the entry state.
+func walkLockStmts(pass *Pass, stmts []ast.Stmt, held []lockClass) []lockClass {
+	for _, stmt := range stmts {
+		held = walkLockStmt(pass, stmt, held)
+	}
+	return held
+}
+
+func walkLockStmt(pass *Pass, stmt ast.Stmt, held []lockClass) []lockClass {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			held = applyLockCall(pass, call, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return; the mutex stays held
+		// for the rest of the body, which is what the entry in held
+		// already says. A deferred Lock would be bizarre; ignore both.
+	case *ast.BlockStmt:
+		held = walkLockStmts(pass, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = walkLockStmt(pass, s.Init, held)
+		}
+		walkLockStmts(pass, s.Body.List, cloneLocks(held))
+		if s.Else != nil {
+			walkLockStmt(pass, s.Else, cloneLocks(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = walkLockStmt(pass, s.Init, held)
+		}
+		held = walkLockLoop(pass, s.Body.List, held)
+	case *ast.RangeStmt:
+		held = walkLockLoop(pass, s.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockStmts(pass, cc.Body, cloneLocks(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkLockStmts(pass, cc.Body, cloneLocks(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkLockStmts(pass, cc.Body, cloneLocks(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		held = walkLockStmt(pass, s.Stmt, held)
+	}
+	return held
+}
+
+// walkLockLoop analyzes a loop body. A body that acquires without
+// releasing carries its locks into the next iteration (hand-over-hand
+// walks, the Reset lock-every-shard pattern), so when one symbolic
+// iteration changes the held set the body is analyzed once more with
+// the carried state; duplicate reports are collapsed in Run.
+func walkLockLoop(pass *Pass, body []ast.Stmt, held []lockClass) []lockClass {
+	after := walkLockStmts(pass, body, cloneLocks(held))
+	if !sameLocks(after, held) {
+		walkLockStmts(pass, body, cloneLocks(after))
+	}
+	return after
+}
+
+func sameLocks(a, b []lockClass) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLockCall updates held for one x.Lock()/x.Unlock() call and
+// reports forbidden nestings at the acquisition site.
+func applyLockCall(pass *Pass, call *ast.CallExpr, held []lockClass) []lockClass {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return held
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return held
+	}
+	class := lockClassOf(pass, sel.X)
+	if class == lockNone {
+		return held
+	}
+	if !acquire {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == class {
+				return append(held[:i:i], held[i+1:]...)
+			}
+		}
+		return held
+	}
+	for _, h := range held {
+		if why, bad := forbiddenNesting[[2]lockClass{h, class}]; bad {
+			pass.Reportf(call.Pos(), "%s acquired while %s is held: %s",
+				lockClassName[class], lockClassName[h], why)
+		}
+	}
+	return append(cloneLocks(held), class)
+}
+
+// lockClassOf classifies the mutex operand of a Lock/Unlock call: a
+// field selection recv.field whose (type, field) pair is in the table.
+func lockClassOf(pass *Pass, e ast.Expr) lockClass {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return lockNone
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return lockNone
+	}
+	named, ok := namedOf(t)
+	if !ok {
+		return lockNone
+	}
+	switch [2]string{named.Obj().Name(), sel.Sel.Name} {
+	case [2]string{"node", "mu"}:
+		return lockNodeMu
+	case [2]string{"Tree", "cmu"}:
+		return lockTreeCmu
+	case [2]string{"shard", "mu"}:
+		return lockShardMu
+	case [2]string{"Store", "growMu"}:
+		return lockGrowMu
+	}
+	return lockNone
+}
+
+func cloneLocks(held []lockClass) []lockClass {
+	return append([]lockClass(nil), held...)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package analysis_test
+
+// raceEnabled reports whether the test binary was built with the race
+// detector; the whole-module analysis test skips itself there.
+const raceEnabled = true

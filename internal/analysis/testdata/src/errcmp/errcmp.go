@@ -1,0 +1,68 @@
+// Package errcmp seeds deliberate sentinel-comparison violations for
+// the distavet errcmp analyzer golden test. The go tool never builds
+// this tree (it lives under testdata/); distavet's loader does.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Package sentinels following the tree's naming convention.
+var (
+	ErrClosed   = errors.New("closed")
+	errInternal = errors.New("internal")
+	ErrWrapped  = fmt.Errorf("outer: %w", ErrClosed)
+)
+
+// Errand is package-level and error-typed but not sentinel-named, so
+// comparisons against it are out of scope.
+var Errand error = errors.New("not a sentinel by naming convention")
+
+func bad(err error) int {
+	if err == ErrClosed { // want "sentinel error ErrClosed compared with =="
+		return 1
+	}
+	if ErrClosed != err { // want "compared with !="
+		return 2
+	}
+	if err == errInternal { // want "sentinel error errInternal"
+		return 3
+	}
+	if err == ErrWrapped { // want "sentinel error ErrWrapped"
+		return 4
+	}
+	switch err {
+	case ErrClosed: // want "switch case"
+		return 5
+	case nil:
+		return 6
+	}
+	return 0
+}
+
+func good(err error) bool {
+	if errors.Is(err, ErrClosed) {
+		return true
+	}
+	if err == io.EOF { // io sentinels are returned unwrapped by contract
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	if err == nil || nil != err {
+		return false
+	}
+	if err == Errand {
+		return true
+	}
+	var a, b error
+	return a == b // comparing two plain error values is fine
+}
+
+func suppressed(err error) bool {
+	//lint:ignore distavet/errcmp golden test exercises a justified identity check
+	return err == ErrClosed
+}

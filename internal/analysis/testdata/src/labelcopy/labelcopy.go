@@ -1,0 +1,44 @@
+// Package labelcopy seeds raw data moves without the paired label
+// operation for the distavet labelcopy golden test: copy/append on the
+// bare .Data of a tracked value leaves the shadow labels behind unless
+// the same function also moves them.
+package labelcopy
+
+import "dista/internal/core/taint"
+
+func badCopyOut(dst []byte, b taint.Bytes) {
+	copy(dst, b.Data) // want "copy moves the raw .Data of taint.Bytes"
+}
+
+func badCopyIn(b taint.Bytes, src []byte) {
+	copy(b.Data, src) // want "copy moves the raw .Data"
+}
+
+func badAppend(b taint.Bytes) []byte {
+	var acc []byte
+	acc = append(acc, b.Data...)     // want "append moves the raw .Data"
+	acc = append(acc, b.Data[2:]...) // want "append moves the raw .Data"
+	return acc
+}
+
+func goodPaired(b taint.Bytes) taint.Bytes {
+	dst := taint.MakeBytes(b.Len())
+	copy(dst.Data, b.Data) // paired with the label move below
+	b.CopyLabelsInto(&dst, 0)
+	return dst
+}
+
+func goodAPI(b taint.Bytes) taint.Bytes {
+	dst := taint.MakeBytes(b.Len())
+	b.CopyInto(&dst, 0) // data and labels travel together
+	return dst
+}
+
+func goodUntracked(dst, src []byte) {
+	copy(dst, src) // no tracked value involved
+}
+
+func suppressed(b taint.Bytes) []byte {
+	//lint:ignore distavet/labelcopy checksum input only; the copy never reaches a sink
+	return append([]byte(nil), b.Data...)
+}

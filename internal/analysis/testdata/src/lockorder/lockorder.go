@@ -1,0 +1,123 @@
+// Package lockorder seeds violations of the documented mutex orders
+// for the distavet lockorder golden test. The types mirror the shapes
+// the analyzer keys on — (type name, field name) pairs node.mu,
+// Tree.cmu, shard.mu, Store.growMu — without importing the real
+// packages, whose lock fields are unexported.
+package lockorder
+
+import "sync"
+
+type Tree struct {
+	cmu sync.RWMutex
+}
+
+type node struct {
+	mu       sync.Mutex
+	children map[string]*node
+	tree     *Tree
+}
+
+type shard struct {
+	mu     sync.Mutex
+	byBlob map[string]uint32
+}
+
+type Store struct {
+	shards [4]shard
+	growMu sync.Mutex
+}
+
+func badTwoNodes(a, b *node) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "at most one node mutex"
+	b.mu.Unlock()
+}
+
+func badCacheUnderNode(n *node) {
+	n.mu.Lock()
+	n.tree.cmu.RLock() // want "no node mutex is held"
+	n.tree.cmu.RUnlock()
+	n.mu.Unlock()
+}
+
+func badShardUnderGrow(s *Store) {
+	s.growMu.Lock()
+	s.shards[0].mu.Lock() // want "shard locks come before growMu"
+	s.shards[0].mu.Unlock()
+	s.growMu.Unlock()
+}
+
+// badLoopNodes models walking a chain hand-over-hand without
+// releasing: the second symbolic acquisition still trips the rule via
+// loop-carried held state.
+func badLoopNodes(ns []*node) {
+	for _, n := range ns {
+		n.mu.Lock() // want "at most one node mutex"
+	}
+}
+
+func goodHandOver(a, b *node) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func goodDocumentedOrder(s *Store) {
+	// RegisterBlob's order: shard lock first, growMu inside it.
+	s.shards[1].mu.Lock()
+	s.growMu.Lock()
+	s.growMu.Unlock()
+	s.shards[1].mu.Unlock()
+}
+
+func goodResetPattern(s *Store) {
+	// Reset's order: every shard, then growMu; shard self-nesting is
+	// allowed because the ranks are disjoint by construction.
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	s.growMu.Lock()
+	s.growMu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+func goodBranches(a *node, t *Tree, cond bool) {
+	if cond {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}
+	t.cmu.RLock() // the branch released its node mutex on every path
+	t.cmu.RUnlock()
+}
+
+func goodCacheThenNode(n *node, t *Tree) {
+	// Only the inverse nesting is forbidden; the combine path reads
+	// the cache first, then touches nodes.
+	t.cmu.RLock()
+	t.cmu.RUnlock()
+	n.mu.Lock()
+	n.mu.Unlock()
+}
+
+func goodClosure(a *node) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	f := func(b *node) {
+		// Runs later on its own stack; fresh held set.
+		b.mu.Lock()
+		b.mu.Unlock()
+	}
+	f(a)
+}
+
+func suppressed(a, b *node) {
+	a.mu.Lock()
+	//lint:ignore distavet/lockorder golden test: documented rank-ordered double lock
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

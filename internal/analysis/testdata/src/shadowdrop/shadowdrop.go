@@ -1,0 +1,40 @@
+// Package shadowdrop seeds label-dropping escapes of raw tainted
+// storage for the distavet shadowdrop golden test: the bare .Data of a
+// taint.Bytes (or jni.DirectBuffer) handed to a write-shaped I/O call
+// loses its shadow labels.
+package shadowdrop
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dista/internal/core/taint"
+	"dista/internal/jni"
+)
+
+func bad(w io.Writer, bw *bytes.Buffer, b taint.Bytes, db *jni.DirectBuffer) {
+	w.Write(b.Data)                        // want "raw .Data of taint.Bytes escapes into Writer.Write"
+	bw.Write(b.Data[1:3])                  // want "escapes into Buffer.Write"
+	os.WriteFile("/tmp/x", b.Data, 0o644)  // want "escapes into os.WriteFile"
+	fmt.Fprintf(w, "payload=%s\n", b.Data) // want "escapes into fmt.Fprintf"
+	w.Write(db.Data)                       // want "raw .Data of jni.DirectBuffer"
+	taint.WrapBytes(b.Data)                // want "untainted re-wrap"
+}
+
+func good(w io.Writer, b taint.Bytes) {
+	n := len(b.Data)   // reads never drop labels
+	_ = string(b.Data) // nor conversions
+	_ = b.Data[0]      // nor indexing
+	_ = binary.BigEndian.Uint32(b.Data)
+	_ = taint.WrapBytes([]byte("fresh")) // wrapping untracked storage is the intended use
+	plain := make([]byte, n)
+	w.Write(plain) // untracked slices may go anywhere
+}
+
+func suppressed(b taint.Bytes) error {
+	//lint:ignore distavet/shadowdrop this sink's file format has no label section
+	return os.WriteFile("/tmp/snapshot", b.Data, 0o644)
+}

@@ -1,0 +1,25 @@
+// Package suppress exercises the //lint:ignore machinery itself: a
+// well-formed suppression that must silence its finding, a malformed
+// one (no reason) that must not — and must be reported — and a
+// trailing same-line suppression. Asserted directly by
+// TestSuppressions rather than through want comments, since a line
+// comment cannot carry a second comment.
+package suppress
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func honored(err error) bool {
+	//lint:ignore distavet/errcmp identity check is the point of this helper
+	return err == ErrX
+}
+
+func sameLine(err error) bool {
+	return err == ErrX //lint:ignore distavet/errcmp trailing-form suppression
+}
+
+func malformed(err error) bool {
+	//lint:ignore distavet/errcmp
+	return err == ErrX
+}

@@ -1,6 +1,7 @@
 package jre
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -312,7 +313,7 @@ func TestObjectStreamBadMagic(t *testing.T) {
 	client, server, _ := socketPair(t, tracker.ModeOff)
 	go client.OutputStream().Write(taint.WrapBytes([]byte{0x00, 1, 2, 3}))
 	var dst testObject
-	if err := NewObjectInputStream(server.InputStream()).ReadObject(&dst); err != ErrBadObjectStream {
+	if err := NewObjectInputStream(server.InputStream()).ReadObject(&dst); !errors.Is(err, ErrBadObjectStream) {
 		t.Fatalf("err = %v", err)
 	}
 }

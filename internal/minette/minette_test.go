@@ -1,6 +1,7 @@
 package minette
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -248,7 +249,7 @@ func TestWriteAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch.Close()
-	if err := ch.Write(taint.WrapBytes([]byte("x"))); err != ErrChannelClosed {
+	if err := ch.Write(taint.WrapBytes([]byte("x"))); !errors.Is(err, ErrChannelClosed) {
 		t.Fatalf("err = %v, want ErrChannelClosed", err)
 	}
 }

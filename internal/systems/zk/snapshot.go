@@ -35,6 +35,7 @@ func (s *Server) SaveSnapshot(path string) error {
 			break
 		}
 		if err = w.WriteString32(taint.String{Value: p}); err == nil {
+			//lint:ignore distavet/shadowdrop snapshots persist data only; provenance is re-minted by the snapshot-read source on load
 			err = w.WriteBytes32(taint.WrapBytes(s.nodes[p].Data))
 		}
 	}
@@ -42,6 +43,7 @@ func (s *Server) SaveSnapshot(path string) error {
 	if err != nil {
 		return fmt.Errorf("zk: serialize snapshot: %w", err)
 	}
+	//lint:ignore distavet/shadowdrop the snapshot file format has no label section; taints are a runtime property
 	return os.WriteFile(path, out.Bytes().Data, 0o644)
 }
 

@@ -57,7 +57,9 @@ func TestStoreBlobCopied(t *testing.T) {
 
 func TestStoreReset(t *testing.T) {
 	s := NewStore()
-	s.RegisterBlob([]byte("x"))
+	if id := s.RegisterBlob([]byte("x")); id != 1 {
+		t.Fatalf("first id = %d, want 1", id)
+	}
 	s.Reset()
 	if st := s.Stats(); st.GlobalTaints != 0 || st.Registrations != 0 {
 		t.Fatalf("after reset stats = %+v", st)

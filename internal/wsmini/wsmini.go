@@ -143,24 +143,25 @@ func (s *Server) acceptLoop() {
 
 // upgrade reads the client hello, answers 101, and invokes the handler.
 func (s *Server) upgrade(sock *jre.Socket) {
-	// Read until the header terminator.
-	var acc []byte
+	// Read until the header terminator, accumulating as taint.Bytes so
+	// any labels on the handshake bytes survive with the data.
+	var acc taint.Bytes
 	chunk := taint.MakeBytes(512)
-	for !strings.Contains(string(acc), "\r\n\r\n") {
+	for !strings.Contains(string(acc.Data), "\r\n\r\n") {
 		n, err := sock.InputStream().Read(&chunk)
 		if n > 0 {
-			acc = append(acc, chunk.Data[:n]...)
+			acc = acc.Append(chunk.Slice(0, n))
 		}
 		if err != nil {
 			sock.Close()
 			return
 		}
-		if len(acc) > 8192 {
+		if acc.Len() > 8192 {
 			sock.Close()
 			return
 		}
 	}
-	head := string(acc)
+	head := string(acc.Data)
 	if !strings.Contains(head, "Upgrade: websocket") {
 		sock.Close()
 		return
