@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection shared by `bench` and the A/B harness.
 BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
 
-.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-taintmap bench-resilience fuzz fuzz-smoke
+.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-taintmap bench-resilience bench-cleanpath fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -31,16 +31,18 @@ lint:
 
 # Chaos suite under the race detector: kill/restart the Taint Map server
 # mid-workload, random stream resets — every taint must survive with a
-# correct, stable resolution. Part of `check`; callable alone when
+# correct, stable resolution. The instrument scenario additionally pins
+# the clean-path bypass: an outage must never downgrade a tainted buffer
+# onto the passthrough frame. Part of `check`; callable alone when
 # iterating on the resilience layer.
 chaos:
-	$(GO) test -race -run 'TestChaos' -count=1 ./internal/taintmap
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/taintmap ./internal/instrument
 
 # Tier-1 gate: everything CI runs.
-check: vet lint build test race chaos fuzz-smoke
+check: vet lint build test race chaos fuzz-smoke bench-cleanpath
 
 # Alias for CI pipelines: the full gate, spelled out in build order.
-ci: build vet lint test race fuzz-smoke chaos
+ci: build vet lint test race fuzz-smoke chaos bench-cleanpath
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
 # -count=3 repetitions; seed baselines are embedded in cmd/benchjson.
@@ -64,6 +66,15 @@ bench-taintmap:
 bench-resilience:
 	$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/(Mux8|Resilient8)$$' -benchmem -benchtime=1s -count=5 . | tee bench_resilience.txt
 	$(GO) run ./cmd/benchjson -in bench_resilience.txt -out BENCH_3.json
+
+# Clean-path bypass benchmarks, refreshed into BENCH_5.json. The
+# headline criteria are in-run ratios (passthrough >= 5x the
+# always-encode path, clean write <= 1.5x the raw netsim copy floor,
+# 0 allocs/op on the clean write) plus the tainted exchange held to the
+# seed baseline; -benchmem is required for the pool-leak check.
+bench-cleanpath:
+	$(GO) test -run=NONE -bench='BenchmarkCleanPath|BenchmarkHotPath/MixedStreamExchange' -benchmem -benchtime=0.5s -count=3 . | tee bench_cleanpath.txt
+	$(GO) run ./cmd/benchjson -in bench_cleanpath.txt -out BENCH_5.json
 
 # Short fuzz pass over the wire round-trip property (CI smoke; the
 # seeded corpus also runs as part of plain `go test`).

@@ -276,6 +276,23 @@ func main() {
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
+	// allocsAtMost bounds a benchmark's allocs/op — the pool-leak check
+	// for the zero-allocation clean path. Requires the run to have been
+	// collected with -benchmem.
+	allocsAtMost := func(label, bench string, max int64) {
+		r := find(bench)
+		if r == nil {
+			return
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: bench,
+			Require:   fmt.Sprintf("<= %d allocs/op", max),
+			Measured:  float64(r.AllocsPerOp),
+			Pass:      r.AllocsPerOp <= max,
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
 	speedupAtLeast("uniform TaintAll", "HotPath/TaintAllUniform", 5)
 	speedupAtLeast("uniform Union", "HotPath/UnionUniform", 5)
 	speedupAtLeast("single-taint 64KiB encode path", "HotPath/EncodePathUniform", 5)
@@ -287,6 +304,17 @@ func main() {
 	slowdownAtMost("untagged single-client latency", "TaintMapConcurrent/UntaggedSingle", 1.3)
 	ratioAtMost("resilience wrapper overhead (fault-free, in-run)",
 		"TaintMapConcurrent/Resilient8", "TaintMapConcurrent/Mux8", 1.10)
+	// BENCH_5 criteria: the clean-path bypass. The bypass ratio and the
+	// copy-floor overhead are same-run comparisons; the tainted path is
+	// held to the seed within measurement noise (the frame adds 5 bytes
+	// per write to a 20 KiB group stream).
+	ratioAtLeast("clean-path bypass vs always-encode (in-run)",
+		"CleanPath/AlwaysEncodeExchange", "CleanPath/PassthroughExchange", 5)
+	ratioAtMost("clean write overhead vs plain netsim copy (in-run)",
+		"CleanPath/PassthroughWrite", "CleanPath/NetsimCopy", 1.5)
+	allocsAtMost("clean write allocation-free (pool-leak check)",
+		"CleanPath/PassthroughWrite", 0)
+	slowdownAtMost("tainted exchange unchanged by the bypass", "HotPath/MixedStreamExchange", 1.05)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

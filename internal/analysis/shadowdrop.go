@@ -21,8 +21,12 @@ import (
 //
 // The core layers that are responsible for moving labels next to data
 // (internal/core/taint, internal/jni, internal/jre,
-// internal/instrument) are whitelisted wholesale; anywhere else a
-// deliberate drop needs a //lint:ignore with its justification.
+// internal/instrument) are whitelisted wholesale, and so are the
+// passthrough helpers those layers export (methods named *Passthrough*
+// on core types): a passthrough send declares the bytes untainted on
+// the wire after the caller proved them Clean(), so handing it the raw
+// slice drops nothing. Anywhere else a deliberate drop needs a
+// //lint:ignore with its justification.
 var ShadowDrop = &Analyzer{
 	Name: "shadowdrop",
 	Doc: "raw .Data of a tracked value must not escape into I/O/network calls " +
@@ -69,7 +73,7 @@ func escapeCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
 	}
 	name := fn.Name()
 	if sig.Recv() != nil {
-		if !writeVerb(name) {
+		if !writeVerb(name) || passthroughHelper(fn) {
 			return "", false
 		}
 		recv := sig.Recv().Type()
@@ -96,6 +100,26 @@ func escapeCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
 		return "taint.WrapBytes (an untainted re-wrap)", true
 	}
 	return "", false
+}
+
+// passthroughHelper reports whether fn is one of the clean-path
+// passthrough helpers exported by the core label-moving layers. Those
+// methods (e.g. instrument.Endpoint.WritePassthrough) emit a wire
+// frame that *declares* its payload untainted, so feeding them a raw
+// .Data slice is the sanctioned fast path rather than a label drop.
+// The exemption is deliberately narrow: the name must contain
+// "Passthrough" and the method must be defined in a core package — a
+// lookalike helper elsewhere is still flagged.
+func passthroughHelper(fn *types.Func) bool {
+	if !strings.Contains(fn.Name(), "Passthrough") {
+		return false
+	}
+	for _, suffix := range corePackages {
+		if hasPathSuffix(fn.Pkg(), suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 // writeVerb reports whether a function name is write-shaped I/O.

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"dista/internal/core/taint"
+	"dista/internal/instrument"
 	"dista/internal/jni"
 )
 
@@ -37,4 +38,24 @@ func good(w io.Writer, b taint.Bytes) {
 func suppressed(b taint.Bytes) error {
 	//lint:ignore distavet/shadowdrop this sink's file format has no label section
 	return os.WriteFile("/tmp/snapshot", b.Data, 0o644)
+}
+
+// passthrough helpers from the core layers are the sanctioned clean
+// path: they declare the payload untainted on the wire, so raw .Data
+// handed to them is by design, not a drop.
+func cleanPath(ep *instrument.Endpoint, b taint.Bytes) error {
+	if !b.Clean() {
+		return nil
+	}
+	return ep.WritePassthrough(b.Data) // allowlisted: core passthrough helper
+}
+
+// lookalike is NOT in a core package, so its Passthrough name earns no
+// exemption.
+type lookalike struct{}
+
+func (lookalike) WritePassthrough(b []byte) error { return nil }
+
+func impostor(l lookalike, b taint.Bytes) error {
+	return l.WritePassthrough(b.Data) // want "raw .Data of taint.Bytes escapes into lookalike.WritePassthrough"
 }

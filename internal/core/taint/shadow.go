@@ -1,5 +1,7 @@
 package taint
 
+import "sync/atomic"
+
 // Run-based shadow labels.
 //
 // The dense one-Taint-per-byte shadow array charged every tracked byte a
@@ -42,11 +44,67 @@ const (
 type shadow struct {
 	runs  []labelRun // run mode: sorted by end, covering [0, cov)
 	dense []Taint    // dense mode when non-nil; runs is unused then
+
+	// mut counts label mutations; it keys the cleanliness memo below.
+	// Mutators hold exclusive access to the store by the Bytes
+	// concurrency contract, so a plain counter suffices.
+	mut uint64
+	// clean memoizes "every label in the store is empty", packed as
+	// (mut+1)<<1 | dirtyBit so the zero value is never a valid entry.
+	// It is an atomic because concurrent *readers* are allowed and the
+	// memo is (re)written on the read path.
+	clean atomic.Uint64
 }
 
 // newShadow returns a run-mode store covering n untainted bytes.
 func newShadow(n int) *shadow {
 	return &shadow{runs: []labelRun{{end: n}}}
+}
+
+// isClean reports whether every label in the store is empty, memoized
+// per mutation epoch: after the first scan it is an O(1) load until the
+// next label write. This is the whole-store half of the clean-path
+// gate; Bytes.Clean adds the ranged fallback for views of dirty stores.
+func (s *shadow) isClean() bool {
+	m := s.mut
+	if c := s.clean.Load(); c>>1 == m+1 {
+		return c&1 == 0
+	}
+	v := true
+	if s.dense != nil {
+		for _, t := range s.dense {
+			if t != (Taint{}) {
+				v = false
+				break
+			}
+		}
+	} else {
+		for _, r := range s.runs {
+			if r.t != (Taint{}) {
+				v = false
+				break
+			}
+		}
+	}
+	word := (m + 1) << 1
+	if !v {
+		word |= 1
+	}
+	s.clean.Store(word)
+	return v
+}
+
+// reset clears every label in O(1), reusing the run array, and leaves
+// coverage at exactly n. The pooling primitive behind Bytes.ResetLabels.
+func (s *shadow) reset(n int) {
+	s.dense = nil
+	if cap(s.runs) > 0 {
+		s.runs = append(s.runs[:0], labelRun{end: n})
+	} else {
+		s.runs = []labelRun{{end: n}}
+	}
+	s.mut++
+	s.clean.Store((s.mut + 1) << 1) // known clean at the new epoch
 }
 
 // norm maps every empty taint to the canonical zero Taint so run labels
@@ -183,6 +241,7 @@ func (s *shadow) setRange(from, to int, t Taint) {
 	t = norm(t)
 	s.grow(to)
 	if s.dense != nil {
+		s.mut++
 		for i := from; i < to; i++ {
 			s.dense[i] = t
 		}
@@ -193,6 +252,7 @@ func (s *shadow) setRange(from, to int, t Taint) {
 	if i == j && s.runs[i].t == t { // already uniform with t
 		return
 	}
+	s.mut++
 	var seg [3]labelRun
 	k := 0
 	if start := s.runStart(i); start < from {
@@ -231,6 +291,7 @@ func (s *shadow) combineRange(from, to int, t Taint) {
 	}
 	s.grow(to)
 	if s.dense != nil {
+		s.mut++
 		for i := from; i < to; i++ {
 			s.dense[i] = Combine(s.dense[i], t)
 		}
@@ -244,6 +305,7 @@ func (s *shadow) combineRange(from, to int, t Taint) {
 		}
 		return
 	}
+	s.mut++
 	var stack [8]labelRun
 	segs := stack[:0]
 	push := func(end int, t Taint) {

@@ -81,9 +81,47 @@ func (b *Bytes) ensureShadow() {
 func (b *Bytes) SetLabel(i int, t Taint) {
 	if sh := b.sh; sh != nil && sh.dense != nil && uint(i) < uint(len(b.Data)) {
 		sh.dense[b.off+i] = norm(t)
+		sh.mut++
 		return
 	}
 	b.SetRange(i, i+1, t)
+}
+
+// Clean reports whether every byte of b is untainted — the gate of the
+// clean-path bypass. A shadow-free Bytes is clean by construction; a
+// shadowed one answers from a whole-store memo keyed on the store's
+// mutation epoch (O(1) after the first scan, invalidated by SetLabel/
+// SetRange/TaintRange/Append and recomputed lazily from the run list),
+// falling back to a ranged uniformity check for views of dirty stores.
+//
+// Clean may refresh the internal memo, but does so with an atomic
+// store: calling it from concurrent readers is safe under the same
+// contract that already allows concurrent LabelAt.
+func (b Bytes) Clean() bool {
+	sh := b.sh
+	if sh == nil || len(b.Data) == 0 {
+		return true
+	}
+	if sh.isClean() {
+		return true
+	}
+	t, ok := sh.uniform(b.off, b.off+len(b.Data))
+	return ok && t == Taint{}
+}
+
+// ResetLabels clears every label, keeping the shadow store (and its run
+// array) for reuse — the reset half of buffer pooling. O(1) when b owns
+// its store's whole extent; a ranged clear otherwise.
+func (b *Bytes) ResetLabels() {
+	sh := b.sh
+	if sh == nil {
+		return
+	}
+	if b.off == 0 && sh.cov() <= len(b.Data) {
+		sh.reset(len(b.Data))
+		return
+	}
+	sh.setRange(b.off, b.off+len(b.Data), Taint{})
 }
 
 // SetRange overwrites the labels of bytes [from, to) with t. Setting
@@ -124,7 +162,7 @@ func (b Bytes) ForEachRun(yield func(from, to int, t Taint)) {
 	if len(b.Data) == 0 {
 		return
 	}
-	if b.sh == nil {
+	if b.sh == nil || b.sh.isClean() {
 		yield(0, len(b.Data), Taint{})
 		return
 	}
@@ -134,7 +172,7 @@ func (b Bytes) ForEachRun(yield func(from, to int, t Taint)) {
 // Uniform reports whether every byte carries the same label, returning
 // that label when so. An empty or shadow-free Bytes is uniform.
 func (b Bytes) Uniform() (Taint, bool) {
-	if b.sh == nil {
+	if b.sh == nil || b.sh.isClean() {
 		return Taint{}, true
 	}
 	return b.sh.uniform(b.off, b.off+len(b.Data))
@@ -146,7 +184,7 @@ func (b Bytes) RunCount() int {
 	if len(b.Data) == 0 {
 		return 0
 	}
-	if b.sh == nil {
+	if b.sh == nil || b.sh.isClean() {
 		return 1
 	}
 	return b.sh.runCount(b.off, b.off+len(b.Data))
@@ -232,7 +270,11 @@ func (b Bytes) copyLabels(dst *Bytes, off, n int) {
 	if n <= 0 {
 		return
 	}
-	if b.sh == nil {
+	if b.sh == nil || b.sh.isClean() {
+		// Clean source: the whole transfer is one untainted run. A
+		// shadow-free destination stays lazy; a shadowed one gets a
+		// single ranged clear. (Safe for aliased stores too: the clear
+		// equals what copying the snapshot would have written.)
 		if dst.sh != nil {
 			dst.sh.setRange(dst.off+off, dst.off+off+n, Taint{})
 		}
@@ -257,7 +299,7 @@ func (b Bytes) copyLabels(dst *Bytes, off, n int) {
 // Union returns the combination of all byte labels — the taint of the
 // value as a whole. One Combine per run, not per byte.
 func (b Bytes) Union() Taint {
-	if b.sh == nil {
+	if b.sh == nil || b.sh.isClean() {
 		return Taint{}
 	}
 	return b.sh.union(b.off, b.off+len(b.Data))

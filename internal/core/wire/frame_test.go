@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// feedFragmented feeds raw to d in chunks of at most frag bytes,
+// failing the test on a Feed error.
+func feedFragmented(t *testing.T, d *FrameDecoder, raw []byte, frag int) {
+	t.Helper()
+	for off := 0; off < len(raw); {
+		n := frag
+		if off+n > len(raw) {
+			n = len(raw) - off
+		}
+		if err := d.Feed(raw[off : off+n]); err != nil {
+			t.Fatalf("Feed at offset %d: %v", off, err)
+		}
+		off += n
+	}
+}
+
+// drainIDs pops everything buffered as per-byte ids.
+func drainIDs(d *FrameDecoder) ([]byte, []uint32) {
+	var data []byte
+	var gotIDs []uint32
+	for d.Buffered() > 0 {
+		b, is := d.Next(d.Buffered())
+		data = append(data, b...)
+		gotIDs = append(gotIDs, is...)
+	}
+	return data, gotIDs
+}
+
+// TestFrameLens pins the framed-size helpers against the append forms.
+func TestFrameLens(t *testing.T) {
+	data := []byte("some clean payload")
+	if got := len(AppendPassthroughFrame(nil, data)); got != PassthroughFrameLen(len(data)) {
+		t.Fatalf("passthrough frame = %d bytes, PassthroughFrameLen says %d", got, PassthroughFrameLen(len(data)))
+	}
+	if got := len(AppendGroupsFrame(nil, data, nil)); got != GroupsFrameLen(len(data)) {
+		t.Fatalf("groups frame = %d bytes, GroupsFrameLen says %d", got, GroupsFrameLen(len(data)))
+	}
+}
+
+// TestFrameMixedRoundTrip interleaves passthrough and groups frames on
+// one stream at every fragmentation size and checks the decoded bytes
+// and ids, with passthrough bodies surfacing as id-0 runs.
+func TestFrameMixedRoundTrip(t *testing.T) {
+	var raw []byte
+	raw = AppendStreamMagic(raw)
+	raw = AppendPassthroughFrame(raw, []byte("clean-one"))
+	raw = AppendGroupsFrame(raw, []byte("taint"), []Run{{N: 5, ID: 7}})
+	raw = AppendPassthroughFrame(raw, nil) // empty frame is legal
+	raw = AppendPassthroughFrame(raw, []byte("clean-two"))
+	raw = AppendGroupsFrame(raw, []byte("mix"), []Run{{N: 1, ID: 0}, {N: 2, ID: 9}})
+
+	wantData := []byte("clean-one" + "taint" + "clean-two" + "mix")
+	wantIDs := append(append(append(
+		make([]uint32, 9), // clean-one
+		7, 7, 7, 7, 7),    // taint
+		make([]uint32, 9)...), // clean-two
+		0, 9, 9) // mix
+
+	for frag := 1; frag <= len(raw); frag++ {
+		var d FrameDecoder
+		feedFragmented(t, &d, raw, frag)
+		if d.PendingPartial() {
+			t.Fatalf("frag %d: whole stream left a partial", frag)
+		}
+		data, gotIDs := drainIDs(&d)
+		if !bytes.Equal(data, wantData) {
+			t.Fatalf("frag %d: data = %q, want %q", frag, data, wantData)
+		}
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("frag %d: %d ids, want %d", frag, len(gotIDs), len(wantIDs))
+		}
+		for i := range wantIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("frag %d: id %d = %d, want %d", frag, i, gotIDs[i], wantIDs[i])
+			}
+		}
+	}
+}
+
+// TestFrameNextRunsInto checks the allocation-free pop path, and that a
+// passthrough body pops as a single untainted run.
+func TestFrameNextRunsInto(t *testing.T) {
+	var raw []byte
+	raw = AppendStreamMagic(raw)
+	raw = AppendPassthroughFrame(raw, []byte("hello"))
+	var d FrameDecoder
+	if err := d.Feed(raw); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 16)
+	n, runs := d.NextRunsInto(dst)
+	if n != 5 || string(dst[:5]) != "hello" {
+		t.Fatalf("popped %d %q", n, dst[:n])
+	}
+	if len(runs) != 1 || runs[0].ID != 0 || runs[0].N != 5 {
+		t.Fatalf("runs = %+v, want one untainted run of 5", runs)
+	}
+	if !RunsAllUntainted(runs) {
+		t.Fatal("passthrough pop must be RunsAllUntainted")
+	}
+}
+
+// TestFrameLegacyFallback feeds pre-framing raw group streams,
+// including ones sharing a prefix with the magic, and checks the
+// sniffed prefix is replayed losslessly.
+func TestFrameLegacyFallback(t *testing.T) {
+	cases := [][]byte{
+		[]byte("plain old data"),
+		[]byte("DX-shares-one-magic-byte"),
+		[]byte("DTF-shares-three-magic-bytes"),
+		[]byte("D"), // stays ambiguous until more bytes arrive
+	}
+	for _, payload := range cases {
+		ids := make([]uint32, len(payload))
+		for i := range ids {
+			ids[i] = uint32(i % 3)
+		}
+		raw := EncodeGroups(nil, payload, ids)
+		for frag := 1; frag <= len(raw); frag++ {
+			var d FrameDecoder
+			feedFragmented(t, &d, raw, frag)
+			data, gotIDs := drainIDs(&d)
+			if !bytes.Equal(data, payload) {
+				t.Fatalf("payload %q frag %d: data = %q", payload, frag, data)
+			}
+			for i := range ids {
+				if gotIDs[i] != ids[i] {
+					t.Fatalf("payload %q frag %d: id %d = %d, want %d", payload, frag, i, gotIDs[i], ids[i])
+				}
+			}
+			if d.PendingPartial() {
+				t.Fatalf("payload %q frag %d: whole-group legacy input left a partial", payload, frag)
+			}
+		}
+	}
+}
+
+// TestFrameStickyErrors checks the three corruption classes are
+// rejected and that the error sticks across further Feeds.
+func TestFrameStickyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want string
+	}{
+		{"unknown tag", AppendFrameHeader(AppendStreamMagic(nil), 'Z', 10), "unknown frame tag"},
+		{"oversized length", AppendFrameHeader(AppendStreamMagic(nil), FramePassthrough, MaxFrameLen+1), "exceeds limit"},
+		{"ragged groups length", AppendFrameHeader(AppendStreamMagic(nil), FrameGroups, GroupLen+1), "whole number of groups"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d FrameDecoder
+			err := d.Feed(tc.raw)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Feed = %v, want %q", err, tc.want)
+			}
+			if again := d.Feed([]byte("more")); !errors.Is(again, err) {
+				t.Fatalf("error not sticky: %v then %v", err, again)
+			}
+		})
+	}
+}
+
+// TestFramePendingPartial walks every truncation point of a two-frame
+// stream: any cut that is not a frame boundary must report a partial.
+func TestFramePendingPartial(t *testing.T) {
+	var raw []byte
+	raw = AppendStreamMagic(raw)
+	raw = AppendPassthroughFrame(raw, []byte("abc"))
+	raw = AppendGroupsFrame(raw, []byte("xy"), []Run{{N: 2, ID: 4}})
+
+	boundaries := map[int]bool{
+		0:                                       true, // nothing arrived: a clean (empty) close
+		StreamMagicLen:                          true, // magic only, zero frames: clean close
+		len(raw):                                true, // complete stream
+		StreamMagicLen + PassthroughFrameLen(3): true, // between frames
+		StreamMagicLen + PassthroughFrameLen(3) + GroupsFrameLen(2): true,
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		var d FrameDecoder
+		if err := d.Feed(raw[:cut]); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got, want := d.PendingPartial(), !boundaries[cut]; got != want {
+			t.Fatalf("cut %d: PendingPartial = %v, want %v", cut, got, want)
+		}
+	}
+}
+
+// TestPacketPassthroughRoundTrip checks the clean datagram flavour
+// decodes identically through all four packet decoders.
+func TestPacketPassthroughRoundTrip(t *testing.T) {
+	payload := []byte("clean datagram")
+	raw := EncodePacketPassthrough(payload)
+	if len(raw) != PacketOverhead+len(payload) {
+		t.Fatalf("passthrough packet = %d bytes, want header + payload = %d",
+			len(raw), PacketOverhead+len(payload))
+	}
+
+	data, ids, err := DecodePacket(raw)
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("DecodePacket = %q, %v", data, err)
+	}
+	for i, id := range ids {
+		if id != 0 {
+			t.Fatalf("id %d = %d, want untainted", i, id)
+		}
+	}
+	data2, runs, err := DecodePacketRuns(raw)
+	if err != nil || !bytes.Equal(data2, payload) {
+		t.Fatalf("DecodePacketRuns = %q, %v", data2, err)
+	}
+	if !RunsAllUntainted(runs) || RunsLen(runs) != len(payload) {
+		t.Fatalf("runs = %+v", runs)
+	}
+
+	// Truncation: every received byte of a passthrough body is usable.
+	for cut := 0; cut <= len(raw); cut++ {
+		p, pruns, perr := DecodePacketPrefixRuns(raw[:cut])
+		if cut < PacketOverhead {
+			if perr == nil {
+				t.Fatalf("cut %d: want short-packet error", cut)
+			}
+			continue
+		}
+		if perr != nil {
+			t.Fatalf("cut %d: %v", cut, perr)
+		}
+		if want := payload[:cut-PacketOverhead]; !bytes.Equal(p, want) {
+			t.Fatalf("cut %d: prefix = %q, want %q", cut, p, want)
+		}
+		if !RunsAllUntainted(pruns) || RunsLen(pruns) != len(p) {
+			t.Fatalf("cut %d: runs = %+v", cut, pruns)
+		}
+	}
+}
+
+// TestRunsAllUntainted pins the clean gate.
+func TestRunsAllUntainted(t *testing.T) {
+	if !RunsAllUntainted(nil) || !RunsAllUntainted([]Run{{N: 3, ID: 0}}) {
+		t.Fatal("untainted runs misclassified")
+	}
+	if RunsAllUntainted([]Run{{N: 3, ID: 0}, {N: 1, ID: 2}}) {
+		t.Fatal("tainted run slipped the gate")
+	}
+}
+
+// TestFrameDecoderAgainstStream cross-checks: a stream of only groups
+// frames must decode exactly as the legacy decoder does on the bare
+// group bytes.
+func TestFrameDecoderAgainstStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	payload := make([]byte, 301)
+	ids := make([]uint32, len(payload))
+	for i := range payload {
+		payload[i] = byte(rng.Intn(256))
+		ids[i] = uint32(rng.Intn(4))
+	}
+	groups := EncodeGroups(nil, payload, ids)
+
+	framed := AppendStreamMagic(nil)
+	framed = AppendFrameHeader(framed, FrameGroups, len(groups))
+	framed = append(framed, groups...)
+
+	var fd FrameDecoder
+	if err := fd.Feed(framed); err != nil {
+		t.Fatal(err)
+	}
+	var sd StreamDecoder
+	sd.Feed(groups)
+	for fd.Buffered() > 0 {
+		n := rng.Intn(37) + 1
+		fb, fids := fd.Next(n)
+		sb, sids := sd.Next(n)
+		if !bytes.Equal(fb, sb) {
+			t.Fatalf("data diverged: %x vs %x", fb, sb)
+		}
+		for i := range fids {
+			if fids[i] != sids[i] {
+				t.Fatalf("ids diverged at %d: %d vs %d", i, fids[i], sids[i])
+			}
+		}
+	}
+	if sd.Buffered() != 0 {
+		t.Fatal("legacy decoder has leftovers")
+	}
+}

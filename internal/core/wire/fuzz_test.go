@@ -153,3 +153,116 @@ func uniformIDs(n int, id uint32) []uint32 {
 	}
 	return ids
 }
+
+// FuzzFrameRoundTrip drives the framed codec: the input alternates
+// passthrough and groups frames, fed under fuzz-chosen fragmentation,
+// and the decoded bytes/ids must match. Seeds cover both frame tags,
+// the empty frame, and the legacy-fallback prefix collisions.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("clean then tainted"), int64(1), uint8(3), uint8(2))
+	f.Add([]byte{}, int64(2), uint8(0), uint8(1))
+	f.Add([]byte("DTF1PPPP"), int64(3), uint8(1), uint8(4)) // payload mimicking the magic+tag
+	f.Add(bytes.Repeat([]byte{'G'}, 64), int64(4), uint8(7), uint8(3))
+	f.Add([]byte{'P', 0, 0, 0, 0}, int64(5), uint8(2), uint8(2)) // bare passthrough header bytes as payload
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, frag, nframes uint8) {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Split data into 1..nframes+1 frames, alternating clean and
+		// tainted by the rng; record the expected per-byte ids.
+		var raw []byte
+		raw = AppendStreamMagic(raw)
+		wantIDs := make([]uint32, 0, len(data))
+		rest := data
+		for i := 0; i < int(nframes)+1; i++ {
+			n := 0
+			if len(rest) > 0 {
+				n = rng.Intn(len(rest) + 1)
+			}
+			if i == int(nframes) {
+				n = len(rest) // last frame takes the remainder
+			}
+			chunk := rest[:n]
+			rest = rest[n:]
+			if rng.Intn(2) == 0 {
+				raw = AppendPassthroughFrame(raw, chunk)
+				for range chunk {
+					wantIDs = append(wantIDs, 0)
+				}
+			} else {
+				id := uint32(rng.Intn(3))
+				raw = AppendGroupsFrame(raw, chunk, []Run{{N: len(chunk), ID: id}})
+				for range chunk {
+					wantIDs = append(wantIDs, id)
+				}
+			}
+		}
+
+		var dec FrameDecoder
+		for off := 0; off < len(raw); {
+			n := rng.Intn(int(frag)+2) + 1
+			if off+n > len(raw) {
+				n = len(raw) - off
+			}
+			if err := dec.Feed(raw[off : off+n]); err != nil {
+				t.Fatalf("Feed: %v", err)
+			}
+			off += n
+		}
+		if dec.PendingPartial() {
+			t.Fatal("complete frames left a partial")
+		}
+		if dec.Buffered() != len(data) {
+			t.Fatalf("buffered %d of %d", dec.Buffered(), len(data))
+		}
+		var gotData []byte
+		var gotIDs []uint32
+		for dec.Buffered() > 0 {
+			d, is := dec.Next(rng.Intn(64) + 1)
+			gotData = append(gotData, d...)
+			gotIDs = append(gotIDs, is...)
+		}
+		if !bytes.Equal(gotData, data) {
+			t.Fatalf("data mismatch:\n got %x\nwant %x", gotData, data)
+		}
+		for i := range wantIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("id %d = %d, want %d", i, gotIDs[i], wantIDs[i])
+			}
+		}
+	})
+}
+
+// FuzzFrameDecoderRobust feeds arbitrary bytes to the frame decoder
+// under arbitrary fragmentation: it must never panic, and once Feed
+// errors the error must stick.
+func FuzzFrameDecoderRobust(f *testing.F) {
+	f.Add([]byte("DTF1P\x00\x00\x00\x03abc"), uint8(1))
+	f.Add([]byte("DTF1G\x00\x00\x00\x05hello"), uint8(3))
+	f.Add([]byte("DTF1Z\x00\x00\x00\x01x"), uint8(2)) // bad tag
+	f.Add([]byte("DTF1P\xff\xff\xff\xff"), uint8(4))  // oversize length
+	f.Add([]byte("not framed at all"), uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, frag uint8) {
+		var dec FrameDecoder
+		var ferr error
+		for off := 0; off < len(raw); {
+			n := int(frag)%7 + 1
+			if off+n > len(raw) {
+				n = len(raw) - off
+			}
+			err := dec.Feed(raw[off : off+n])
+			if ferr != nil && err == nil {
+				t.Fatal("Feed error did not stick")
+			}
+			if err != nil {
+				ferr = err
+			}
+			off += n
+		}
+		for dec.Buffered() > 0 {
+			d, ids := dec.Next(13)
+			if len(d) != len(ids) {
+				t.Fatalf("pop returned %d bytes but %d ids", len(d), len(ids))
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed byte-buffer pool: the scratch arena behind the
+// zero-allocation encode paths. Buffers are pooled by power-of-two
+// capacity between 1<<minPoolShift and 1<<maxPoolShift; requests
+// outside that range fall back to plain allocation and are dropped on
+// Put. Pointers-to-slices keep Get/Put themselves allocation-free.
+
+const (
+	minPoolShift = 6  // 64 B
+	maxPoolShift = 20 // 1 MiB
+)
+
+var bufPools [maxPoolShift - minPoolShift + 1]sync.Pool
+
+// GetBuf returns a zero-length buffer with capacity >= n, pooled when n
+// fits a size class. Return it with PutBuf when done; the caller owns
+// it exclusively until then.
+func GetBuf(n int) *[]byte {
+	if n > 1<<maxPoolShift {
+		b := make([]byte, 0, n)
+		return &b
+	}
+	shift := minPoolShift
+	if n > 1<<minPoolShift {
+		shift = bits.Len(uint(n - 1))
+	}
+	if p, _ := bufPools[shift-minPoolShift].Get().(*[]byte); p != nil {
+		return p
+	}
+	b := make([]byte, 0, 1<<shift)
+	return &b
+}
+
+// PutBuf returns a buffer to its size class. Buffers whose capacity is
+// not an exact class size (grown by an append, or oversize) are dropped
+// so classes stay homogeneous.
+func PutBuf(b *[]byte) {
+	c := cap(*b)
+	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
+		return
+	}
+	*b = (*b)[:0]
+	bufPools[bits.TrailingZeros(uint(c))-minPoolShift].Put(b)
+}

@@ -94,6 +94,12 @@ func growBytes(dst []byte, n int) []byte {
 // bytes that stay beyond the returned length).
 const encodeSlack = 8 - GroupLen
 
+// EncodeSlack is the extra capacity a caller-provided destination must
+// reserve beyond the encoded length for EncodeRuns/EncodeGroups to
+// append without reallocating (see encodeSlack). Callers sizing pooled
+// buffers add this once.
+const EncodeSlack = encodeSlack
+
 // A block is eight consecutive groups sharing one Global ID — 40 wire
 // bytes, or exactly five 64-bit words. Long runs encode and decode one
 // block per iteration: the id bytes of all eight groups are folded into
@@ -108,11 +114,11 @@ const (
 // laneM* mask the data-byte lanes of each word of a block: group g's
 // data byte sits at block offset 5g, i.e. word g*5/8, bit 8*(5g%8).
 const (
-	laneM0 uint64 = 0xff | 0xff<<40         // groups 0, 1
-	laneM1 uint64 = 0xff<<16 | 0xff<<56     // groups 2, 3
-	laneM2 uint64 = 0xff << 32              // group 4
-	laneM3 uint64 = 0xff<<8 | 0xff<<48      // groups 5, 6
-	laneM4 uint64 = 0xff << 24              // group 7
+	laneM0 uint64 = 0xff | 0xff<<40     // groups 0, 1
+	laneM1 uint64 = 0xff<<16 | 0xff<<56 // groups 2, 3
+	laneM2 uint64 = 0xff << 32          // group 4
+	laneM3 uint64 = 0xff<<8 | 0xff<<48  // groups 5, 6
+	laneM4 uint64 = 0xff << 24          // group 7
 )
 
 // blockLanes returns the five little-endian words of a block whose
@@ -286,6 +292,22 @@ func (d *StreamDecoder) Feed(raw []byte) {
 	}
 }
 
+// pushRaw appends already-decoded untainted bytes (Global ID 0) without
+// consuming wire groups — the passthrough-frame delivery path. Must not
+// be called while a partial group is buffered: the framing layer
+// guarantees group bodies end on group boundaries.
+func (d *StreamDecoder) pushRaw(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	d.data = append(d.data, b...)
+	if n := len(d.runs); n > 0 && d.runs[n-1].ID == 0 {
+		d.runs[n-1].N += len(b)
+	} else {
+		d.runs = append(d.runs, Run{N: len(b), ID: 0})
+	}
+}
+
 // push appends one decoded byte, extending the trailing run if it
 // carries the same id.
 func (d *StreamDecoder) push(b byte, id uint32) {
@@ -388,12 +410,31 @@ func (d *StreamDecoder) NextRuns(max int) (data []byte, runs []Run) {
 	}
 	data = make([]byte, n)
 	copy(data, d.data[:n])
+	return data, d.popRuns(n)
+}
+
+// NextRunsInto pops up to len(dst) decoded bytes directly into dst,
+// returning the count and the taint runs — NextRuns without the data
+// allocation, for callers that already own the destination buffer.
+func (d *StreamDecoder) NextRunsInto(dst []byte) (int, []Run) {
+	n := len(d.data)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	copy(dst, d.data[:n])
+	return n, d.popRuns(n)
+}
+
+// popRuns consumes n buffered bytes and returns their taint runs, with
+// the same aliasing contract as NextRuns.
+func (d *StreamDecoder) popRuns(n int) []Run {
 	d.data = d.data[n:]
 	k, rem := 0, n
 	for rem > 0 && d.runs[k].N <= rem {
 		rem -= d.runs[k].N
 		k++
 	}
+	var runs []Run
 	if rem == 0 {
 		runs = d.runs[:k:k]
 		d.runs = d.runs[k:]
@@ -407,7 +448,7 @@ func (d *StreamDecoder) NextRuns(max int) (data []byte, runs []Run) {
 	if len(d.data) == 0 {
 		d.data, d.runs = nil, nil
 	}
-	return data, runs
+	return runs
 }
 
 // Next pops up to max decoded bytes with their per-byte ids.
@@ -428,8 +469,15 @@ func (d *StreamDecoder) Next(max int) (data []byte, ids []uint32) {
 // followed by the group encoding. The header lets the receiver verify
 // integrity; the sender builds a *new* packet rather than mutating the
 // caller's, preserving the original's semantics (§III-C Type 2).
+//
+// Clean-path variant: a packet whose payload is untainted travels under
+// the magic "DP" with the raw bytes as the body — PacketOverhead bytes
+// of cost instead of 5x. Receivers accept both magics.
 
-var packetMagic = [2]byte{'D', 'T'}
+var (
+	packetMagic            = [2]byte{'D', 'T'}
+	passthroughPacketMagic = [2]byte{'D', 'P'}
+)
 
 // PacketOverhead is the extra size of an encoded packet beyond
 // WireLen(n).
@@ -445,26 +493,56 @@ func EncodePacketRuns(data []byte, runs []Run) []byte {
 	return EncodeRuns(packetHeader(len(data)), data, runs)
 }
 
+// EncodePacketPassthrough wraps one untainted datagram payload: the
+// passthrough header plus the raw bytes, no group encoding.
+func EncodePacketPassthrough(data []byte) []byte {
+	out := make([]byte, 0, PacketOverhead+len(data))
+	out = append(out, passthroughPacketMagic[0], passthroughPacketMagic[1])
+	out = binary.BigEndian.AppendUint32(out, uint32(len(data)))
+	return append(out, data...)
+}
+
 func packetHeader(n int) []byte {
 	out := make([]byte, 0, PacketOverhead+WireLen(n))
 	out = append(out, packetMagic[0], packetMagic[1])
 	return binary.BigEndian.AppendUint32(out, uint32(n))
 }
 
-// packetBody validates the header and returns the whole-group body.
-func packetBody(raw []byte) ([]byte, error) {
+// packetParts validates either packet header and returns the body and
+// whether it is a passthrough (raw-byte) packet. On ErrTruncatedPacket
+// with an intact header the untrimmed body is returned so prefix
+// decoding can salvage it.
+func packetParts(raw []byte) (body []byte, passthrough bool, err error) {
 	if len(raw) < PacketOverhead {
-		return nil, ErrTruncatedPacket
+		return nil, false, ErrTruncatedPacket
 	}
-	if raw[0] != packetMagic[0] || raw[1] != packetMagic[1] {
-		return nil, errors.New("wire: bad taint packet magic")
+	switch {
+	case raw[0] == packetMagic[0] && raw[1] == packetMagic[1]:
+	case raw[0] == passthroughPacketMagic[0] && raw[1] == passthroughPacketMagic[1]:
+		passthrough = true
+	default:
+		return nil, false, errors.New("wire: bad taint packet magic")
 	}
 	n := int(binary.BigEndian.Uint32(raw[2:6]))
-	body := raw[PacketOverhead:]
-	if len(body) < WireLen(n) {
-		return nil, fmt.Errorf("%w: %d groups declared, %d wire bytes", ErrTruncatedPacket, n, len(body))
+	body = raw[PacketOverhead:]
+	want := n
+	if !passthrough {
+		want = WireLen(n)
 	}
-	return body[:WireLen(n)], nil
+	if len(body) < want {
+		return body, passthrough, fmt.Errorf("%w: %d payload bytes declared, %d body bytes", ErrTruncatedPacket, n, len(body))
+	}
+	return body[:want], passthrough, nil
+}
+
+// passthroughData copies a passthrough body out as payload bytes with
+// one untainted run (nil for an empty body).
+func passthroughData(body []byte) (data []byte, runs []Run) {
+	data = append([]byte(nil), body...)
+	if len(body) > 0 {
+		runs = []Run{{N: len(body), ID: 0}}
+	}
+	return data, runs
 }
 
 // DecodePacketPrefix decodes as much of a possibly truncated encoded
@@ -472,38 +550,53 @@ func packetBody(raw []byte) ([]byte, error) {
 // when the receiver's (enlarged) buffer is still smaller than the
 // packet. Only the header must be intact.
 func DecodePacketPrefix(raw []byte) (data []byte, ids []uint32, err error) {
-	body, err := truncatedBody(raw)
+	body, pass, err := truncatedBody(raw)
 	if err != nil {
 		return nil, nil, err
+	}
+	if pass {
+		data, _ = passthroughData(body)
+		return data, make([]uint32, len(data)), nil
 	}
 	return DecodeGroups(body)
 }
 
 // DecodePacketPrefixRuns is DecodePacketPrefix in run form.
 func DecodePacketPrefixRuns(raw []byte) (data []byte, runs []Run, err error) {
-	body, err := truncatedBody(raw)
+	body, pass, err := truncatedBody(raw)
 	if err != nil {
 		return nil, nil, err
+	}
+	if pass {
+		data, runs = passthroughData(body)
+		return data, runs, nil
 	}
 	return DecodeGroupsRuns(body)
 }
 
-// truncatedBody returns the usable whole-group body of a possibly
-// truncated packet.
-func truncatedBody(raw []byte) ([]byte, error) {
-	body, err := packetBody(raw)
+// truncatedBody returns the usable body of a possibly truncated packet:
+// whole groups for the group flavour, every received byte for the
+// passthrough flavour.
+func truncatedBody(raw []byte) ([]byte, bool, error) {
+	body, pass, err := packetParts(raw)
 	if err == nil || !errors.Is(err, ErrTruncatedPacket) || len(raw) < PacketOverhead {
-		return body, err
+		return body, pass, err
 	}
-	trimmed := raw[PacketOverhead:]
-	return trimmed[:len(trimmed)/GroupLen*GroupLen], nil
+	if pass {
+		return body, true, nil
+	}
+	return body[:len(body)/GroupLen*GroupLen], false, nil
 }
 
 // DecodePacket splits an encoded datagram into payload and per-byte ids.
 func DecodePacket(raw []byte) (data []byte, ids []uint32, err error) {
-	body, err := packetBody(raw)
+	body, pass, err := packetParts(raw)
 	if err != nil {
 		return nil, nil, err
+	}
+	if pass {
+		data, _ = passthroughData(body)
+		return data, make([]uint32, len(data)), nil
 	}
 	return DecodeGroups(body)
 }
@@ -511,9 +604,13 @@ func DecodePacket(raw []byte) (data []byte, ids []uint32, err error) {
 // DecodePacketRuns splits an encoded datagram into payload and taint
 // runs.
 func DecodePacketRuns(raw []byte) (data []byte, runs []Run, err error) {
-	body, err := packetBody(raw)
+	body, pass, err := packetParts(raw)
 	if err != nil {
 		return nil, nil, err
+	}
+	if pass {
+		data, runs = passthroughData(body)
+		return data, runs, nil
 	}
 	return DecodeGroupsRuns(body)
 }

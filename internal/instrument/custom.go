@@ -31,10 +31,12 @@ type CustomEndpoint struct {
 	agent *tracker.Agent
 	rt    RawTransport
 
-	wmu sync.Mutex
+	wmu        sync.Mutex
+	wroteMagic bool
 
 	rmu     sync.Mutex
-	dec     wire.StreamDecoder
+	dec     wire.FrameDecoder
+	rbuf    []byte
 	readErr error
 }
 
@@ -45,7 +47,10 @@ func WrapCustom(agent *tracker.Agent, rt RawTransport) *CustomEndpoint {
 	return &CustomEndpoint{agent: agent, rt: rt}
 }
 
-// Write sends b with its taints through the custom native.
+// Write sends b with its taints through the custom native. Like the
+// socket endpoint, a clean buffer travels as a passthrough frame; a
+// custom transport may be message-oriented, so the frame is assembled
+// contiguously (in a pooled buffer) rather than as two sends.
 func (e *CustomEndpoint) Write(b taint.Bytes) error {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
@@ -53,13 +58,42 @@ func (e *CustomEndpoint) Write(b taint.Bytes) error {
 		e.agent.AddTraffic(len(b.Data), len(b.Data))
 		return e.rt.SendRaw(b.Data)
 	}
-	runs, err := registerRuns(e.agent, b)
-	if err != nil {
-		return err
+	if len(b.Data) == 0 {
+		return e.rt.SendRaw(nil)
 	}
-	raw := wire.EncodeRuns(nil, b.Data, runs)
-	e.agent.AddTraffic(len(b.Data), len(raw))
-	return e.rt.SendRaw(raw)
+	pre := 0
+	if !e.wroteMagic {
+		pre = wire.StreamMagicLen
+	}
+	var out []byte
+	var buf *[]byte
+	if b.Clean() {
+		buf = wire.GetBuf(pre + wire.PassthroughFrameLen(len(b.Data)))
+		out = *buf
+		if pre > 0 {
+			out = wire.AppendStreamMagic(out)
+		}
+		out = wire.AppendPassthroughFrame(out, b.Data)
+	} else {
+		runs, err := registerRuns(e.agent, b)
+		if err != nil {
+			return err
+		}
+		buf = wire.GetBuf(pre + wire.GroupsFrameLen(len(b.Data)) + wire.EncodeSlack)
+		out = *buf
+		if pre > 0 {
+			out = wire.AppendStreamMagic(out)
+		}
+		out = wire.AppendGroupsFrame(out, b.Data, runs)
+	}
+	e.agent.AddTraffic(len(b.Data), len(out))
+	err := e.rt.SendRaw(out)
+	*buf = out
+	wire.PutBuf(buf)
+	if err == nil {
+		e.wroteMagic = true
+	}
+	return err
 }
 
 // Read fills buf with data and taints from the custom native.
@@ -75,14 +109,19 @@ func (e *CustomEndpoint) Read(buf *taint.Bytes) (int, error) {
 	if err := e.fill(len(buf.Data)); err != nil {
 		return 0, err
 	}
-	data, runs := e.dec.NextRuns(len(buf.Data))
+	n, runs := e.dec.NextRunsInto(buf.Data)
+	if wire.RunsAllUntainted(runs) {
+		if buf.HasShadow() {
+			buf.SetRange(0, n, taint.Taint{})
+		}
+		return n, nil
+	}
 	labels, err := resolveRuns(e.agent, runs)
 	if err != nil {
 		return 0, err
 	}
-	copy(buf.Data, data)
 	adoptRuns(buf, runs, labels)
-	return len(data), nil
+	return n, nil
 }
 
 func (e *CustomEndpoint) fill(want int) error {
@@ -92,11 +131,17 @@ func (e *CustomEndpoint) fill(want int) error {
 	if e.readErr != nil {
 		return e.readErr
 	}
-	raw := make([]byte, wire.WireLen(want))
+	if need := wire.WireLen(want) + wire.StreamMagicLen + wire.FrameHeaderLen; cap(e.rbuf) < need {
+		e.rbuf = make([]byte, need)
+	}
+	raw := e.rbuf[:cap(e.rbuf)]
 	for e.dec.Buffered() == 0 {
 		n, err := e.rt.RecvRaw(raw)
 		if n > 0 {
-			e.dec.Feed(raw[:n])
+			if ferr := e.dec.Feed(raw[:n]); ferr != nil {
+				e.readErr = ferr
+				return ferr
+			}
 		}
 		if err != nil {
 			if err == io.EOF && e.dec.PendingPartial() {

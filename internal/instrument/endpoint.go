@@ -27,19 +27,33 @@ var ErrNoTaintMap = errors.New("instrument: dista mode requires a Taint Map clie
 // stream decoder state that reassembles 5-byte groups across
 // arbitrarily fragmented reads.
 type Endpoint struct {
-	agent *tracker.Agent
-	conn  *netsim.Conn
+	agent  *tracker.Agent
+	conn   *netsim.Conn
+	legacy bool // write the pre-framing raw group stream
 
-	wmu sync.Mutex // serializes writes so groups never interleave
+	wmu        sync.Mutex // serializes writes so frames never interleave
+	wroteMagic bool       // stream magic already emitted on this conn
+	wscratch   []byte     // persistent frame-header/magic assembly scratch
 
-	rmu     sync.Mutex // protects dec and readErr
-	dec     wire.StreamDecoder
+	rmu     sync.Mutex // protects dec, rbuf and readErr
+	dec     wire.FrameDecoder
+	rbuf    []byte // persistent raw-read scratch
 	readErr error
 }
 
 // NewEndpoint wraps conn for the given agent.
 func NewEndpoint(agent *tracker.Agent, conn *netsim.Conn) *Endpoint {
 	return &Endpoint{agent: agent, conn: conn}
+}
+
+// NewLegacyEndpoint wraps conn like NewEndpoint but writes the
+// pre-framing raw group stream for peers that predate the framed codec.
+// Reads auto-detect either format, so a legacy endpoint can receive
+// from a framed peer. The clean-path bypass is off: every write pays
+// the full group encoding (benchmarks use this as the always-encode
+// baseline).
+func NewLegacyEndpoint(agent *tracker.Agent, conn *netsim.Conn) *Endpoint {
+	return &Endpoint{agent: agent, conn: conn, legacy: true}
 }
 
 // Conn exposes the wrapped connection (for close/addr operations).
@@ -53,7 +67,10 @@ func (e *Endpoint) Agent() *tracker.Agent { return e.agent }
 // taint, one Run per label run — never per-byte work. A shadow-free b
 // returns nil (all untainted).
 func registerRuns(agent *tracker.Agent, b taint.Bytes) ([]wire.Run, error) {
-	if !b.HasShadow() {
+	if !b.HasShadow() || b.Clean() {
+		// The epoch-memoized clean check keeps shadowed-but-untainted
+		// buffers off the Taint Map entirely: nil runs mean "all
+		// untainted" to every encoder.
 		return nil, nil
 	}
 	tm := agent.TaintMap()
@@ -154,13 +171,105 @@ func (e *Endpoint) Write(b taint.Bytes) error {
 		e.agent.AddTraffic(len(b.Data), len(b.Data))
 		return jni.SocketWrite0(e.conn, b.Data)
 	}
+	if e.legacy {
+		runs, err := registerRuns(e.agent, b)
+		if err != nil {
+			return err
+		}
+		raw := wire.EncodeRuns(nil, b.Data, runs)
+		e.agent.AddTraffic(len(b.Data), len(raw))
+		return jni.SocketWrite0(e.conn, raw)
+	}
+	if len(b.Data) == 0 {
+		// Nothing to frame; still touch the native so conn-level
+		// semantics (faults, delays) match the uninstrumented call.
+		return jni.SocketWrite0(e.conn, nil)
+	}
+	if b.Clean() {
+		return e.writePassthroughLocked(b.Data)
+	}
 	runs, err := registerRuns(e.agent, b)
 	if err != nil {
 		return err
 	}
-	raw := wire.EncodeRuns(nil, b.Data, runs)
-	e.agent.AddTraffic(len(b.Data), len(raw))
-	return jni.SocketWrite0(e.conn, raw)
+	return e.writeGroupsLocked(b.Data, runs, jni.SocketWrite0)
+}
+
+// writePassthroughLocked emits one passthrough frame for data — the
+// clean-path send: no label encoding, no copy of the payload, zero
+// allocations once the header scratch has warmed up. Caller holds wmu
+// and has verified the bytes are untainted.
+func (e *Endpoint) writePassthroughLocked(data []byte) error {
+	hdr := e.frameHeaderLocked(wire.FramePassthrough, len(data))
+	e.agent.AddTraffic(len(data), len(hdr)+len(data))
+	if err := jni.SocketWrite0(e.conn, hdr); err != nil {
+		return err
+	}
+	return jni.SocketWrite0(e.conn, data)
+}
+
+// writeGroupsLocked emits one groups frame for data with its wire runs,
+// assembling it in a pooled buffer. write is the underlying native
+// (SocketWrite0 for Type 1, the dispatcher adapter for Type 3).
+func (e *Endpoint) writeGroupsLocked(data []byte, runs []wire.Run, write func(*netsim.Conn, []byte) error) error {
+	pre := 0
+	if !e.wroteMagic {
+		pre = wire.StreamMagicLen
+	}
+	buf := wire.GetBuf(pre + wire.GroupsFrameLen(len(data)) + wire.EncodeSlack)
+	out := *buf
+	if !e.wroteMagic {
+		out = wire.AppendStreamMagic(out)
+	}
+	out = wire.AppendGroupsFrame(out, data, runs)
+	e.agent.AddTraffic(len(data), len(out))
+	err := write(e.conn, out)
+	*buf = out
+	wire.PutBuf(buf)
+	if err != nil {
+		return err
+	}
+	e.wroteMagic = true
+	return nil
+}
+
+// frameHeaderLocked assembles the stream magic (first framed write on
+// this conn only) plus one frame header in the endpoint's persistent
+// write scratch, marking the magic as sent.
+func (e *Endpoint) frameHeaderLocked(tag byte, n int) []byte {
+	hdr := e.wscratch[:0]
+	if !e.wroteMagic {
+		hdr = wire.AppendStreamMagic(hdr)
+		e.wroteMagic = true
+	}
+	hdr = wire.AppendFrameHeader(hdr, tag, n)
+	e.wscratch = hdr[:0]
+	return hdr
+}
+
+// WritePassthrough sends bytes that are untainted by construction —
+// protocol framing, handshakes, padding a wrapper itself built. In
+// dista mode it emits a passthrough frame (a legacy endpoint encodes
+// untainted groups instead); other modes write the bytes unchanged.
+// This is the sanctioned way to put a raw []byte on a tracked
+// connection: the shadowdrop analyzer allowlists passthrough helpers
+// by name because the bytes never had labels to drop.
+func (e *Endpoint) WritePassthrough(data []byte) error {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.agent.Mode() != tracker.ModeDista {
+		e.agent.AddTraffic(len(data), len(data))
+		return jni.SocketWrite0(e.conn, data)
+	}
+	if e.legacy {
+		raw := wire.EncodeRuns(nil, data, nil)
+		e.agent.AddTraffic(len(data), len(raw))
+		return jni.SocketWrite0(e.conn, raw)
+	}
+	if len(data) == 0 {
+		return jni.SocketWrite0(e.conn, nil)
+	}
+	return e.writePassthroughLocked(data)
 }
 
 // Read fills buf through the instrumented socketRead0 wrapper and
@@ -185,19 +294,29 @@ func (e *Endpoint) Read(buf *taint.Bytes) (int, error) {
 	if err := e.fillDecoder(len(buf.Data)); err != nil {
 		return 0, err
 	}
-	data, runs := e.dec.NextRuns(len(buf.Data))
+	n, runs := e.dec.NextRunsInto(buf.Data)
+	if wire.RunsAllUntainted(runs) {
+		// Clean delivery (passthrough frame or untainted groups): no
+		// Taint Map round-trip, and a shadow-free buf stays lazy —
+		// only stale labels need clearing.
+		if buf.HasShadow() {
+			buf.SetRange(0, n, taint.Taint{})
+		}
+		return n, nil
+	}
 	labels, err := resolveRuns(e.agent, runs)
 	if err != nil {
 		return 0, err
 	}
-	copy(buf.Data, data)
 	adoptRuns(buf, runs, labels)
-	return len(data), nil
+	return n, nil
 }
 
-// fillDecoder reads raw wire bytes until at least one whole group is
+// fillDecoder reads raw wire bytes until at least one decoded byte is
 // buffered (or an error occurs). The receive buffer is enlarged by the
-// group factor, mirroring the paper's receiver-side buffer enlargement.
+// group factor plus framing overhead, mirroring the paper's
+// receiver-side buffer enlargement, and persists across calls so the
+// steady-state read path does not allocate it anew.
 func (e *Endpoint) fillDecoder(want int) error {
 	if e.dec.Buffered() > 0 {
 		return nil
@@ -205,11 +324,17 @@ func (e *Endpoint) fillDecoder(want int) error {
 	if e.readErr != nil {
 		return e.readErr
 	}
-	raw := make([]byte, wire.WireLen(want))
+	if need := wire.WireLen(want) + wire.StreamMagicLen + wire.FrameHeaderLen; cap(e.rbuf) < need {
+		e.rbuf = make([]byte, need)
+	}
+	raw := e.rbuf[:cap(e.rbuf)]
 	for e.dec.Buffered() == 0 {
 		n, err := jni.SocketRead0(e.conn, raw)
 		if n > 0 {
-			e.dec.Feed(raw[:n])
+			if ferr := e.dec.Feed(raw[:n]); ferr != nil {
+				e.readErr = ferr
+				return ferr
+			}
 		}
 		if err != nil {
 			if err == io.EOF && e.dec.PendingPartial() {
@@ -229,7 +354,9 @@ func (e *Endpoint) fillDecoder(want int) error {
 // send path (IOUtil.writeFromNativeBuffer -> dispatcher write0, Fig. 8).
 // It returns the number of data bytes consumed.
 func (e *Endpoint) WriteBuffer(src *jni.DirectBuffer, from, to int) (int, error) {
-	src.CheckRange(from, to)
+	if err := src.CheckRange(from, to); err != nil {
+		return 0, err
+	}
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	n := to - from
@@ -238,23 +365,63 @@ func (e *Endpoint) WriteBuffer(src *jni.DirectBuffer, from, to int) (int, error)
 		written, err := jni.DispatcherWrite0(e.conn, src.Data[from:to])
 		return written, err
 	}
+	if e.legacy {
+		runs, err := registerRuns(e.agent, src.View(from, to))
+		if err != nil {
+			return 0, err
+		}
+		raw := wire.EncodeRuns(nil, src.Data[from:to], runs)
+		e.agent.AddTraffic(n, len(raw))
+		if _, err := jni.DispatcherWrite0(e.conn, raw); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	if n == 0 {
+		_, err := jni.DispatcherWrite0(e.conn, nil)
+		return 0, err
+	}
+	if src.Clean(from, to) {
+		if err := e.writeBufferPassthroughLocked(src, from, to); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
 	runs, err := registerRuns(e.agent, src.View(from, to))
 	if err != nil {
 		return 0, err
 	}
-	raw := wire.EncodeRuns(nil, src.Data[from:to], runs)
-	e.agent.AddTraffic(n, len(raw))
-	if _, err := jni.DispatcherWrite0(e.conn, raw); err != nil {
+	if err := e.writeGroupsLocked(src.Data[from:to], runs, dispatcherWriteAll); err != nil {
 		return 0, err
 	}
 	return n, nil
+}
+
+// writeBufferPassthroughLocked is writePassthroughLocked over the
+// dispatcher native — the Type 3 clean-path send.
+func (e *Endpoint) writeBufferPassthroughLocked(src *jni.DirectBuffer, from, to int) error {
+	hdr := e.frameHeaderLocked(wire.FramePassthrough, to-from)
+	e.agent.AddTraffic(to-from, len(hdr)+to-from)
+	if err := dispatcherWriteAll(e.conn, hdr); err != nil {
+		return err
+	}
+	return dispatcherWriteAll(e.conn, src.Data[from:to])
+}
+
+// dispatcherWriteAll adapts DispatcherWrite0 to the all-or-error shape
+// writeGroupsLocked expects.
+func dispatcherWriteAll(c *netsim.Conn, b []byte) error {
+	_, err := jni.DispatcherWrite0(c, b)
+	return err
 }
 
 // ReadBuffer fills the [from,to) range of a direct buffer — the Type 3
 // receive path (dispatcher read0 -> IOUtil.readIntoNativeBuffer). It
 // returns the number of data bytes read, or io.EOF.
 func (e *Endpoint) ReadBuffer(dst *jni.DirectBuffer, from, to int) (int, error) {
-	dst.CheckRange(from, to)
+	if err := dst.CheckRange(from, to); err != nil {
+		return 0, err
+	}
 	if to == from {
 		return 0, nil
 	}
@@ -268,13 +435,17 @@ func (e *Endpoint) ReadBuffer(dst *jni.DirectBuffer, from, to int) (int, error) 
 	if err := e.fillDecoder(to - from); err != nil {
 		return 0, err
 	}
-	data, runs := e.dec.NextRuns(to - from)
+	n, runs := e.dec.NextRunsInto(dst.Data[from:to])
+	if wire.RunsAllUntainted(runs) {
+		// Clean delivery: clear any stale labels, skip the Taint Map.
+		dst.B.SetRange(from, from+n, taint.Taint{})
+		return n, nil
+	}
 	labels, err := resolveRuns(e.agent, runs)
 	if err != nil {
 		return 0, err
 	}
-	copy(dst.Data[from:], data)
-	sub := dst.View(from, from+len(data))
+	sub := dst.View(from, from+n)
 	adoptRuns(&sub, runs, labels)
-	return len(data), nil
+	return n, nil
 }

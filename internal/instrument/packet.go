@@ -21,6 +21,13 @@ func PacketSend(agent *tracker.Agent, sock *netsim.UDPSocket, data taint.Bytes, 
 		agent.AddTraffic(len(data.Data), len(data.Data))
 		return jni.DatagramSend(sock, data.Data, dst)
 	}
+	if data.Clean() {
+		// Clean-path datagram: the passthrough flavour costs the
+		// packet header instead of 5x the payload.
+		raw := wire.EncodePacketPassthrough(data.Data)
+		agent.AddTraffic(len(data.Data), len(raw))
+		return jni.DatagramSend(sock, raw, dst)
+	}
 	runs, err := registerRuns(agent, data)
 	if err != nil {
 		return err
@@ -72,6 +79,14 @@ func decodeInto(agent *tracker.Agent, raw []byte, buf *taint.Bytes, from string)
 	}
 	stored := copy(buf.Data, data)
 	runs = trimRuns(runs, stored)
+	if wire.RunsAllUntainted(runs) {
+		// Clean delivery: clear stale labels without a Taint Map
+		// round-trip; a shadow-free buf stays lazy.
+		if buf.HasShadow() {
+			buf.SetRange(0, stored, taint.Taint{})
+		}
+		return stored, from, nil
+	}
 	labels, err := resolveRuns(agent, runs)
 	if err != nil {
 		return 0, "", err

@@ -13,6 +13,11 @@ import (
 
 // WritevBuffers performs a gathering write of the [0,lens[i]) prefix of
 // each direct buffer, returning the total data bytes consumed.
+//
+// On the framed path adjacent clean sources coalesce into a single
+// passthrough frame whose payload entries are the raw buffer slices —
+// one 5-byte header for the whole stretch and zero copies — while
+// tainted sources each travel as their own groups frame.
 func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, error) {
 	if len(srcs) != len(lens) {
 		panic("instrument: srcs/lens length mismatch")
@@ -24,7 +29,9 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 		raw := make([][]byte, len(srcs))
 		total := 0
 		for i, src := range srcs {
-			src.CheckRange(0, lens[i])
+			if err := src.CheckRange(0, lens[i]); err != nil {
+				return 0, err
+			}
 			raw[i] = src.Data[:lens[i]]
 			total += lens[i]
 		}
@@ -32,20 +39,98 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 		return jni.DispatcherWritev0(e.conn, raw)
 	}
 
-	encoded := make([][]byte, len(srcs))
-	total := 0
+	if e.legacy {
+		encoded := make([][]byte, len(srcs))
+		total := 0
+		for i, src := range srcs {
+			if err := src.CheckRange(0, lens[i]); err != nil {
+				return 0, err
+			}
+			runs, err := registerRuns(e.agent, src.View(0, lens[i]))
+			if err != nil {
+				return 0, err
+			}
+			encoded[i] = wire.EncodeRuns(nil, src.Data[:lens[i]], runs)
+			total += lens[i]
+			e.agent.AddTraffic(lens[i], len(encoded[i]))
+		}
+		if _, err := jni.DispatcherWritev0(e.conn, encoded); err != nil {
+			return 0, err
+		}
+		return int64(total), nil
+	}
+
+	// Pass 1: classify sources, register tainted runs, and size the
+	// shared scratch exactly so pass 2 can alias into it without any
+	// append ever reallocating (which would invalidate earlier vector
+	// entries).
+	clean := make([]bool, len(srcs))
+	runsOf := make([][]wire.Run, len(srcs))
+	scratchLen := 0
+	if !e.wroteMagic {
+		scratchLen += wire.StreamMagicLen
+	}
+	total, wireBytes := 0, 0
 	for i, src := range srcs {
-		src.CheckRange(0, lens[i])
+		if err := src.CheckRange(0, lens[i]); err != nil {
+			return 0, err
+		}
+		total += lens[i]
+		if src.Clean(0, lens[i]) {
+			clean[i] = true
+			if i == 0 || !clean[i-1] {
+				scratchLen += wire.FrameHeaderLen
+			}
+			continue
+		}
 		runs, err := registerRuns(e.agent, src.View(0, lens[i]))
 		if err != nil {
 			return 0, err
 		}
-		encoded[i] = wire.EncodeRuns(nil, src.Data[:lens[i]], runs)
-		total += lens[i]
-		e.agent.AddTraffic(lens[i], len(encoded[i]))
+		runsOf[i] = runs
+		scratchLen += wire.GroupsFrameLen(lens[i])
 	}
-	if _, err := jni.DispatcherWritev0(e.conn, encoded); err != nil {
+
+	// Pass 2: assemble headers and group bodies in the pooled scratch;
+	// clean payloads enter the vector as raw slices, uncopied.
+	buf := wire.GetBuf(scratchLen + wire.EncodeSlack)
+	out := *buf
+	vec := make([][]byte, 0, 2*len(srcs))
+	for i := 0; i < len(srcs); {
+		mark := len(out)
+		if !e.wroteMagic && mark == 0 {
+			// The magic rides in the first frame's header slice.
+			out = wire.AppendStreamMagic(out)
+		}
+		if clean[i] {
+			j, n := i, 0
+			for j < len(srcs) && clean[j] {
+				n += lens[j]
+				j++
+			}
+			out = wire.AppendFrameHeader(out, wire.FramePassthrough, n)
+			vec = append(vec, out[mark:len(out):len(out)])
+			for k := i; k < j; k++ {
+				vec = append(vec, srcs[k].Data[:lens[k]])
+			}
+			wireBytes += len(out) - mark + n
+			i = j
+			continue
+		}
+		out = wire.AppendGroupsFrame(out, srcs[i].Data[:lens[i]], runsOf[i])
+		vec = append(vec, out[mark:len(out):len(out)])
+		wireBytes += len(out) - mark
+		i++
+	}
+	e.agent.AddTraffic(total, wireBytes)
+	_, err := jni.DispatcherWritev0(e.conn, vec)
+	*buf = out
+	wire.PutBuf(buf)
+	if err != nil {
 		return 0, err
+	}
+	if len(vec) > 0 {
+		e.wroteMagic = true
 	}
 	return int64(total), nil
 }
@@ -59,16 +144,20 @@ func (e *Endpoint) ReadvBuffers(dsts []*jni.DirectBuffer, lens []int) (int64, er
 	if e.agent.Mode() != tracker.ModeDista {
 		raw := make([][]byte, len(dsts))
 		for i, dst := range dsts {
-			dst.CheckRange(0, lens[i])
+			if err := dst.CheckRange(0, lens[i]); err != nil {
+				return 0, err
+			}
 			raw[i] = dst.Data[:lens[i]]
 		}
 		return jni.DispatcherReadv0(e.conn, raw)
 	}
 
-	// One read's worth of groups, scattered across the buffers in order.
+	// One read's worth of frames, scattered across the buffers in order.
 	var total int64
 	for i, dst := range dsts {
-		dst.CheckRange(0, lens[i])
+		if err := dst.CheckRange(0, lens[i]); err != nil {
+			return 0, err
+		}
 		n, err := e.ReadBuffer(dst, 0, lens[i])
 		if err != nil {
 			if total > 0 {

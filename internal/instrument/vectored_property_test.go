@@ -1,0 +1,123 @@
+package instrument
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dista/internal/core/tracker"
+	"dista/internal/jni"
+)
+
+// TestVectoredMixedCleanTaintedProperty is the clean-path property
+// test: a gathering write over a randomized mix of clean and tainted
+// iovecs, scattered back through randomized destination splits, must
+// preserve every byte's label exactly — nothing dropped across a
+// passthrough coalesce boundary, nothing smeared from a tainted
+// neighbour into a clean stretch.
+func TestVectoredMixedCleanTaintedProperty(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			r := newRig(t, tracker.ModeDista)
+			sender, receiver := r.endpoints(t)
+
+			// Build 1..8 source buffers; each independently clean or
+			// tainted with its own tag, some possibly empty, so every
+			// adjacency pattern (clean|clean, clean|tainted, …) and the
+			// empty-iovec edge get exercised across trials.
+			nsrc := rng.Intn(8) + 1
+			srcs := make([]*jni.DirectBuffer, nsrc)
+			lens := make([]int, nsrc)
+			var wantData []byte
+			var wantTag []string // "" = must be untainted
+			for i := range srcs {
+				lens[i] = rng.Intn(40)
+				srcs[i] = jni.NewDirectBuffer(lens[i] + rng.Intn(8))
+				tag := ""
+				if rng.Intn(2) == 0 && lens[i] > 0 {
+					tag = fmt.Sprintf("tag%d_%d", trial, i)
+					v := srcs[i].View(0, lens[i])
+					v.TaintAll(r.a.Source("v", tag))
+				}
+				for k := 0; k < lens[i]; k++ {
+					srcs[i].Data[k] = byte(rng.Intn(256))
+					wantData = append(wantData, srcs[i].Data[k])
+					wantTag = append(wantTag, tag)
+				}
+			}
+
+			total := len(wantData)
+			n, err := sender.WritevBuffers(srcs, lens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(total) {
+				t.Fatalf("writev consumed %d of %d bytes", n, total)
+			}
+
+			// Scatter back through randomized split points until the
+			// whole payload is in; splits land inside and across the
+			// original iovec boundaries.
+			var gotData []byte
+			var gotTag []string
+			for len(gotData) < total {
+				ndst := rng.Intn(3) + 1
+				dsts := make([]*jni.DirectBuffer, ndst)
+				dlens := make([]int, ndst)
+				for i := range dsts {
+					dlens[i] = rng.Intn(24) + 1
+					dsts[i] = jni.NewDirectBuffer(dlens[i])
+					// Pre-dirty some destinations: stale labels must be
+					// cleared by a clean delivery, not survive it.
+					if rng.Intn(2) == 0 {
+						v := dsts[i].View(0, dlens[i])
+						v.TaintAll(r.b.Source("stale", "stale"))
+					}
+				}
+				rn, err := receiver.ReadvBuffers(dsts, dlens)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rn == 0 {
+					t.Fatalf("readv stalled at %d of %d bytes", len(gotData), total)
+				}
+				left := int(rn)
+				for i := 0; i < ndst && left > 0; i++ {
+					take := dlens[i]
+					if take > left {
+						take = left
+					}
+					for k := 0; k < take; k++ {
+						gotData = append(gotData, dsts[i].Data[k])
+						lbl := dsts[i].Label(k)
+						switch {
+						case lbl.Empty():
+							gotTag = append(gotTag, "")
+						case lbl.Has("stale"):
+							t.Fatalf("stale destination label survived delivery at byte %d", len(gotData)-1)
+						default:
+							idx := len(gotData) - 1
+							want := wantTag[idx]
+							if want == "" || !lbl.Has(want) {
+								t.Fatalf("byte %d carries %v, want tag %q", idx, lbl.Values(), want)
+							}
+							gotTag = append(gotTag, want)
+						}
+					}
+					left -= take
+				}
+			}
+
+			if string(gotData) != string(wantData) {
+				t.Fatalf("payload mismatch:\n got %x\nwant %x", gotData, wantData)
+			}
+			for i := range wantTag {
+				if gotTag[i] != wantTag[i] {
+					t.Fatalf("byte %d label = %q, want %q", i, gotTag[i], wantTag[i])
+				}
+			}
+		})
+	}
+}

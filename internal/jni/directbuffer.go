@@ -1,10 +1,18 @@
 package jni
 
 import (
+	"errors"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"dista/internal/core/taint"
 )
+
+// ErrRange is the sentinel wrapped by every direct-buffer bounds
+// failure; test with errors.Is. CheckRange returns it, View panics
+// with it (see the View contract below).
+var ErrRange = errors.New("jni: direct buffer range out of bounds")
 
 // DirectBuffer models the off-heap memory block a DirectByteBuffer
 // manages (§III-C Type 3): NIO natives read and write it directly.
@@ -36,17 +44,81 @@ func (b *DirectBuffer) Label(i int) taint.Taint { return b.B.LabelAt(i) }
 // SetLabel assigns taint t to byte i.
 func (b *DirectBuffer) SetLabel(i int, t taint.Taint) { b.B.SetLabel(i, t) }
 
+// Clean reports whether every byte of [from,to) is untainted — the
+// O(1)-amortized gate that routes whole-buffer writes onto the
+// passthrough path (see taint.Bytes.Clean for the memo semantics).
+// The range must be valid; like View, an invalid one panics.
+func (b *DirectBuffer) Clean(from, to int) bool {
+	if err := b.CheckRange(from, to); err != nil {
+		panic(err)
+	}
+	return b.B.Slice(from, to).Clean()
+}
+
+// ResetLabels clears every label, keeping the shadow store for reuse.
+func (b *DirectBuffer) ResetLabels() { b.B.ResetLabels() }
+
 // View returns the tainted view of bytes [from,to), aliasing the
 // buffer's data and labels.
+//
+// Contract: an invalid range panics with an error wrapping ErrRange —
+// matching the unchecked runtime bounds failure of the real accessors,
+// but typed so a recover can classify it. Callers that want an error
+// instead call CheckRange first.
 func (b *DirectBuffer) View(from, to int) taint.Bytes {
-	b.CheckRange(from, to)
+	if err := b.CheckRange(from, to); err != nil {
+		panic(err)
+	}
 	return b.B.Slice(from, to)
 }
 
-// CheckRange panics if [from,to) is not a valid range of the buffer —
-// matching the runtime bounds check of the real accessors.
-func (b *DirectBuffer) CheckRange(from, to int) {
+// CheckRange reports whether [from,to) is a valid range of the buffer,
+// returning an error wrapping ErrRange when not.
+func (b *DirectBuffer) CheckRange(from, to int) error {
 	if from < 0 || to < from || to > len(b.Data) {
-		panic(fmt.Sprintf("jni: direct buffer range [%d,%d) out of [0,%d)", from, to, len(b.Data)))
+		return fmt.Errorf("%w: [%d,%d) out of [0,%d)", ErrRange, from, to, len(b.Data))
 	}
+	return nil
+}
+
+// Size-classed pool of DirectBuffers: channels and wrappers acquire
+// scratch buffers here instead of allocating a fresh data array and
+// shadow store per instance. A pooled buffer's capacity is the class
+// size, so AcquireDirectBuffer returns Len() >= n; callers address the
+// [0,n) prefix they asked for.
+
+const (
+	minDirectShift = 9  // 512 B
+	maxDirectShift = 20 // 1 MiB
+)
+
+var directPools [maxDirectShift - minDirectShift + 1]sync.Pool
+
+// AcquireDirectBuffer returns a pooled buffer with Len() >= n, fully
+// untainted. Release it with ReleaseDirectBuffer when no views of it
+// can escape; n beyond the largest class falls back to allocation.
+func AcquireDirectBuffer(n int) *DirectBuffer {
+	if n > 1<<maxDirectShift {
+		return NewDirectBuffer(n)
+	}
+	shift := minDirectShift
+	if n > 1<<minDirectShift {
+		shift = bits.Len(uint(n - 1))
+	}
+	if b, _ := directPools[shift-minDirectShift].Get().(*DirectBuffer); b != nil {
+		return b
+	}
+	return NewDirectBuffer(1 << shift)
+}
+
+// ReleaseDirectBuffer resets the buffer's labels in O(1) and returns it
+// to its size class. Off-class sizes are dropped. The caller must not
+// retain the buffer or any View of it afterwards.
+func ReleaseDirectBuffer(b *DirectBuffer) {
+	c := len(b.Data)
+	if c < 1<<minDirectShift || c > 1<<maxDirectShift || c&(c-1) != 0 {
+		return
+	}
+	b.ResetLabels()
+	directPools[bits.TrailingZeros(uint(c))-minDirectShift].Put(b)
 }

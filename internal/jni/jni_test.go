@@ -2,9 +2,11 @@ package jni
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
+	"dista/internal/core/taint"
 	"dista/internal/netsim"
 )
 
@@ -122,18 +124,47 @@ func TestDirectBufferRangeCheck(t *testing.T) {
 	if db.Len() != 4 || !db.B.HasShadow() || db.B.Len() != 4 {
 		t.Fatalf("buffer %d, shadow %v/%d", db.Len(), db.B.HasShadow(), db.B.Len())
 	}
-	db.CheckRange(0, 4) // must not panic
-	db.CheckRange(2, 2)
+	if err := db.CheckRange(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckRange(2, 2); err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range [][2]int{{-1, 2}, {3, 2}, {0, 5}} {
+		if err := db.CheckRange(r[0], r[1]); !errors.Is(err, ErrRange) {
+			t.Errorf("CheckRange%v = %v, want ErrRange", r, err)
+		}
+		// View keeps the unchecked-accessor panic contract, but the
+		// panic value must be the same typed error.
 		func() {
 			defer func() {
-				if recover() == nil {
-					t.Errorf("range %v must panic", r)
+				err, _ := recover().(error)
+				if !errors.Is(err, ErrRange) {
+					t.Errorf("View%v panicked with %v, want ErrRange", r, err)
 				}
 			}()
-			db.CheckRange(r[0], r[1])
+			db.View(r[0], r[1])
 		}()
 	}
+}
+
+func TestDirectBufferPoolResetsLabels(t *testing.T) {
+	db := AcquireDirectBuffer(600)
+	if db.Len() < 600 {
+		t.Fatalf("acquired %d bytes, want >= 600", db.Len())
+	}
+	db.SetLabel(3, taint.NewTree().NewSource("pooled", "t1"))
+	if db.Clean(0, db.Len()) {
+		t.Fatal("buffer with a label reads clean")
+	}
+	ReleaseDirectBuffer(db)
+	// The pool must never hand back stale labels, whichever buffer
+	// comes out next.
+	again := AcquireDirectBuffer(600)
+	if !again.Clean(0, again.Len()) {
+		t.Fatal("pooled buffer came back with stale labels")
+	}
+	ReleaseDirectBuffer(again)
 }
 
 func TestSocketWriteLargePayload(t *testing.T) {

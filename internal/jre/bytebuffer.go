@@ -115,6 +115,21 @@ func AllocateDirectBuffer(env *Env, capacity int) *DirectByteBuffer {
 	return &DirectByteBuffer{env: env, nat: jni.NewDirectBuffer(capacity), lim: capacity}
 }
 
+// acquireDirect returns a staging buffer backed by the jni direct-buffer
+// pool, with Capacity() >= n (the pool rounds up to its size class).
+// Pair with releaseDirect once no view of the native block can escape.
+func acquireDirect(env *Env, n int) *DirectByteBuffer {
+	nat := jni.AcquireDirectBuffer(n)
+	return &DirectByteBuffer{env: env, nat: nat, lim: nat.Len()}
+}
+
+// releaseDirect returns the staging buffer's native block (and its
+// shadow store) to the pool.
+func releaseDirect(b *DirectByteBuffer) {
+	jni.ReleaseDirectBuffer(b.nat)
+	b.nat = nil
+}
+
 // Capacity returns the buffer's total size.
 func (b *DirectByteBuffer) Capacity() int { return b.nat.Len() }
 

@@ -24,8 +24,8 @@ func newSocketChannel(env *Env, conn *netsim.Conn) *SocketChannel {
 	return &SocketChannel{
 		env:      env,
 		ep:       instrument.NewEndpoint(env.Agent, conn),
-		wscratch: AllocateDirectBuffer(env, defaultBufferSize),
-		rscratch: AllocateDirectBuffer(env, defaultBufferSize),
+		wscratch: acquireDirect(env, defaultBufferSize),
+		rscratch: acquireDirect(env, defaultBufferSize),
 	}
 }
 
@@ -38,10 +38,12 @@ func OpenSocketChannel(env *Env, addr string) (*SocketChannel, error) {
 	return newSocketChannel(env, conn), nil
 }
 
-// ensureScratch grows a staging buffer to hold n bytes.
+// ensureScratch grows a staging buffer to hold n bytes, recycling the
+// outgrown one through the direct-buffer pool.
 func (c *SocketChannel) ensureScratch(buf **DirectByteBuffer, n int) {
 	if (*buf).Capacity() < n {
-		*buf = AllocateDirectBuffer(c.env, n)
+		releaseDirect(*buf)
+		*buf = acquireDirect(c.env, n)
 	}
 }
 

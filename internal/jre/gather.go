@@ -13,12 +13,21 @@ import (
 func (c *SocketChannel) GatheringWrite(srcs []*ByteBuffer) (int64, error) {
 	natives := make([]*jni.DirectBuffer, 0, len(srcs))
 	lens := make([]int, 0, len(srcs))
+	stagings := make([]*DirectByteBuffer, 0, len(srcs))
+	// The vectored native copies synchronously, so the pooled staging
+	// blocks can go back the moment the call returns.
+	defer func() {
+		for _, s := range stagings {
+			releaseDirect(s)
+		}
+	}()
 	for _, src := range srcs {
 		n := src.Remaining()
 		if n == 0 {
 			continue
 		}
-		staging := AllocateDirectBuffer(c.env, n)
+		staging := acquireDirect(c.env, n)
+		stagings = append(stagings, staging)
 		if err := staging.Put(src.window()); err != nil {
 			return 0, err
 		}
@@ -51,12 +60,19 @@ func (c *SocketChannel) ScatteringRead(dsts []*ByteBuffer) (int64, error) {
 	natives := make([]*jni.DirectBuffer, 0, len(dsts))
 	lens := make([]int, 0, len(dsts))
 	targets := make([]*ByteBuffer, 0, len(dsts))
+	stagings := make([]*DirectByteBuffer, 0, len(dsts))
+	defer func() {
+		for _, s := range stagings {
+			releaseDirect(s)
+		}
+	}()
 	for _, dst := range dsts {
 		n := dst.Remaining()
 		if n == 0 {
 			continue
 		}
-		staging := AllocateDirectBuffer(c.env, n)
+		staging := acquireDirect(c.env, n)
+		stagings = append(stagings, staging)
 		natives = append(natives, staging.native())
 		lens = append(lens, n)
 		targets = append(targets, dst)

@@ -136,8 +136,11 @@ func TestWireOverheadFactor(t *testing.T) {
 	if data == 0 {
 		t.Fatal("no traffic recorded")
 	}
-	if factor := float64(wireBytes) / float64(data); factor != 5.0 {
-		t.Fatalf("wire factor = %.2f, want exactly 5.0 (§V-F)", factor)
+	// Tainted traffic pays exactly the 5x group factor of §V-F; the
+	// framed codec adds only the stream magic per connection and one
+	// 5-byte header per write, so the measured factor sits just above 5.
+	if factor := float64(wireBytes) / float64(data); factor < 5.0 || factor > 5.01 {
+		t.Fatalf("wire factor = %.4f, want 5.0 plus constant framing (§V-F)", factor)
 	}
 
 	// The off run keeps the factor at 1.

@@ -14,12 +14,17 @@ const connBufferCap = 1 << 18 // 256 KiB
 
 // halfPipe is one direction of a stream connection.
 type halfPipe struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// buf holds the unread bytes as a window into arr; arr is the
+	// backing array, kept across drains so a steady-state exchange
+	// settles into zero allocations (content is bounded by
+	// connBufferCap, so retaining it is cheap).
 	buf         []byte
-	writeClosed bool  // no more data will arrive
-	readClosed  bool  // reader is gone; writes fail
-	failErr     error // connection reset/failed: both sides see this
+	arr         []byte // len 0; full capacity backing store for buf
+	writeClosed bool   // no more data will arrive
+	readClosed  bool   // reader is gone; writes fail
+	failErr     error  // connection reset/failed: both sides see this
 
 	deadline time.Time   // read deadline; zero = none
 	dlTimer  *time.Timer // wakes waiters when the deadline passes
@@ -49,12 +54,44 @@ func (h *halfPipe) write(b []byte) (int, error) {
 		if space > len(b) {
 			space = len(b)
 		}
+		h.ensureRoomLocked(space)
 		h.buf = append(h.buf, b[:space]...)
 		b = b[space:]
 		total += space
 		h.cond.Broadcast()
 	}
 	return total, nil
+}
+
+// ensureRoomLocked makes the backing array able to take n more bytes
+// without append reallocating: compact the unread window back to the
+// front of arr when the spare tail is short, and grow arr (doubling,
+// capped at connBufferCap) only when the content genuinely does not
+// fit. This is what keeps the write path allocation-free once a
+// connection has warmed up.
+func (h *halfPipe) ensureRoomLocked(n int) {
+	if cap(h.buf)-len(h.buf) >= n {
+		return
+	}
+	need := len(h.buf) + n
+	if cap(h.arr) < need {
+		newCap := cap(h.arr) * 2
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		for newCap < need {
+			newCap *= 2
+		}
+		if newCap > connBufferCap && need <= connBufferCap {
+			newCap = connBufferCap
+		}
+		h.arr = make([]byte, 0, newCap)
+	}
+	// Compact: slide the unread bytes to the front of arr. copy is a
+	// memmove, so the overlapping same-array case is fine.
+	nbuf := h.arr[:len(h.buf)]
+	copy(nbuf, h.buf)
+	h.buf = nbuf
 }
 
 // deadlineExpiredLocked reports whether a set read deadline has passed.
@@ -84,7 +121,9 @@ func (h *halfPipe) read(b []byte) (int, error) {
 	n := copy(b, h.buf)
 	h.buf = h.buf[n:]
 	if len(h.buf) == 0 {
-		h.buf = nil
+		// Fully drained: rewind the window to the front of the backing
+		// array instead of dropping it, so the next write reuses it.
+		h.buf = h.arr
 	}
 	h.cond.Broadcast()
 	return n, nil
