@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection shared by `bench` and the A/B harness.
 BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
 
-.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-taintmap bench-resilience bench-cleanpath fuzz fuzz-smoke
+.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,8 @@ vet:
 
 # distavet: the in-tree static-analysis suite (internal/analysis) that
 # enforces the taint-soundness invariants — shadowdrop, labelcopy,
-# errcmp, lockorder, mustcheck. Exits non-zero on any finding; silence
+# errcmp, lockorder, mustcheck, idbits. Exits non-zero on any finding;
+# silence
 # a deliberate exception with `//lint:ignore distavet/<name> reason`.
 lint:
 	$(GO) run ./cmd/distavet ./...
@@ -39,14 +40,17 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/taintmap ./internal/instrument
 
 # Tier-1 gate: everything CI runs.
-check: vet lint build test race chaos fuzz-smoke bench-cleanpath
+check: vet lint build test race chaos fuzz-smoke bench-cleanpath bench-cluster
 
 # Alias for CI pipelines: the full gate, spelled out in build order.
-ci: build vet lint test race fuzz-smoke chaos bench-cleanpath
+ci: build vet lint test race fuzz-smoke chaos bench-cleanpath bench-cluster
+
+# Regenerate every benchmark artifact (BENCH_1..6) in one pass.
+bench: bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
 # -count=3 repetitions; seed baselines are embedded in cmd/benchjson.
-bench:
+bench-hotpath:
 	$(GO) test -run=NONE -bench='$(BENCH_RE)' -benchmem -benchtime=1s -count=3 . | tee bench_hotpath.txt
 	$(GO) run ./cmd/benchjson -in bench_hotpath.txt -out BENCH_1.json
 
@@ -67,6 +71,15 @@ bench-resilience:
 	$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/(Mux8|Resilient8)$$' -benchmem -benchtime=1s -count=5 . | tee bench_resilience.txt
 	$(GO) run ./cmd/benchjson -in bench_resilience.txt -out BENCH_3.json
 
+# Benchmark the distavet suite itself into BENCH_4.json: the full
+# six-analyzer suite vs the original five-analyzer core over the same
+# pre-loaded module. The criterion is the in-run Suite/Core ratio
+# (<= 1.15x): new invariants must ride the shared load/type-check, not
+# multiply the analysis cost.
+bench-distavet:
+	$(GO) test -run=NONE -bench=BenchmarkDistavet -benchtime=1s -count=3 . | tee bench_distavet.txt
+	$(GO) run ./cmd/benchjson -in bench_distavet.txt -out BENCH_4.json
+
 # Clean-path bypass benchmarks, refreshed into BENCH_5.json. The
 # headline criteria are in-run ratios (passthrough >= 5x the
 # always-encode path, clean write <= 1.5x the raw netsim copy floor,
@@ -75,6 +88,28 @@ bench-resilience:
 bench-cleanpath:
 	$(GO) test -run=NONE -bench='BenchmarkCleanPath|BenchmarkHotPath/MixedStreamExchange' -benchmem -benchtime=0.5s -count=3 . | tee bench_cleanpath.txt
 	$(GO) run ./cmd/benchjson -in bench_cleanpath.txt -out BENCH_5.json
+
+# Taint Map cluster benchmarks, refreshed into BENCH_6.json. Both
+# headline criteria are in-run ratios: the scaling series (the same
+# 8-goroutine mixed workload against 1, 2 and 4 service-modeled
+# members) must register >= 2.5x faster at 4 members, and the cluster
+# client pointed at a single plain server must stay within 1.05x of the
+# bare multiplexed client. Part of `check`: a change that quietly
+# serializes the members (or fattens the routing layer) fails CI.
+# The Mux8/Cluster8 pair needs care to measure a 5% bound on a noisy
+# shared host: each side runs in its own `go test` process (so both
+# benchmarks are first-in-process — heap age and GC pacing are
+# position-dependent and would otherwise land entirely on whichever
+# ran second) at a fixed iteration count (time-based calibration picks
+# different b.N per side, which skews per-op cost), interleaved three
+# times so slow host drift cancels in the medians.
+bench-cluster:
+	$(GO) test -run=NONE -bench='BenchmarkTaintMapCluster' -benchmem -benchtime=0.5s -count=3 . | tee bench_cluster.txt
+	for i in 1 2 3; do \
+		$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/Mux8$$' -benchmem -benchtime=2000000x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/Cluster8$$' -benchmem -benchtime=2000000x -count=1 . || exit 1; \
+	done | tee -a bench_cluster.txt
+	$(GO) run ./cmd/benchjson -in bench_cluster.txt -out BENCH_6.json
 
 # Short fuzz pass over the wire round-trip property (CI smoke; the
 # seeded corpus also runs as part of plain `go test`).
@@ -87,3 +122,5 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzServeConn -fuzztime=10s ./internal/taintmap
 	$(GO) test -run=NONE -fuzz=FuzzParseBlobList -fuzztime=10s ./internal/taintmap
+	$(GO) test -run=NONE -fuzz='FuzzClusterServeConn$$' -fuzztime=10s ./internal/taintmap
+	$(GO) test -run=NONE -fuzz='FuzzParseRing$$' -fuzztime=5s ./internal/taintmap

@@ -276,6 +276,35 @@ func main() {
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
+	// scalingAtLeast checks a same-run scaling series: every benchmark in
+	// the series ran, and throughput from the first member (the 1-server
+	// baseline) to the last (the full cluster) improved by at least min.
+	// The intermediate points must not regress below the baseline, so a
+	// series that only wins at the final size by luck still fails.
+	scalingAtLeast := func(label string, series []string, min float64) {
+		rs := make([]*result, len(series))
+		for i, name := range series {
+			if rs[i] = find(name); rs[i] == nil {
+				return
+			}
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: series[len(series)-1],
+			Require:   fmt.Sprintf(">= %.1fx vs %s (same-run series)", min, series[0]),
+		}
+		base, last := rs[0].NsPerOp, rs[len(rs)-1].NsPerOp
+		if base > 0 && last > 0 {
+			c.Measured = base / last
+			c.Pass = c.Measured >= min
+			for _, r := range rs[1:] {
+				if r.NsPerOp > base {
+					c.Pass = false
+				}
+			}
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
 	// allocsAtMost bounds a benchmark's allocs/op — the pool-leak check
 	// for the zero-allocation clean path. Requires the run to have been
 	// collected with -benchmem.
@@ -315,6 +344,22 @@ func main() {
 	allocsAtMost("clean write allocation-free (pool-leak check)",
 		"CleanPath/PassthroughWrite", 0)
 	slowdownAtMost("tainted exchange unchanged by the bypass", "HotPath/MixedStreamExchange", 1.05)
+	// BENCH_6 criteria: the taint-map cluster. Scaling is the tentpole —
+	// the same 8-goroutine mixed workload against 1, 2 and 4 members,
+	// each member a fixed-capacity service-time model, must register at
+	// least 2.5x faster at 4 members. The overhead bound keeps the
+	// cluster client honest for the degenerate single-server deployment.
+	scalingAtLeast("register throughput scaling 1->4 members",
+		[]string{"TaintMapCluster/Scale1", "TaintMapCluster/Scale2", "TaintMapCluster/Scale4"}, 2.5)
+	ratioAtMost("cluster client single-server overhead (in-run)",
+		"TaintMapConcurrent/Cluster8", "TaintMapConcurrent/Mux8", 1.05)
+	// BENCH_4 criteria: the distavet suite itself. The full suite (six
+	// analyzers, idbits included) must stay within 15% of the original
+	// five-analyzer core over the same package set: each new invariant
+	// rides the one shared load/type-check, so analysis cost cannot creep
+	// linearly with analyzer count.
+	ratioAtMost("distavet full suite vs five-analyzer core (in-run)",
+		"Distavet/Suite", "Distavet/Core", 1.15)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

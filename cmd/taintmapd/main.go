@@ -12,6 +12,16 @@
 //
 //	taintmapd [-addr :7431] [-v] [-stats-every 1m] [-read-timeout 0]
 //	          [-max-conns 0] [-grace 5s]
+//	          [-part 0] [-peers part@addr,part@addr,...] [-rf 2]
+//	          [-join host:port]
+//
+// Cluster mode: with -peers (a static membership list) or -join (a seed
+// member of a running cluster), the server becomes partition -part of a
+// partitioned Taint Map — it answers ring/join requests, replicates its
+// fresh registrations to its ring successors before acking, and adopts
+// the entries its predecessors replicate to it. -advertise overrides
+// the address peers and clients should dial for this server (defaults
+// to -addr, which is rarely routable when it is just ":port").
 //
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
 // lets in-flight connections finish (bounded by -grace), logs the final
@@ -26,6 +36,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,9 +55,19 @@ func main() {
 		"refuse connections over this concurrency cap (0 means unlimited)")
 	grace := flag.Duration("grace", 5*time.Second,
 		"how long a signal-triggered shutdown waits for connections to drain")
+	part := flag.Uint("part", 0, "cluster partition index of this server")
+	peers := flag.String("peers", "",
+		"static cluster membership as part@addr,part@addr,... (this server included or not)")
+	rf := flag.Int("rf", taintmap.DefaultReplication,
+		"cluster replication factor (owner + rf-1 successors)")
+	join := flag.String("join", "",
+		"join a running cluster via this seed member address")
+	advertise := flag.String("advertise", "",
+		"address peers/clients dial for this server (default -addr)")
 	flag.Parse()
 
-	if err := run(*addr, *verbose, *statsEvery, *readTimeout, *maxConns, *grace); err != nil {
+	cl := clusterFlags{part: uint32(*part), peers: *peers, rf: *rf, join: *join, advertise: *advertise}
+	if err := run(*addr, *verbose, *statsEvery, *readTimeout, *maxConns, *grace, cl); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -59,7 +81,37 @@ type tcpAcceptor struct {
 func (a tcpAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
 func (a tcpAcceptor) Close() error                        { return a.l.Close() }
 
-func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxConns int, grace time.Duration) error {
+// clusterFlags carries the cluster-mode command line.
+type clusterFlags struct {
+	part      uint32
+	peers     string
+	rf        int
+	join      string
+	advertise string
+}
+
+// parsePeers decodes -peers: comma-separated part@addr entries.
+func parsePeers(s string) ([]taintmap.Member, error) {
+	var members []taintmap.Member
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		at := strings.IndexByte(entry, '@')
+		if at <= 0 {
+			return nil, fmt.Errorf("taintmapd: -peers entry %q is not part@addr", entry)
+		}
+		part, err := strconv.ParseUint(entry[:at], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("taintmapd: -peers entry %q: %v", entry, err)
+		}
+		members = append(members, taintmap.Member{Part: uint32(part), Addr: entry[at+1:]})
+	}
+	return members, nil
+}
+
+func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxConns int, grace time.Duration, cl clusterFlags) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("taintmapd: listen: %w", err)
@@ -68,8 +120,42 @@ func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxCo
 	if verbose {
 		logf = log.Printf
 	}
-	srv := taintmap.NewServer(taintmap.NewStore(), tcpAcceptor{l: l}, logf,
-		taintmap.WithReadTimeout(readTimeout), taintmap.WithMaxConns(maxConns))
+
+	opts := []taintmap.ServerOption{
+		taintmap.WithReadTimeout(readTimeout), taintmap.WithMaxConns(maxConns),
+	}
+	store := taintmap.NewStore()
+	var node *taintmap.ClusterNode
+	if cl.peers != "" || cl.join != "" {
+		if store, err = taintmap.NewPartitionStore(cl.part); err != nil {
+			return err
+		}
+		self := taintmap.Member{Part: cl.part, Addr: cl.advertise}
+		if self.Addr == "" {
+			self.Addr = l.Addr().String()
+		}
+		members, err := parsePeers(cl.peers)
+		if err != nil {
+			return err
+		}
+		dial := func(peerAddr string) (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", peerAddr, 2*time.Second)
+		}
+		if node, err = taintmap.NewClusterNode(self, members, cl.rf, dial); err != nil {
+			return err
+		}
+		if cl.join != "" {
+			ring, err := node.JoinVia(cl.join)
+			if err != nil {
+				return err
+			}
+			log.Printf("taintmapd: joined cluster epoch %d (%d members)", ring.Epoch, len(ring.Members()))
+		}
+		opts = append(opts, taintmap.WithClusterNode(node))
+		log.Printf("taintmapd: cluster partition %d, rf %d", cl.part, node.Ring().RF)
+	}
+
+	srv := taintmap.NewServer(store, tcpAcceptor{l: l}, logf, opts...)
 	srv.Start()
 	log.Printf("taintmapd: serving on %s", l.Addr())
 
@@ -104,6 +190,9 @@ func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxCo
 		srv.Close()
 	}()
 	err = srv.Shutdown(grace)
+	if node != nil {
+		node.Close()
+	}
 
 	st := srv.Store().Stats()
 	log.Printf("taintmapd: shut down (%d global taints, %d registrations, %d lookups)",

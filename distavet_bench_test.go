@@ -1,0 +1,73 @@
+package dista
+
+import (
+	"sync"
+	"testing"
+
+	"dista/internal/analysis"
+	"dista/internal/analysis/loader"
+)
+
+// BenchmarkDistavet measures the distavet analysis pass itself: the
+// full six-analyzer suite against the original five-analyzer core, both
+// over the same pre-loaded module. Loading (parse + type-check of the
+// module and its stdlib closure) happens once outside the timed region
+// — the artifact pins the marginal cost of *analysis*, which is what
+// grows as the suite gains invariants. The acceptance criterion is the
+// in-run ratio Suite/Core <= 1.15x: each added analyzer must ride the
+// shared load, not multiply it.
+var distavetBench struct {
+	once sync.Once
+	prog *loader.Program
+	pkgs []*loader.Package
+	err  error
+}
+
+func distavetLoad(b *testing.B) (*loader.Program, []*loader.Package) {
+	b.Helper()
+	distavetBench.once.Do(func() {
+		root, err := loader.FindModuleRoot(".")
+		if err != nil {
+			distavetBench.err = err
+			return
+		}
+		prog, err := loader.New(root, true)
+		if err != nil {
+			distavetBench.err = err
+			return
+		}
+		pkgs, err := prog.ModulePackages()
+		if err != nil {
+			distavetBench.err = err
+			return
+		}
+		distavetBench.prog, distavetBench.pkgs = prog, pkgs
+	})
+	if distavetBench.err != nil {
+		b.Fatal(distavetBench.err)
+	}
+	return distavetBench.prog, distavetBench.pkgs
+}
+
+func benchAnalyzers(b *testing.B, as []*analysis.Analyzer) {
+	prog, pkgs := distavetLoad(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := analysis.Run(prog.Fset, pkgs, as); len(diags) != 0 {
+			b.Fatalf("module is not distavet-clean: %s", diags[0])
+		}
+	}
+}
+
+func BenchmarkDistavet(b *testing.B) {
+	b.Run("Core", func(b *testing.B) {
+		core, err := analysis.ByName("shadowdrop,labelcopy,errcmp,lockorder,mustcheck")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchAnalyzers(b, core)
+	})
+	b.Run("Suite", func(b *testing.B) {
+		benchAnalyzers(b, analysis.All())
+	})
+}

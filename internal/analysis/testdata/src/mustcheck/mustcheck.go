@@ -18,6 +18,32 @@ func bad(c *taintmap.RemoteClient, r *taintmap.ResilientClient, s *taintmap.Stor
 	_, _ = r.LookupBatch([]uint32{3}) // want "result of LookupBatch assigned to blanks"
 }
 
+// The cluster client is part of the same must-check surface: a dropped
+// Register loses the Global ID the routing minted, a dropped Lookup
+// hides which replica (if any) resolved the id.
+func badCluster(cc *taintmap.ClusterClient, ts []taint.Taint) {
+	cc.Register(taint.Taint{})         // want "result of Register discarded"
+	cc.Lookup(9)                       // want "result of Lookup discarded"
+	cc.RegisterBatch(ts)               // want "result of RegisterBatch discarded"
+	go cc.LookupBatch([]uint32{4})     // want "result of LookupBatch discarded"
+	_, _ = cc.Register(taint.Taint{})  // want "result of Register assigned to blanks"
+	_, _ = cc.LookupBatch([]uint32{5}) // want "result of LookupBatch assigned to blanks"
+}
+
+func goodCluster(cc *taintmap.ClusterClient) error {
+	id, err := cc.Register(taint.Taint{})
+	if err != nil {
+		return err
+	}
+	if _, err := cc.Lookup(id); err != nil {
+		return err
+	}
+	if _, err := cc.Refresh(); err != nil { // membership ops are not Register*/Lookup*
+		return err
+	}
+	return cc.Close()
+}
+
 func good(c *taintmap.RemoteClient, s *taintmap.Store) error {
 	id, err := c.Register(taint.Taint{})
 	if err != nil {

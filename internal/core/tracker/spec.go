@@ -122,13 +122,28 @@ func LoadSpec(path string) (Spec, error) {
 // needs to enable DisTA (the paper's -javaagent:DisTA.jar=... line).
 type AgentArgs struct {
 	Mode     Mode
-	TaintMap string // Taint Map address; empty = none
+	TaintMap string // Taint Map endpoints, ';'-separated; empty = none
 	SpecPath string // source/sink file; empty = everything enabled
 }
 
-// ParseAgentArgs parses "mode=dista,taintmap=host:port,spec=path". Every
-// key is optional; mode defaults to dista (attaching the agent means
-// tracking).
+// TaintMapAddrs returns the Taint Map endpoint list: the taintmap value
+// split on ';' (the list separator — ',' already separates agent args),
+// blanks dropped. One address is a standalone server; several name
+// members of a partitioned cluster to bootstrap from.
+func (a AgentArgs) TaintMapAddrs() []string {
+	var addrs []string
+	for _, addr := range strings.Split(a.TaintMap, ";") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			addrs = append(addrs, addr)
+		}
+	}
+	return addrs
+}
+
+// ParseAgentArgs parses "mode=dista,taintmap=host:port,spec=path". A
+// clustered Taint Map lists its members ';'-separated in the taintmap
+// value ("taintmap=tm1:7431;tm2:7431;tm3:7431"). Every key is optional;
+// mode defaults to dista (attaching the agent means tracking).
 func ParseAgentArgs(s string) (AgentArgs, error) {
 	args := AgentArgs{Mode: ModeDista}
 	if strings.TrimSpace(s) == "" {

@@ -239,6 +239,33 @@ func TestParseAgentArgsDefaults(t *testing.T) {
 	}
 }
 
+func TestTaintMapAddrs(t *testing.T) {
+	cases := []struct {
+		taintmap string
+		want     []string
+	}{
+		{"", nil},
+		{"tm:7431", []string{"tm:7431"}},
+		{"tm1:7431;tm2:7431;tm3:7431", []string{"tm1:7431", "tm2:7431", "tm3:7431"}},
+		{" tm1:7431 ; ;tm2:7431; ", []string{"tm1:7431", "tm2:7431"}},
+	}
+	for _, tc := range cases {
+		args, err := ParseAgentArgs("mode=dista,taintmap=" + tc.taintmap)
+		if err != nil {
+			t.Fatalf("ParseAgentArgs(taintmap=%q): %v", tc.taintmap, err)
+		}
+		got := args.TaintMapAddrs()
+		if len(got) != len(tc.want) {
+			t.Fatalf("TaintMapAddrs(%q) = %q, want %q", tc.taintmap, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("TaintMapAddrs(%q) = %q, want %q", tc.taintmap, got, tc.want)
+			}
+		}
+	}
+}
+
 func TestParseAgentArgsErrors(t *testing.T) {
 	for _, bad := range []string{"mode", "mode=warp", "color=blue"} {
 		if _, err := ParseAgentArgs(bad); err == nil {

@@ -1,0 +1,171 @@
+package instrument
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"dista/internal/core/taint"
+	"dista/internal/core/tracker"
+	"dista/internal/netsim"
+	"dista/internal/taintmap"
+)
+
+// TestDialTaintMapSingle wires the one-address agent-args form: the
+// degenerate deployment must get the plain resilient single-server
+// client, not a routing layer over a ring of one.
+func TestDialTaintMapSingle(t *testing.T) {
+	network := netsim.New()
+	srv, err := taintmap.StartSimServer(network, "tm:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	args, err := tracker.ParseAgentArgs("mode=dista,taintmap=tm:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := taint.NewTree()
+	client, err := DialTaintMap(args, tree, func(addr string) (io.ReadWriteCloser, error) {
+		return network.DialFrom("agent:1", addr)
+	}, taintmap.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, ok := client.(*taintmap.ResilientClient); !ok {
+		t.Fatalf("single-address client is %T, want *taintmap.ResilientClient", client)
+	}
+
+	src := tree.NewSource("single", "agent:1")
+	id, err := client.Register(src)
+	if err != nil || id == 0 {
+		t.Fatalf("Register = %d, %v", id, err)
+	}
+	got, err := client.Lookup(id)
+	if err != nil || !sameTaint(got, src) {
+		t.Fatalf("Lookup(%d) = %v, %v; want the registered taint", id, got, err)
+	}
+}
+
+// sameTaint reports whether two taints have byte-identical content — the
+// canonical wire blob is the Taint Map's identity, so it is ours too.
+func sameTaint(a, b taint.Taint) bool {
+	ab, aerr := taint.MarshalTaint(a)
+	bb, berr := taint.MarshalTaint(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
+}
+
+// TestDialTaintMapCluster wires the multi-address form against a live
+// 3-member cluster: the ring must be bootstrapped from the listed
+// members and registrations must spread across partitions — the agent
+// never names a partition, only addresses.
+func TestDialTaintMapCluster(t *testing.T) {
+	network := netsim.New()
+	servers, ring, err := taintmap.StartSimCluster(network, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	args, err := tracker.ParseAgentArgs("mode=dista,taintmap=tm0:1;tm1:1;tm2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := args.TaintMapAddrs(); len(got) != 3 {
+		t.Fatalf("TaintMapAddrs = %q, want 3 addresses", got)
+	}
+	tree := taint.NewTree()
+	client, err := DialTaintMap(args, tree, func(addr string) (io.ReadWriteCloser, error) {
+		return network.DialFrom("agent:1", addr)
+	}, taintmap.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cc, ok := client.(*taintmap.ClusterClient)
+	if !ok {
+		t.Fatalf("multi-address client is %T, want *taintmap.ClusterClient", client)
+	}
+	if got := cc.Ring(); got.Epoch != ring.Epoch || len(got.Members()) != 3 {
+		t.Fatalf("bootstrapped ring epoch %d with %d members, want epoch %d with 3",
+			got.Epoch, len(got.Members()), ring.Epoch)
+	}
+
+	parts := make(map[uint32]bool)
+	ids := make([]uint32, 0, 64)
+	srcs := make([]taint.Taint, 0, 64)
+	for i := 0; i < 64; i++ {
+		src := tree.NewSource(fmt.Sprintf("clustered-%d", i), "agent:1")
+		id, err := client.Register(src)
+		if err != nil {
+			t.Fatalf("Register %d: %v", i, err)
+		}
+		parts[taintmap.PartitionOf(id)] = true
+		ids = append(ids, id)
+		srcs = append(srcs, src)
+	}
+	if len(parts) < 2 {
+		t.Fatalf("64 registrations landed on partitions %v; want spread over several", parts)
+	}
+	for i, id := range ids {
+		got, err := client.Lookup(id)
+		if err != nil || !sameTaint(got, srcs[i]) {
+			t.Fatalf("Lookup(%d) = %v, %v; want taint %d back", id, got, err, i)
+		}
+	}
+}
+
+// TestDialTaintMapBootstrapSkipsDeadSeed cuts the first listed member
+// off the network: bootstrap must fall through to a live member instead
+// of failing on the dead seed.
+func TestDialTaintMapBootstrapSkipsDeadSeed(t *testing.T) {
+	network := netsim.New()
+	servers, _, err := taintmap.StartSimCluster(network, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	network.Partition("tm0", "*")
+
+	args, err := tracker.ParseAgentArgs("taintmap=tm0:1;tm1:1;tm2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := taint.NewTree()
+	client, err := DialTaintMap(args, tree, func(addr string) (io.ReadWriteCloser, error) {
+		return network.DialFrom("agent:1", addr)
+	}, taintmap.ClusterOptions{})
+	if err != nil {
+		t.Fatalf("bootstrap with a dead seed: %v", err)
+	}
+	client.Close()
+}
+
+// TestDialTaintMapNoAddresses pins the error contract: an empty
+// taintmap value is ErrNoTaintMap, same as a dista-mode agent with no
+// client at all.
+func TestDialTaintMapNoAddresses(t *testing.T) {
+	args, err := tracker.ParseAgentArgs("mode=dista")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DialTaintMap(args, taint.NewTree(), func(string) (io.ReadWriteCloser, error) {
+		t.Fatal("dial must not be called with no addresses")
+		return nil, nil
+	}, taintmap.ClusterOptions{})
+	if !errors.Is(err, ErrNoTaintMap) {
+		t.Fatalf("DialTaintMap with no addresses = %v, want ErrNoTaintMap", err)
+	}
+}

@@ -1,0 +1,247 @@
+package taintmap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ClusterNode is the server-side half of the partitioned Taint Map: the
+// per-server state that turns N independent taintmapd processes into
+// one logical map. It owns the membership ring, the peer links used for
+// synchronous replication, and the join gossip. A Server constructed
+// with WithClusterNode consults it on every cluster op and pushes every
+// fresh registration through it before acking.
+//
+// Replication is owner-push: the partition owner that minted an id
+// sends the (id, blob) entry to its ring successors and waits for their
+// acks before the registration reply leaves the server. A successor
+// that cannot be reached does not fail the registration — the owner is
+// the durable copy and read-repair re-converges the replica later
+// (hinted handoff, counted in Hinted). Replication handlers only ever
+// adopt — they never mint ids or push further — so peer calls cannot
+// cycle and the protocol cannot deadlock however the ring is wired.
+type ClusterNode struct {
+	self Member
+	dial func(addr string) (io.ReadWriteCloser, error)
+
+	ring atomic.Pointer[Ring]
+
+	mu    sync.Mutex // ring changes and peer-map writes
+	peers map[uint32]*peerLink
+
+	hinted  atomic.Int64 // replication pushes skipped on a dead peer
+	pushed  atomic.Int64 // entries successfully replicated to successors
+	repairs atomic.Int64 // entries adopted through read-repair ('w')
+}
+
+// NewClusterNode makes this server the given member of a cluster whose
+// initial membership is members (which must include self). dial opens a
+// connection to a peer's address.
+func NewClusterNode(self Member, members []Member, rf int, dial func(addr string) (io.ReadWriteCloser, error)) (*ClusterNode, error) {
+	found := false
+	for _, m := range members {
+		if m.Part == self.Part {
+			found = true
+			break
+		}
+	}
+	if !found {
+		members = append(append([]Member(nil), members...), self)
+	}
+	r, err := NewRing(1, rf, members)
+	if err != nil {
+		return nil, err
+	}
+	n := &ClusterNode{self: self, dial: dial, peers: make(map[uint32]*peerLink)}
+	n.ring.Store(r)
+	return n, nil
+}
+
+// Self returns this node's membership entry.
+func (n *ClusterNode) Self() Member { return n.self }
+
+// Ring returns the current membership snapshot.
+func (n *ClusterNode) Ring() *Ring { return n.ring.Load() }
+
+// Hinted reports how many replication pushes were skipped because a
+// successor was unreachable (the entries live on the owner and heal by
+// read-repair).
+func (n *ClusterNode) Hinted() int64 { return n.hinted.Load() }
+
+// Pushed reports how many entries were synchronously replicated.
+func (n *ClusterNode) Pushed() int64 { return n.pushed.Load() }
+
+// Repaired reports how many entries this node adopted via read-repair.
+func (n *ClusterNode) Repaired() int64 { return n.repairs.Load() }
+
+// Join adds (or re-addresses) a member and gossips the join to every
+// other peer. It is idempotent: a join for a member already in the ring
+// at the same address is a no-op that does not re-gossip, which is what
+// lets peers forward joins to each other without looping.
+func (n *ClusterNode) Join(m Member) (*Ring, error) {
+	n.mu.Lock()
+	r := n.ring.Load()
+	if old, ok := r.Member(m.Part); ok && old.Addr == m.Addr {
+		n.mu.Unlock()
+		return r, nil
+	}
+	nr, err := r.WithMember(m)
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	n.ring.Store(nr)
+	n.mu.Unlock()
+
+	payload := appendMember(nil, m)
+	for _, peer := range nr.Members() {
+		if peer.Part == n.self.Part || peer.Part == m.Part {
+			continue
+		}
+		if err := n.callPeer(peer, opJoinTag, payload); err != nil {
+			// The peer will learn the ring on its next join exchange or
+			// from a client; membership gossip is best-effort.
+			continue
+		}
+	}
+	return nr, nil
+}
+
+// JoinVia introduces this node to an existing cluster through one seed
+// member: it sends its own membership entry and installs the ring the
+// seed answers with. Used by `taintmapd -join=<addr>`.
+func (n *ClusterNode) JoinVia(seedAddr string) (*Ring, error) {
+	link := &peerLink{addr: seedAddr, dial: n.dial}
+	defer link.close()
+	reply, err := link.call(opJoinTag, appendMember(nil, n.self))
+	if err != nil {
+		return nil, fmt.Errorf("taintmap: join via %s: %w", seedAddr, err)
+	}
+	r, err := parseRing(reply)
+	if err != nil {
+		return nil, fmt.Errorf("taintmap: join via %s: %w", seedAddr, err)
+	}
+	n.mu.Lock()
+	n.ring.Store(r)
+	n.mu.Unlock()
+	return r, nil
+}
+
+// replicate pushes an encoded entry list to this partition's ring
+// successors and waits for their acks — the synchronous half of the
+// replication protocol, called by the request handler between minting
+// and acking. Unreachable successors are skipped (hinted handoff).
+func (n *ClusterNode) replicate(entries []byte) {
+	r := n.ring.Load()
+	for _, part := range r.Successors(n.self.Part) {
+		peer, ok := r.Member(part)
+		if !ok {
+			continue
+		}
+		if err := n.callPeer(peer, opReplicateTag, entries); err != nil {
+			n.hinted.Add(1)
+			continue
+		}
+		n.pushed.Add(1)
+	}
+}
+
+// callPeer issues one cluster op on the cached link to peer, dropping
+// the link on failure so the next call re-dials.
+func (n *ClusterNode) callPeer(peer Member, op byte, payload []byte) error {
+	n.mu.Lock()
+	link := n.peers[peer.Part]
+	if link == nil || link.addr != peer.Addr {
+		if link != nil {
+			link.close()
+		}
+		link = &peerLink{addr: peer.Addr, dial: n.dial}
+		n.peers[peer.Part] = link
+	}
+	n.mu.Unlock()
+	_, err := link.call(op, payload)
+	return err
+}
+
+// Close drops every peer link.
+func (n *ClusterNode) Close() {
+	n.mu.Lock()
+	for _, link := range n.peers {
+		link.close()
+	}
+	clear(n.peers)
+	n.mu.Unlock()
+}
+
+// peerLink is one node-to-node connection: stop-and-wait over the
+// tagged frame format (tag 0 — the link is mutex-serialized, so tags
+// carry no information). Kept deliberately simpler than the client mux:
+// replication already batches at the request level, and a peer push is
+// on the registration latency path only for fresh ids.
+type peerLink struct {
+	addr string
+	dial func(addr string) (io.ReadWriteCloser, error)
+
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// call sends one tagged request and reads its reply, dialing on first
+// use and tearing the connection down on any failure.
+func (l *peerLink) call(op byte, payload []byte) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == nil {
+		conn, err := l.dial(l.addr)
+		if err != nil {
+			return nil, err
+		}
+		l.conn = conn
+		l.br = bufio.NewReaderSize(conn, 32<<10)
+		l.bw = bufio.NewWriterSize(conn, 32<<10)
+	}
+	fail := func(err error) ([]byte, error) {
+		l.conn.Close()
+		l.conn = nil
+		return nil, err
+	}
+	if err := writeTaggedFrame(l.bw, op, 0, payload); err != nil {
+		return fail(err)
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	var hdr [9]byte
+	if _, err := io.ReadFull(l.br, hdr[:]); err != nil {
+		return fail(err)
+	}
+	status := hdr[0]
+	nlen := binary.BigEndian.Uint32(hdr[5:9])
+	if nlen > maxReplyFrame {
+		return fail(fmt.Errorf("%w: peer reply of %d bytes", errProtocol, nlen))
+	}
+	reply := make([]byte, nlen)
+	if _, err := io.ReadFull(l.br, reply); err != nil {
+		return fail(err)
+	}
+	if status != statusTaggedOK {
+		// The request was answered; the link itself is healthy.
+		return nil, serverErr(reply)
+	}
+	return reply, nil
+}
+
+func (l *peerLink) close() {
+	l.mu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}

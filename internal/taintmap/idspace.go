@@ -1,0 +1,63 @@
+package taintmap
+
+import "fmt"
+
+// Global-ID bit layout for the partitioned Taint Map.
+//
+// A Global ID is 32 bits, carved into three fields that may never
+// overlap (the distavet idbits analyzer proves it statically):
+//
+//	bit  31      — provisionalBit (PR 3): set on ids minted by a
+//	               degraded client's local store, never by a server.
+//	bits 27..30  — partition index: which cluster partition minted the
+//	               id. A standalone server is partition 0, so every
+//	               pre-cluster id remains valid and routable.
+//	bits 0..26   — per-partition sequence, allocated densely from 1.
+//
+// Embedding the partition in the id makes lookup routing stateless —
+// any client can tell from the id alone which partition owns it and
+// which replicas may hold it — and makes id allocation coordination-free
+// across servers: no partition can ever mint an id another partition
+// already owns. The cost is capacity: 2^27-1 (~134M) distinct
+// cross-node taints per partition instead of 2^31 for the whole map.
+//
+// Provisional ids compose both schemes: a degraded cluster client mints
+// provisionalBit | partitionBase | seq from the per-partition local
+// journal store, so even provisional ids route to the member whose
+// journal holds them.
+const (
+	// partitionBits is how many id bits address partitions; MaxPartitions
+	// servers can form one logical Taint Map.
+	partitionBits = 4
+	// partitionShift places the partition field directly below the
+	// provisional bit.
+	partitionShift = 31 - partitionBits
+	// partitionMask selects the partition field.
+	partitionMask uint32 = ((1 << partitionBits) - 1) << partitionShift
+	// seqMask selects the per-partition sequence field.
+	seqMask uint32 = (1 << partitionShift) - 1
+
+	// MaxPartitions is the cluster size limit imposed by the id layout.
+	MaxPartitions = 1 << partitionBits
+)
+
+// PartitionOf extracts the partition index that minted id. Provisional
+// ids report the partition of the member whose journal minted them.
+func PartitionOf(id uint32) uint32 {
+	return (id &^ provisionalBit & partitionMask) >> partitionShift
+}
+
+// SeqOf extracts the per-partition sequence number of id.
+func SeqOf(id uint32) uint32 { return id & seqMask }
+
+// partitionBase returns the id-space base of a partition: every id the
+// partition mints is partitionBase(part) | seq.
+func partitionBase(part uint32) uint32 { return part << partitionShift }
+
+// checkPartition validates a partition index against the id layout.
+func checkPartition(part uint32) error {
+	if part >= MaxPartitions {
+		return fmt.Errorf("taintmap: partition %d out of range (max %d)", part, MaxPartitions-1)
+	}
+	return nil
+}

@@ -455,7 +455,7 @@ func (c *RemoteClient) call(op byte, payload []byte) ([]byte, error) {
 	}
 	replyChans.Put(ch)
 	if reply.status != statusTaggedOK {
-		return nil, fmt.Errorf("taintmap: server error: %s", reply.payload)
+		return nil, serverErr(reply.payload)
 	}
 	return reply.payload, nil
 }
@@ -505,6 +505,13 @@ func (c *RemoteClient) Register(t taint.Taint) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	return c.registerMarshaled(t, blob)
+}
+
+// registerMarshaled is the back half of Register for callers that
+// already serialized t (the cluster client marshals first to route by
+// content hash, and must not pay the marshal twice).
+func (c *RemoteClient) registerMarshaled(t taint.Taint, blob []byte) (uint32, error) {
 	id, err := c.registerBlob(blob)
 	if err != nil {
 		return 0, err
@@ -512,6 +519,30 @@ func (c *RemoteClient) Register(t taint.Taint) (uint32, error) {
 	t.SetGlobalID(id)
 	c.memo.put(id, t)
 	return id, nil
+}
+
+// registerBlobs pushes pre-marshaled blobs through the batch wire op —
+// chunked transparently — returning the parallel id slice. The back
+// half shared by RegisterBatch and the cluster client's per-partition
+// batches.
+func (c *RemoteClient) registerBlobs(blobs [][]byte) ([]uint32, error) {
+	chunks, err := splitBlobChunks(blobs)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint32, 0, len(blobs))
+	for _, chunk := range chunks {
+		reply, err := c.call(opRegisterBatchTag, appendBlobList(nil, chunk))
+		if err != nil {
+			return nil, err
+		}
+		got, err := parseIDList(reply)
+		if err != nil || len(got) != len(chunk) {
+			return nil, fmt.Errorf("taintmap: register batch reply of %d bytes", len(reply))
+		}
+		ids = append(ids, got...)
+	}
+	return ids, nil
 }
 
 // Lookup implements Client.
@@ -549,21 +580,9 @@ func (c *RemoteClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	chunks, err := splitBlobChunks(blobs)
+	fresh, err := c.registerBlobs(blobs)
 	if err != nil {
 		return nil, err
-	}
-	fresh := make([]uint32, 0, len(pending))
-	for _, chunk := range chunks {
-		reply, err := c.call(opRegisterBatchTag, appendBlobList(nil, chunk))
-		if err != nil {
-			return nil, err
-		}
-		got, err := parseIDList(reply)
-		if err != nil || len(got) != len(chunk) {
-			return nil, fmt.Errorf("taintmap: register batch reply of %d bytes", len(reply))
-		}
-		fresh = append(fresh, got...)
 	}
 	adoptFresh(c.memo, ids, fresh, pending, posOf)
 	return ids, nil

@@ -55,11 +55,34 @@ const (
 	opLookupBatch   = 'M'
 	opStats         = 'S'
 
+	// Cluster ops (PR 6), answered only by servers running with a
+	// ClusterNode; a standalone server rejects them with an error
+	// response, never a dropped connection.
+	//
+	//	'G' ring     — payload empty, reply = ring snapshot encoding
+	//	'J' join     — payload = member encoding, reply = the new ring;
+	//	               the receiving node adds the member and gossips the
+	//	               join to its peers (idempotent, so gossip converges)
+	//	'P' replicate — payload = entry list (id + blob per entry), the
+	//	               owner's synchronous push to its successors before
+	//	               acking a fresh registration; reply empty
+	//	'W' repair   — same payload as replicate: a client that observed a
+	//	               replica missing ids it resolved elsewhere pushes the
+	//	               entries back (read-repair); reply empty
+	opRing      = 'G'
+	opJoin      = 'J'
+	opReplicate = 'P'
+	opRepair    = 'W'
+
 	opRegisterTag      = 'r'
 	opLookupTag        = 'l'
 	opRegisterBatchTag = 'b'
 	opLookupBatchTag   = 'm'
 	opStatsTag         = 's'
+	opRingTag          = 'g'
+	opJoinTag          = 'j'
+	opReplicateTag     = 'p'
+	opRepairTag        = 'w'
 
 	statusOK        = 0
 	statusErr       = 1
@@ -97,8 +120,69 @@ func taggedBase(op byte) (base byte, ok bool) {
 		return opLookupBatch, true
 	case opStatsTag:
 		return opStats, true
+	case opRingTag:
+		return opRing, true
+	case opJoinTag:
+		return opJoin, true
+	case opReplicateTag:
+		return opReplicate, true
+	case opRepairTag:
+		return opRepair, true
 	}
 	return op, false
+}
+
+// Entry lists carry id->blob pairs for replication and read-repair:
+// uint32 count, then per entry uint32 id | uint32 blobLen | blob.
+
+// appendEntry appends one id+blob entry (countless form; the caller
+// prepends the count with beginEntries/finishEntries or appendEntries).
+func appendEntry(dst []byte, id uint32, blob []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, id)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(blob)))
+	return append(dst, blob...)
+}
+
+// appendEntries encodes a parallel ids/blobs pair as an entry list.
+func appendEntries(dst []byte, ids []uint32, blobs [][]byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ids)))
+	for i, id := range ids {
+		dst = appendEntry(dst, id, blobs[i])
+	}
+	return dst
+}
+
+// forEachEntry decodes an entry list, calling fn per entry (blob
+// aliases p). It validates every length and rejects trailing bytes,
+// and returns the entry count.
+func forEachEntry(p []byte, fn func(id uint32, blob []byte) error) (int, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("%w: entry list of %d bytes", errProtocol, len(p))
+	}
+	count := binary.BigEndian.Uint32(p[:4])
+	p = p[4:]
+	if count > maxFrame/8 {
+		return 0, fmt.Errorf("%w: entry list of %d entries", errProtocol, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 8 {
+			return int(i), fmt.Errorf("%w: truncated entry list", errProtocol)
+		}
+		id := binary.BigEndian.Uint32(p[:4])
+		n := binary.BigEndian.Uint32(p[4:8])
+		p = p[8:]
+		if uint32(len(p)) < n {
+			return int(i), fmt.Errorf("%w: truncated entry blob", errProtocol)
+		}
+		if err := fn(id, p[:n]); err != nil {
+			return int(i), err
+		}
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return int(count), fmt.Errorf("%w: %d trailing bytes after entry list", errProtocol, len(p))
+	}
+	return int(count), nil
 }
 
 // appendBlobList appends the wire form of a blob list to dst.
@@ -259,6 +343,24 @@ func writeTaggedFrame(w *bufio.Writer, head byte, tag uint32, payload []byte) er
 	return err
 }
 
+// connHost is everything one server connection serves requests against:
+// the store, optionally the cluster node (nil on standalone servers —
+// cluster ops then answer with an error response), and optionally a
+// service-cost model the benchmarks install to charge each request a
+// modeled processing time (see WithServiceModel).
+type connHost struct {
+	store *Store
+	node  *ClusterNode
+	cost  func(op byte, items int)
+}
+
+// charge bills one request to the service model, if any is installed.
+func (h connHost) charge(op byte, items int) {
+	if h.cost != nil {
+		h.cost(op, items)
+	}
+}
+
 // connScratch holds one connection's reusable buffers: after warm-up
 // the server serves both protocol generations with zero allocations per
 // frame on the happy path.
@@ -267,6 +369,7 @@ type connScratch struct {
 	reply   []byte
 	ids     []uint32
 	blobs   [][]byte
+	repl    []byte // entry-list scratch for replicating fresh registrations
 }
 
 // grow returns a length-n payload buffer, reusing prior capacity.
@@ -281,18 +384,30 @@ func (c *connScratch) grow(n int) []byte {
 // handle serves one request, appending the response payload into the
 // scratch reply buffer. op is the untagged op byte; tagged selects the
 // partial-reply semantics for lookup batches.
-func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool) (status byte, reply []byte) {
+//
+// On a clustered host, fresh registrations are pushed to the owner's
+// successors *before* the reply is appended: once a client sees an id,
+// RF replicas hold its blob (minus hinted-handoff skips on dead peers).
+func (c *connScratch) handle(h connHost, op byte, payload []byte, tagged bool) (status byte, reply []byte) {
+	store := h.store
 	reply = c.reply[:0]
 	status = statusOK
 	switch op {
 	case opRegister:
-		reply = binary.BigEndian.AppendUint32(reply, store.RegisterBlob(payload))
+		id, fresh := store.registerBlob(payload)
+		h.charge(op, 1)
+		if fresh && h.node != nil {
+			c.repl = appendEntries(c.repl[:0], []uint32{id}, [][]byte{payload})
+			h.node.replicate(c.repl)
+		}
+		reply = binary.BigEndian.AppendUint32(reply, id)
 	case opLookup:
 		if len(payload) != 4 {
 			return statusErr, append(reply, "lookup payload must be 4 bytes"...)
 		}
 		id := binary.BigEndian.Uint32(payload)
 		blob, ok := store.lookupStr(id)
+		h.charge(op, 1)
 		if !ok {
 			return statusErr, fmt.Appendf(reply, "%v: %d", ErrUnknownGlobalID, id)
 		}
@@ -303,8 +418,23 @@ func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool)
 			return statusErr, append(reply, err.Error()...)
 		}
 		c.blobs = blobs
+		c.repl = c.repl[:0]
+		freshN := 0
 		for _, b := range blobs {
-			reply = binary.BigEndian.AppendUint32(reply, store.RegisterBlob(b))
+			id, fresh := store.registerBlob(b)
+			if fresh && h.node != nil {
+				c.repl = appendEntry(c.repl, id, b)
+				freshN++
+			}
+			reply = binary.BigEndian.AppendUint32(reply, id)
+		}
+		h.charge(op, len(blobs))
+		if freshN > 0 {
+			// Prepend the entry count the per-entry appends left out.
+			c.repl = append(c.repl, 0, 0, 0, 0)
+			copy(c.repl[4:], c.repl)
+			binary.BigEndian.PutUint32(c.repl[:4], uint32(freshN))
+			h.node.replicate(c.repl)
 		}
 	case opLookupBatch:
 		ids, err := parseIDListInto(c.ids[:0], payload)
@@ -312,6 +442,7 @@ func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool)
 			return statusErr, append(reply, err.Error()...)
 		}
 		c.ids = ids
+		h.charge(op, len(ids))
 		reply = binary.BigEndian.AppendUint32(reply, uint32(len(ids)))
 		included := 0
 		for _, id := range ids {
@@ -334,6 +465,36 @@ func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool)
 		reply = binary.BigEndian.AppendUint64(reply, uint64(st.GlobalTaints))
 		reply = binary.BigEndian.AppendUint64(reply, uint64(st.Registrations))
 		reply = binary.BigEndian.AppendUint64(reply, uint64(st.Lookups))
+	case opRing:
+		if h.node == nil {
+			return statusErr, append(reply, "not a cluster member"...)
+		}
+		reply = appendRing(reply, h.node.Ring())
+	case opJoin:
+		if h.node == nil {
+			return statusErr, append(reply, "not a cluster member"...)
+		}
+		m, err := parseMember(payload)
+		if err != nil {
+			return statusErr, append(reply, err.Error()...)
+		}
+		r, err := h.node.Join(m)
+		if err != nil {
+			return statusErr, append(reply, err.Error()...)
+		}
+		reply = appendRing(reply, r)
+	case opReplicate, opRepair:
+		if h.node == nil {
+			return statusErr, append(reply, "not a cluster member"...)
+		}
+		n, err := forEachEntry(payload, store.AdoptBlob)
+		h.charge(op, n)
+		if err != nil {
+			return statusErr, append(reply, err.Error()...)
+		}
+		if op == opRepair {
+			h.node.repairs.Add(int64(n))
+		}
 	default:
 		return statusErr, fmt.Appendf(reply, "unknown op %q", op)
 	}
@@ -346,7 +507,7 @@ func (c *connScratch) handle(store *Store, op byte, payload []byte, tagged bool)
 // further complete request is already buffered, so a pipelining client
 // pays one syscall for a burst of replies instead of one per reply.
 func ServeConn(store *Store, conn io.ReadWriter) error {
-	return serveConn(store, conn, 0)
+	return serveConn(connHost{store: store}, conn, 0)
 }
 
 // readDeadliner is the slice of net.Conn (and netsim.Conn) the server
@@ -360,7 +521,7 @@ type readDeadliner interface {
 // before each frame, so a peer that goes silent (or stalls mid-frame)
 // holds its server goroutine for at most readTimeout instead of
 // forever.
-func serveConn(store *Store, conn io.ReadWriter, readTimeout time.Duration) error {
+func serveConn(h connHost, conn io.ReadWriter, readTimeout time.Duration) error {
 	var rd readDeadliner
 	if readTimeout > 0 {
 		rd, _ = conn.(readDeadliner)
@@ -404,7 +565,7 @@ func serveConn(store *Store, conn io.ReadWriter, readTimeout time.Duration) erro
 			return eofOK(err, bw)
 		}
 
-		status, reply := scratch.handle(store, base, payload, tagged)
+		status, reply := scratch.handle(h, base, payload, tagged)
 		scratch.reply = reply[:0]
 		if tagged {
 			if status == statusOK {
@@ -458,6 +619,19 @@ func eofOK(err error, bw *bufio.Writer) error {
 	return err
 }
 
+// serverErr turns an error-response payload back into a client-side
+// error. The unknown-id failure is re-typed so it matches
+// ErrUnknownGlobalID under errors.Is even after a wire crossing — the
+// cluster client's replica fallback and read-repair key on exactly that
+// distinction ("this replica doesn't have it" vs "the call failed").
+func serverErr(payload []byte) error {
+	const marker = "taintmap: unknown global id"
+	if len(payload) >= len(marker) && string(payload[:len(marker)]) == marker {
+		return fmt.Errorf("taintmap: server error: %w%s", ErrUnknownGlobalID, payload[len(marker):])
+	}
+	return fmt.Errorf("taintmap: server error: %s", payload)
+}
+
 // roundTrip issues one untagged request and decodes the response — the
 // stop-and-wait client's engine.
 func roundTrip(conn io.ReadWriter, op byte, payload []byte) ([]byte, error) {
@@ -469,7 +643,7 @@ func roundTrip(conn io.ReadWriter, op byte, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("taintmap: read response: %w", err)
 	}
 	if status != statusOK {
-		return nil, fmt.Errorf("taintmap: server error: %s", reply)
+		return nil, serverErr(reply)
 	}
 	return reply, nil
 }

@@ -102,6 +102,15 @@ type ResilientOptions struct {
 
 	// clk injects a fake clock in tests; nil means real time.
 	clk clock
+	// memo injects a shared id -> taint cache; nil allocates a private
+	// one. The cluster client threads one memo through every member so a
+	// taint resolved via any replica is warm for all of them.
+	memo *cache
+	// local injects the degraded-mode provisional-id store; nil
+	// allocates a standalone (partition 0) one. The cluster client hands
+	// each member a store of that member's partition, so even
+	// provisional ids carry the partition that will eventually own them.
+	local *Store
 }
 
 func (o *ResilientOptions) withDefaults() ResilientOptions {
@@ -135,6 +144,12 @@ func (o *ResilientOptions) withDefaults() ResilientOptions {
 	}
 	if opt.clk == nil {
 		opt.clk = realClock{}
+	}
+	if opt.memo == nil {
+		opt.memo = &cache{}
+	}
+	if opt.local == nil {
+		opt.local = NewStore()
 	}
 	return opt
 }
@@ -216,12 +231,12 @@ func NewResilientClient(dial DialFunc, tree *taint.Tree, opt ResilientOptions) *
 		dial:      dial,
 		tree:      tree,
 		opt:       opt.withDefaults(),
-		memo:      &cache{},
-		local:     NewStore(),
 		journaled: make(map[uint32]struct{}),
 		remap:     make(map[uint32]uint32),
 		done:      make(chan struct{}),
 	}
+	c.memo = c.opt.memo
+	c.local = c.opt.local
 	c.cond = sync.NewCond(&c.mu)
 	c.rng = rand.New(rand.NewSource(c.opt.Seed))
 	if conn, err := c.dial(); err == nil {
@@ -393,6 +408,12 @@ func (c *ResilientClient) journalLocked(t taint.Taint) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	return c.journalBlobLocked(t, blob)
+}
+
+// journalBlobLocked is journalLocked for callers that already hold t's
+// serialized form.
+func (c *ResilientClient) journalBlobLocked(t taint.Taint, blob []byte) (uint32, error) {
 	prov := provisionalBit | c.local.RegisterBlob(blob)
 	if gid, ok := c.remap[prov]; ok {
 		// Seen and drained in an earlier outage: the real id is known.
@@ -460,6 +481,109 @@ func (c *ResilientClient) Register(t taint.Taint) (uint32, error) {
 		}
 		c.await()
 		c.mu.Unlock()
+	}
+}
+
+// registerMarshaled is Register for callers that already serialized t
+// (the cluster client, which marshals first to route by content hash).
+// Same state machine: healthy registers remotely, degraded journals.
+func (c *ResilientClient) registerMarshaled(t taint.Taint, blob []byte) (uint32, error) {
+	if id := t.GlobalID(); id != 0 {
+		return id, nil
+	}
+	for {
+		if rc := c.inner.Load(); rc != nil {
+			id, err := rc.registerMarshaled(t, blob)
+			if err == nil || !isConnErr(err) {
+				return id, err
+			}
+			c.connFailed(rc)
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return 0, ErrClientClosed
+		}
+		if c.inner.Load() != nil {
+			c.mu.Unlock()
+			continue
+		}
+		if c.degraded {
+			id, err := c.journalBlobLocked(t, blob)
+			c.mu.Unlock()
+			return id, err
+		}
+		c.await()
+		c.mu.Unlock()
+	}
+}
+
+// registerPending registers pre-marshaled (taint, blob) pairs as one
+// batch, stamping and memoizing each result — the cluster client's
+// per-partition slice of a RegisterBatch. Degraded, every entry
+// journals and gets a provisional id (not stamped on the taint, per the
+// ErrGlobalIDPending contract).
+func (c *ResilientClient) registerPending(ts []taint.Taint, blobs [][]byte) ([]uint32, error) {
+	for {
+		if rc := c.inner.Load(); rc != nil {
+			ids, err := rc.registerBlobs(blobs)
+			if err == nil {
+				for i, t := range ts {
+					t.SetGlobalID(ids[i])
+					c.memo.put(ids[i], t)
+				}
+				return ids, nil
+			}
+			if !isConnErr(err) {
+				return nil, err
+			}
+			c.connFailed(rc)
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClientClosed
+		}
+		if c.inner.Load() != nil {
+			c.mu.Unlock()
+			continue
+		}
+		if c.degraded {
+			ids := make([]uint32, len(ts))
+			for i, t := range ts {
+				id, err := c.journalBlobLocked(t, blobs[i])
+				if err != nil {
+					c.mu.Unlock()
+					return nil, err
+				}
+				ids[i] = id
+			}
+			c.mu.Unlock()
+			return ids, nil
+		}
+		c.await()
+		c.mu.Unlock()
+	}
+}
+
+// rawCall issues one tagged protocol op on the live connection — the
+// cluster client's channel for ring fetches and read-repair pushes.
+// There is no degraded fallback: cluster maintenance traffic is
+// meaningless without a server, so a disconnected client fails fast
+// with ErrDegraded instead of journaling or waiting out the breaker.
+func (c *ResilientClient) rawCall(op byte, payload []byte) ([]byte, error) {
+	for {
+		rc := c.inner.Load()
+		if rc == nil {
+			return nil, fmt.Errorf("%w: no connection for op %q", ErrDegraded, op)
+		}
+		reply, err := rc.call(op, payload)
+		if err == nil || !isConnErr(err) {
+			return reply, err
+		}
+		c.connFailed(rc)
 	}
 }
 

@@ -1,6 +1,7 @@
 package taintmap
 
 import (
+	"fmt"
 	"io"
 	"log"
 	"sync"
@@ -26,6 +27,8 @@ type Server struct {
 	logf        func(format string, args ...any)
 	readTimeout time.Duration
 	maxConns    int
+	node        *ClusterNode
+	cost        func(op byte, items int)
 
 	accOnce sync.Once // the acceptor closes once, via Shutdown or Close
 	accErr  error
@@ -55,6 +58,25 @@ func WithReadTimeout(d time.Duration) ServerOption {
 // means unlimited.
 func WithMaxConns(n int) ServerOption {
 	return func(s *Server) { s.maxConns = n }
+}
+
+// WithClusterNode makes the server one member of a partitioned Taint
+// Map: cluster ops (ring/join/replicate/repair) are answered, and every
+// fresh registration is synchronously replicated to the node's ring
+// successors before its reply is sent.
+func WithClusterNode(n *ClusterNode) ServerOption {
+	return func(s *Server) { s.node = n }
+}
+
+// WithServiceModel installs a per-request cost hook, called once per
+// request with the untagged op byte and the item count (blobs
+// registered, ids looked up, entries adopted). The scaling benchmarks
+// use it to model a fixed-capacity single-threaded server — this host
+// has one CPU, so real parallel speedup cannot be measured directly;
+// sleeping under a per-server mutex models N independent machines whose
+// modeled service times overlap. Production servers never set it.
+func WithServiceModel(cost func(op byte, items int)) ServerOption {
+	return func(s *Server) { s.cost = cost }
 }
 
 // NewServer builds a server over the given acceptor. logf may be nil to
@@ -117,7 +139,7 @@ func (s *Server) serve() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := serveConn(s.store, conn, s.readTimeout); err != nil {
+			if err := serveConn(connHost{store: s.store, node: s.node, cost: s.cost}, conn, s.readTimeout); err != nil {
 				s.logf("taintmap: connection error: %v", err)
 			}
 			conn.Close()
@@ -208,6 +230,72 @@ func StartSimServer(net *netsim.Network, addr string) (*Server, error) {
 	srv := NewServer(NewStore(), simAcceptor{l: l}, log.Printf)
 	srv.Start()
 	return srv, nil
+}
+
+// simMemberAddr is the canonical simulated address of cluster partition
+// part: host "tm<part>" (distinct per member, so the netsim fault plane
+// can partition one server away from everything else).
+func simMemberAddr(part uint32) string { return fmt.Sprintf("tm%d:1", part) }
+
+// StartSimClusterMember starts (or restarts) one member of a simulated
+// cluster: a listener at the member's ring address, a ClusterNode that
+// dials peers from the member's own host (so host-level partition cuts
+// apply to replication traffic too), and a server over store.
+func StartSimClusterMember(network *netsim.Network, ring *Ring, part uint32, store *Store, opts ...ServerOption) (*Server, *ClusterNode, error) {
+	self, ok := ring.Member(part)
+	if !ok {
+		return nil, nil, fmt.Errorf("taintmap: partition %d not in ring", part)
+	}
+	node, err := NewClusterNode(self, ring.Members(), ring.RF, func(addr string) (io.ReadWriteCloser, error) {
+		return network.DialFrom(fmt.Sprintf("tm%d:peer", part), addr)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	l, err := network.Listen(self.Addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := NewServer(store, simAcceptor{l: l}, nil, append([]ServerOption{WithClusterNode(node)}, opts...)...)
+	srv.Start()
+	return srv, node, nil
+}
+
+// StartSimCluster brings up an n-member cluster on the simulated
+// network at addresses tm0:1 .. tm<n-1>:1, partition i on member i.
+func StartSimCluster(network *netsim.Network, n, rf int, opts ...ServerOption) ([]*Server, *Ring, error) {
+	members := make([]Member, n)
+	for i := range members {
+		members[i] = Member{Part: uint32(i), Addr: simMemberAddr(uint32(i))}
+	}
+	ring, err := NewRing(1, rf, members)
+	if err != nil {
+		return nil, nil, err
+	}
+	servers := make([]*Server, n)
+	for i := range members {
+		store, err := NewPartitionStore(uint32(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		srv, _, err := StartSimClusterMember(network, ring, uint32(i), store, opts...)
+		if err != nil {
+			for _, s := range servers[:i] {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		servers[i] = srv
+	}
+	return servers, ring, nil
+}
+
+// DialSimCluster connects a ClusterClient to a simulated cluster from
+// the given local host.
+func DialSimCluster(network *netsim.Network, local string, ring *Ring, tree *taint.Tree, opt ClusterOptions) (*ClusterClient, error) {
+	return NewClusterClient(ring, func(addr string) (io.ReadWriteCloser, error) {
+		return network.DialFrom(local, addr)
+	}, tree, opt)
 }
 
 // DialSim connects a RemoteClient to a Taint Map server on the simulated
