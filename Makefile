@@ -45,7 +45,7 @@ check: vet lint build test race chaos fuzz-smoke bench-cleanpath bench-cluster
 # Alias for CI pipelines: the full gate, spelled out in build order.
 ci: build vet lint test race fuzz-smoke chaos bench-cleanpath bench-cluster
 
-# Regenerate every benchmark artifact (BENCH_1..6) in one pass.
+# Regenerate every benchmark artifact (BENCH_1..7) in one pass.
 bench: bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
@@ -80,14 +80,32 @@ bench-distavet:
 	$(GO) test -run=NONE -bench=BenchmarkDistavet -benchtime=1s -count=3 . | tee bench_distavet.txt
 	$(GO) run ./cmd/benchjson -in bench_distavet.txt -out BENCH_4.json
 
-# Clean-path bypass benchmarks, refreshed into BENCH_5.json. The
-# headline criteria are in-run ratios (passthrough >= 5x the
-# always-encode path, clean write <= 1.5x the raw netsim copy floor,
-# 0 allocs/op on the clean write) plus the tainted exchange held to the
-# seed baseline; -benchmem is required for the pool-leak check.
+# Clean-path bypass benchmarks, refreshed into BENCH_5.json, plus the
+# adaptive tier suite into BENCH_7.json. The BENCH_5 headline criteria
+# are in-run ratios (passthrough >= 5x the always-encode path, clean
+# write <= 1.5x the raw netsim copy floor, 0 allocs/op on the clean
+# write) plus the tainted exchange held to the seed baseline; -benchmem
+# is required for the pool-leak check. The BENCH_7 criteria are all
+# in-run ratios over the adaptive endpoint pair: uniform <= 1.3x and
+# sparse <= 1.5x of the clean floor, clean and dense each <= 1.05x of
+# the static PR 5 paths, and the flapping adversary <= 1.10x of the
+# static group encoder (the hysteresis check). The dense and flapping
+# pairs are held to tight bounds on GC-heavy multi-ms/op workloads, so
+# they get the same treatment as the cluster Mux8/Cluster8 pair: each
+# side in its own `go test` process (first-in-process, so heap age and
+# GC pacing land evenly) at a fixed iteration count, interleaved five
+# times so host drift cancels in the medians.
 bench-cleanpath:
 	$(GO) test -run=NONE -bench='BenchmarkCleanPath|BenchmarkHotPath/MixedStreamExchange' -benchmem -benchtime=0.5s -count=3 . | tee bench_cleanpath.txt
 	$(GO) run ./cmd/benchjson -in bench_cleanpath.txt -out BENCH_5.json
+	$(GO) test -run=NONE -bench='BenchmarkAdaptivePath/(CleanExchange|StaticCleanExchange|UniformExchange|SparseExchange)$$' -benchmem -benchtime=0.5s -count=5 . | tee bench_adaptive.txt
+	for i in 1 2 3 4 5; do \
+		$(GO) test -run=NONE -bench='BenchmarkAdaptivePath/DenseExchange$$' -benchmem -benchtime=100x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkAdaptivePath/StaticGroupExchange$$' -benchmem -benchtime=100x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkAdaptivePath/FlappingExchange$$' -benchmem -benchtime=100x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkAdaptivePath/StaticFlappingExchange$$' -benchmem -benchtime=100x -count=1 . || exit 1; \
+	done | tee -a bench_adaptive.txt
+	$(GO) run ./cmd/benchjson -in bench_adaptive.txt -out BENCH_7.json
 
 # Taint Map cluster benchmarks, refreshed into BENCH_6.json. Both
 # headline criteria are in-run ratios: the scaling series (the same
@@ -101,11 +119,12 @@ bench-cleanpath:
 # benchmarks are first-in-process — heap age and GC pacing are
 # position-dependent and would otherwise land entirely on whichever
 # ran second) at a fixed iteration count (time-based calibration picks
-# different b.N per side, which skews per-op cost), interleaved three
-# times so slow host drift cancels in the medians.
+# different b.N per side, which skews per-op cost), interleaved five
+# times so slow host drift cancels in the medians (benchjson requires
+# >= 5 samples per point of the scaling series).
 bench-cluster:
-	$(GO) test -run=NONE -bench='BenchmarkTaintMapCluster' -benchmem -benchtime=0.5s -count=3 . | tee bench_cluster.txt
-	for i in 1 2 3; do \
+	$(GO) test -run=NONE -bench='BenchmarkTaintMapCluster' -benchmem -benchtime=0.5s -count=5 . | tee bench_cluster.txt
+	for i in 1 2 3 4 5; do \
 		$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/Mux8$$' -benchmem -benchtime=2000000x -count=1 . || exit 1; \
 		$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/Cluster8$$' -benchmem -benchtime=2000000x -count=1 . || exit 1; \
 	done | tee -a bench_cluster.txt
@@ -116,11 +135,15 @@ bench-cluster:
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzStreamRoundTrip -fuzztime=20s ./internal/core/wire
 
-# ~10s per target over the taint map protocol surface: the server-side
-# frame parser (both protocol generations) and the blob/id list codecs.
-# `go test` accepts one -fuzz pattern per invocation, hence two runs.
+# ~10s per target over the taint map protocol surface — the server-side
+# frame parser (both protocol generations) and the blob/id list codecs —
+# plus the tier-transition fuzzer, which drives an adaptive endpoint
+# pair through random density schedules and checks per-byte label
+# delivery across encoding switches. `go test` accepts one -fuzz
+# pattern per invocation, hence one run per target.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzServeConn -fuzztime=10s ./internal/taintmap
 	$(GO) test -run=NONE -fuzz=FuzzParseBlobList -fuzztime=10s ./internal/taintmap
 	$(GO) test -run=NONE -fuzz='FuzzClusterServeConn$$' -fuzztime=10s ./internal/taintmap
 	$(GO) test -run=NONE -fuzz='FuzzParseRing$$' -fuzztime=5s ./internal/taintmap
+	$(GO) test -run=NONE -fuzz='FuzzTierTransition$$' -fuzztime=10s ./internal/instrument

@@ -280,7 +280,10 @@ func main() {
 	// the series ran, and throughput from the first member (the 1-server
 	// baseline) to the last (the full cluster) improved by at least min.
 	// The intermediate points must not regress below the baseline, so a
-	// series that only wins at the final size by luck still fails.
+	// series that only wins at the final size by luck still fails. Each
+	// member must carry at least scalingMinSamples repetitions — a
+	// scaling claim from a single noisy sample per point is no claim.
+	const scalingMinSamples = 5
 	scalingAtLeast := func(label string, series []string, min float64) {
 		rs := make([]*result, len(series))
 		for i, name := range series {
@@ -291,7 +294,8 @@ func main() {
 		c := criterion{
 			Name:      label,
 			Benchmark: series[len(series)-1],
-			Require:   fmt.Sprintf(">= %.1fx vs %s (same-run series)", min, series[0]),
+			Require: fmt.Sprintf(">= %.1fx vs %s (same-run series, >= %d samples/point)",
+				min, series[0], scalingMinSamples),
 		}
 		base, last := rs[0].NsPerOp, rs[len(rs)-1].NsPerOp
 		if base > 0 && last > 0 {
@@ -299,6 +303,11 @@ func main() {
 			c.Pass = c.Measured >= min
 			for _, r := range rs[1:] {
 				if r.NsPerOp > base {
+					c.Pass = false
+				}
+			}
+			for _, r := range rs {
+				if r.Samples < scalingMinSamples {
 					c.Pass = false
 				}
 			}
@@ -353,6 +362,24 @@ func main() {
 		[]string{"TaintMapCluster/Scale1", "TaintMapCluster/Scale2", "TaintMapCluster/Scale4"}, 2.5)
 	ratioAtMost("cluster client single-server overhead (in-run)",
 		"TaintMapConcurrent/Cluster8", "TaintMapConcurrent/Mux8", 1.05)
+	// BENCH_7 criteria: the adaptive tier engine. Every bound is a
+	// same-run ratio. The uniform and sparse tiers must land close to
+	// the clean-path floor (that is the point of the new frames); the
+	// two shapes tiering cannot help — clean and dense — may not
+	// regress against the static PR 5 paths that already priced them;
+	// and the flapping adversary is held near the static group encoder,
+	// pinning the hysteresis (a tracker that chases the oscillation
+	// would pay tier-transition churn here).
+	ratioAtMost("uniform-tainted bulk vs clean floor (in-run)",
+		"AdaptivePath/UniformExchange", "AdaptivePath/CleanExchange", 1.3)
+	ratioAtMost("sparse-tainted bulk vs clean floor (in-run)",
+		"AdaptivePath/SparseExchange", "AdaptivePath/CleanExchange", 1.5)
+	ratioAtMost("adaptive clean path vs static passthrough (in-run)",
+		"AdaptivePath/CleanExchange", "AdaptivePath/StaticCleanExchange", 1.05)
+	ratioAtMost("adaptive dense path vs static group encode (in-run)",
+		"AdaptivePath/DenseExchange", "AdaptivePath/StaticGroupExchange", 1.05)
+	ratioAtMost("flapping adversary vs static group encode (in-run)",
+		"AdaptivePath/FlappingExchange", "AdaptivePath/StaticFlappingExchange", 1.10)
 	// BENCH_4 criteria: the distavet suite itself. The full suite (six
 	// analyzers, idbits included) must stay within 15% of the original
 	// five-analyzer core over the same package set: each new invariant

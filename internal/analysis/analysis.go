@@ -73,7 +73,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full distavet suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{ShadowDrop, LabelCopy, ErrCmp, LockOrder, MustCheck, IdBits}
+	return []*Analyzer{ShadowDrop, LabelCopy, ErrCmp, LockOrder, MustCheck, IdBits, TierEncode}
 }
 
 // ByName resolves a comma-separated analyzer-name list against All.

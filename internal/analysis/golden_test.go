@@ -22,6 +22,14 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// TestTierEncodeWireRules runs the tierencode analyzer over a package
+// that *presents* as a wire codec (package name "wire" in a non-wire
+// path): Rule A must bind it — encoder-signature lookalikes outside
+// the real internal/core/wire are still held to the convention.
+func TestTierEncodeWireRules(t *testing.T) {
+	analysistest.Run(t, analysis.TierEncode, filepath.Join("testdata", "src", "tierencodewire"))
+}
+
 // TestSuppressions pins the //lint:ignore machinery directly: a
 // well-formed suppression (line-above and trailing form) silences its
 // finding, a reason-less one suppresses nothing and is itself

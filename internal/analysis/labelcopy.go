@@ -16,7 +16,10 @@ import (
 //
 // Like shadowdrop, the core label-moving layers are whitelisted; the
 // analysis is per enclosing function, so a paired operation in a
-// different function does not count.
+// different function does not count. A call to a core fast-path helper
+// (*Passthrough*/*Uniform*/*Sparse*) also counts as the paired label
+// operation: those helpers move or declare the labels themselves, so a
+// raw byte move feeding one is the sanctioned tier encode.
 var LabelCopy = &Analyzer{
 	Name: "labelcopy",
 	Doc: "copy/append on the raw .Data of a tracked value needs a paired label " +
@@ -78,7 +81,11 @@ func checkLabelCopy(pass *Pass, body *ast.BlockStmt) {
 				}
 			}
 		default:
-			if fn := calleeFunc(pass, call); fn != nil && labelOps[fn.Name()] && labelOpReceiver(fn) {
+			fn := calleeFunc(pass, call)
+			if fn == nil {
+				break
+			}
+			if (labelOps[fn.Name()] && labelOpReceiver(fn)) || fastPathHelper(fn) {
 				paired = true
 			}
 		}

@@ -22,9 +22,11 @@ import (
 // The core layers that are responsible for moving labels next to data
 // (internal/core/taint, internal/jni, internal/jre,
 // internal/instrument) are whitelisted wholesale, and so are the
-// passthrough helpers those layers export (methods named *Passthrough*
-// on core types): a passthrough send declares the bytes untainted on
-// the wire after the caller proved them Clean(), so handing it the raw
+// fast-path helpers those layers export (methods named *Passthrough*,
+// *Uniform* or *Sparse* on core types): a passthrough send declares
+// the bytes untainted on the wire after the caller proved them
+// Clean(), and the uniform/sparse tier helpers carry the labels
+// out-of-band right next to the raw bytes, so handing them the raw
 // slice drops nothing. Anywhere else a deliberate drop needs a
 // //lint:ignore with its justification.
 var ShadowDrop = &Analyzer{
@@ -73,7 +75,7 @@ func escapeCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
 	}
 	name := fn.Name()
 	if sig.Recv() != nil {
-		if !writeVerb(name) || passthroughHelper(fn) {
+		if !writeVerb(name) || fastPathHelper(fn) {
 			return "", false
 		}
 		recv := sig.Recv().Type()
@@ -102,17 +104,25 @@ func escapeCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// passthroughHelper reports whether fn is one of the clean-path
-// passthrough helpers exported by the core label-moving layers. Those
-// methods (e.g. instrument.Endpoint.WritePassthrough) emit a wire
-// frame that *declares* its payload untainted, so feeding them a raw
-// .Data slice is the sanctioned fast path rather than a label drop.
-// The exemption is deliberately narrow: the name must contain
-// "Passthrough" and the method must be defined in a core package — a
-// lookalike helper elsewhere is still flagged.
-func passthroughHelper(fn *types.Func) bool {
-	if !strings.Contains(fn.Name(), "Passthrough") {
+// fastPathHelper reports whether fn is one of the fast-path helpers
+// exported by the core label-moving layers or the wire codec. Those
+// helpers either declare their payload untainted on the wire
+// (*Passthrough*, e.g. instrument.Endpoint.WritePassthrough) or carry
+// the labels out-of-band right next to the raw bytes (*Uniform*,
+// *Sparse*, e.g. Endpoint.WriteUniform or wire.AppendSparseFrame), so
+// feeding them a raw .Data slice is the sanctioned fast path rather
+// than a label drop. The exemption is deliberately narrow: the name
+// must contain one of the fast-path markers and the function must be
+// defined in a core package or internal/core/wire — a lookalike helper
+// elsewhere is still flagged.
+func fastPathHelper(fn *types.Func) bool {
+	name := fn.Name()
+	if !strings.Contains(name, "Passthrough") &&
+		!strings.Contains(name, "Uniform") && !strings.Contains(name, "Sparse") {
 		return false
+	}
+	if hasPathSuffix(fn.Pkg(), "internal/core/wire") {
+		return true
 	}
 	for _, suffix := range corePackages {
 		if hasPathSuffix(fn.Pkg(), suffix) {

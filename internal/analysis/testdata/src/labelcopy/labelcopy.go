@@ -4,7 +4,10 @@
 // the same function also moves them.
 package labelcopy
 
-import "dista/internal/core/taint"
+import (
+	"dista/internal/core/taint"
+	"dista/internal/instrument"
+)
 
 func badCopyOut(dst []byte, b taint.Bytes) {
 	copy(dst, b.Data) // want "copy moves the raw .Data of taint.Bytes"
@@ -36,6 +39,13 @@ func goodAPI(b taint.Bytes) taint.Bytes {
 
 func goodUntracked(dst, src []byte) {
 	copy(dst, src) // no tracked value involved
+}
+
+// A core fast-path helper counts as the paired label operation: the
+// assembled bytes leave through a call that carries the label itself.
+func goodFastPathPaired(ep *instrument.Endpoint, b taint.Bytes, one taint.Taint) error {
+	framed := append([]byte{0x01}, b.Data...) // paired with the uniform send below
+	return ep.WriteUniform(framed, one)
 }
 
 func suppressed(b taint.Bytes) []byte {

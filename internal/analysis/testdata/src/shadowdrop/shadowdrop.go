@@ -50,12 +50,29 @@ func cleanPath(ep *instrument.Endpoint, b taint.Bytes) error {
 	return ep.WritePassthrough(b.Data) // allowlisted: core passthrough helper
 }
 
-// lookalike is NOT in a core package, so its Passthrough name earns no
-// exemption.
+// The uniform/sparse tier helpers are fast paths too: the label (or
+// the dirty-range table) travels in the call right next to the raw
+// bytes, so nothing is dropped.
+func uniformPath(ep *instrument.Endpoint, b taint.Bytes) error {
+	one, ok := b.Uniform()
+	if !ok {
+		return nil
+	}
+	return ep.WriteUniform(b.Data, one) // allowlisted: core uniform helper
+}
+
+// lookalike is NOT in a core package, so its Passthrough/Uniform names
+// earn no exemption.
 type lookalike struct{}
 
 func (lookalike) WritePassthrough(b []byte) error { return nil }
 
+func (lookalike) WriteUniform(b []byte) error { return nil }
+
 func impostor(l lookalike, b taint.Bytes) error {
 	return l.WritePassthrough(b.Data) // want "raw .Data of taint.Bytes escapes into lookalike.WritePassthrough"
+}
+
+func impostorUniform(l lookalike, b taint.Bytes) error {
+	return l.WriteUniform(b.Data) // want "raw .Data of taint.Bytes escapes into lookalike.WriteUniform"
 }

@@ -1,0 +1,66 @@
+// Package tierencode seeds violations of the tier-lattice soundness
+// convention for the distavet tierencode golden test: raw tracked
+// bytes reaching a Passthrough-named helper without a cleanliness
+// check in the same function could put tainted data on the wire with
+// its labels declared away.
+package tierencode
+
+import (
+	"dista/internal/core/taint"
+	"dista/internal/instrument"
+)
+
+// sendPassthroughRaw is a local passthrough-shaped helper: the name is
+// what makes it a Rule B sink, core package or not.
+func sendPassthroughRaw(raw []byte) { _ = raw }
+
+func badUngated(ep *instrument.Endpoint, b taint.Bytes) error {
+	return ep.WritePassthrough(b.Data) // want "no cleanliness check"
+}
+
+func badLocalHelper(b taint.Bytes) {
+	sendPassthroughRaw(b.Data) // want "reaches passthrough helper sendPassthroughRaw"
+}
+
+// notTracked has a Clean method, but not on a tracked value: it must
+// not discharge the gating obligation.
+type notTracked struct{}
+
+func (notTracked) Clean() bool { return true }
+
+func badFakeGate(ep *instrument.Endpoint, nt notTracked, b taint.Bytes) error {
+	if !nt.Clean() {
+		return nil
+	}
+	return ep.WritePassthrough(b.Data) // want "no cleanliness check"
+}
+
+func goodCleanGated(ep *instrument.Endpoint, b taint.Bytes) error {
+	if !b.Clean() {
+		return nil
+	}
+	return ep.WritePassthrough(b.Data)
+}
+
+func goodStatsGated(ep *instrument.Endpoint, b taint.Bytes) error {
+	if st, exact := b.Stats(8); !exact || st.DirtyBytes > 0 {
+		return nil
+	}
+	return ep.WritePassthrough(b.Data)
+}
+
+// goodOwnPassthrough carries the marker itself, so the obligation is
+// its callers': a helper may be a thin passthrough shim.
+func goodOwnPassthrough(ep *instrument.Endpoint, b taint.Bytes) error {
+	return ep.WritePassthrough(b.Data)
+}
+
+func goodPlainBytes(ep *instrument.Endpoint, raw []byte) error {
+	// Untracked slices carry no labels to shed.
+	return ep.WritePassthrough(raw)
+}
+
+func suppressed(ep *instrument.Endpoint, b taint.Bytes) error {
+	//lint:ignore distavet/tierencode caller zeroed the buffer two lines up; checked by TestXYZ
+	return ep.WritePassthrough(b.Data)
+}

@@ -1,0 +1,38 @@
+// Package wire seeds Rule A violations for the distavet tierencode
+// golden test: the package presents itself as a wire codec (by name),
+// so every exported builder that takes a raw payload must carry its
+// labels in the signature or be Passthrough-named. This is the
+// lookalike proof too — the rule binds any "wire" package, not just
+// the real internal/core/wire.
+package wire
+
+type Run struct {
+	N  int
+	ID uint32
+}
+
+type DirtyRange struct {
+	Off, Len int
+	ID       uint32
+}
+
+func AppendGroupsFrame(dst, data []byte, runs []Run) []byte { return dst }
+
+func AppendSparseFrame(dst, data []byte, ranges []DirtyRange) []byte { return dst }
+
+func EncodeUniform(data []byte, id uint32) []byte { return data }
+
+func EncodeWithIDs(data []byte, ids []uint32) []byte { return data }
+
+func AppendPassthroughFrame(dst, data []byte) []byte { return append(dst, data...) }
+
+// AppendFrameHeader never sees the payload, only its length: exempt.
+func AppendFrameHeader(dst []byte, tag byte, n int) []byte { return dst }
+
+func AppendBareFrame(dst, data []byte) []byte { return dst } // want "no label-carrying parameter"
+
+func EncodeNaked(data []byte) []byte { return data } // want "wire encoder EncodeNaked takes a raw payload"
+
+// unexported helpers are the callees of checked exported builders, not
+// the API surface the rule guards.
+func appendBody(dst, data []byte) []byte { return append(dst, data...) }

@@ -1,0 +1,178 @@
+package taint
+
+import "testing"
+
+func statTaint(v string) Taint {
+	return NewTree().NewSource("stat", v)
+}
+
+func TestStatsCleanAndShadowFree(t *testing.T) {
+	b := WrapBytes(make([]byte, 64))
+	st, exact := b.Stats(8)
+	if !exact || st.DirtyBytes != 0 || st.DirtyRuns != 0 || !st.One.Empty() {
+		t.Fatalf("shadow-free stats = %+v exact=%v", st, exact)
+	}
+	m := MakeBytes(64)
+	if st, exact = m.Stats(8); !exact || st.DirtyRuns != 0 {
+		t.Fatalf("clean shadowed stats = %+v exact=%v", st, exact)
+	}
+	var empty Bytes
+	if st, exact = empty.Stats(8); !exact || st.DirtyRuns != 0 {
+		t.Fatalf("empty stats = %+v exact=%v", st, exact)
+	}
+}
+
+func TestStatsUniform(t *testing.T) {
+	lbl := statTaint("u")
+	b := MakeBytes(128)
+	b.TaintAll(lbl)
+	st, exact := b.Stats(8)
+	if !exact {
+		t.Fatal("uniform scan aborted")
+	}
+	if st.DirtyBytes != 128 || st.DirtyRuns != 1 || st.One != lbl {
+		t.Fatalf("uniform stats = %+v", st)
+	}
+	if !st.Uniform(128) {
+		t.Fatal("Uniform(128) = false")
+	}
+	if st.Uniform(129) {
+		t.Fatal("Uniform(129) = true for a 128-dirty-byte window")
+	}
+}
+
+func TestStatsSparseIslands(t *testing.T) {
+	a, c := statTaint("a"), statTaint("c")
+	b := MakeBytes(256)
+	b.SetRange(10, 20, a)
+	b.SetRange(100, 104, c)
+	b.SetRange(200, 201, a)
+	st, exact := b.Stats(8)
+	if !exact {
+		t.Fatal("sparse scan aborted")
+	}
+	if st.DirtyBytes != 15 || st.DirtyRuns != 3 {
+		t.Fatalf("sparse stats = %+v", st)
+	}
+	if !st.One.Empty() {
+		t.Fatalf("mixed labels must zero One, got %v", st.One)
+	}
+	// Same label everywhere keeps One set across separated islands.
+	b2 := MakeBytes(64)
+	b2.SetRange(0, 4, a)
+	b2.SetRange(30, 34, a)
+	if st, _ = b2.Stats(8); st.One != a || st.DirtyRuns != 2 {
+		t.Fatalf("same-label islands stats = %+v", st)
+	}
+}
+
+func TestStatsLimitAbort(t *testing.T) {
+	lbl := statTaint("frag")
+	b := MakeBytes(512)
+	for i := 0; i < 512; i += 2 {
+		b.SetLabel(i, lbl)
+	}
+	st, exact := b.Stats(8)
+	if exact {
+		t.Fatal("fragmented scan should abort at limit")
+	}
+	if st.DirtyRuns < 9 {
+		t.Fatalf("aborted scan saw %d dirty runs, want > limit", st.DirtyRuns)
+	}
+	if !st.One.Empty() {
+		t.Fatal("inexact stats must zero One")
+	}
+	// A larger limit on the same epoch must rescan, not reuse the
+	// aborted memo.
+	if st, exact = b.Stats(1024); !exact || st.DirtyRuns != 256 || st.DirtyBytes != 256 {
+		t.Fatalf("full rescan stats = %+v exact=%v", st, exact)
+	}
+	// And now the exact memo serves smaller limits too.
+	if st, exact = b.Stats(8); !exact || st.DirtyRuns != 256 {
+		t.Fatalf("memoized exact stats = %+v exact=%v", st, exact)
+	}
+}
+
+func TestStatsMemoInvalidation(t *testing.T) {
+	lbl := statTaint("m")
+	b := MakeBytes(64)
+	b.SetRange(0, 8, lbl)
+	if st, _ := b.Stats(8); st.DirtyBytes != 8 {
+		t.Fatalf("pre-mutation stats = %+v", st)
+	}
+	b.SetRange(32, 40, lbl)
+	st, exact := b.Stats(8)
+	if !exact || st.DirtyBytes != 16 || st.DirtyRuns != 2 {
+		t.Fatalf("post-mutation stats = %+v", st)
+	}
+	b.ResetLabels()
+	if st, _ = b.Stats(8); st.DirtyBytes != 0 || st.DirtyRuns != 0 {
+		t.Fatalf("post-reset stats = %+v", st)
+	}
+}
+
+func TestStatsRangedView(t *testing.T) {
+	lbl := statTaint("view")
+	b := MakeBytes(128)
+	b.SetRange(40, 60, lbl)
+	// A view that excludes the dirty range is clean.
+	if st, exact := b.Slice(0, 32).Stats(8); !exact || st.DirtyRuns != 0 {
+		t.Fatalf("clean view stats = %+v", st)
+	}
+	// A view that clips it mid-run sees the clipped extent.
+	st, exact := b.Slice(50, 128).Stats(8)
+	if !exact || st.DirtyBytes != 10 || st.DirtyRuns != 1 || st.One != lbl {
+		t.Fatalf("clipped view stats = %+v", st)
+	}
+}
+
+func TestStatsDenseStore(t *testing.T) {
+	lbl := statTaint("dense")
+	b := MakeBytes(256)
+	// Fragment enough to trip the dense fallback.
+	for i := 0; i < 256; i += 2 {
+		b.SetLabel(i, lbl)
+	}
+	if !b.HasShadow() {
+		t.Fatal("no shadow")
+	}
+	st, exact := b.Stats(1024)
+	if !exact || st.DirtyRuns != 128 || st.DirtyBytes != 128 || st.One != lbl {
+		t.Fatalf("dense stats = %+v exact=%v", st, exact)
+	}
+	// Adjacent equal labels in dense mode still count as one run.
+	b2 := MakeBytes(64)
+	for i := 0; i < 64; i++ {
+		b2.SetLabel(i, lbl) // densify via per-byte writes on a fragmented store
+	}
+	if st, _ := b2.Stats(8); st.DirtyRuns != 1 || st.DirtyBytes != 64 {
+		t.Fatalf("merged dense stats = %+v", st)
+	}
+}
+
+func TestForEachDirtyRun(t *testing.T) {
+	a, c := statTaint("x"), statTaint("y")
+	b := MakeBytes(100)
+	b.SetRange(5, 10, a)
+	b.SetRange(50, 70, c)
+	type run struct {
+		from, to int
+		t        Taint
+	}
+	var got []run
+	b.ForEachDirtyRun(func(from, to int, t Taint) {
+		got = append(got, run{from, to, t})
+	})
+	want := []run{{5, 10, a}, {50, 70, c}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d dirty runs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	clean := MakeBytes(32)
+	clean.ForEachDirtyRun(func(int, int, Taint) { t.Fatal("dirty run on clean bytes") })
+	WrapBytes(nil).ForEachDirtyRun(func(int, int, Taint) { t.Fatal("dirty run on nil bytes") })
+}

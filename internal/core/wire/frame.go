@@ -17,6 +17,10 @@ import (
 //   - 'G' (groups): the body is the classic group encoding
 //     (EncodeRuns), length a multiple of GroupLen. Tainted buffers keep
 //     paying exactly the old cost plus the 5-byte header.
+//   - 'U' (uniform) and 'S' (sparse): the adaptive tiers between those
+//     extremes — raw data plus out-of-band labels (see tier.go). They
+//     ride under the "DTF2" magic; this decoder accepts either magic
+//     and all four tags under both.
 //
 // Byte compatibility: FrameDecoder sniffs the first bytes of a
 // connection and falls back to the legacy raw-group stream the moment a
@@ -109,6 +113,10 @@ type FrameDecoder struct {
 	hdrN  int
 	tag   byte
 	body  int // body bytes of the current frame still expected
+	flen  int // total body length of the current frame
+	metaN int // label-metadata bytes (uniform id / sparse table) still expected
+	meta  []byte
+	srun  []Run // remaining run cover of the current tiered frame's data
 	err   error
 }
 
@@ -121,8 +129,9 @@ func (d *FrameDecoder) Feed(raw []byte) error {
 	}
 	for d.state == frameSniffing && len(raw) > 0 {
 		b := raw[0]
-		if b != streamMagic[d.preN] {
-			// Not the magic: a legacy stream. Replay the sniffed
+		if b != streamMagic[d.preN] &&
+			!(d.preN == StreamMagicLen-1 && b == adaptiveMagic[StreamMagicLen-1]) {
+			// Neither magic: a legacy stream. Replay the sniffed
 			// prefix, then fall through to plain group decoding.
 			d.state = frameLegacy
 			d.sd.Feed(d.pre[:d.preN])
@@ -141,16 +150,39 @@ func (d *FrameDecoder) Feed(raw []byte) error {
 	}
 	for len(raw) > 0 {
 		if d.body > 0 {
+			if d.metaN > 0 {
+				// Accumulate the tiered frame's label metadata (the
+				// uniform id, the sparse count then table) before any
+				// data byte is delivered.
+				m := d.metaN
+				if m > len(raw) {
+					m = len(raw)
+				}
+				d.meta = append(d.meta, raw[:m]...)
+				d.metaN -= m
+				d.body -= m
+				raw = raw[m:]
+				if d.metaN == 0 {
+					if err := d.finishMeta(); err != nil {
+						d.err = err
+						return err
+					}
+				}
+				continue
+			}
 			m := d.body
 			if m > len(raw) {
 				m = len(raw)
 			}
 			// Group bodies are a multiple of GroupLen, so the inner
-			// decoder is never mid-group when a passthrough body
-			// starts: pushRaw's no-partial precondition holds.
-			if d.tag == FramePassthrough {
+			// decoder is never mid-group when a raw-data body starts:
+			// pushRun's no-partial precondition holds.
+			switch d.tag {
+			case FramePassthrough:
 				d.sd.pushRaw(raw[:m])
-			} else {
+			case FrameUniform, FrameSparse:
+				d.pushTiered(raw[:m])
+			default:
 				d.sd.Feed(raw[:m])
 			}
 			d.body -= m
@@ -167,19 +199,84 @@ func (d *FrameDecoder) Feed(raw []byte) error {
 		d.tag = d.hdr[0]
 		ln := int(binary.BigEndian.Uint32(d.hdr[1:]))
 		switch {
-		case d.tag != FramePassthrough && d.tag != FrameGroups:
+		case d.tag != FramePassthrough && d.tag != FrameGroups &&
+			d.tag != FrameUniform && d.tag != FrameSparse:
 			d.err = fmt.Errorf("wire: unknown frame tag 0x%02x", d.tag)
 		case ln > MaxFrameLen:
 			d.err = fmt.Errorf("wire: frame length %d exceeds limit", ln)
 		case d.tag == FrameGroups && ln%GroupLen != 0:
 			d.err = fmt.Errorf("wire: groups frame length %d is not a whole number of groups", ln)
+		case d.tag == FrameUniform && ln < GlobalIDLen:
+			d.err = fmt.Errorf("wire: uniform frame length %d cannot hold a Global ID", ln)
+		case d.tag == FrameSparse && ln < SparseCountLen:
+			d.err = fmt.Errorf("wire: sparse frame length %d cannot hold a range count", ln)
 		}
 		if d.err != nil {
 			return d.err
 		}
-		d.body = ln
+		d.body, d.flen = ln, ln
+		d.meta = d.meta[:0]
+		switch d.tag {
+		case FrameUniform:
+			d.metaN = GlobalIDLen
+		case FrameSparse:
+			d.metaN = SparseCountLen
+		default:
+			d.metaN = 0
+		}
 	}
 	return nil
+}
+
+// finishMeta runs when a tiered frame's pending metadata completes: for
+// a uniform frame the Global ID, for a sparse frame first the count
+// (which re-arms metaN for the table) and then the table itself. It
+// leaves srun holding the run cover the data section will be delivered
+// under.
+func (d *FrameDecoder) finishMeta() error {
+	dataLen := d.flen - GlobalIDLen
+	if d.tag == FrameUniform {
+		d.srun = append(d.srun[:0], Run{N: dataLen, ID: binary.BigEndian.Uint32(d.meta)})
+		return nil
+	}
+	if len(d.meta) == SparseCountLen {
+		k := int(binary.BigEndian.Uint32(d.meta))
+		if k > MaxSparseRanges {
+			return fmt.Errorf("wire: sparse frame declares %d ranges (limit %d)", k, MaxSparseRanges)
+		}
+		if need := SparseCountLen + k*SparseRangeLen; need > d.flen {
+			return fmt.Errorf("wire: sparse frame length %d cannot hold %d ranges", d.flen, k)
+		}
+		if k > 0 {
+			d.metaN = k * SparseRangeLen
+			return nil
+		}
+	}
+	dataLen = d.flen - len(d.meta)
+	ranges, err := parseRangeTable(d.meta[SparseCountLen:], dataLen)
+	if err != nil {
+		return err
+	}
+	d.srun = rangeRunCover(d.srun[:0], ranges, dataLen)
+	return nil
+}
+
+// pushTiered delivers raw data bytes of a uniform/sparse frame under
+// the run cover finishMeta computed, consuming it as fragments arrive.
+func (d *FrameDecoder) pushTiered(raw []byte) {
+	for len(raw) > 0 {
+		r := &d.srun[0]
+		m := r.N
+		if m > len(raw) {
+			m = len(raw)
+		}
+		d.sd.pushRun(raw[:m], r.ID)
+		r.N -= m
+		raw = raw[m:]
+		if r.N == 0 {
+			d.srun = d.srun[1:]
+		}
+	}
 }
 
 // Buffered returns how many decoded data bytes are ready.

@@ -121,6 +121,36 @@ func FuzzPacketRoundTrip(f *testing.F) {
 			t.Fatalf("runs cover %d of %d", len(got), len(data))
 		}
 
+		// The tiered packet flavours must round-trip the same payload
+		// and survive truncation anywhere without panicking.
+		upkt := EncodePacketUniform(data, id)
+		ud, uruns, uerr := DecodePacketRuns(upkt)
+		if uerr != nil || !bytes.Equal(ud, data) {
+			t.Fatalf("uniform packet decode = %q, %v", ud, uerr)
+		}
+		if len(data) > 0 && (len(uruns) != 1 || uruns[0].ID != id) {
+			t.Fatalf("uniform packet runs = %+v", uruns)
+		}
+		var ranges []DirtyRange
+		if id != 0 && len(data) > 2 {
+			ranges = []DirtyRange{{Off: 1, Len: len(data) - 2, ID: id}}
+		}
+		spkt := EncodePacketSparse(data, ranges)
+		sd, sruns, serr := DecodePacketRuns(spkt)
+		if serr != nil || !bytes.Equal(sd, data) {
+			t.Fatalf("sparse packet decode = %q, %v", sd, serr)
+		}
+		if got := AppendDirtyRanges(nil, sruns); len(got) != len(ranges) {
+			t.Fatalf("sparse packet ranges = %+v, want %+v", got, ranges)
+		}
+		ucut := int(cut) % (len(upkt) + 1)
+		if _, _, err := DecodePacketPrefixRuns(upkt[:ucut]); err == nil && ucut < PacketOverhead+GlobalIDLen && len(data) > 0 {
+			t.Fatalf("uniform prefix cut %d inside metadata decoded", ucut)
+		}
+		if _, _, err := DecodePacketPrefixRuns(spkt[:int(cut)%(len(spkt)+1)]); err != nil && int(cut)%(len(spkt)+1) == len(spkt) {
+			t.Fatalf("whole sparse packet rejected: %v", err)
+		}
+
 		// Truncate anywhere: both prefix decoders must agree and not
 		// panic; whole groups before the cut must survive.
 		n := int(cut) % (len(pkt) + 1)
@@ -154,23 +184,31 @@ func uniformIDs(n int, id uint32) []uint32 {
 	return ids
 }
 
-// FuzzFrameRoundTrip drives the framed codec: the input alternates
-// passthrough and groups frames, fed under fuzz-chosen fragmentation,
-// and the decoded bytes/ids must match. Seeds cover both frame tags,
-// the empty frame, and the legacy-fallback prefix collisions.
+// FuzzFrameRoundTrip drives the framed codec: the input is split across
+// frames of all four tiers (passthrough, uniform, sparse, groups), fed
+// under fuzz-chosen fragmentation, and the decoded bytes/ids must
+// match. Seeds cover every frame tag under both magics, the empty
+// frame, and the legacy-fallback prefix collisions.
 func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add([]byte("clean then tainted"), int64(1), uint8(3), uint8(2))
 	f.Add([]byte{}, int64(2), uint8(0), uint8(1))
 	f.Add([]byte("DTF1PPPP"), int64(3), uint8(1), uint8(4)) // payload mimicking the magic+tag
 	f.Add(bytes.Repeat([]byte{'G'}, 64), int64(4), uint8(7), uint8(3))
 	f.Add([]byte{'P', 0, 0, 0, 0}, int64(5), uint8(2), uint8(2)) // bare passthrough header bytes as payload
+	f.Add([]byte("DTF2U\x00\x00\x00\x07abc"), int64(6), uint8(3), uint8(3))
+	f.Add([]byte("uniform bulk transfer payload"), int64(7), uint8(9), uint8(1))
+	f.Add(bytes.Repeat([]byte{'S', 0}, 40), int64(8), uint8(5), uint8(5)) // sparse-heavy split
 	f.Fuzz(func(t *testing.T, data []byte, seed int64, frag, nframes uint8) {
 		rng := rand.New(rand.NewSource(seed))
 
-		// Split data into 1..nframes+1 frames, alternating clean and
-		// tainted by the rng; record the expected per-byte ids.
+		// Split data into 1..nframes+1 frames across all four tiers by
+		// the rng; record the expected per-byte ids.
 		var raw []byte
-		raw = AppendStreamMagic(raw)
+		if rng.Intn(2) == 0 {
+			raw = AppendAdaptiveStreamMagic(raw)
+		} else {
+			raw = AppendStreamMagic(raw) // tier tags decode under either magic
+		}
 		wantIDs := make([]uint32, 0, len(data))
 		rest := data
 		for i := 0; i < int(nframes)+1; i++ {
@@ -183,12 +221,38 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			chunk := rest[:n]
 			rest = rest[n:]
-			if rng.Intn(2) == 0 {
+			switch rng.Intn(4) {
+			case 0:
 				raw = AppendPassthroughFrame(raw, chunk)
 				for range chunk {
 					wantIDs = append(wantIDs, 0)
 				}
-			} else {
+			case 1:
+				id := uint32(rng.Intn(3))
+				raw = AppendUniformFrame(raw, chunk, id)
+				for range chunk {
+					wantIDs = append(wantIDs, id)
+				}
+			case 2:
+				// Random tainted islands over a mostly-clean chunk.
+				var ranges []DirtyRange
+				ids := make([]uint32, len(chunk))
+				for pos := 0; pos < len(chunk) && len(ranges) < MaxSparseRanges; {
+					pos += rng.Intn(5)
+					if pos >= len(chunk) {
+						break
+					}
+					ln := rng.Intn(len(chunk)-pos) + 1
+					id := uint32(rng.Intn(3) + 1) // sparse ranges must be non-zero-id
+					ranges = append(ranges, DirtyRange{Off: pos, Len: ln, ID: id})
+					for k := pos; k < pos+ln; k++ {
+						ids[k] = id
+					}
+					pos += ln
+				}
+				raw = AppendSparseFrame(raw, chunk, ranges)
+				wantIDs = append(wantIDs, ids...)
+			default:
 				id := uint32(rng.Intn(3))
 				raw = AppendGroupsFrame(raw, chunk, []Run{{N: len(chunk), ID: id}})
 				for range chunk {
@@ -241,6 +305,11 @@ func FuzzFrameDecoderRobust(f *testing.F) {
 	f.Add([]byte("DTF1Z\x00\x00\x00\x01x"), uint8(2)) // bad tag
 	f.Add([]byte("DTF1P\xff\xff\xff\xff"), uint8(4))  // oversize length
 	f.Add([]byte("not framed at all"), uint8(5))
+	f.Add([]byte("DTF2U\x00\x00\x00\x06\x00\x00\x00\x09ab"), uint8(2))                                                 // uniform frame
+	f.Add([]byte("DTF2U\x00\x00\x00\x02id"), uint8(1))                                                                 // uniform too short for an id
+	f.Add([]byte("DTF2S\x00\x00\x00\x04\x00\x00\x00\x00"), uint8(3))                                                   // empty sparse table
+	f.Add([]byte("DTF2S\x00\x00\x00\x08\xff\xff\xff\xff\x00\x00\x00\x01"), uint8(2))                                   // insane range count
+	f.Add([]byte("DTF2S\x00\x00\x00\x12\x00\x00\x00\x01\x00\x00\x00\x04\x00\x00\x00\x09\x00\x00\x00\x07xx"), uint8(4)) // range past data
 	f.Fuzz(func(t *testing.T, raw []byte, frag uint8) {
 		var dec FrameDecoder
 		var ferr error

@@ -1,0 +1,321 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTierFrameLens pins the tiered framed-size helpers against the
+// append forms.
+func TestTierFrameLens(t *testing.T) {
+	data := []byte("uniformly tainted payload")
+	if got := len(AppendUniformFrame(nil, data, 7)); got != UniformFrameLen(len(data)) {
+		t.Fatalf("uniform frame = %d bytes, UniformFrameLen says %d", got, UniformFrameLen(len(data)))
+	}
+	ranges := []DirtyRange{{Off: 2, Len: 3, ID: 9}, {Off: 10, Len: 1, ID: 4}}
+	if got := len(AppendSparseFrame(nil, data, ranges)); got != SparseFrameLen(len(data), len(ranges)) {
+		t.Fatalf("sparse frame = %d bytes, SparseFrameLen says %d", got, SparseFrameLen(len(data), len(ranges)))
+	}
+	// The header halves must be the frame minus the raw payload, so the
+	// zero-copy two-write send emits identical bytes.
+	whole := AppendUniformFrame(nil, data, 7)
+	split := append(AppendUniformHeader(nil, len(data), 7), data...)
+	if !bytes.Equal(whole, split) {
+		t.Fatal("AppendUniformHeader + payload differs from AppendUniformFrame")
+	}
+	whole = AppendSparseFrame(nil, data, ranges)
+	split = append(AppendSparseHeader(nil, len(data), ranges), data...)
+	if !bytes.Equal(whole, split) {
+		t.Fatal("AppendSparseHeader + payload differs from AppendSparseFrame")
+	}
+}
+
+// TestTierMixedRoundTrip interleaves all four frame tiers on one
+// adaptive stream at every fragmentation size.
+func TestTierMixedRoundTrip(t *testing.T) {
+	var raw []byte
+	raw = AppendAdaptiveStreamMagic(raw)
+	raw = AppendPassthroughFrame(raw, []byte("clean"))
+	raw = AppendUniformFrame(raw, []byte("uniform"), 3)
+	raw = AppendSparseFrame(raw, []byte("sparse-islands"),
+		[]DirtyRange{{Off: 0, Len: 2, ID: 5}, {Off: 7, Len: 3, ID: 8}})
+	raw = AppendGroupsFrame(raw, []byte("dense"), []Run{{N: 2, ID: 1}, {N: 3, ID: 2}})
+	raw = AppendUniformFrame(raw, nil, 6) // empty uniform frame is legal
+	raw = AppendUniformFrame(raw, []byte("more"), 3)
+
+	wantData := []byte("clean" + "uniform" + "sparse-islands" + "dense" + "more")
+	var wantIDs []uint32
+	wantIDs = append(wantIDs, 0, 0, 0, 0, 0)       // clean
+	wantIDs = append(wantIDs, 3, 3, 3, 3, 3, 3, 3) // uniform
+	wantIDs = append(wantIDs, 5, 5, 0, 0, 0, 0, 0) // sparse: [0,2)=5
+	wantIDs = append(wantIDs, 8, 8, 8, 0, 0, 0, 0) // sparse: [7,10)=8, tail clean
+	wantIDs = append(wantIDs, 1, 1, 2, 2, 2)       // dense
+	wantIDs = append(wantIDs, 3, 3, 3, 3)          // more
+
+	for frag := 1; frag <= len(raw); frag++ {
+		var d FrameDecoder
+		feedFragmented(t, &d, raw, frag)
+		if d.PendingPartial() {
+			t.Fatalf("frag %d: whole stream left a partial", frag)
+		}
+		data, gotIDs := drainIDs(&d)
+		if !bytes.Equal(data, wantData) {
+			t.Fatalf("frag %d: data = %q, want %q", frag, data, wantData)
+		}
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("frag %d: %d ids, want %d", frag, len(gotIDs), len(wantIDs))
+		}
+		for i := range wantIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("frag %d: id %d = %d, want %d", frag, i, gotIDs[i], wantIDs[i])
+			}
+		}
+	}
+}
+
+// TestTierTagsUnderLegacyMagic checks decode liberality: the new tags
+// are accepted under the PR 5 "DTF1" magic too, so a peer that
+// negotiated tiers but kept the old magic still decodes.
+func TestTierTagsUnderLegacyMagic(t *testing.T) {
+	var raw []byte
+	raw = AppendStreamMagic(raw)
+	raw = AppendUniformFrame(raw, []byte("abc"), 2)
+	var d FrameDecoder
+	if err := d.Feed(raw); err != nil {
+		t.Fatal(err)
+	}
+	data, ids := drainIDs(&d)
+	if string(data) != "abc" || ids[0] != 2 || ids[2] != 2 {
+		t.Fatalf("decoded %q %v", data, ids)
+	}
+}
+
+// TestAdaptiveMagicCompat checks the cross-version sniffing matrix:
+// PR 5 frames under the adaptive magic decode, and a legacy raw-group
+// stream sharing three magic bytes still falls back losslessly.
+func TestAdaptiveMagicCompat(t *testing.T) {
+	var raw []byte
+	raw = AppendAdaptiveStreamMagic(raw)
+	raw = AppendPassthroughFrame(raw, []byte("old-style"))
+	raw = AppendGroupsFrame(raw, []byte("gg"), []Run{{N: 2, ID: 11}})
+	for frag := 1; frag <= len(raw); frag++ {
+		var d FrameDecoder
+		feedFragmented(t, &d, raw, frag)
+		data, ids := drainIDs(&d)
+		if string(data) != "old-stylegg" {
+			t.Fatalf("frag %d: data = %q", frag, data)
+		}
+		if ids[9] != 11 || ids[10] != 11 || ids[0] != 0 {
+			t.Fatalf("frag %d: ids = %v", frag, ids)
+		}
+	}
+
+	// "DTF" then a byte that is neither '1' nor '2' is a legacy stream.
+	payload := []byte("DTFX legacy payload")
+	ids := make([]uint32, len(payload))
+	legacy := EncodeGroups(nil, payload, ids)
+	for frag := 1; frag <= len(legacy); frag++ {
+		var d FrameDecoder
+		feedFragmented(t, &d, legacy, frag)
+		data, _ := drainIDs(&d)
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("frag %d: legacy fallback decoded %q", frag, data)
+		}
+	}
+}
+
+// TestTierStickyErrors checks the tiered corruption classes are
+// rejected with sticky errors.
+func TestTierStickyErrors(t *testing.T) {
+	overlap := AppendSparseFrame(AppendAdaptiveStreamMagic(nil), make([]byte, 10),
+		[]DirtyRange{{Off: 0, Len: 4, ID: 1}, {Off: 2, Len: 4, ID: 2}})
+	outside := AppendSparseFrame(AppendAdaptiveStreamMagic(nil), make([]byte, 4),
+		[]DirtyRange{{Off: 2, Len: 8, ID: 1}})
+	zeroID := AppendSparseFrame(AppendAdaptiveStreamMagic(nil), make([]byte, 8),
+		[]DirtyRange{{Off: 1, Len: 2, ID: 0}})
+	zeroLen := AppendSparseFrame(AppendAdaptiveStreamMagic(nil), make([]byte, 8),
+		[]DirtyRange{{Off: 1, Len: 0, ID: 3}})
+	cases := []struct {
+		name string
+		raw  []byte
+		want string
+	}{
+		{"short uniform", AppendFrameHeader(AppendAdaptiveStreamMagic(nil), FrameUniform, GlobalIDLen-1), "cannot hold a Global ID"},
+		{"short sparse", AppendFrameHeader(AppendAdaptiveStreamMagic(nil), FrameSparse, SparseCountLen-1), "cannot hold a range count"},
+		{"table overflow", AppendSparseHeader(AppendAdaptiveStreamMagic(nil), 0, make([]DirtyRange, MaxSparseRanges+1)), "limit"},
+		{"table past body", append(AppendFrameHeader(AppendAdaptiveStreamMagic(nil), FrameSparse, SparseCountLen+2), 0, 0, 0, 9, 'x', 'x'), "cannot hold"},
+		{"overlapping ranges", overlap, "overlaps or reorders"},
+		{"range outside data", outside, "exceeds"},
+		{"zero-id range", zeroID, "untainted id"},
+		{"zero-length range", zeroLen, "length 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d FrameDecoder
+			var err error
+			for off := 0; off < len(tc.raw) && err == nil; off++ {
+				err = d.Feed(tc.raw[off : off+1])
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Feed = %v, want %q", err, tc.want)
+			}
+			if again := d.Feed([]byte("more")); !errors.Is(again, err) {
+				t.Fatalf("error not sticky: %v then %v", err, again)
+			}
+		})
+	}
+}
+
+// TestTierPendingPartial walks every truncation point of a
+// uniform+sparse stream: any cut that is not a frame boundary must
+// report a partial.
+func TestTierPendingPartial(t *testing.T) {
+	var raw []byte
+	raw = AppendAdaptiveStreamMagic(raw)
+	raw = AppendUniformFrame(raw, []byte("abc"), 2)
+	raw = AppendSparseFrame(raw, []byte("defgh"), []DirtyRange{{Off: 1, Len: 2, ID: 4}})
+
+	boundaries := map[int]bool{
+		0:                                   true,
+		StreamMagicLen:                      true,
+		StreamMagicLen + UniformFrameLen(3): true,
+		len(raw):                            true,
+	}
+	for cut := 0; cut <= len(raw); cut++ {
+		var d FrameDecoder
+		if err := d.Feed(raw[:cut]); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got, want := d.PendingPartial(), !boundaries[cut]; got != want {
+			t.Fatalf("cut %d: PendingPartial = %v, want %v", cut, got, want)
+		}
+	}
+}
+
+// TestDirtyRangeHelpers pins the run<->range conversions.
+func TestDirtyRangeHelpers(t *testing.T) {
+	runs := []Run{{N: 3, ID: 0}, {N: 2, ID: 7}, {N: 4, ID: 0}, {N: 1, ID: 7}, {N: 2, ID: 9}}
+	ranges := AppendDirtyRanges(nil, runs)
+	want := []DirtyRange{{Off: 3, Len: 2, ID: 7}, {Off: 9, Len: 1, ID: 7}, {Off: 10, Len: 2, ID: 9}}
+	if len(ranges) != len(want) {
+		t.Fatalf("ranges = %+v, want %+v", ranges, want)
+	}
+	for i := range want {
+		if ranges[i] != want[i] {
+			t.Fatalf("range %d = %+v, want %+v", i, ranges[i], want[i])
+		}
+	}
+	if err := ValidateDirtyRanges(ranges, 12); err != nil {
+		t.Fatalf("valid ranges rejected: %v", err)
+	}
+	cover := rangeRunCover(nil, ranges, 12)
+	if RunsLen(cover) != 12 {
+		t.Fatalf("cover = %+v does not span 12 bytes", cover)
+	}
+	back := AppendDirtyRanges(nil, cover)
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("round-tripped range %d = %+v, want %+v", i, back[i], want[i])
+		}
+	}
+}
+
+// TestPacketUniformRoundTrip checks the uniform datagram flavour and
+// its truncation salvage.
+func TestPacketUniformRoundTrip(t *testing.T) {
+	payload := []byte("uniform datagram")
+	raw := EncodePacketUniform(payload, 42)
+	if len(raw) != PacketOverhead+GlobalIDLen+len(payload) {
+		t.Fatalf("uniform packet = %d bytes", len(raw))
+	}
+	data, runs, err := DecodePacketRuns(raw)
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("DecodePacketRuns = %q, %v", data, err)
+	}
+	if len(runs) != 1 || runs[0] != (Run{N: len(payload), ID: 42}) {
+		t.Fatalf("runs = %+v", runs)
+	}
+	data2, ids, err := DecodePacket(raw)
+	if err != nil || !bytes.Equal(data2, payload) || ids[0] != 42 || ids[len(ids)-1] != 42 {
+		t.Fatalf("DecodePacket = %q %v %v", data2, ids, err)
+	}
+
+	// Truncation: data bytes past the intact id salvage; cuts inside
+	// the header or id do not.
+	for cut := 0; cut <= len(raw); cut++ {
+		p, pruns, perr := DecodePacketPrefixRuns(raw[:cut])
+		if cut < PacketOverhead+GlobalIDLen {
+			if perr == nil {
+				t.Fatalf("cut %d: want truncation error", cut)
+			}
+			continue
+		}
+		if perr != nil {
+			t.Fatalf("cut %d: %v", cut, perr)
+		}
+		want := payload[:cut-PacketOverhead-GlobalIDLen]
+		if !bytes.Equal(p, want) {
+			t.Fatalf("cut %d: prefix = %q, want %q", cut, p, want)
+		}
+		if RunsLen(pruns) != len(p) || (len(p) > 0 && pruns[0].ID != 42) {
+			t.Fatalf("cut %d: runs = %+v", cut, pruns)
+		}
+	}
+}
+
+// TestPacketSparseRoundTrip checks the sparse datagram flavour and that
+// truncation drops or clips ranges past the cut.
+func TestPacketSparseRoundTrip(t *testing.T) {
+	payload := []byte("sparse island datagram body")
+	ranges := []DirtyRange{{Off: 2, Len: 3, ID: 6}, {Off: 20, Len: 5, ID: 13}}
+	raw := EncodePacketSparse(payload, ranges)
+	data, runs, err := DecodePacketRuns(raw)
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("DecodePacketRuns = %q, %v", data, err)
+	}
+	got := AppendDirtyRanges(nil, runs)
+	if len(got) != 2 || got[0] != ranges[0] || got[1] != ranges[1] {
+		t.Fatalf("ranges = %+v", got)
+	}
+
+	meta := PacketOverhead + SparseCountLen + len(ranges)*SparseRangeLen
+	for cut := 0; cut <= len(raw); cut++ {
+		p, pruns, perr := DecodePacketPrefixRuns(raw[:cut])
+		if cut < meta {
+			if perr == nil {
+				t.Fatalf("cut %d: want truncation error before the table is whole", cut)
+			}
+			continue
+		}
+		if perr != nil {
+			t.Fatalf("cut %d: %v", cut, perr)
+		}
+		n := cut - meta
+		if !bytes.Equal(p, payload[:n]) {
+			t.Fatalf("cut %d: prefix = %q", cut, p)
+		}
+		if RunsLen(pruns) != n {
+			t.Fatalf("cut %d: runs %+v cover %d of %d", cut, pruns, RunsLen(pruns), n)
+		}
+		// Labels of the surviving prefix must match the full decode.
+		for i, r := range AppendDirtyRanges(nil, pruns) {
+			w := ranges[i]
+			if end := w.Off + w.Len; end > n {
+				w.Len = n - w.Off
+			}
+			if r != w {
+				t.Fatalf("cut %d: salvaged range %d = %+v, want %+v", cut, i, r, w)
+			}
+		}
+	}
+	// The salvage path must not mutate the caller's datagram.
+	full := EncodePacketSparse(payload, ranges)
+	if _, _, err := DecodePacketPrefixRuns(full[:meta+3]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, raw) {
+		t.Fatal("DecodePacketPrefixRuns mutated its input")
+	}
+}

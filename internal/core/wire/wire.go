@@ -270,7 +270,8 @@ type StreamDecoder struct {
 	nburied int // valid bytes in partial
 
 	data []byte
-	runs []Run // taint of data, covering it exactly
+	off  int   // consumed prefix of data; unread bytes are data[off:]
+	runs []Run // taint of data[off:], covering it exactly
 }
 
 // Feed consumes raw wire bytes, decoding every completed group.
@@ -296,15 +297,21 @@ func (d *StreamDecoder) Feed(raw []byte) {
 // consuming wire groups — the passthrough-frame delivery path. Must not
 // be called while a partial group is buffered: the framing layer
 // guarantees group bodies end on group boundaries.
-func (d *StreamDecoder) pushRaw(b []byte) {
+func (d *StreamDecoder) pushRaw(b []byte) { d.pushRun(b, 0) }
+
+// pushRun appends already-decoded bytes that all carry one Global ID —
+// the delivery path of the passthrough, uniform and sparse frame tiers,
+// which ship raw data plus out-of-band labels instead of groups. Same
+// no-partial precondition as pushRaw.
+func (d *StreamDecoder) pushRun(b []byte, id uint32) {
 	if len(b) == 0 {
 		return
 	}
 	d.data = append(d.data, b...)
-	if n := len(d.runs); n > 0 && d.runs[n-1].ID == 0 {
+	if n := len(d.runs); n > 0 && d.runs[n-1].ID == id {
 		d.runs[n-1].N += len(b)
 	} else {
-		d.runs = append(d.runs, Run{N: len(b), ID: 0})
+		d.runs = append(d.runs, Run{N: len(b), ID: id})
 	}
 }
 
@@ -393,7 +400,7 @@ func (d *StreamDecoder) feedWhole(raw []byte) {
 }
 
 // Buffered returns how many decoded data bytes are ready.
-func (d *StreamDecoder) Buffered() int { return len(d.data) }
+func (d *StreamDecoder) Buffered() int { return len(d.data) - d.off }
 
 // PendingPartial reports whether a fraction of a group is buffered.
 func (d *StreamDecoder) PendingPartial() bool { return d.nburied > 0 }
@@ -404,12 +411,12 @@ func (d *StreamDecoder) PendingPartial() bool { return d.nburied > 0 }
 // decoder), so draining a fully buffered stream allocates nothing for
 // the taint side however fragmented it is.
 func (d *StreamDecoder) NextRuns(max int) (data []byte, runs []Run) {
-	n := len(d.data)
+	n := d.Buffered()
 	if n > max {
 		n = max
 	}
 	data = make([]byte, n)
-	copy(data, d.data[:n])
+	copy(data, d.data[d.off:d.off+n])
 	return data, d.popRuns(n)
 }
 
@@ -417,18 +424,18 @@ func (d *StreamDecoder) NextRuns(max int) (data []byte, runs []Run) {
 // returning the count and the taint runs — NextRuns without the data
 // allocation, for callers that already own the destination buffer.
 func (d *StreamDecoder) NextRunsInto(dst []byte) (int, []Run) {
-	n := len(d.data)
+	n := d.Buffered()
 	if n > len(dst) {
 		n = len(dst)
 	}
-	copy(dst, d.data[:n])
+	copy(dst, d.data[d.off:d.off+n])
 	return n, d.popRuns(n)
 }
 
 // popRuns consumes n buffered bytes and returns their taint runs, with
 // the same aliasing contract as NextRuns.
 func (d *StreamDecoder) popRuns(n int) []Run {
-	d.data = d.data[n:]
+	d.off += n
 	k, rem := 0, n
 	for rem > 0 && d.runs[k].N <= rem {
 		rem -= d.runs[k].N
@@ -445,8 +452,12 @@ func (d *StreamDecoder) popRuns(n int) []Run {
 		d.runs = d.runs[k:]
 		d.runs[0].N -= rem
 	}
-	if len(d.data) == 0 {
-		d.data, d.runs = nil, nil
+	if d.off == len(d.data) {
+		// Fully drained: keep the data array for the next burst (a
+		// long-lived endpoint decoder would otherwise re-grow it on
+		// every exchange), but drop the run slice — popped prefixes
+		// alias it and must never be rewritten.
+		d.data, d.off, d.runs = d.data[:0], 0, nil
 	}
 	return runs
 }
@@ -508,31 +519,76 @@ func packetHeader(n int) []byte {
 	return binary.BigEndian.AppendUint32(out, uint32(n))
 }
 
-// packetParts validates either packet header and returns the body and
-// whether it is a passthrough (raw-byte) packet. On ErrTruncatedPacket
-// with an intact header the untrimmed body is returned so prefix
-// decoding can salvage it.
-func packetParts(raw []byte) (body []byte, passthrough bool, err error) {
+// packet kinds, one per header magic.
+const (
+	packetGroups = iota
+	packetPassthrough
+	packetUniform
+	packetSparse
+)
+
+// packetParts validates any packet header and returns the body, its
+// kind and the declared payload length. On ErrTruncatedPacket with an
+// intact header the untrimmed body is returned so prefix decoding can
+// salvage it.
+func packetParts(raw []byte) (body []byte, kind, n int, err error) {
 	if len(raw) < PacketOverhead {
-		return nil, false, ErrTruncatedPacket
+		return nil, 0, 0, ErrTruncatedPacket
 	}
 	switch {
 	case raw[0] == packetMagic[0] && raw[1] == packetMagic[1]:
+		kind = packetGroups
 	case raw[0] == passthroughPacketMagic[0] && raw[1] == passthroughPacketMagic[1]:
-		passthrough = true
+		kind = packetPassthrough
+	case raw[0] == uniformPacketMagic[0] && raw[1] == uniformPacketMagic[1]:
+		kind = packetUniform
+	case raw[0] == sparsePacketMagic[0] && raw[1] == sparsePacketMagic[1]:
+		kind = packetSparse
 	default:
-		return nil, false, errors.New("wire: bad taint packet magic")
+		return nil, 0, 0, errors.New("wire: bad taint packet magic")
 	}
-	n := int(binary.BigEndian.Uint32(raw[2:6]))
+	n = int(binary.BigEndian.Uint32(raw[2:6]))
 	body = raw[PacketOverhead:]
 	want := n
-	if !passthrough {
+	switch kind {
+	case packetGroups:
 		want = WireLen(n)
+	case packetUniform:
+		want = GlobalIDLen + n
+	case packetSparse:
+		want = SparseCountLen + n
+		if len(body) >= SparseCountLen {
+			k := int(binary.BigEndian.Uint32(body))
+			if k > MaxSparseRanges {
+				return nil, 0, 0, fmt.Errorf("wire: sparse packet declares %d ranges (limit %d)", k, MaxSparseRanges)
+			}
+			want += k * SparseRangeLen
+		}
 	}
 	if len(body) < want {
-		return body, passthrough, fmt.Errorf("%w: %d payload bytes declared, %d body bytes", ErrTruncatedPacket, n, len(body))
+		return body, kind, n, fmt.Errorf("%w: %d payload bytes declared, %d body bytes", ErrTruncatedPacket, n, len(body))
 	}
-	return body[:want], passthrough, nil
+	return body[:want], kind, n, nil
+}
+
+// tieredPacketRuns splits a validated uniform/sparse packet body into
+// payload bytes and their run cover.
+func tieredPacketRuns(body []byte, kind, n int) (data []byte, runs []Run, err error) {
+	if kind == packetUniform {
+		data = append([]byte(nil), body[GlobalIDLen:]...)
+		if n > 0 {
+			runs = []Run{{N: n, ID: binary.BigEndian.Uint32(body)}}
+		}
+		return data, runs, nil
+	}
+	k := int(binary.BigEndian.Uint32(body))
+	table := body[SparseCountLen : SparseCountLen+k*SparseRangeLen]
+	ranges, err := parseRangeTable(table, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	data = append([]byte(nil), body[SparseCountLen+k*SparseRangeLen:]...)
+	return data, rangeRunCover(nil, ranges, n), nil
 }
 
 // passthroughData copies a passthrough body out as payload bytes with
@@ -548,69 +604,119 @@ func passthroughData(body []byte) (data []byte, runs []Run) {
 // DecodePacketPrefix decodes as much of a possibly truncated encoded
 // datagram as arrived whole — the analogue of UDP's silent truncation
 // when the receiver's (enlarged) buffer is still smaller than the
-// packet. Only the header must be intact.
+// packet. Only the header (and, for the tiered flavours, the label
+// metadata) must be intact.
 func DecodePacketPrefix(raw []byte) (data []byte, ids []uint32, err error) {
-	body, pass, err := truncatedBody(raw)
+	data, runs, err := DecodePacketPrefixRuns(raw)
 	if err != nil {
 		return nil, nil, err
 	}
-	if pass {
-		data, _ = passthroughData(body)
-		return data, make([]uint32, len(data)), nil
-	}
-	return DecodeGroups(body)
+	return data, ExpandRuns(runs), nil
 }
 
 // DecodePacketPrefixRuns is DecodePacketPrefix in run form.
 func DecodePacketPrefixRuns(raw []byte) (data []byte, runs []Run, err error) {
-	body, pass, err := truncatedBody(raw)
+	body, kind, n, err := truncatedBody(raw)
 	if err != nil {
 		return nil, nil, err
 	}
-	if pass {
+	switch kind {
+	case packetPassthrough:
 		data, runs = passthroughData(body)
 		return data, runs, nil
+	case packetUniform, packetSparse:
+		return tieredPacketRuns(body, kind, n)
 	}
 	return DecodeGroupsRuns(body)
 }
 
 // truncatedBody returns the usable body of a possibly truncated packet:
 // whole groups for the group flavour, every received byte for the
-// passthrough flavour.
-func truncatedBody(raw []byte) ([]byte, bool, error) {
-	body, pass, err := packetParts(raw)
+// passthrough flavour, every data byte past the (required intact) label
+// metadata for the tiered flavours — with the declared length clipped
+// to what actually arrived.
+func truncatedBody(raw []byte) (body []byte, kind, n int, err error) {
+	body, kind, n, err = packetParts(raw)
 	if err == nil || !errors.Is(err, ErrTruncatedPacket) || len(raw) < PacketOverhead {
-		return body, pass, err
+		return body, kind, n, err
 	}
-	if pass {
-		return body, true, nil
+	switch kind {
+	case packetPassthrough:
+		return body, kind, len(body), nil
+	case packetUniform:
+		if len(body) < GlobalIDLen {
+			return nil, 0, 0, err
+		}
+		return body, kind, len(body) - GlobalIDLen, nil
+	case packetSparse:
+		// The whole table must have arrived; the data tail may be cut,
+		// so rebuild a clipped body with the surviving ranges.
+		if len(body) < SparseCountLen {
+			return nil, 0, 0, err
+		}
+		k := int(binary.BigEndian.Uint32(body))
+		meta := SparseCountLen + k*SparseRangeLen
+		if len(body) < meta {
+			return nil, 0, 0, err
+		}
+		got := len(body) - meta
+		if got < n {
+			n = got
+			body = salvageSparseBody(body, k, n)
+		}
+		return body, kind, n, nil
 	}
-	return body[:len(body)/GroupLen*GroupLen], false, nil
+	return body[:len(body)/GroupLen*GroupLen], kind, n, nil
+}
+
+// salvageSparseBody rebuilds a sparse packet body for the n data bytes
+// that actually arrived: ranges past the cut are dropped, the one
+// straddling it is clipped, and the count is rewritten. The input body
+// is not mutated.
+func salvageSparseBody(body []byte, k, n int) []byte {
+	table := body[SparseCountLen : SparseCountLen+k*SparseRangeLen]
+	out := make([]byte, SparseCountLen, len(body))
+	kept := 0
+	for i := 0; i+SparseRangeLen <= len(table); i += SparseRangeLen {
+		off := int(binary.BigEndian.Uint32(table[i:]))
+		ln := int(binary.BigEndian.Uint32(table[i+4:]))
+		if off >= n {
+			break
+		}
+		if off+ln > n {
+			ln = n - off
+		}
+		out = binary.BigEndian.AppendUint32(out, uint32(off))
+		out = binary.BigEndian.AppendUint32(out, uint32(ln))
+		out = append(out, table[i+8:i+SparseRangeLen]...)
+		kept++
+	}
+	binary.BigEndian.PutUint32(out, uint32(kept))
+	return append(out, body[SparseCountLen+k*SparseRangeLen:][:n]...)
 }
 
 // DecodePacket splits an encoded datagram into payload and per-byte ids.
 func DecodePacket(raw []byte) (data []byte, ids []uint32, err error) {
-	body, pass, err := packetParts(raw)
+	data, runs, err := DecodePacketRuns(raw)
 	if err != nil {
 		return nil, nil, err
 	}
-	if pass {
-		data, _ = passthroughData(body)
-		return data, make([]uint32, len(data)), nil
-	}
-	return DecodeGroups(body)
+	return data, ExpandRuns(runs), nil
 }
 
 // DecodePacketRuns splits an encoded datagram into payload and taint
 // runs.
 func DecodePacketRuns(raw []byte) (data []byte, runs []Run, err error) {
-	body, pass, err := packetParts(raw)
+	body, kind, n, err := packetParts(raw)
 	if err != nil {
 		return nil, nil, err
 	}
-	if pass {
+	switch kind {
+	case packetPassthrough:
 		data, runs = passthroughData(body)
 		return data, runs, nil
+	case packetUniform, packetSparse:
+		return tieredPacketRuns(body, kind, n)
 	}
 	return DecodeGroupsRuns(body)
 }

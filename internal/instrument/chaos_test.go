@@ -14,12 +14,14 @@ import (
 	"dista/internal/taintmap"
 )
 
-// Chaos regression for the clean-path bypass (run by `make chaos`):
-// kill and restart the Taint Map under a stream mixing passthrough and
-// tainted messages and assert the bypass never becomes an unsoundness
-// hole. The invariant: a tainted buffer is either transferred with its
-// labels intact or refused loudly — reconnect/degraded mode must never
-// downgrade it onto the clean (label-less) path, and clean traffic must
+// Chaos regression for the clean-path bypass and the adaptive tiering
+// layer (run by `make chaos`): kill and restart the Taint Map under a
+// stream mixing clean, uniform, sparse and dense messages over an
+// adaptive endpoint pair, and assert neither the bypass nor a tier
+// switch ever becomes an unsoundness hole. The invariant: a tainted
+// buffer is either transferred with its labels intact or refused
+// loudly — reconnect/degraded mode must never downgrade it onto the
+// passthrough or a wrong-label uniform frame, and clean traffic must
 // keep flowing right through the outage.
 
 // chaosAcceptor adapts a netsim.Listener to the taintmap.Acceptor
@@ -68,10 +70,13 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 		tracker.WithLocalID(recvAgent.LocalID()))
 
 	ca, cb := net.Pipe()
-	sender, receiver := NewEndpoint(senderAgent, ca), NewEndpoint(recvAgent, cb)
+	sender, receiver := NewAdaptiveEndpoint(senderAgent, ca), NewAdaptiveEndpoint(recvAgent, cb)
 
 	// Fixed-size app messages: first byte says what the receiver must
-	// find — 'C' clean, 'T' tainted with the tag carried in the text.
+	// find — 'C' clean, 'U' uniformly tainted, 'S' two tainted islands
+	// (bytes 8..16 and 24..32), 'D' densely tainted on even bytes. The
+	// mix forces the sender's density tracker through every tier while
+	// the Taint Map dies and recovers underneath it.
 	const msgLen = 32
 	const rounds = 200
 	type sent struct {
@@ -109,27 +114,34 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 				}
 				for k := 0; k < msgLen; k++ {
 					lbl := buf.LabelAt(k)
-					switch want.kind {
-					case 'C':
+					if !chaosByteTainted(want.kind, k) {
+						// Clean bytes — whole clean messages and the gaps of
+						// sparse/dense ones — must never grow a label: a tier
+						// switch that smeared a neighbor's uniform id over
+						// them would show up here.
 						if !lbl.Empty() {
-							return fmt.Errorf("clean message %d byte %d grew taint %v", i, k, lbl.Values())
+							return fmt.Errorf("message %d (%q) byte %d grew taint %v",
+								i, want.kind, k, lbl.Values())
 						}
-					case 'T':
-						// THE invariant: a tainted message that made it
-						// across must still carry its label on every byte.
-						// Losing it here would mean an outage downgraded
-						// tainted data onto the passthrough path.
-						if !lbl.Has(want.tag) {
-							return fmt.Errorf("tainted message %d byte %d lost label %q (labels %v)",
-								i, k, want.tag, lbl.Values())
-						}
+						continue
+					}
+					// THE invariant: a tainted message that made it across
+					// must still carry its label on every tainted byte.
+					// Losing it would mean an outage or a tier transition
+					// downgraded tainted data onto the passthrough (or a
+					// wrong-label uniform) frame.
+					if !lbl.Has(want.tag) {
+						return fmt.Errorf("message %d (%q) byte %d lost label %q (labels %v)",
+							i, want.kind, k, want.tag, lbl.Values())
 					}
 				}
 			}
 		}()
 	}()
 
-	var refused, taintedSent int
+	var refused, cleanSent int
+	taintedSent := map[byte]int{}
+	kinds := []byte{'C', 'U', 'S', 'D'}
 	for i := 0; i < rounds; i++ {
 		switch i {
 		case rounds / 4:
@@ -147,7 +159,8 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 			}
 		}
 
-		if i%2 == 0 {
+		kind := kinds[i%len(kinds)]
+		if kind == 'C' {
 			// Record before writing: the receiver may see the bytes the
 			// instant Write hands them to the pipe.
 			mu.Lock()
@@ -157,6 +170,7 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 			if err := sender.Write(msg); err != nil {
 				t.Fatalf("round %d: clean write must survive the outage: %v", i, err)
 			}
+			cleanSent++
 			continue
 		}
 
@@ -164,9 +178,21 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 		// outages are actually exercised instead of served by the
 		// GlobalID cache.
 		tag := fmt.Sprintf("chaos%d", i)
-		msg := taint.FromString(string(fill('T', msgLen)), senderAgent.Source("v"+tag, tag))
+		src := senderAgent.Source("v"+tag, tag)
+		msg := taint.WrapBytes(fill(kind, msgLen))
+		switch kind {
+		case 'U':
+			msg.SetRange(0, msgLen, src)
+		case 'S':
+			msg.SetRange(8, 16, src)
+			msg.SetRange(24, 32, src)
+		case 'D':
+			for k := 0; k < msgLen; k += 2 {
+				msg.SetLabel(k, src)
+			}
+		}
 		mu.Lock()
-		delivered = append(delivered, sent{kind: 'T', tag: tag})
+		delivered = append(delivered, sent{kind: kind, tag: tag})
 		mu.Unlock()
 		err := sender.Write(msg)
 		if err != nil {
@@ -182,7 +208,7 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 			refused++
 			continue
 		}
-		taintedSent++
+		taintedSent[kind]++
 	}
 	ca.Close()
 
@@ -194,11 +220,28 @@ func TestChaosPassthroughNoCleanDowngrade(t *testing.T) {
 	if refused == 0 {
 		t.Fatal("no tainted write was refused; the outage never bit and the test is vacuous")
 	}
-	if taintedSent == 0 {
-		t.Fatal("no tainted write succeeded; cannot check label delivery")
+	for _, kind := range kinds[1:] {
+		if taintedSent[kind] == 0 {
+			t.Fatalf("no %q write succeeded; cannot check label delivery for that tier", kind)
+		}
 	}
-	t.Logf("delivered %d tainted + %d clean messages, %d refused during outage",
-		taintedSent, rounds/2, refused)
+	t.Logf("delivered %d uniform + %d sparse + %d dense + %d clean messages, %d refused during outage",
+		taintedSent['U'], taintedSent['S'], taintedSent['D'], cleanSent, refused)
+}
+
+// chaosByteTainted says whether byte k of a kind-shaped chaos message
+// was sent with a label.
+func chaosByteTainted(kind byte, k int) bool {
+	switch kind {
+	case 'U':
+		return true
+	case 'S':
+		return (k >= 8 && k < 16) || (k >= 24 && k < 32)
+	case 'D':
+		return k%2 == 0
+	default:
+		return false
+	}
 }
 
 // fill returns an n-byte message starting with kind.

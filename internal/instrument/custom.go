@@ -75,7 +75,7 @@ func (e *CustomEndpoint) Write(b taint.Bytes) error {
 		}
 		out = wire.AppendPassthroughFrame(out, b.Data)
 	} else {
-		runs, err := registerRuns(e.agent, b)
+		runs, err := registerRuns(e.agent, b, nil)
 		if err != nil {
 			return err
 		}

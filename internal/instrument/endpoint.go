@@ -27,13 +27,17 @@ var ErrNoTaintMap = errors.New("instrument: dista mode requires a Taint Map clie
 // stream decoder state that reassembles 5-byte groups across
 // arbitrarily fragmented reads.
 type Endpoint struct {
-	agent  *tracker.Agent
-	conn   *netsim.Conn
-	legacy bool // write the pre-framing raw group stream
+	agent    *tracker.Agent
+	conn     *netsim.Conn
+	legacy   bool // write the pre-framing raw group stream
+	adaptive bool // negotiate the DTF2 tiered format (uniform/sparse frames)
 
-	wmu        sync.Mutex // serializes writes so frames never interleave
-	wroteMagic bool       // stream magic already emitted on this conn
-	wscratch   []byte     // persistent frame-header/magic assembly scratch
+	wmu        sync.Mutex        // serializes writes so frames never interleave
+	wroteMagic bool              // stream magic already emitted on this conn
+	wscratch   []byte            // persistent frame-header/magic assembly scratch
+	tier       densityTracker    // per-connection tier selector (under wmu)
+	dranges    []wire.DirtyRange // persistent sparse range-table scratch
+	wruns      []wire.Run        // persistent run-registration scratch (under wmu)
 
 	rmu     sync.Mutex // protects dec, rbuf and readErr
 	dec     wire.FrameDecoder
@@ -56,6 +60,18 @@ func NewLegacyEndpoint(agent *tracker.Agent, conn *netsim.Conn) *Endpoint {
 	return &Endpoint{agent: agent, conn: conn, legacy: true}
 }
 
+// NewAdaptiveEndpoint wraps conn like NewEndpoint but negotiates the
+// DTF2 tiered stream format: writes are classified by the taint-density
+// tracker and travel as passthrough, uniform, sparse, or groups frames
+// (DESIGN.md §9). Both ends must be adaptive — the DTF2 magic is what
+// tells the peer the new tags may appear, so a plain NewEndpoint never
+// emits them and old decoders never see them. Reads auto-detect every
+// format, so an adaptive endpoint can receive from framed and legacy
+// peers alike.
+func NewAdaptiveEndpoint(agent *tracker.Agent, conn *netsim.Conn) *Endpoint {
+	return &Endpoint{agent: agent, conn: conn, adaptive: true}
+}
+
 // Conn exposes the wrapped connection (for close/addr operations).
 func (e *Endpoint) Conn() *netsim.Conn { return e.conn }
 
@@ -65,8 +81,10 @@ func (e *Endpoint) Agent() *tracker.Agent { return e.agent }
 // registerRuns maps b's label runs to wire runs via the Taint Map
 // (Fig. 9 steps ①②): one batch registration covering every distinct
 // taint, one Run per label run — never per-byte work. A shadow-free b
-// returns nil (all untainted).
-func registerRuns(agent *tracker.Agent, b taint.Bytes) ([]wire.Run, error) {
+// returns nil (all untainted). The runs are appended to dst (pass a
+// scratch slice to keep a fragmented steady state allocation-free, or
+// nil when no scratch outlives the call).
+func registerRuns(agent *tracker.Agent, b taint.Bytes, dst []wire.Run) ([]wire.Run, error) {
 	if !b.HasShadow() || b.Clean() {
 		// The epoch-memoized clean check keeps shadowed-but-untainted
 		// buffers off the Taint Map entirely: nil runs mean "all
@@ -77,7 +95,7 @@ func registerRuns(agent *tracker.Agent, b taint.Bytes) ([]wire.Run, error) {
 	if tm == nil {
 		return nil, ErrNoTaintMap
 	}
-	var runs []wire.Run
+	runs := dst[:0]
 	var pending []taint.Taint
 	var pendingAt []int
 	b.ForEachRun(func(from, to int, t taint.Taint) {
@@ -114,6 +132,67 @@ func registerRuns(agent *tracker.Agent, b taint.Bytes) ([]wire.Run, error) {
 		}
 	}
 	return runs, nil
+}
+
+// registerOne maps one taint to its Global ID via the Taint Map — the
+// uniform-tier flavour of registerRuns: a single label for the whole
+// buffer, so the steady state is one pointer load off the tree node.
+func registerOne(agent *tracker.Agent, t taint.Taint) (uint32, error) {
+	tm := agent.TaintMap()
+	if tm == nil {
+		return 0, ErrNoTaintMap
+	}
+	if id := t.GlobalID(); id != 0 {
+		return id, nil
+	}
+	ids, err := tm.RegisterBatch([]taint.Taint{t})
+	if err != nil {
+		return 0, err
+	}
+	if taintmap.IsProvisional(ids[0]) {
+		// Same contract as registerRuns: a locally minted id must not
+		// cross the wire.
+		return 0, fmt.Errorf("instrument: cannot transfer taint: %w",
+			taintmap.ErrGlobalIDPending)
+	}
+	return ids[0], nil
+}
+
+// registerDirty maps b's tainted runs to wire dirty ranges via the Taint
+// Map — the sparse-tier flavour of registerRuns: clean gaps produce no
+// entries, so the table length is the dirty-run count, not the run
+// count. Ranges are appended to dst (reused across calls).
+func registerDirty(agent *tracker.Agent, b taint.Bytes, dst []wire.DirtyRange) ([]wire.DirtyRange, error) {
+	tm := agent.TaintMap()
+	if tm == nil {
+		return nil, ErrNoTaintMap
+	}
+	var pending []taint.Taint
+	var pendingAt []int
+	b.ForEachDirtyRun(func(from, to int, t taint.Taint) {
+		r := wire.DirtyRange{Off: from, Len: to - from}
+		if id := t.GlobalID(); id != 0 {
+			r.ID = id
+		} else {
+			pending = append(pending, t)
+			pendingAt = append(pendingAt, len(dst))
+		}
+		dst = append(dst, r)
+	})
+	if len(pending) > 0 {
+		ids, err := tm.RegisterBatch(pending)
+		if err != nil {
+			return nil, err
+		}
+		for i, at := range pendingAt {
+			if taintmap.IsProvisional(ids[i]) {
+				return nil, fmt.Errorf("instrument: cannot transfer taint: %w",
+					taintmap.ErrGlobalIDPending)
+			}
+			dst[at].ID = ids[i]
+		}
+	}
+	return dst, nil
 }
 
 // resolveRuns maps decoded wire runs back to taints in the agent's tree
@@ -172,7 +251,7 @@ func (e *Endpoint) Write(b taint.Bytes) error {
 		return jni.SocketWrite0(e.conn, b.Data)
 	}
 	if e.legacy {
-		runs, err := registerRuns(e.agent, b)
+		runs, err := e.registerRunsScratch(b)
 		if err != nil {
 			return err
 		}
@@ -186,13 +265,62 @@ func (e *Endpoint) Write(b taint.Bytes) error {
 		return jni.SocketWrite0(e.conn, nil)
 	}
 	if b.Clean() {
+		if e.adaptive {
+			e.tier.observeClean(len(b.Data))
+		}
 		return e.writePassthroughLocked(b.Data)
 	}
-	runs, err := registerRuns(e.agent, b)
+	if e.adaptive {
+		return e.writeAdaptiveLocked(b, jni.SocketWrite0)
+	}
+	runs, err := e.registerRunsScratch(b)
 	if err != nil {
 		return err
 	}
 	return e.writeGroupsLocked(b.Data, runs, jni.SocketWrite0)
+}
+
+// registerRunsScratch is registerRuns into the endpoint's persistent
+// run scratch: the caller must hold wmu and consume the runs before the
+// next write. A fragmented steady state re-registers into the same
+// array instead of growing a fresh one on every write.
+func (e *Endpoint) registerRunsScratch(b taint.Bytes) ([]wire.Run, error) {
+	runs, err := registerRuns(e.agent, b, e.wruns)
+	if runs != nil {
+		e.wruns = runs[:0]
+	}
+	return runs, err
+}
+
+// writeAdaptiveLocked emits one frame for a tainted buffer on whichever
+// tier the density tracker picks: uniform and sparse frames keep the
+// passthrough shape (metadata in the persistent scratch, payload
+// written zero-copy), groups fall back to the full encode. Caller holds
+// wmu and has ruled out the clean case.
+func (e *Endpoint) writeAdaptiveLocked(b taint.Bytes, write func(*netsim.Conn, []byte) error) error {
+	st, exact := b.Stats(tierScanLimit)
+	e.tier.observe(st, len(b.Data), exact)
+	switch e.tier.frameTier(st, len(b.Data), exact) {
+	case tierUniform:
+		id, err := registerOne(e.agent, st.One)
+		if err != nil {
+			return err
+		}
+		return e.writeUniformLocked(b.Data, id, write)
+	case tierSparse:
+		ranges, err := registerDirty(e.agent, b, e.dranges[:0])
+		if err != nil {
+			return err
+		}
+		e.dranges = ranges[:0]
+		return e.writeSparseLocked(b.Data, ranges, write)
+	default:
+		runs, err := e.registerRunsScratch(b)
+		if err != nil {
+			return err
+		}
+		return e.writeGroupsLocked(b.Data, runs, write)
+	}
 }
 
 // writePassthroughLocked emits one passthrough frame for data — the
@@ -219,7 +347,7 @@ func (e *Endpoint) writeGroupsLocked(data []byte, runs []wire.Run, write func(*n
 	buf := wire.GetBuf(pre + wire.GroupsFrameLen(len(data)) + wire.EncodeSlack)
 	out := *buf
 	if !e.wroteMagic {
-		out = wire.AppendStreamMagic(out)
+		out = e.appendMagic(out)
 	}
 	out = wire.AppendGroupsFrame(out, data, runs)
 	e.agent.AddTraffic(len(data), len(out))
@@ -239,12 +367,59 @@ func (e *Endpoint) writeGroupsLocked(data []byte, runs []wire.Run, write func(*n
 func (e *Endpoint) frameHeaderLocked(tag byte, n int) []byte {
 	hdr := e.wscratch[:0]
 	if !e.wroteMagic {
-		hdr = wire.AppendStreamMagic(hdr)
+		hdr = e.appendMagic(hdr)
 		e.wroteMagic = true
 	}
 	hdr = wire.AppendFrameHeader(hdr, tag, n)
 	e.wscratch = hdr[:0]
 	return hdr
+}
+
+// appendMagic appends the stream magic matching the endpoint's
+// negotiated format: DTF2 for adaptive endpoints, DTF1 otherwise. The
+// caller manages wroteMagic.
+func (e *Endpoint) appendMagic(dst []byte) []byte {
+	if e.adaptive {
+		return wire.AppendAdaptiveStreamMagic(dst)
+	}
+	return wire.AppendStreamMagic(dst)
+}
+
+// writeUniformLocked emits one uniform frame: header plus Global ID in
+// the persistent scratch, payload written zero-copy — the passthrough
+// cost shape plus four metadata bytes. Caller holds wmu.
+func (e *Endpoint) writeUniformLocked(data []byte, id uint32, write func(*netsim.Conn, []byte) error) error {
+	hdr := e.wscratch[:0]
+	if !e.wroteMagic {
+		hdr = e.appendMagic(hdr)
+		e.wroteMagic = true
+	}
+	hdr = wire.AppendUniformHeader(hdr, len(data), id)
+	e.wscratch = hdr[:0]
+	e.agent.AddTraffic(len(data), len(hdr)+len(data))
+	if err := write(e.conn, hdr); err != nil {
+		return err
+	}
+	return write(e.conn, data)
+}
+
+// writeSparseLocked emits one sparse frame: header plus range table in
+// the persistent scratch, payload written zero-copy. Caller holds wmu
+// and guarantees the ranges are sorted, non-overlapping and in-bounds
+// (they come from ForEachDirtyRun, which yields them that way).
+func (e *Endpoint) writeSparseLocked(data []byte, ranges []wire.DirtyRange, write func(*netsim.Conn, []byte) error) error {
+	hdr := e.wscratch[:0]
+	if !e.wroteMagic {
+		hdr = e.appendMagic(hdr)
+		e.wroteMagic = true
+	}
+	hdr = wire.AppendSparseHeader(hdr, len(data), ranges)
+	e.wscratch = hdr[:0]
+	e.agent.AddTraffic(len(data), len(hdr)+len(data))
+	if err := write(e.conn, hdr); err != nil {
+		return err
+	}
+	return write(e.conn, data)
 }
 
 // WritePassthrough sends bytes that are untainted by construction —
@@ -269,7 +444,52 @@ func (e *Endpoint) WritePassthrough(data []byte) error {
 	if len(data) == 0 {
 		return jni.SocketWrite0(e.conn, nil)
 	}
+	if e.adaptive {
+		e.tier.observeClean(len(data))
+	}
 	return e.writePassthroughLocked(data)
+}
+
+// WriteUniform sends bytes that all carry the same single taint — a
+// wrapper forwarding one labelled record it assembled itself. This is
+// the sanctioned way to put a raw []byte with a label on a tracked
+// connection (the fast-path analyzer allowlists uniform helpers by name
+// because the label rides alongside): an adaptive endpoint emits one
+// uniform frame with zero payload copies, a framed endpoint a groups
+// frame, a legacy endpoint the raw group stream. An empty t degrades to
+// WritePassthrough. Modes other than dista write the bytes unchanged.
+func (e *Endpoint) WriteUniform(data []byte, t taint.Taint) error {
+	if t.Empty() {
+		return e.WritePassthrough(data)
+	}
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.agent.Mode() != tracker.ModeDista {
+		e.agent.AddTraffic(len(data), len(data))
+		return jni.SocketWrite0(e.conn, data)
+	}
+	if len(data) == 0 {
+		return jni.SocketWrite0(e.conn, nil)
+	}
+	id, err := registerOne(e.agent, t)
+	if err != nil {
+		return err
+	}
+	run := []wire.Run{{N: len(data), ID: id}}
+	if e.legacy {
+		raw := wire.EncodeRuns(nil, data, run)
+		e.agent.AddTraffic(len(data), len(raw))
+		return jni.SocketWrite0(e.conn, raw)
+	}
+	if !e.adaptive {
+		return e.writeGroupsLocked(data, run, jni.SocketWrite0)
+	}
+	st := taint.RunStats{DirtyBytes: len(data), DirtyRuns: 1, One: t}
+	e.tier.observe(st, len(data), true)
+	if e.tier.frameTier(st, len(data), true) > tierUniform {
+		return e.writeGroupsLocked(data, run, jni.SocketWrite0)
+	}
+	return e.writeUniformLocked(data, id, jni.SocketWrite0)
 }
 
 // Read fills buf through the instrumented socketRead0 wrapper and
@@ -366,7 +586,7 @@ func (e *Endpoint) WriteBuffer(src *jni.DirectBuffer, from, to int) (int, error)
 		return written, err
 	}
 	if e.legacy {
-		runs, err := registerRuns(e.agent, src.View(from, to))
+		runs, err := e.registerRunsScratch(src.View(from, to))
 		if err != nil {
 			return 0, err
 		}
@@ -382,12 +602,21 @@ func (e *Endpoint) WriteBuffer(src *jni.DirectBuffer, from, to int) (int, error)
 		return 0, err
 	}
 	if src.Clean(from, to) {
+		if e.adaptive {
+			e.tier.observeClean(n)
+		}
 		if err := e.writeBufferPassthroughLocked(src, from, to); err != nil {
 			return 0, err
 		}
 		return n, nil
 	}
-	runs, err := registerRuns(e.agent, src.View(from, to))
+	if e.adaptive {
+		if err := e.writeAdaptiveLocked(src.View(from, to), dispatcherWriteAll); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	runs, err := e.registerRunsScratch(src.View(from, to))
 	if err != nil {
 		return 0, err
 	}

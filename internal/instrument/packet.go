@@ -28,7 +28,55 @@ func PacketSend(agent *tracker.Agent, sock *netsim.UDPSocket, data taint.Bytes, 
 		agent.AddTraffic(len(data.Data), len(raw))
 		return jni.DatagramSend(sock, raw, dst)
 	}
-	runs, err := registerRuns(agent, data)
+	runs, err := registerRuns(agent, data, nil)
+	if err != nil {
+		return err
+	}
+	raw := wire.EncodePacketRuns(data.Data, runs)
+	agent.AddTraffic(len(data.Data), len(raw))
+	return jni.DatagramSend(sock, raw, dst)
+}
+
+// PacketSendAdaptive transmits one datagram payload with its labels,
+// opting into the tiered per-datagram encodings. Datagrams carry no
+// stream state, so there is no density tracker to consult: each packet
+// independently takes the cheapest sound form — passthrough when clean,
+// uniform when wholly single-labelled, sparse when the dirty runs fit a
+// range table, full groups otherwise. The receiver decodes every form
+// unconditionally (packet magics are self-describing), so the only
+// compatibility requirement is that the peer runs a decoder that knows
+// the uniform/sparse magics; pre-tiering peers must be sent PacketSend
+// traffic instead.
+func PacketSendAdaptive(agent *tracker.Agent, sock *netsim.UDPSocket, data taint.Bytes, dst string) error {
+	if agent.Mode() != tracker.ModeDista {
+		agent.AddTraffic(len(data.Data), len(data.Data))
+		return jni.DatagramSend(sock, data.Data, dst)
+	}
+	if data.Clean() {
+		raw := wire.EncodePacketPassthrough(data.Data)
+		agent.AddTraffic(len(data.Data), len(raw))
+		return jni.DatagramSend(sock, raw, dst)
+	}
+	st, exact := data.Stats(tierScanLimit)
+	if exact && st.Uniform(len(data.Data)) {
+		id, err := registerOne(agent, st.One)
+		if err != nil {
+			return err
+		}
+		raw := wire.EncodePacketUniform(data.Data, id)
+		agent.AddTraffic(len(data.Data), len(raw))
+		return jni.DatagramSend(sock, raw, dst)
+	}
+	if exact && st.DirtyRuns <= sparseMaxRanges {
+		ranges, err := registerDirty(agent, data, nil)
+		if err != nil {
+			return err
+		}
+		raw := wire.EncodePacketSparse(data.Data, ranges)
+		agent.AddTraffic(len(data.Data), len(raw))
+		return jni.DatagramSend(sock, raw, dst)
+	}
+	runs, err := registerRuns(agent, data, nil)
 	if err != nil {
 		return err
 	}

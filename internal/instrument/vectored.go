@@ -17,7 +17,13 @@ import (
 // On the framed path adjacent clean sources coalesce into a single
 // passthrough frame whose payload entries are the raw buffer slices —
 // one 5-byte header for the whole stretch and zero copies — while
-// tainted sources each travel as their own groups frame.
+// tainted sources each travel as their own groups frame. An adaptive
+// endpoint additionally coalesces adjacent sources that carry the same
+// single label into one uniform frame (one header plus one Global ID
+// for the stretch, payloads still uncopied); tainted sources too
+// fragmented for the uniform tier fall back to groups frames — the
+// vectored path never emits sparse frames, since per-source tables
+// would cost more than the per-source groups frame they replace.
 func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, error) {
 	if len(srcs) != len(lens) {
 		panic("instrument: srcs/lens length mismatch")
@@ -46,7 +52,7 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 			if err := src.CheckRange(0, lens[i]); err != nil {
 				return 0, err
 			}
-			runs, err := registerRuns(e.agent, src.View(0, lens[i]))
+			runs, err := e.registerRunsScratch(src.View(0, lens[i]))
 			if err != nil {
 				return 0, err
 			}
@@ -66,6 +72,10 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 	// entries).
 	clean := make([]bool, len(srcs))
 	runsOf := make([][]wire.Run, len(srcs))
+	var uids []uint32 // adaptive: uniform-frame Global ID per source (0 = not uniform)
+	if e.adaptive {
+		uids = make([]uint32, len(srcs))
+	}
 	scratchLen := 0
 	if !e.wroteMagic {
 		scratchLen += wire.StreamMagicLen
@@ -78,12 +88,31 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 		total += lens[i]
 		if src.Clean(0, lens[i]) {
 			clean[i] = true
+			if e.adaptive {
+				e.tier.observeClean(lens[i])
+			}
 			if i == 0 || !clean[i-1] {
 				scratchLen += wire.FrameHeaderLen
 			}
 			continue
 		}
-		runs, err := registerRuns(e.agent, src.View(0, lens[i]))
+		if e.adaptive {
+			st, exact := src.View(0, lens[i]).Stats(tierScanLimit)
+			e.tier.observe(st, lens[i], exact)
+			if e.tier.frameTier(st, lens[i], exact) == tierUniform {
+				id, err := registerOne(e.agent, st.One)
+				if err != nil {
+					return 0, err
+				}
+				uids[i] = id
+				if i == 0 || uids[i-1] != id {
+					scratchLen += wire.FrameHeaderLen + wire.GlobalIDLen
+				}
+				continue
+			}
+		}
+		// No scratch here: every source's runs stay live until pass 2.
+		runs, err := registerRuns(e.agent, src.View(0, lens[i]), nil)
 		if err != nil {
 			return 0, err
 		}
@@ -100,7 +129,7 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 		mark := len(out)
 		if !e.wroteMagic && mark == 0 {
 			// The magic rides in the first frame's header slice.
-			out = wire.AppendStreamMagic(out)
+			out = e.appendMagic(out)
 		}
 		if clean[i] {
 			j, n := i, 0
@@ -109,6 +138,21 @@ func (e *Endpoint) WritevBuffers(srcs []*jni.DirectBuffer, lens []int) (int64, e
 				j++
 			}
 			out = wire.AppendFrameHeader(out, wire.FramePassthrough, n)
+			vec = append(vec, out[mark:len(out):len(out)])
+			for k := i; k < j; k++ {
+				vec = append(vec, srcs[k].Data[:lens[k]])
+			}
+			wireBytes += len(out) - mark + n
+			i = j
+			continue
+		}
+		if uids != nil && uids[i] != 0 {
+			j, n := i, 0
+			for j < len(srcs) && uids[j] == uids[i] {
+				n += lens[j]
+				j++
+			}
+			out = wire.AppendUniformHeader(out, n, uids[i])
 			vec = append(vec, out[mark:len(out):len(out)])
 			for k := i; k < j; k++ {
 				vec = append(vec, srcs[k].Data[:lens[k]])

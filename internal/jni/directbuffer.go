@@ -58,6 +58,38 @@ func (b *DirectBuffer) Clean(from, to int) bool {
 // ResetLabels clears every label, keeping the shadow store for reuse.
 func (b *DirectBuffer) ResetLabels() { b.B.ResetLabels() }
 
+// Stats aggregates the dirty structure of [from,to) for the wire
+// tiering engine, scanning at most limit+1 dirty runs — see
+// taint.Bytes.Stats for the memo and inexact-answer semantics. No
+// allocation: the answer is computed (or recalled) on the shadow store
+// in place. Like View, an invalid range panics.
+func (b *DirectBuffer) Stats(from, to, limit int) (taint.RunStats, bool) {
+	if err := b.CheckRange(from, to); err != nil {
+		panic(err)
+	}
+	return b.B.Slice(from, to).Stats(limit)
+}
+
+// Uniform reports whether every byte of [from,to) carries the same
+// label, returning it when so. Like View, an invalid range panics.
+func (b *DirectBuffer) Uniform(from, to int) (taint.Taint, bool) {
+	if err := b.CheckRange(from, to); err != nil {
+		panic(err)
+	}
+	return b.B.Slice(from, to).Uniform()
+}
+
+// ForEachDirtyRun yields the tainted runs of [from,to) in order as
+// range-relative offsets, skipping clean gaps — the allocation-free
+// dirty-range extraction behind the sparse wire tier. Like View, an
+// invalid range panics.
+func (b *DirectBuffer) ForEachDirtyRun(from, to int, yield func(rfrom, rto int, t taint.Taint)) {
+	if err := b.CheckRange(from, to); err != nil {
+		panic(err)
+	}
+	b.B.Slice(from, to).ForEachDirtyRun(yield)
+}
+
 // View returns the tainted view of bytes [from,to), aliasing the
 // buffer's data and labels.
 //

@@ -185,3 +185,48 @@ func TestSocketWriteLargePayload(t *testing.T) {
 		t.Fatal("large payload corrupted")
 	}
 }
+
+func TestDirectBufferTierAccessors(t *testing.T) {
+	tr := taint.NewTree()
+	a, b := tr.NewSource("buf", "a"), tr.NewSource("buf", "b")
+	db := NewDirectBuffer(128)
+	db.B.SetRange(10, 20, a)
+	db.B.SetRange(40, 44, b)
+
+	st, exact := db.Stats(0, 128, 8)
+	if !exact || st.DirtyBytes != 14 || st.DirtyRuns != 2 || !st.One.Empty() {
+		t.Fatalf("Stats = %+v exact=%v", st, exact)
+	}
+	// A sub-range covering only one island sees it alone, rebased.
+	st, _ = db.Stats(8, 24, 8)
+	if st.DirtyBytes != 10 || st.DirtyRuns != 1 || st.One != a {
+		t.Fatalf("ranged Stats = %+v", st)
+	}
+	if lbl, ok := db.Uniform(10, 20); !ok || lbl != a {
+		t.Fatalf("Uniform = %v %v", lbl, ok)
+	}
+	if _, ok := db.Uniform(0, 128); ok {
+		t.Fatal("mixed buffer reported uniform")
+	}
+	var got [][3]int
+	db.ForEachDirtyRun(8, 128, func(rfrom, rto int, lbl taint.Taint) {
+		id := 1
+		if lbl == b {
+			id = 2
+		}
+		got = append(got, [3]int{rfrom, rto, id})
+	})
+	want := [][3]int{{2, 12, 1}, {32, 36, 2}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ForEachDirtyRun = %v, want %v", got, want)
+	}
+
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("bad range did not panic")
+		} else if err, ok := r.(error); !ok || !errors.Is(err, ErrRange) {
+			t.Fatalf("panic = %v, want ErrRange", r)
+		}
+	}()
+	db.Stats(-1, 5, 8)
+}

@@ -89,7 +89,7 @@ func FuzzParseRing(f *testing.F) {
 	r, _ := NewRing(3, 2, []Member{{Part: 0, Addr: "a:1"}, {Part: 2, Addr: "c:1"}})
 	f.Add(appendRing(nil, r))
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 2, 0})                      // zero members
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 2, 0})                     // zero members
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 2, 1, 0, 0, 1, 'x', 0xFF}) // trailing byte
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 2, 1, 0, 0xFF, 0xFF})      // absurd addr length
 	f.Add(appendMember(nil, Member{Part: 1, Addr: "b:1"}))
