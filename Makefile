@@ -3,7 +3,7 @@ GO ?= go
 # Hot-path benchmark selection shared by `bench` and the A/B harness.
 BENCH_RE := BenchmarkHotPath|BenchmarkTaintMap$$|BenchmarkWireCodec|BenchmarkTaintCombine
 
-.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster fuzz fuzz-smoke
+.PHONY: build test race race-taintmap vet lint check ci chaos bench bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster bench-grayfail fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -40,13 +40,13 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 ./internal/taintmap ./internal/instrument
 
 # Tier-1 gate: everything CI runs.
-check: vet lint build test race chaos fuzz-smoke bench-cleanpath bench-cluster
+check: vet lint build test race chaos fuzz-smoke bench-cleanpath bench-cluster bench-grayfail
 
 # Alias for CI pipelines: the full gate, spelled out in build order.
-ci: build vet lint test race fuzz-smoke chaos bench-cleanpath bench-cluster
+ci: build vet lint test race fuzz-smoke chaos bench-cleanpath bench-cluster bench-grayfail
 
-# Regenerate every benchmark artifact (BENCH_1..7) in one pass.
-bench: bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster
+# Regenerate every benchmark artifact (BENCH_1..8) in one pass.
+bench: bench-hotpath bench-taintmap bench-resilience bench-distavet bench-cleanpath bench-cluster bench-grayfail
 
 # Run the hot-path microbenchmarks and refresh BENCH_1.json. Medians of
 # -count=3 repetitions; seed baselines are embedded in cmd/benchjson.
@@ -129,6 +129,31 @@ bench-cluster:
 		$(GO) test -run=NONE -bench='BenchmarkTaintMapConcurrent/Cluster8$$' -benchmem -benchtime=2000000x -count=1 . || exit 1; \
 	done | tee -a bench_cluster.txt
 	$(GO) run ./cmd/benchjson -in bench_cluster.txt -out BENCH_6.json
+
+# Gray-failure benchmarks, refreshed into BENCH_8.json. Both criteria
+# are in-run ratios. The lookup pair measures memo-cold wire lookups on
+# a 2-member RF-2 cluster, healthy vs one replica stalled (accepts
+# requests, never answers); the stalled tail must stay <= 3x the
+# healthy tail, which holds only if the breaker + hedge machinery turns
+# the stall into instant fall-through. Fixed iteration counts keep
+# every measured lookup memo-cold (one id pool pass per run, no
+# time-based recalibration). The Mixed pair bounds the hedged client's
+# clean-path overhead at 1.05x of the sequential PR 7 client, so it
+# gets the own-process interleaved treatment like the Mux8/Cluster8
+# pair — and additionally alternates which side runs first: on this
+# box the second process of a back-to-back pair measures consistently
+# slower (frequency/cache state left by the first), a bias bigger than
+# the 5% bound itself, so it must land on both sides equally to cancel
+# in the medians.
+bench-grayfail:
+	$(GO) test -run=NONE -bench='BenchmarkGrayFail/(LookupHealthy|LookupStalled)$$' -benchmem -benchtime=5000x -count=5 . | tee bench_grayfail.txt
+	for i in 1 2 3; do \
+		$(GO) test -run=NONE -bench='BenchmarkGrayFail/MixedUnhedged$$' -benchmem -benchtime=1000000x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkGrayFail/MixedHedged$$' -benchmem -benchtime=1000000x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkGrayFail/MixedHedged$$' -benchmem -benchtime=1000000x -count=1 . || exit 1; \
+		$(GO) test -run=NONE -bench='BenchmarkGrayFail/MixedUnhedged$$' -benchmem -benchtime=1000000x -count=1 . || exit 1; \
+	done | tee -a bench_grayfail.txt
+	$(GO) run ./cmd/benchjson -in bench_grayfail.txt -out BENCH_8.json
 
 # Short fuzz pass over the wire round-trip property (CI smoke; the
 # seeded corpus also runs as part of plain `go test`).

@@ -76,6 +76,7 @@ const seedJSON = `{
 type result struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	P99NsPerOp  float64 `json:"p99_ns_per_op,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
@@ -102,8 +103,11 @@ type report struct {
 	Criteria []criterion `json:"criteria"`
 }
 
+// Custom metrics reported with b.ReportMetric print between ns/op (and
+// MB/s) and the -benchmem pair; p99-ns/op is the tail-latency metric
+// the gray-failure suite emits.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) p99-ns/op)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func median(xs []float64) float64 {
 	sort.Float64s(xs)
@@ -140,6 +144,7 @@ func main() {
 
 	type agg struct {
 		ns     []float64
+		p99    []float64
 		bytes  []float64
 		allocs []float64
 	}
@@ -172,11 +177,15 @@ func main() {
 		ns, _ := strconv.ParseFloat(m[3], 64)
 		a.ns = append(a.ns, ns)
 		if m[4] != "" {
-			b, _ := strconv.ParseFloat(m[4], 64)
-			a.bytes = append(a.bytes, b)
+			p, _ := strconv.ParseFloat(m[4], 64)
+			a.p99 = append(a.p99, p)
 		}
 		if m[5] != "" {
-			al, _ := strconv.ParseFloat(m[5], 64)
+			b, _ := strconv.ParseFloat(m[5], 64)
+			a.bytes = append(a.bytes, b)
+		}
+		if m[6] != "" {
+			al, _ := strconv.ParseFloat(m[6], 64)
 			a.allocs = append(a.allocs, al)
 		}
 	}
@@ -190,6 +199,7 @@ func main() {
 		res := result{
 			Name:        name,
 			NsPerOp:     median(a.ns),
+			P99NsPerOp:  median(a.p99),
 			BytesPerOp:  int64(median(a.bytes)),
 			AllocsPerOp: int64(median(a.allocs)),
 			Samples:     len(a.ns),
@@ -314,6 +324,26 @@ func main() {
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
+	// p99RatioAtMost bounds one benchmark's reported tail latency
+	// (p99-ns/op custom metric) by another's from the same run — the
+	// gray-failure form of ratioAtMost: means hide a stalled replica
+	// behind the healthy majority, the p99 does not.
+	p99RatioAtMost := func(label, num, denom string, max float64) {
+		rn, rd := find(num), find(denom)
+		if rn == nil || rd == nil {
+			return
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: num,
+			Require:   fmt.Sprintf("p99 <= %.1fx of %s p99 (same run)", max, denom),
+		}
+		if rn.P99NsPerOp > 0 && rd.P99NsPerOp > 0 {
+			c.Measured = rn.P99NsPerOp / rd.P99NsPerOp
+			c.Pass = c.Measured <= max
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
 	// allocsAtMost bounds a benchmark's allocs/op — the pool-leak check
 	// for the zero-allocation clean path. Requires the run to have been
 	// collected with -benchmem.
@@ -380,6 +410,15 @@ func main() {
 		"AdaptivePath/DenseExchange", "AdaptivePath/StaticGroupExchange", 1.05)
 	ratioAtMost("flapping adversary vs static group encode (in-run)",
 		"AdaptivePath/FlappingExchange", "AdaptivePath/StaticFlappingExchange", 1.10)
+	// BENCH_8 criteria: gray-failure hardening. A replica that accepts
+	// requests but never answers may cost the lookup tail at most 3x the
+	// healthy tail — the hedge/breaker machinery absorbs it — while the
+	// hedged client on clean traffic stays within noise of the PR 7
+	// sequential client (memo hits never arm a hedge).
+	p99RatioAtMost("stalled-replica lookup tail (in-run)",
+		"GrayFail/LookupStalled", "GrayFail/LookupHealthy", 3)
+	ratioAtMost("hedging clean-path overhead (in-run)",
+		"GrayFail/MixedHedged", "GrayFail/MixedUnhedged", 1.05)
 	// BENCH_4 criteria: the distavet suite itself. The full suite (six
 	// analyzers, idbits included) must stay within 15% of the original
 	// five-analyzer core over the same package set: each new invariant

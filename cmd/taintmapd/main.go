@@ -11,9 +11,16 @@
 // Usage:
 //
 //	taintmapd [-addr :7431] [-v] [-stats-every 1m] [-read-timeout 0]
-//	          [-max-conns 0] [-grace 5s]
+//	          [-max-conns 0] [-max-active 0] [-max-queue -1] [-grace 5s]
 //	          [-part 0] [-peers part@addr,part@addr,...] [-rf 2]
 //	          [-join host:port]
+//
+// Overload behavior: -max-active bounds the requests executing at once
+// (with up to -max-queue more waiting; beyond that requests are
+// answered with an overloaded error instead of executing), and
+// connections over -max-conns are browned out — briefly answered with
+// overloaded errors so well-behaved clients back off — rather than
+// silently dropped.
 //
 // Cluster mode: with -peers (a static membership list) or -join (a seed
 // member of a running cluster), the server becomes partition -part of a
@@ -52,7 +59,11 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 0,
 		"drop connections idle or mid-frame for this long (0 disables)")
 	maxConns := flag.Int("max-conns", 0,
-		"refuse connections over this concurrency cap (0 means unlimited)")
+		"brown out connections over this concurrency cap (0 means unlimited)")
+	maxActive := flag.Int("max-active", 0,
+		"max requests executing at once; excess queue then shed (0 means unlimited)")
+	maxQueue := flag.Int("max-queue", -1,
+		"max requests waiting for an execution slot (-1 means 4*max-active)")
 	grace := flag.Duration("grace", 5*time.Second,
 		"how long a signal-triggered shutdown waits for connections to drain")
 	part := flag.Uint("part", 0, "cluster partition index of this server")
@@ -67,7 +78,8 @@ func main() {
 	flag.Parse()
 
 	cl := clusterFlags{part: uint32(*part), peers: *peers, rf: *rf, join: *join, advertise: *advertise}
-	if err := run(*addr, *verbose, *statsEvery, *readTimeout, *maxConns, *grace, cl); err != nil {
+	adm := admissionFlags{maxActive: *maxActive, maxQueue: *maxQueue}
+	if err := run(*addr, *verbose, *statsEvery, *readTimeout, *maxConns, adm, *grace, cl); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -80,6 +92,12 @@ type tcpAcceptor struct {
 
 func (a tcpAcceptor) Accept() (io.ReadWriteCloser, error) { return a.l.Accept() }
 func (a tcpAcceptor) Close() error                        { return a.l.Close() }
+
+// admissionFlags carries the request-gate command line.
+type admissionFlags struct {
+	maxActive int
+	maxQueue  int
+}
 
 // clusterFlags carries the cluster-mode command line.
 type clusterFlags struct {
@@ -111,7 +129,7 @@ func parsePeers(s string) ([]taintmap.Member, error) {
 	return members, nil
 }
 
-func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxConns int, grace time.Duration, cl clusterFlags) error {
+func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxConns int, adm admissionFlags, grace time.Duration, cl clusterFlags) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("taintmapd: listen: %w", err)
@@ -123,6 +141,7 @@ func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxCo
 
 	opts := []taintmap.ServerOption{
 		taintmap.WithReadTimeout(readTimeout), taintmap.WithMaxConns(maxConns),
+		taintmap.WithAdmission(adm.maxActive, adm.maxQueue),
 	}
 	store := taintmap.NewStore()
 	var node *taintmap.ClusterNode
@@ -170,6 +189,10 @@ func run(addr string, verbose bool, statsEvery, readTimeout time.Duration, maxCo
 					st := srv.Store().Stats()
 					log.Printf("taintmapd: %d global taints, %d registrations, %d lookups",
 						st.GlobalTaints, st.Registrations, st.Lookups)
+					ss := srv.Stats()
+					log.Printf("taintmapd: %d conns (%d accepted, %d browned out, %d refused); requests %d admitted, %d queued, %d shed",
+						ss.ActiveConns, ss.Accepted, ss.ShedConns, ss.RefusedConns,
+						ss.AdmittedReqs, ss.QueuedReqs, ss.ShedReqs)
 				case <-stopStats:
 					return
 				}

@@ -7,16 +7,18 @@ import (
 )
 
 // MustCheck flags discarded results of the Taint Map client/store
-// surface: Register*, Lookup* and Drain* calls on internal/taintmap
-// types. Dropping the returned Global ID breaks the cross-node
-// transfer chain (the byte ships untainted), and dropping the error
-// hides degraded-mode outcomes (ErrDegraded, ErrJournalFull,
+// surface: Register*, Lookup*, Drain* and TryTake* calls on
+// internal/taintmap types. Dropping the returned Global ID breaks the
+// cross-node transfer chain (the byte ships untainted), dropping the
+// error hides degraded-mode outcomes (ErrDegraded, ErrJournalFull,
 // ErrGlobalIDPending) that callers are required to route — see the
-// resilience contract in DESIGN.md §5.
+// resilience contract in DESIGN.md §5 — and dropping a Budget.TryTake
+// verdict charges the retry budget while ignoring its denial, exactly
+// the retry-storm the budget exists to prevent (§10).
 var MustCheck = &Analyzer{
 	Name: "mustcheck",
-	Doc: "results of internal/taintmap Register*/Lookup*/Drain* calls must be used: " +
-		"the Global ID and error carry the soundness signal",
+	Doc: "results of internal/taintmap Register*/Lookup*/Drain*/TryTake* calls must be used: " +
+		"the Global ID, error, and admission verdict carry the soundness signal",
 	Run: runMustCheck,
 }
 
@@ -73,7 +75,8 @@ func runMustCheck(pass *Pass) {
 func isTaintMapMust(name string) bool {
 	return strings.HasPrefix(name, "Register") ||
 		strings.HasPrefix(name, "Lookup") ||
-		strings.HasPrefix(name, "Drain")
+		strings.HasPrefix(name, "Drain") ||
+		strings.HasPrefix(name, "TryTake")
 }
 
 // allBlank reports whether every expression is the blank identifier.

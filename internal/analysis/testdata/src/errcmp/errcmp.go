@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"dista/internal/taintmap"
 )
 
 // Package sentinels following the tree's naming convention.
@@ -40,6 +42,31 @@ func bad(err error) int {
 		return 6
 	}
 	return 0
+}
+
+// Cross-package sentinels are in scope too: the overload/budget errors
+// arrive wrapped (serverErr re-typing, %w chains), so identity checks
+// silently never match.
+func badCrossPackage(err error) int {
+	if err == taintmap.ErrOverloaded { // want "sentinel error ErrOverloaded compared with =="
+		return 1
+	}
+	if taintmap.ErrBudgetExhausted != err { // want "sentinel error ErrBudgetExhausted compared with !="
+		return 2
+	}
+	switch err {
+	case taintmap.ErrOverloaded: // want "switch case"
+		return 3
+	case taintmap.ErrDeadlineExceeded: // want "switch case"
+		return 4
+	}
+	return 0
+}
+
+func goodCrossPackage(err error) bool {
+	return errors.Is(err, taintmap.ErrOverloaded) ||
+		errors.Is(err, taintmap.ErrBudgetExhausted) ||
+		errors.Is(err, taintmap.ErrDeadlineExceeded)
 }
 
 func good(err error) bool {

@@ -30,6 +30,23 @@ func badCluster(cc *taintmap.ClusterClient, ts []taint.Taint) {
 	_, _ = cc.LookupBatch([]uint32{5}) // want "result of LookupBatch assigned to blanks"
 }
 
+// The retry budget's verdict is part of the surface: a discarded
+// TryTake charges the bucket AND ignores the denial, which is exactly
+// the retry storm the budget exists to prevent.
+func badBudget(b *taintmap.Budget) {
+	b.TryTake(1)       // want "result of TryTake discarded"
+	go b.TryTake(1)    // want "result of TryTake discarded"
+	_ = b.TryTake(0.5) // want "result of TryTake assigned to blanks"
+}
+
+func goodBudget(b *taintmap.Budget) bool {
+	if !b.TryTake(1) {
+		return false
+	}
+	ok := b.TryTake(1)
+	return ok
+}
+
 func goodCluster(cc *taintmap.ClusterClient) error {
 	id, err := cc.Register(taint.Taint{})
 	if err != nil {

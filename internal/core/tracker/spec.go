@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 )
 
 // Spec is the user's taint source/sink specification, the content of the
@@ -124,6 +125,12 @@ type AgentArgs struct {
 	Mode     Mode
 	TaintMap string // Taint Map endpoints, ';'-separated; empty = none
 	SpecPath string // source/sink file; empty = everything enabled
+
+	// Deadline bounds one whole Taint Map lookup operation, replica
+	// hedges included — the instrumented system's tolerance for a taint
+	// resolution stalling, propagated down the client stack. Zero means
+	// no deadline beyond the per-call timeouts.
+	Deadline time.Duration
 }
 
 // TaintMapAddrs returns the Taint Map endpoint list: the taintmap value
@@ -142,7 +149,8 @@ func (a AgentArgs) TaintMapAddrs() []string {
 
 // ParseAgentArgs parses "mode=dista,taintmap=host:port,spec=path". A
 // clustered Taint Map lists its members ';'-separated in the taintmap
-// value ("taintmap=tm1:7431;tm2:7431;tm3:7431"). Every key is optional;
+// value ("taintmap=tm1:7431;tm2:7431;tm3:7431"); "deadline=50ms" caps
+// one Taint Map lookup operation end to end. Every key is optional;
 // mode defaults to dista (attaching the agent means tracking).
 func ParseAgentArgs(s string) (AgentArgs, error) {
 	args := AgentArgs{Mode: ModeDista}
@@ -165,6 +173,15 @@ func ParseAgentArgs(s string) (AgentArgs, error) {
 			args.TaintMap = val
 		case "spec", "sources": // the paper's flag spells it taintSources
 			args.SpecPath = val
+		case "deadline":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return AgentArgs{}, fmt.Errorf("tracker: agent arg deadline: %w", err)
+			}
+			if d < 0 {
+				return AgentArgs{}, fmt.Errorf("tracker: agent arg deadline %q: must not be negative", val)
+			}
+			args.Deadline = d
 		default:
 			return AgentArgs{}, fmt.Errorf("tracker: unknown agent arg %q", key)
 		}

@@ -21,5 +21,10 @@ func DialTaintMap(args tracker.AgentArgs, tree *taint.Tree, dial func(addr strin
 	if len(addrs) == 0 {
 		return nil, ErrNoTaintMap
 	}
+	if opt.OpTimeout == 0 && args.Deadline > 0 {
+		// The agent-args deadline rides down into the cluster client as
+		// the whole-operation bound on lookups; an explicit option wins.
+		opt.OpTimeout = args.Deadline
+	}
 	return taintmap.DialClusterAddrs(addrs, dial, tree, opt)
 }

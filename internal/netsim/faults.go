@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"time"
 )
 
 // Fault-injection plane. The simulated network can misbehave on demand
@@ -77,6 +78,46 @@ func (n *Network) SetStall(stalled bool) {
 	n.mu.Unlock()
 }
 
+// SetHostStall freezes (true) or thaws (false) every stream write
+// *issued by* h's connections, while writes toward h keep flowing: the
+// gray-failure shape where a member accepts requests and then never
+// answers. Dials to h still succeed and its reads still drain, so the
+// only external signal is silence — exactly what deadline, hedging and
+// breaker logic must detect. Frozen writes block (they do not error)
+// until the stall is lifted or their connection dies.
+func (n *Network) SetHostStall(h string, stalled bool) {
+	n.mu.Lock()
+	if stalled {
+		if n.stalledHosts == nil {
+			n.stalledHosts = make(map[string]struct{})
+		}
+		n.stalledHosts[h] = struct{}{}
+	} else {
+		delete(n.stalledHosts, h)
+	}
+	n.refreshFaultyLocked()
+	n.stallCond.Broadcast()
+	n.mu.Unlock()
+}
+
+// SetHostLatency delays every stream write issued by host h's
+// connections by d — a limping member rather than a frozen one. Zero
+// clears the injection. Unlike SetLatency this is one-sided: traffic
+// toward h is unaffected.
+func (n *Network) SetHostLatency(h string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.hostLatency, h)
+	} else {
+		if n.hostLatency == nil {
+			n.hostLatency = make(map[string]time.Duration)
+		}
+		n.hostLatency[h] = d
+	}
+	n.refreshFaultyLocked()
+}
+
 // Partition cuts all traffic between hosts a and b (either may be the
 // "*" wildcard): stream writes across the cut fail with ErrPartitioned,
 // dials across it are refused, and datagrams are silently dropped
@@ -112,7 +153,18 @@ func (n *Network) HealAll() {
 // refreshFaultyLocked recomputes the fast-path flag that lets fault-free
 // writes skip the injection checks entirely. Caller holds n.mu.
 func (n *Network) refreshFaultyLocked() {
-	n.faulty.Store(n.stalled || n.resetRate > 0 || len(n.partitions) > 0)
+	n.faulty.Store(n.stalled || n.resetRate > 0 || len(n.partitions) > 0 ||
+		len(n.stalledHosts) > 0 || len(n.hostLatency) > 0)
+}
+
+// hostStalledLocked reports whether writes from host h are frozen.
+// Caller holds n.mu.
+func (n *Network) hostStalledLocked(h string) bool {
+	if n.stalled {
+		return true
+	}
+	_, ok := n.stalledHosts[h]
+	return ok
 }
 
 // partitionedLocked reports whether hosts ha and hb are across any
@@ -135,8 +187,9 @@ func (n *Network) partitionedLocked(ha, hb string) bool {
 // partition cut, and flips the reset coin. A nil return means the write
 // may proceed.
 func (n *Network) writeFaults(c *Conn) error {
+	local := host(c.localAddr)
 	n.mu.Lock()
-	for n.stalled && !c.dead.Load() {
+	for n.hostStalledLocked(local) && !c.dead.Load() {
 		n.stallCond.Wait()
 	}
 	if c.dead.Load() {
@@ -145,15 +198,19 @@ func (n *Network) writeFaults(c *Conn) error {
 		n.mu.Unlock()
 		return nil
 	}
-	if n.partitionedLocked(host(c.localAddr), host(c.remoteAddr)) {
+	if n.partitionedLocked(local, host(c.remoteAddr)) {
 		n.mu.Unlock()
 		return ErrPartitioned
 	}
+	lag := n.hostLatency[local]
 	reset := n.resetRate > 0 && n.rng.Float64() < n.resetRate
 	n.mu.Unlock()
 	if reset {
 		c.Reset()
 		return ErrReset
+	}
+	if lag > 0 {
+		time.Sleep(lag)
 	}
 	return nil
 }

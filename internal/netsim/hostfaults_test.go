@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHostStallOneSided: stalling a host freezes only the writes that
+// host issues — the gray-failure shape where a sick server still
+// accepts connections and absorbs requests but never answers. Traffic
+// *to* the stalled host keeps flowing, as do unrelated hosts.
+func TestHostStallOneSided(t *testing.T) {
+	n := New()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.DialFrom("cli:5", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.SetHostStall("srv", true)
+
+	// Client -> server still works: the stall is one-sided.
+	if _, err := conn.Write([]byte("req")); err != nil {
+		t.Fatalf("write toward stalled host: %v", err)
+	}
+	buf := make([]byte, 16)
+	if m, err := peer.Read(buf); err != nil || string(buf[:m]) != "req" {
+		t.Fatalf("stalled host read = %q, %v", buf[:m], err)
+	}
+	// New connections are still accepted — the host looks alive.
+	if _, err := n.DialFrom("cli:6", "srv:1"); err != nil {
+		t.Fatalf("dial to stalled host: %v", err)
+	}
+
+	// Server -> client freezes.
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := peer.Write([]byte("reply"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("stalled host's write completed: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	n.SetHostStall("srv", false)
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("thawed write: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write still frozen after un-stall")
+	}
+	if m, err := conn.Read(buf); err != nil || string(buf[:m]) != "reply" {
+		t.Fatalf("post-thaw read = %q, %v", buf[:m], err)
+	}
+}
+
+// TestHostStallClosedConnReleases: closing a connection whose writer is
+// frozen by a host stall releases the writer.
+func TestHostStallClosedConnReleases(t *testing.T) {
+	n := New()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.DialFrom("cli:5", "srv:1"); err != nil {
+		t.Fatal(err)
+	}
+	peer, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHostStall("srv", true)
+	defer n.SetHostStall("srv", false)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := peer.Write([]byte("doomed"))
+		wrote <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	peer.Close()
+	select {
+	case err := <-wrote:
+		if err == nil {
+			t.Fatal("write on closed conn succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frozen writer not released by Close")
+	}
+}
+
+// TestHostLatency: per-host latency delays that host's writes without
+// blocking them, and clearing it restores full speed.
+func TestHostLatency(t *testing.T) {
+	n := New()
+	l, err := n.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := n.DialFrom("cli:5", "srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetHostLatency("srv", 30*time.Millisecond)
+
+	start := time.Now()
+	if _, err := peer.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 25*time.Millisecond {
+		t.Fatalf("lagged write took %v, want >= ~30ms", took)
+	}
+	// The other direction pays nothing.
+	start = time.Now()
+	if _, err := conn.Write([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 20*time.Millisecond {
+		t.Fatalf("un-lagged write took %v", took)
+	}
+
+	n.SetHostLatency("srv", 0)
+	start = time.Now()
+	if _, err := peer.Write([]byte("quick")); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 20*time.Millisecond {
+		t.Fatalf("write after clearing latency took %v", took)
+	}
+}

@@ -49,11 +49,13 @@ type Network struct {
 
 	// Fault-injection state (see faults.go). faulty caches whether any
 	// stream fault is configured so fault-free writes skip the checks.
-	partitions map[hostPair]struct{}
-	resetRate  float64
-	stalled    bool
-	stallCond  *sync.Cond
-	faulty     atomic.Bool
+	partitions   map[hostPair]struct{}
+	resetRate    float64
+	stalled      bool
+	stalledHosts map[string]struct{}
+	hostLatency  map[string]time.Duration
+	stallCond    *sync.Cond
+	faulty       atomic.Bool
 
 	streamBytes   atomic.Int64
 	datagramBytes atomic.Int64

@@ -3,11 +3,27 @@ package taintmap
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// defaultPeerTimeout bounds how long a replication push waits for a
+// peer's ack before declaring the link dead. Before this existed a
+// stalled-but-connected peer (the classic gray failure) wedged the
+// owner's registration path forever.
+const defaultPeerTimeout = 2 * time.Second
+
+// peerCooldown is how long a failed peer link refuses calls before
+// re-trying the transport. Within the window a replication push hints
+// instantly instead of paying the timeout again per registration.
+const peerCooldown = 250 * time.Millisecond
+
+// errPeerDown is the instant failure a cooling-down peer link returns.
+var errPeerDown = errors.New("taintmap: peer link cooling down after failure")
 
 // ClusterNode is the server-side half of the partitioned Taint Map: the
 // per-server state that turns N independent taintmapd processes into
@@ -33,6 +49,10 @@ type ClusterNode struct {
 	mu    sync.Mutex // ring changes and peer-map writes
 	peers map[uint32]*peerLink
 
+	// peerTimeout is the per-call ack deadline on peer links,
+	// nanoseconds; 0 disables the deadline (not recommended).
+	peerTimeout atomic.Int64
+
 	hinted  atomic.Int64 // replication pushes skipped on a dead peer
 	pushed  atomic.Int64 // entries successfully replicated to successors
 	repairs atomic.Int64 // entries adopted through read-repair ('w')
@@ -57,8 +77,18 @@ func NewClusterNode(self Member, members []Member, rf int, dial func(addr string
 		return nil, err
 	}
 	n := &ClusterNode{self: self, dial: dial, peers: make(map[uint32]*peerLink)}
+	n.peerTimeout.Store(int64(defaultPeerTimeout))
 	n.ring.Store(r)
 	return n, nil
+}
+
+// SetPeerTimeout adjusts the ack deadline on peer calls (default 2s).
+// Non-positive d disables the deadline.
+func (n *ClusterNode) SetPeerTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	n.peerTimeout.Store(int64(d))
 }
 
 // Self returns this node's membership entry.
@@ -117,7 +147,7 @@ func (n *ClusterNode) Join(m Member) (*Ring, error) {
 func (n *ClusterNode) JoinVia(seedAddr string) (*Ring, error) {
 	link := &peerLink{addr: seedAddr, dial: n.dial}
 	defer link.close()
-	reply, err := link.call(opJoinTag, appendMember(nil, n.self))
+	reply, err := link.call(opJoinTag, appendMember(nil, n.self), time.Duration(n.peerTimeout.Load()))
 	if err != nil {
 		return nil, fmt.Errorf("taintmap: join via %s: %w", seedAddr, err)
 	}
@@ -163,7 +193,7 @@ func (n *ClusterNode) callPeer(peer Member, op byte, payload []byte) error {
 		n.peers[peer.Part] = link
 	}
 	n.mu.Unlock()
-	_, err := link.call(op, payload)
+	_, err := link.call(op, payload, time.Duration(n.peerTimeout.Load()))
 	return err
 }
 
@@ -186,36 +216,54 @@ type peerLink struct {
 	addr string
 	dial func(addr string) (io.ReadWriteCloser, error)
 
-	mu   sync.Mutex
-	conn io.ReadWriteCloser
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu        sync.Mutex
+	conn      io.ReadWriteCloser
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	downUntil time.Time // cooldown after a transport failure
 }
 
 // call sends one tagged request and reads its reply, dialing on first
-// use and tearing the connection down on any failure.
-func (l *peerLink) call(op byte, payload []byte) ([]byte, error) {
+// use and tearing the connection down on any failure. The ack read is
+// bounded by timeout (when the transport supports read deadlines), so a
+// stalled peer costs one timeout, not a wedged owner; for peerCooldown
+// after any transport failure further calls fail instantly, turning
+// per-registration replication pushes into immediate hinted handoff.
+func (l *peerLink) call(op byte, payload []byte, timeout time.Duration) ([]byte, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if !l.downUntil.IsZero() {
+		if time.Now().Before(l.downUntil) {
+			return nil, errPeerDown
+		}
+		l.downUntil = time.Time{}
+	}
+	fail := func(err error) ([]byte, error) {
+		if l.conn != nil {
+			l.conn.Close()
+			l.conn = nil
+		}
+		l.downUntil = time.Now().Add(peerCooldown)
+		return nil, err
+	}
 	if l.conn == nil {
 		conn, err := l.dial(l.addr)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		l.conn = conn
 		l.br = bufio.NewReaderSize(conn, 32<<10)
 		l.bw = bufio.NewWriterSize(conn, 32<<10)
-	}
-	fail := func(err error) ([]byte, error) {
-		l.conn.Close()
-		l.conn = nil
-		return nil, err
 	}
 	if err := writeTaggedFrame(l.bw, op, 0, payload); err != nil {
 		return fail(err)
 	}
 	if err := l.bw.Flush(); err != nil {
 		return fail(err)
+	}
+	rd, _ := l.conn.(readDeadliner)
+	if rd != nil && timeout > 0 {
+		rd.SetReadDeadline(time.Now().Add(timeout))
 	}
 	var hdr [9]byte
 	if _, err := io.ReadFull(l.br, hdr[:]); err != nil {
@@ -229,6 +277,9 @@ func (l *peerLink) call(op byte, payload []byte) ([]byte, error) {
 	reply := make([]byte, nlen)
 	if _, err := io.ReadFull(l.br, reply); err != nil {
 		return fail(err)
+	}
+	if rd != nil && timeout > 0 {
+		rd.SetReadDeadline(time.Time{})
 	}
 	if status != statusTaggedOK {
 		// The request was answered; the link itself is healthy.

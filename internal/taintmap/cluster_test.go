@@ -161,11 +161,18 @@ type clusterEnv struct {
 	stores []*Store
 	srvs   []*Server
 	nodes  []*ClusterNode
+	opts   []ServerOption // applied to every member server
 }
 
 func newClusterEnv(t *testing.T, n, rf int) *clusterEnv {
+	return newClusterEnvOpts(t, n, rf)
+}
+
+// newClusterEnvOpts is newClusterEnv with extra server options applied
+// to every member (e.g. an admission gate).
+func newClusterEnvOpts(t *testing.T, n, rf int, opts ...ServerOption) *clusterEnv {
 	t.Helper()
-	e := &clusterEnv{t: t, net: netsim.New()}
+	e := &clusterEnv{t: t, net: netsim.New(), opts: opts}
 	members := make([]Member, n)
 	for i := range members {
 		members[i] = Member{Part: uint32(i), Addr: simMemberAddr(uint32(i))}
@@ -193,7 +200,7 @@ func newClusterEnv(t *testing.T, n, rf int) *clusterEnv {
 // start brings up (or back up) member i on its existing store.
 func (e *clusterEnv) start(i int) {
 	e.t.Helper()
-	srv, node, err := StartSimClusterMember(e.net, e.ring, uint32(i), e.stores[i])
+	srv, node, err := StartSimClusterMember(e.net, e.ring, uint32(i), e.stores[i], e.opts...)
 	if err != nil {
 		e.t.Fatalf("start member %d: %v", i, err)
 	}

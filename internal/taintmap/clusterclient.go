@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dista/internal/core/taint"
 )
@@ -52,6 +54,16 @@ type ClusterClient struct {
 
 	rr       atomic.Uint32 // lookup replica rotation
 	repaired atomic.Int64  // entries pushed back to stale replicas
+
+	// budget is the shared retry budget: one bucket gating every
+	// member's reconnect dials and this layer's hedges, so a brownout
+	// cannot multiply into a cluster-wide retry storm.
+	budget *Budget
+	hedge  hedgeTracker
+
+	hedges       atomic.Int64 // hedge attempts launched
+	hedgeWins    atomic.Int64 // lookups won by the hedged attempt
+	budgetDenied atomic.Int64 // hedges suppressed by the empty budget
 }
 
 var _ Client = (*ClusterClient)(nil)
@@ -61,6 +73,40 @@ type ClusterOptions struct {
 	// Resilient configures each member's resilience layer (defaults as
 	// in ResilientOptions).
 	Resilient ResilientOptions
+
+	// HedgeDelay is the initial replica-lookup hedge delay: how long the
+	// first attempt may run before the next replica is raced against it.
+	// Once the latency tracker has warmed up, the observed p99 replaces
+	// this value, so it only matters for the first few dozen lookups.
+	// Zero means the 20ms default; negative disables hedging entirely
+	// and restores sequential replica rotation.
+	HedgeDelay time.Duration
+
+	// OpTimeout bounds one whole lookup operation — all replica
+	// attempts and hedges together. Zero means no operation deadline
+	// (each attempt is still bounded by Resilient.CallTimeout).
+	OpTimeout time.Duration
+
+	// BudgetRate and BudgetBurst configure the shared retry budget in
+	// tokens per second and bucket capacity. Reconnect dials and hedges
+	// each cost one token; first attempts are free. Zero means the
+	// defaults (50/s, burst 100); negative disables budgeting.
+	BudgetRate  float64
+	BudgetBurst float64
+}
+
+// withClusterDefaults fills the zero values in.
+func (o ClusterOptions) withClusterDefaults() ClusterOptions {
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 20 * time.Millisecond
+	}
+	if o.BudgetRate == 0 {
+		o.BudgetRate = 50
+	}
+	if o.BudgetBurst == 0 {
+		o.BudgetBurst = 100
+	}
+	return o
 }
 
 // DialClusterAddrs builds a Client from a flat endpoint list — the form
@@ -78,7 +124,13 @@ func DialClusterAddrs(addrs []string, dial func(addr string) (io.ReadWriteCloser
 		return nil, errors.New("taintmap: no taint map addresses")
 	case 1:
 		addr := addrs[0]
+		opt = opt.withClusterDefaults()
 		ropt := opt.Resilient
+		clk := ropt.clk
+		if clk == nil {
+			clk = realClock{}
+		}
+		ropt.budget = newBudgetClock(opt.BudgetRate, opt.BudgetBurst, clk)
 		return NewResilientClient(func() (io.ReadWriteCloser, error) { return dial(addr) }, tree, ropt), nil
 	}
 	var lastErr error
@@ -116,6 +168,7 @@ type clusterMember struct {
 // opens a connection to a member address; it is called per member and
 // again on every reconnect.
 func NewClusterClient(ring *Ring, dial func(addr string) (io.ReadWriteCloser, error), tree *taint.Tree, opt ClusterOptions) (*ClusterClient, error) {
+	opt = opt.withClusterDefaults()
 	c := &ClusterClient{
 		tree:    tree,
 		dial:    dial,
@@ -123,6 +176,11 @@ func NewClusterClient(ring *Ring, dial func(addr string) (io.ReadWriteCloser, er
 		memo:    &cache{},
 		members: make(map[uint32]*clusterMember),
 	}
+	clk := opt.Resilient.clk
+	if clk == nil {
+		clk = realClock{}
+	}
+	c.budget = newBudgetClock(opt.BudgetRate, opt.BudgetBurst, clk)
 	c.ring.Store(ring)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -156,6 +214,7 @@ func (c *ClusterClient) addMemberLocked(m Member) (*clusterMember, error) {
 	ropt := c.opt.Resilient
 	ropt.memo = c.memo
 	ropt.local = local
+	ropt.budget = c.budget
 	addr := m.Addr
 	rc := NewResilientClient(func() (io.ReadWriteCloser, error) { return c.dial(addr) }, c.tree, ropt)
 	cm := &clusterMember{part: m.Part, addr: m.Addr, rc: rc}
@@ -262,7 +321,14 @@ func (c *ClusterClient) Register(t taint.Taint) (uint32, error) {
 	if cm == nil {
 		return 0, fmt.Errorf("%w: no member for owner partition", ErrDegraded)
 	}
-	return cm.rc.registerMarshaled(t, blob)
+	id, err := cm.rc.registerMarshaled(t, blob)
+	if err != nil && errors.Is(err, ErrOverloaded) {
+		// The owner is shedding load, not down: fall into that
+		// partition's journaled degraded mode instead of failing the
+		// caller — the provisional id remaps when the drain replays it.
+		return cm.rc.journalFallback(t, blob)
+	}
+	return id, err
 }
 
 // Lookup implements Client: route by the id's partition bits, rotating
@@ -285,28 +351,142 @@ func (c *ClusterClient) Lookup(id uint32) (taint.Taint, error) {
 		}
 		return cm.rc.Lookup(id)
 	}
+	cms := c.replicaOrder(part)
+	if len(cms) == 0 {
+		return taint.Taint{}, fmt.Errorf("%w: no member for partition %d", ErrDegraded, part)
+	}
+	if len(cms) == 1 || c.opt.HedgeDelay < 0 {
+		// Single replica, or hedging disabled: sequential rotation with
+		// each member's full resilience machinery, as before hedging.
+		var stale []*clusterMember
+		lastErr := error(ErrDegraded)
+		for _, cm := range cms {
+			t, err := cm.rc.Lookup(id)
+			if err == nil {
+				c.repairTo(stale, []uint32{id}, []taint.Taint{t})
+				return t, nil
+			}
+			lastErr = err
+			if errors.Is(err, ErrUnknownGlobalID) {
+				// This replica is missing the entry, not down: remember
+				// it for read-repair once another replica resolves it.
+				stale = append(stale, cm)
+			}
+		}
+		return taint.Taint{}, lastErr
+	}
+	var got atomic.Pointer[taint.Taint]
+	stale, err := c.hedgedCall(cms, func(cm *clusterMember, deadline time.Time) error {
+		t, e := cm.rc.lookupAttempt(id, deadline)
+		if e == nil {
+			got.Store(&t)
+		}
+		return e
+	})
+	if err != nil {
+		return taint.Taint{}, err
+	}
+	t := *got.Load()
+	c.repairTo(stale, []uint32{id}, []taint.Taint{t})
+	return t, nil
+}
+
+// replicaOrder returns the live member handles of a partition's replica
+// set, rotated so successive lookups start on different replicas.
+func (c *ClusterClient) replicaOrder(part uint32) []*clusterMember {
 	reps := c.ring.Load().Replicas(part)
 	start := int(c.rr.Add(1)) % len(reps)
-	var stale []*clusterMember
-	lastErr := error(ErrDegraded)
+	cms := make([]*clusterMember, 0, len(reps))
 	for i := range reps {
-		cm := c.member(reps[(start+i)%len(reps)])
-		if cm == nil {
-			continue
-		}
-		t, err := cm.rc.Lookup(id)
-		if err == nil {
-			c.repairTo(stale, []uint32{id}, []taint.Taint{t})
-			return t, nil
-		}
-		lastErr = err
-		if errors.Is(err, ErrUnknownGlobalID) {
-			// This replica is missing the entry, not down: remember it
-			// for read-repair once another replica resolves the id.
-			stale = append(stale, cm)
+		if cm := c.member(reps[(start+i)%len(reps)]); cm != nil {
+			cms = append(cms, cm)
 		}
 	}
-	return taint.Taint{}, lastErr
+	return cms
+}
+
+// hedgeDelay is the delay before a lookup's first attempt gets raced by
+// the next replica: the tracked p99 once warm, the configured initial
+// delay before that.
+func (c *ClusterClient) hedgeDelay() time.Duration {
+	if d, ok := c.hedge.quantile(0.99); ok {
+		return d
+	}
+	return c.opt.HedgeDelay
+}
+
+// hedgedCall runs one fail-fast attempt (the call closure) against the
+// replicas in order, hedging: the first attempt runs alone until the
+// tracked p99 elapses, then — if the retry budget grants a token — the
+// next replica is raced against it and the first success wins. A
+// *failed* attempt falls through to the next replica immediately and
+// for free; that is rotation, not hedging, and charging it would let a
+// dead replica drain the budget. Losing attempts are abandoned (their
+// goroutines park on the member's own call timeout and deliver into a
+// buffered channel), and replicas that answered ErrUnknownGlobalID are
+// returned for read-repair.
+func (c *ClusterClient) hedgedCall(cms []*clusterMember, call func(cm *clusterMember, deadline time.Time) error) (stale []*clusterMember, err error) {
+	var deadline time.Time
+	if c.opt.OpTimeout > 0 {
+		deadline = time.Now().Add(c.opt.OpTimeout)
+	}
+	type outcome struct {
+		cm     *clusterMember
+		err    error
+		took   time.Duration
+		hedged bool
+	}
+	results := make(chan outcome, len(cms))
+	next, inflight := 0, 0
+	launch := func(hedged bool) {
+		cm := cms[next]
+		next++
+		inflight++
+		go func() {
+			start := time.Now()
+			e := call(cm, deadline)
+			results <- outcome{cm: cm, err: e, took: time.Since(start), hedged: hedged}
+		}()
+	}
+	launch(false)
+	var timerC <-chan time.Time
+	if next < len(cms) {
+		timer := time.NewTimer(c.hedgeDelay())
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	lastErr := error(ErrDegraded)
+	for inflight > 0 {
+		select {
+		case out := <-results:
+			inflight--
+			if out.err == nil {
+				c.hedge.observe(out.took)
+				if out.hedged {
+					c.hedgeWins.Add(1)
+				}
+				return stale, nil
+			}
+			lastErr = out.err
+			if errors.Is(out.err, ErrUnknownGlobalID) {
+				stale = append(stale, out.cm)
+			}
+			if next < len(cms) {
+				launch(false)
+			}
+		case <-timerC:
+			timerC = nil
+			if next < len(cms) {
+				if c.budget.TryTake(1) {
+					c.hedges.Add(1)
+					launch(true)
+				} else {
+					c.budgetDenied.Add(1)
+				}
+			}
+		}
+	}
+	return stale, lastErr
 }
 
 // RegisterBatch implements Client: pending taints are marshaled once,
@@ -340,7 +520,16 @@ func (c *ClusterClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
 			gblobs[k] = blobs[i]
 		}
 		got, err := cm.rc.registerPending(gts, gblobs)
-		if err != nil {
+		if err != nil && errors.Is(err, ErrOverloaded) {
+			// The group's owner is shedding: journal the group into that
+			// partition's degraded mode and hand out provisional ids.
+			got = make([]uint32, len(gts))
+			for k := range gts {
+				if got[k], err = cm.rc.journalFallback(gts[k], gblobs[k]); err != nil {
+					return nil, err
+				}
+			}
+		} else if err != nil {
 			return nil, err
 		}
 		for k, i := range idxs {
@@ -402,26 +591,46 @@ func (c *ClusterClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
 // lookupGroup resolves one partition's (non-provisional) ids against
 // its replicas and read-repairs any replica observed missing them.
 func (c *ClusterClient) lookupGroup(ring *Ring, part uint32, group []uint32) error {
-	reps := ring.Replicas(part)
-	start := int(c.rr.Add(1)) % len(reps)
-	var stale []*clusterMember
-	lastErr := error(ErrDegraded)
-	for i := range reps {
-		cm := c.member(reps[(start+i)%len(reps)])
-		if cm == nil {
-			continue
-		}
-		got, err := cm.rc.LookupBatch(group)
-		if err == nil {
-			c.repairTo(stale, group, got)
-			return nil
-		}
-		lastErr = err
-		if errors.Is(err, ErrUnknownGlobalID) {
-			stale = append(stale, cm)
-		}
+	cms := c.replicaOrder(part)
+	if len(cms) == 0 {
+		return fmt.Errorf("%w: no member for partition %d", ErrDegraded, part)
 	}
-	return lastErr
+	if len(cms) == 1 || c.opt.HedgeDelay < 0 {
+		var stale []*clusterMember
+		lastErr := error(ErrDegraded)
+		for _, cm := range cms {
+			got, err := cm.rc.LookupBatch(group)
+			if err == nil {
+				c.repairTo(stale, group, got)
+				return nil
+			}
+			lastErr = err
+			if errors.Is(err, ErrUnknownGlobalID) {
+				stale = append(stale, cm)
+			}
+		}
+		return lastErr
+	}
+	stale, err := c.hedgedCall(cms, func(cm *clusterMember, deadline time.Time) error {
+		return cm.rc.lookupBatchAttempt(group, deadline)
+	})
+	if err != nil {
+		return err
+	}
+	if len(stale) > 0 {
+		// The attempt path resolves into the shared memo rather than
+		// returning the taints; refetch them to build the repair batch.
+		ts := make([]taint.Taint, len(group))
+		for i, id := range group {
+			t, ok := c.memo.get(id)
+			if !ok {
+				return nil // raced an eviction; leave repair to a later reader
+			}
+			ts[i] = t
+		}
+		c.repairTo(stale, group, ts)
+	}
+	return nil
 }
 
 // repairTo pushes resolved (id, taint) entries to replicas that were
@@ -461,6 +670,43 @@ func (c *ClusterClient) Healths() map[uint32]Health {
 		out[part] = cm.rc.Health()
 	}
 	return out
+}
+
+// ClusterHealth is a cluster-wide snapshot: per-member resilience
+// state plus the hedge, budget and degradation gauges that only exist
+// at this layer.
+type ClusterHealth struct {
+	Members            map[uint32]Health
+	DegradedPartitions []uint32 // partitions journaling locally (breaker tripped)
+
+	Hedges       int64         // hedge attempts launched
+	HedgeWins    int64         // lookups won by the hedged attempt
+	BudgetDenied int64         // hedges suppressed by an empty budget
+	BudgetTokens float64       // tokens currently in the shared budget
+	HedgeDelay   time.Duration // delay the next hedge would use
+	Repaired     int64         // entries pushed back to stale replicas
+}
+
+// Health reports the cluster client's current state.
+func (c *ClusterClient) Health() ClusterHealth {
+	h := ClusterHealth{
+		Members:      c.Healths(),
+		Hedges:       c.hedges.Load(),
+		HedgeWins:    c.hedgeWins.Load(),
+		BudgetDenied: c.budgetDenied.Load(),
+		BudgetTokens: c.budget.Tokens(),
+		HedgeDelay:   c.hedgeDelay(),
+		Repaired:     c.repaired.Load(),
+	}
+	for part, mh := range h.Members {
+		if mh.Degraded {
+			h.DegradedPartitions = append(h.DegradedPartitions, part)
+		}
+	}
+	sort.Slice(h.DegradedPartitions, func(i, j int) bool {
+		return h.DegradedPartitions[i] < h.DegradedPartitions[j]
+	})
+	return h
 }
 
 // Close implements Client: it closes every member handle.

@@ -1,0 +1,516 @@
+package taintmap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dista/internal/core/taint"
+)
+
+// grayOpts is the fast-failure tuning the gray-failure tests run the
+// cluster client with: short call timeouts, tight backoff, an eager
+// hedge and a generous budget, so a stalled replica costs milliseconds
+// instead of the production-default seconds.
+func grayOpts() ClusterOptions {
+	return ClusterOptions{
+		Resilient: ResilientOptions{
+			CallTimeout:      200 * time.Millisecond,
+			BackoffBase:      time.Millisecond,
+			BackoffMax:       20 * time.Millisecond,
+			BreakerThreshold: 2,
+			JournalLimit:     1 << 15,
+		},
+		HedgeDelay:  5 * time.Millisecond,
+		BudgetRate:  500,
+		BudgetBurst: 1000,
+	}
+}
+
+// stallSet picks which member hosts to stall: a subset that leaves
+// every partition at least one healthy replica while stalling a replica
+// of as many partitions as possible. The replica sets come from the
+// consistent-hash ring (successors are hash-order, not part+1), so the
+// choice is a small brute force over host subsets rather than a
+// pattern.
+func stallSet(r *Ring) []uint32 {
+	parts := make([]uint32, 0, len(r.Members()))
+	for _, m := range r.Members() {
+		parts = append(parts, m.Part)
+	}
+	n := len(parts)
+	best, bestScore := []uint32(nil), -1
+	for mask := 1; mask < 1<<n; mask++ {
+		stalled := make(map[uint32]bool)
+		for i, p := range parts {
+			if mask&(1<<i) != 0 {
+				stalled[p] = true
+			}
+		}
+		score := 0
+		ok := true
+		for _, p := range parts {
+			healthy, hit := 0, 0
+			for _, rep := range r.Replicas(p) {
+				if stalled[rep] {
+					hit++
+				} else {
+					healthy++
+				}
+			}
+			if healthy == 0 {
+				ok = false
+				break
+			}
+			if hit > 0 {
+				score++
+			}
+		}
+		if !ok {
+			continue
+		}
+		if score > bestScore {
+			bestScore = score
+			best = best[:0]
+			for p := range stalled {
+				best = append(best, p)
+			}
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// TestStallSetCoversCluster sanity-checks the brute force on the ring
+// the chaos test uses.
+func TestStallSetCoversCluster(t *testing.T) {
+	members := make([]Member, 4)
+	for i := range members {
+		members[i] = Member{Part: uint32(i), Addr: simMemberAddr(uint32(i))}
+	}
+	r, err := NewRing(1, 2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := stallSet(r)
+	if len(set) == 0 {
+		t.Fatal("stallSet found nothing to stall")
+	}
+	stalled := make(map[uint32]bool)
+	for _, p := range set {
+		stalled[p] = true
+	}
+	for _, m := range members {
+		healthy := 0
+		for _, rep := range r.Replicas(m.Part) {
+			if !stalled[rep] {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			t.Fatalf("partition %d left with no healthy replica by stall set %v", m.Part, set)
+		}
+	}
+}
+
+// TestHedgedLookupStalledReplica: with one of two replicas stalled
+// (alive, accepting, never answering), every memo-cold lookup must
+// still resolve fast — the hedge races the healthy replica after the
+// hedge delay instead of waiting out the stalled one's full timeout.
+func TestHedgedLookupStalledReplica(t *testing.T) {
+	e := newClusterEnv(t, 2, 2)
+	seedTree := taint.NewTree()
+	seed, err := DialSimCluster(e.net, "seed:1", e.ring, seedTree, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 48
+	ts := make([]taint.Taint, N)
+	for i := range ts {
+		ts[i] = seedTree.NewSource(fmt.Sprintf("hedged-%d", i), "seed:1")
+	}
+	ids, err := seed.RegisterBatch(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	c, err := DialSimCluster(e.net, "app:1", e.ring, taint.NewTree(), grayOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	e.net.SetHostStall("tm0", true)
+	defer e.net.SetHostStall("tm0", false)
+
+	start := time.Now()
+	for i, id := range ids {
+		one := time.Now()
+		got, err := c.Lookup(id)
+		if err != nil {
+			t.Fatalf("lookup %d under stall: %v", i, err)
+		}
+		if got.Empty() {
+			t.Fatalf("lookup %d returned empty taint", i)
+		}
+		if took := time.Since(one); took > 2*time.Second {
+			t.Fatalf("lookup %d took %v under a single-replica stall", i, took)
+		}
+	}
+	total := time.Since(start)
+	// Sequential rotation would pay the 200ms call timeout for every
+	// lookup that starts on the stalled replica (~half of 48 -> ~4.8s
+	// minimum). The hedge must keep the whole sweep well under that.
+	if total > 4*time.Second {
+		t.Fatalf("48 lookups took %v with one stalled replica", total)
+	}
+
+	h := c.Health()
+	if h.Hedges == 0 {
+		t.Fatal("no hedges launched against a stalled replica")
+	}
+	if h.HedgeWins == 0 {
+		t.Fatal("no lookup won by its hedge")
+	}
+}
+
+// TestClusterRegisterOverloadedJournals: a shedding owner (admission
+// gate saturated) must not fail registrations — they fall into that
+// partition's journaled degraded mode, get provisional ids, and drain
+// to real ids once the owner stops shedding. Other partitions are
+// unaffected: degradation is partition-scoped.
+func TestClusterRegisterOverloadedJournals(t *testing.T) {
+	e := newClusterEnvOpts(t, 2, 2, WithAdmission(1, 0))
+	tree := taint.NewTree()
+	opt := grayOpts()
+	c, err := DialSimCluster(e.net, "app:1", e.ring, tree, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find a taint owned by partition 0 and one owned by partition 1.
+	byOwner := map[uint32]taint.Taint{}
+	for i := 0; len(byOwner) < 2 && i < 256; i++ {
+		tt := tree.NewSource(fmt.Sprintf("shedload-%d", i), "app:1")
+		blob, err := taint.MarshalTaint(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := e.ring.OwnerOfBlob(blob)
+		if _, dup := byOwner[owner]; !dup {
+			byOwner[owner] = tt
+		}
+	}
+	if len(byOwner) < 2 {
+		t.Fatal("could not find taints for both partitions")
+	}
+
+	// Saturate partition 0's gate from the outside: its register traffic
+	// sheds while partition 1 keeps serving.
+	e.srvs[0].adm.admit()
+	id0, err := c.Register(byOwner[0])
+	if err != nil {
+		t.Fatalf("register against shedding owner: %v", err)
+	}
+	if !IsProvisional(id0) {
+		t.Fatalf("register against shedding owner returned real id %d, want provisional", id0)
+	}
+	if PartitionOf(id0) != 0 {
+		t.Fatalf("provisional id carries partition %d, want 0", PartitionOf(id0))
+	}
+	// The provisional id resolves locally right away.
+	if got, err := c.Lookup(id0); err != nil || got.Empty() {
+		t.Fatalf("provisional lookup = %v, %v", got, err)
+	}
+	// The healthy partition is untouched by partition 0's brownout.
+	id1, err := c.Register(byOwner[1])
+	if err != nil {
+		t.Fatalf("register to healthy partition: %v", err)
+	}
+	if IsProvisional(id1) {
+		t.Fatalf("healthy partition handed out provisional id %d", id1)
+	}
+
+	// Stop shedding: the background drain must replay the journal and
+	// remap the provisional id without a disconnect/reconnect cycle.
+	e.srvs[0].adm.release()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h := c.Healths()[0]
+		if h.JournalLen == 0 && h.Drained > 0 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("journal never drained after the gate freed: %+v", h)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	real0, err := c.Register(byOwner[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsProvisional(real0) {
+		t.Fatalf("taint still provisional (%d) after drain", real0)
+	}
+	// A fresh client resolves the drained id to identical bytes.
+	check, err := DialSimCluster(e.net, "verify:1", e.ring, taint.NewTree(), ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	got, err := check.Lookup(real0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob, _ := taint.MarshalTaint(byOwner[0])
+	gotBlob, err := taint.MarshalTaint(got)
+	if err != nil || string(gotBlob) != string(wantBlob) {
+		t.Fatalf("drained id %d resolved to different bytes (%v)", real0, err)
+	}
+}
+
+// TestChaosGrayFailure is the acceptance scenario: a 4-member RF-2
+// cluster where one replica of (nearly) every partition stalls — alive,
+// accepting, absorbing requests, never answering — under the
+// 8-goroutine mixed workload. Forward progress must continue through
+// hedges and partition-scoped journaling, mid-stall lookups must stay
+// bounded, and after the stall lifts every submitted taint must resolve
+// to byte-identical content with no duplicate or lost ids.
+func TestChaosGrayFailure(t *testing.T) {
+	e := newClusterEnv(t, 4, 2)
+	for _, node := range e.nodes {
+		node.SetPeerTimeout(150 * time.Millisecond)
+	}
+	tree := taint.NewTree()
+	c, err := DialSimCluster(e.net, "app:1", e.ring, tree, grayOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// The lookup leg runs on its own client with a cold memo: registered
+	// ids are warm in c's cache, and a memo hit would bypass the wire —
+	// the whole point is to drive hedged reads through stalled replicas.
+	lc, err := DialSimCluster(e.net, "reader:1", e.ring, taint.NewTree(), grayOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	stalls := stallSet(e.ring)
+	if len(stalls) == 0 {
+		t.Fatal("no stall set")
+	}
+	t.Logf("stalling members %v", stalls)
+
+	const goroutines = 8
+	const perG = 300
+
+	var ops atomic.Int64
+	var inStall atomic.Bool
+	var latMu sync.Mutex
+	var stallLats []time.Duration
+	var pubMu sync.Mutex
+	var pub []published
+	submitted := make([][]taint.Taint, goroutines)
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		submitted[g] = make([]taint.Taint, 0, perG)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if i == perG/3 {
+					<-gate
+				}
+				ops.Add(1)
+				if i%10 == 9 {
+					pubMu.Lock()
+					var p published
+					if len(pub) > 0 {
+						p = pub[(g*2654435761+i)%len(pub)]
+					}
+					pubMu.Unlock()
+					if p.id == 0 {
+						continue
+					}
+					start := time.Now()
+					got, err := lc.Lookup(p.id)
+					if took := time.Since(start); inStall.Load() {
+						latMu.Lock()
+						stallLats = append(stallLats, took)
+						latMu.Unlock()
+					}
+					if err != nil {
+						if tolerableClusterLookup(err) || errors.Is(err, ErrDeadlineExceeded) {
+							continue
+						}
+						errs <- fmt.Errorf("worker %d lookup %d: %w", g, p.id, err)
+						return
+					}
+					blob, err := taint.MarshalTaint(got)
+					if err != nil || string(blob) != p.blob {
+						errs <- fmt.Errorf("worker %d: id %d resolved to wrong taint (%v)", g, p.id, err)
+						return
+					}
+					continue
+				}
+				// Register leg: must never fail — reachable owners
+				// register, stalled or shedding owners journal.
+				tt := tree.NewSource(fmt.Sprintf("gray-%d-%d", g, i), "app:1")
+				id, err := c.Register(tt)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d register %d: %w", g, i, err)
+					return
+				}
+				if id == 0 {
+					errs <- fmt.Errorf("worker %d register %d: id 0", g, i)
+					return
+				}
+				submitted[g] = append(submitted[g], tt)
+				if !IsProvisional(id) {
+					blob, err := taint.MarshalTaint(tt)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pubMu.Lock()
+					pub = append(pub, published{id: id, blob: string(blob)})
+					pubMu.Unlock()
+				}
+			}
+		}(g)
+	}
+
+	// The gray-failure injector: wait for a healthy warmup, stall the
+	// chosen replica of every partition, demand forward progress under
+	// the stall, then lift it and wait for full recovery.
+	go func() {
+		for ops.Load() < 300 {
+			time.Sleep(time.Millisecond)
+		}
+		inStall.Store(true)
+		for _, p := range stalls {
+			e.net.SetHostStall(fmt.Sprintf("tm%d", p), true)
+		}
+		close(gate)
+		down := ops.Load()
+		deadline := time.Now().Add(30 * time.Second)
+		for ops.Load() < down+300 {
+			if !time.Now().Before(deadline) {
+				t.Errorf("no workload progress with members %v stalled", stalls)
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		inStall.Store(false)
+		for _, p := range stalls {
+			e.net.SetHostStall(fmt.Sprintf("tm%d", p), false)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Settle: every member connected, nothing left journaled anywhere.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		all := true
+		for part, h := range c.Healths() {
+			if !h.Connected || h.Degraded || h.JournalLen != 0 {
+				all = false
+				if !time.Now().Before(deadline) {
+					t.Fatalf("member %d still unhealthy after the stall lifted: %+v", part, h)
+				}
+			}
+		}
+		if all {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Mid-stall lookups must have been bounded: hedges (or instant
+	// degraded fall-through) cap the tail far below the sequential
+	// worst case of replicas x call timeout.
+	latMu.Lock()
+	lats := append([]time.Duration(nil), stallLats...)
+	latMu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p99 := lats[len(lats)*99/100]
+		if p99 > 2*time.Second {
+			t.Fatalf("mid-stall lookup p99 = %v over %d lookups", p99, len(lats))
+		}
+		t.Logf("mid-stall lookups: %d, p99 %v", len(lats), p99)
+	}
+
+	h := lc.Health()
+	t.Logf("reader hedges %d (wins %d), budget denied %d, repaired %d",
+		h.Hedges, h.HedgeWins, h.BudgetDenied, h.Repaired)
+
+	// Zero lost, zero wrong: every submitted taint re-registers to a
+	// real id resolving byte-identically from a fresh client, one id
+	// per blob, and the partitions together hold exactly the distinct
+	// blobs.
+	checkTree := taint.NewTree()
+	check, err := DialSimCluster(e.net, "verify:1", e.ring, checkTree, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	idOf := make(map[string]uint32)
+	total := 0
+	for g := range submitted {
+		for _, tt := range submitted[g] {
+			total++
+			id, err := c.Register(tt)
+			if err != nil {
+				t.Fatalf("post-chaos register: %v", err)
+			}
+			if id == 0 || IsProvisional(id) {
+				t.Fatalf("taint still unresolved after the stall lifted: id %d", id)
+			}
+			blob, err := taint.MarshalTaint(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, ok := idOf[string(blob)]; ok && prev != id {
+				t.Fatalf("blob resolved to ids %d and %d", prev, id)
+			}
+			idOf[string(blob)] = id
+			got, err := check.Lookup(id)
+			if err != nil {
+				t.Fatalf("fresh-client lookup of id %d: %v", id, err)
+			}
+			gotBlob, err := taint.MarshalTaint(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(gotBlob) != string(blob) {
+				t.Fatalf("id %d resolved to different bytes after the chaos run", id)
+			}
+		}
+	}
+	if total != goroutines*(perG-perG/10) {
+		t.Fatalf("submitted %d taints, want %d", total, goroutines*(perG-perG/10))
+	}
+	minted := 0
+	for _, s := range e.stores {
+		minted += s.Stats().GlobalTaints
+	}
+	if minted != len(idOf) {
+		t.Fatalf("partitions minted %d ids for %d distinct blobs", minted, len(idOf))
+	}
+}

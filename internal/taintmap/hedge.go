@@ -1,0 +1,86 @@
+package taintmap
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// hedgeTracker is a lock-free latency histogram feeding the hedge
+// delay: the cluster client observes every winning lookup's latency and
+// hedges the next lookup when it has waited past the observed p99.
+// Buckets are log-scale with 4 sub-buckets per octave (quantile error
+// <= 25%, upper-bounded — a hedge fired slightly late costs latency,
+// one fired slightly early costs a token, and over-reporting errs
+// toward late). Observations and quantile reads are atomics only.
+const (
+	hedgeSubBits = 2 // sub-buckets per octave = 1<<hedgeSubBits
+	hedgeBuckets = 128
+	// hedgeWarmup is the observation count below which quantile reports
+	// not-ready and the configured initial delay is used instead.
+	hedgeWarmup = 32
+)
+
+type hedgeTracker struct {
+	count   atomic.Int64
+	buckets [hedgeBuckets]atomic.Int64
+}
+
+// hedgeBucket maps a microsecond value onto its histogram bucket.
+func hedgeBucket(us uint64) int {
+	const sub = 1 << hedgeSubBits
+	if us < sub {
+		return int(us) // 0..3 exact
+	}
+	k := bits.Len64(us) - 1 // us in [2^k, 2^k+1)
+	i := sub + (k-hedgeSubBits)*sub + int((us>>(k-hedgeSubBits))-sub)
+	if i >= hedgeBuckets {
+		return hedgeBuckets - 1
+	}
+	return i
+}
+
+// hedgeBucketUpper is the exclusive upper bound of bucket i, in
+// microseconds.
+func hedgeBucketUpper(i int) uint64 {
+	const sub = 1 << hedgeSubBits
+	if i < sub {
+		return uint64(i + 1)
+	}
+	i -= sub
+	k := i/sub + hedgeSubBits
+	m := uint64(i%sub) + sub
+	return (m + 1) << (k - hedgeSubBits)
+}
+
+// observe records one successful call's latency.
+func (h *hedgeTracker) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	h.buckets[hedgeBucket(us)].Add(1)
+	h.count.Add(1)
+}
+
+// quantile returns an upper bound on the q-quantile of the observed
+// latencies, or ok=false until hedgeWarmup observations have landed.
+func (h *hedgeTracker) quantile(q float64) (time.Duration, bool) {
+	total := h.count.Load()
+	if total < hedgeWarmup {
+		return 0, false
+	}
+	want := int64(math.Ceil(q * float64(total)))
+	if want < 1 {
+		want = 1
+	}
+	if want > total {
+		want = total
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= want {
+			return time.Duration(hedgeBucketUpper(i)) * time.Microsecond, true
+		}
+	}
+	return time.Duration(hedgeBucketUpper(hedgeBuckets-1)) * time.Microsecond, true
+}

@@ -1,0 +1,80 @@
+package taintmap
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHedgeBucketRoundTrip(t *testing.T) {
+	// Every microsecond value must land in a bucket whose bounds contain
+	// it: value < upper(bucket) and (bucket 0 or value >= upper(bucket-1)).
+	values := []uint64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1000, 4095, 4096, 1 << 20, 1 << 40}
+	for _, us := range values {
+		i := hedgeBucket(us)
+		if i < 0 || i >= hedgeBuckets {
+			t.Fatalf("hedgeBucket(%d) = %d out of range", us, i)
+		}
+		if i < hedgeBuckets-1 && us >= hedgeBucketUpper(i) {
+			t.Fatalf("hedgeBucket(%d) = %d but upper bound is %d", us, i, hedgeBucketUpper(i))
+		}
+		if i > 0 && us < hedgeBucketUpper(i-1) {
+			t.Fatalf("hedgeBucket(%d) = %d but previous upper bound is %d", us, i, hedgeBucketUpper(i-1))
+		}
+	}
+}
+
+func TestHedgeBucketMonotone(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<16; us += 7 {
+		i := hedgeBucket(us)
+		if i < prev {
+			t.Fatalf("hedgeBucket not monotone at %d: %d < %d", us, i, prev)
+		}
+		prev = i
+	}
+	for i := 1; i < hedgeBuckets; i++ {
+		if hedgeBucketUpper(i) <= hedgeBucketUpper(i-1) {
+			t.Fatalf("hedgeBucketUpper not increasing at %d", i)
+		}
+	}
+}
+
+func TestHedgeQuantileWarmup(t *testing.T) {
+	var h hedgeTracker
+	for i := 0; i < hedgeWarmup-1; i++ {
+		h.observe(time.Millisecond)
+	}
+	if _, ok := h.quantile(0.99); ok {
+		t.Fatalf("quantile ready below warmup")
+	}
+	h.observe(time.Millisecond)
+	if _, ok := h.quantile(0.99); !ok {
+		t.Fatalf("quantile not ready at warmup")
+	}
+}
+
+func TestHedgeQuantileUpperBound(t *testing.T) {
+	var h hedgeTracker
+	// 99 fast observations at 1ms, one slow at 100ms: p50 must report
+	// near 1ms, p99.5 near 100ms — each as a bucket upper bound, so at
+	// most 25% above the true value.
+	for i := 0; i < 99; i++ {
+		h.observe(time.Millisecond)
+	}
+	h.observe(100 * time.Millisecond)
+
+	p50, ok := h.quantile(0.50)
+	if !ok {
+		t.Fatalf("quantile not ready")
+	}
+	if p50 < time.Millisecond || p50 > time.Millisecond*5/4 {
+		t.Fatalf("p50 = %v, want within 25%% above 1ms", p50)
+	}
+	p995, _ := h.quantile(0.995)
+	if p995 < 100*time.Millisecond || p995 > 100*time.Millisecond*5/4 {
+		t.Fatalf("p99.5 = %v, want within 25%% above 100ms", p995)
+	}
+	if p50 > p995 {
+		t.Fatalf("quantiles not monotone: p50 %v > p99.5 %v", p50, p995)
+	}
+}

@@ -105,6 +105,13 @@ var ErrClientClosed = errors.New("taintmap: client closed")
 // drop): the caller should tear the client down and reconnect.
 var ErrCallTimeout = errors.New("taintmap: call timed out")
 
+// ErrDeadlineExceeded reports a call abandoned at its caller-supplied
+// deadline (see callDeadline). Unlike ErrCallTimeout it says nothing
+// about the connection — the request may still complete server-side and
+// its reply is silently discarded — so the resilience layer does NOT
+// treat it as a connection failure.
+var ErrDeadlineExceeded = errors.New("taintmap: call deadline exceeded")
+
 // replyChans recycles the one-shot reply channels used by call: each
 // channel carries exactly one response and comes back empty, so reuse
 // is safe and saves an allocation per request. Channels are NOT
@@ -447,7 +454,14 @@ func (c *RemoteClient) call(op byte, payload []byte) ([]byte, error) {
 	}
 
 	reply, ok := <-ch
-	if !ok { // demux died, closed the channel, and failed us
+	return c.finishReply(ch, reply, ok)
+}
+
+// finishReply converts one received reply into the call result and
+// recycles the channel. ok=false means the demux goroutine died and
+// closed the channel (which must then never re-enter the pool).
+func (c *RemoteClient) finishReply(ch chan muxReply, reply muxReply, ok bool) ([]byte, error) {
+	if !ok {
 		c.pmu.Lock()
 		err := c.broken
 		c.pmu.Unlock()
@@ -458,6 +472,82 @@ func (c *RemoteClient) call(op byte, payload []byte) ([]byte, error) {
 		return nil, serverErr(reply.payload)
 	}
 	return reply.payload, nil
+}
+
+// callDeadline is call with an absolute deadline enforced inline: when
+// it passes before the reply arrives, the call withdraws its pending
+// entry and returns ErrDeadlineExceeded — the connection stays up, the
+// request stays in flight server-side, and its late reply is discarded
+// by the demux goroutine. This is the hedged read's cancellation
+// primitive: unlike the watchdog (which declares the whole connection
+// wedged), an expired deadline here says only "this caller stopped
+// waiting". A zero deadline means no inline deadline.
+func (c *RemoteClient) callDeadline(op byte, payload []byte, deadline time.Time) ([]byte, error) {
+	if deadline.IsZero() {
+		return c.call(op, payload)
+	}
+	if len(payload) > maxFrame {
+		return nil, fmt.Errorf("taintmap: send request: %w: frame of %d bytes", errProtocol, len(payload))
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return nil, fmt.Errorf("%w: deadline already passed", ErrDeadlineExceeded)
+	}
+	ch := replyChans.Get().(chan muxReply)
+	var at time.Time
+	if c.timeout > 0 {
+		at = time.Now()
+	}
+	c.pmu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.pmu.Unlock()
+		return nil, err
+	}
+	tag := c.nextTag.Add(1)
+	c.pending[tag] = pendingCall{ch: ch, at: at}
+	c.pmu.Unlock()
+
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+
+	select {
+	case c.writeCh <- muxWrite{op: op, tag: tag, payload: payload}:
+	case <-c.done:
+		c.pmu.Lock()
+		err := c.broken
+		delete(c.pending, tag)
+		c.pmu.Unlock()
+		return nil, err
+	case <-timer.C:
+		// Never sent: withdraw the pending entry. The channel saw no
+		// send and no close, so it may re-enter the pool.
+		c.pmu.Lock()
+		delete(c.pending, tag)
+		c.pmu.Unlock()
+		replyChans.Put(ch)
+		return nil, fmt.Errorf("%w: request not sent within %v", ErrDeadlineExceeded, d)
+	}
+
+	select {
+	case reply, ok := <-ch:
+		return c.finishReply(ch, reply, ok)
+	case <-timer.C:
+		c.pmu.Lock()
+		_, mine := c.pending[tag]
+		if mine {
+			delete(c.pending, tag)
+		}
+		c.pmu.Unlock()
+		if !mine {
+			// The reply raced the deadline: the demux already dequeued the
+			// entry, so a send (buffered) or close is guaranteed — take it.
+			reply, ok := <-ch
+			return c.finishReply(ch, reply, ok)
+		}
+		replyChans.Put(ch)
+		return nil, fmt.Errorf("%w: no response within %v", ErrDeadlineExceeded, d)
+	}
 }
 
 // registerBlob resolves one blob to its Global ID with singleflight
@@ -547,6 +637,12 @@ func (c *RemoteClient) registerBlobs(blobs [][]byte) ([]uint32, error) {
 
 // Lookup implements Client.
 func (c *RemoteClient) Lookup(id uint32) (taint.Taint, error) {
+	return c.lookupDeadline(id, time.Time{})
+}
+
+// lookupDeadline is Lookup bounded by an absolute deadline (zero = no
+// deadline), the per-member leg of the cluster client's hedged reads.
+func (c *RemoteClient) lookupDeadline(id uint32, deadline time.Time) (taint.Taint, error) {
 	if id == 0 {
 		return taint.Taint{}, nil
 	}
@@ -555,7 +651,7 @@ func (c *RemoteClient) Lookup(id uint32) (taint.Taint, error) {
 	}
 	var idBuf [4]byte
 	binary.BigEndian.PutUint32(idBuf[:], id)
-	blob, err := c.call(opLookupTag, idBuf[:])
+	blob, err := c.callDeadline(opLookupTag, idBuf[:], deadline)
 	if err != nil {
 		return taint.Taint{}, err
 	}
@@ -593,6 +689,12 @@ func (c *RemoteClient) RegisterBatch(ts []taint.Taint) ([]uint32, error) {
 // and re-requesting the tail when the server answers with a partial
 // blob list to respect the reply frame budget.
 func (c *RemoteClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
+	return c.lookupBatchDeadline(ids, time.Time{})
+}
+
+// lookupBatchDeadline is LookupBatch bounded by an absolute deadline
+// (zero = no deadline) covering every chunk round trip.
+func (c *RemoteClient) lookupBatchDeadline(ids []uint32, deadline time.Time) ([]taint.Taint, error) {
 	ts, missing := c.memo.splitBatch(ids)
 	if len(missing) == 0 {
 		return ts, nil
@@ -600,7 +702,7 @@ func (c *RemoteClient) LookupBatch(ids []uint32) ([]taint.Taint, error) {
 	blobs := make([][]byte, 0, len(missing))
 	for _, chunk := range splitIDChunks(missing) {
 		for len(chunk) > 0 {
-			reply, err := c.call(opLookupBatchTag, appendIDList(nil, chunk))
+			reply, err := c.callDeadline(opLookupBatchTag, appendIDList(nil, chunk), deadline)
 			if err != nil {
 				return nil, err
 			}

@@ -352,6 +352,7 @@ type connHost struct {
 	store *Store
 	node  *ClusterNode
 	cost  func(op byte, items int)
+	adm   *admission // request admission gate; nil = unlimited
 }
 
 // charge bills one request to the service model, if any is installed.
@@ -565,7 +566,20 @@ func serveConn(h connHost, conn io.ReadWriter, readTimeout time.Duration) error 
 			return eofOK(err, bw)
 		}
 
-		status, reply := scratch.handle(h, base, payload, tagged)
+		var status byte
+		var reply []byte
+		if h.adm != nil && !h.adm.admit() {
+			// Load shed: the request queue is full. Answering with a typed
+			// error (instead of stalling or dropping the conn) is the
+			// brownout contract — the client knows to back off, journal,
+			// or try a replica, and the connection stays usable.
+			status, reply = statusErr, fmt.Appendf(scratch.reply[:0], "%v: request shed", ErrOverloaded)
+		} else {
+			status, reply = scratch.handle(h, base, payload, tagged)
+			if h.adm != nil {
+				h.adm.release()
+			}
+		}
 		scratch.reply = reply[:0]
 		if tagged {
 			if status == statusOK {
@@ -628,6 +642,12 @@ func serverErr(payload []byte) error {
 	const marker = "taintmap: unknown global id"
 	if len(payload) >= len(marker) && string(payload[:len(marker)]) == marker {
 		return fmt.Errorf("taintmap: server error: %w%s", ErrUnknownGlobalID, payload[len(marker):])
+	}
+	// Overload sheds are re-typed the same way: the cluster client's
+	// partition-scoped degraded fallback keys on ErrOverloaded.
+	const overMarker = "taintmap: server overloaded"
+	if len(payload) >= len(overMarker) && string(payload[:len(overMarker)]) == overMarker {
+		return fmt.Errorf("taintmap: server error: %w%s", ErrOverloaded, payload[len(overMarker):])
 	}
 	return fmt.Errorf("taintmap: server error: %s", payload)
 }

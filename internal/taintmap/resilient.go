@@ -111,6 +111,11 @@ type ResilientOptions struct {
 	// each member a store of that member's partition, so even
 	// provisional ids carry the partition that will eventually own them.
 	local *Store
+	// budget injects the shared retry budget gating reconnect dials
+	// (and, at the cluster layer, hedges); nil means unbudgeted. The
+	// cluster client threads one budget through every member so a
+	// cluster-wide brownout cannot multiply into per-member dial storms.
+	budget *Budget
 }
 
 func (o *ResilientOptions) withDefaults() ResilientOptions {
@@ -205,17 +210,24 @@ type ResilientClient struct {
 	seq          uint64     // state-change counter; waiters watch it
 	degraded     bool
 	reconnecting bool
+	draining     bool // a background drainLoop is running
 	closed       bool
 	local        *Store // degraded-mode provisional id source
 	queued       []journalEntry
 	journaled    map[uint32]struct{} // provisional ids currently queued
 	remap        map[uint32]uint32   // provisional -> real Global ID
 
+	// drainMu serializes journal drains: the reconnect loop and the
+	// background drainLoop both replay c.queued, and two concurrent
+	// drains would each truncate the queue by their own batch length.
+	drainMu sync.Mutex
+
 	rng  *rand.Rand // jitter; used only by the single reconnect loop
 	done chan struct{}
 
 	reconnects     atomic.Int64
 	dialFailures   atomic.Int64
+	probeFailures  atomic.Int64
 	journaledTotal atomic.Int64
 	drainedTotal   atomic.Int64
 }
@@ -288,6 +300,19 @@ func (c *ResilientClient) reconnectLoop(failures int) {
 		}
 		c.mu.Unlock()
 
+		// Reconnect dials are retry traffic: they spend from the shared
+		// budget, so a fleet-wide brownout cannot be amplified into a
+		// dial storm. A denied attempt counts as a failure (the breaker
+		// may trip into degraded mode) and waits out the backoff.
+		if !c.opt.budget.TryTake(1) {
+			failures++
+			c.maybeTrip(failures)
+			if !c.sleep(attempt) {
+				return
+			}
+			attempt++
+			continue
+		}
 		conn, err := c.dial()
 		if err != nil {
 			c.dialFailures.Add(1)
@@ -300,6 +325,24 @@ func (c *ResilientClient) reconnectLoop(failures int) {
 			continue
 		}
 		rc := newRemoteClientWith(conn, c.tree, c.memo, c.opt.CallTimeout)
+		// Probe before trusting the connection: a gray-failing server
+		// accepts the dial and then never answers, and publishing it
+		// would hand every caller a stall. One stats round trip (bounded
+		// by the watchdog) proves the server is answering. Skipped when
+		// deadlines are disabled — the probe itself could hang forever.
+		if c.opt.CallTimeout > 0 {
+			if _, err := rc.call(opStatsTag, nil); err != nil {
+				rc.Close()
+				c.probeFailures.Add(1)
+				failures++
+				c.maybeTrip(failures)
+				if !c.sleep(attempt) {
+					return
+				}
+				attempt++
+				continue
+			}
+		}
 		if err := c.drainJournal(rc); err != nil {
 			rc.Close()
 			failures++
@@ -371,6 +414,8 @@ func (c *ResilientClient) sleep(attempt int) bool {
 // returns the same Global ID. Each drained entry remaps its provisional
 // id and stamps the real id onto the taint node.
 func (c *ResilientClient) drainJournal(rc *RemoteClient) error {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
 	for {
 		c.mu.Lock()
 		batch := c.queued
@@ -435,6 +480,115 @@ func (c *ResilientClient) journalBlobLocked(t taint.Taint, blob []byte) (uint32,
 	// transfer must keep failing with ErrGlobalIDPending until drain.
 	c.memo.put(prov, t)
 	return prov, nil
+}
+
+// journalFallback journals one registration regardless of breaker
+// state: the partition-scoped degraded path. The cluster client calls
+// it when a whole partition is effectively unavailable — every replica
+// down, the retry budget empty, or the owner shedding load
+// (ErrOverloaded) — so the caller gets a provisional id now instead of
+// an error, and a background drain replays the journal as soon as this
+// member's connection can absorb it, without waiting for a full
+// disconnect/reconnect cycle.
+func (c *ResilientClient) journalFallback(t taint.Taint, blob []byte) (uint32, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClientClosed
+	}
+	id, err := c.journalBlobLocked(t, blob)
+	kick := err == nil && !c.draining && c.inner.Load() != nil
+	if kick {
+		c.draining = true
+	}
+	c.mu.Unlock()
+	if kick {
+		go c.drainLoop()
+	}
+	return id, err
+}
+
+// drainLoop replays journalFallback entries in the background while the
+// client stays connected. On any drain failure it stops: the entries
+// stay queued and the reconnect loop replays them before republishing a
+// fresh connection.
+func (c *ResilientClient) drainLoop() {
+	ok := true
+	defer func() {
+		c.mu.Lock()
+		again := ok && !c.closed && len(c.queued) > 0 && c.inner.Load() != nil
+		c.draining = again
+		c.mu.Unlock()
+		if again {
+			// An entry landed between the last pass and here; keep going
+			// so it does not sit until the next fallback or reconnect.
+			go c.drainLoop()
+		}
+	}()
+	for {
+		rc := c.inner.Load()
+		c.mu.Lock()
+		done := c.closed || len(c.queued) == 0
+		c.mu.Unlock()
+		if done || rc == nil {
+			return
+		}
+		if err := c.drainJournal(rc); err != nil {
+			if isConnErr(err) {
+				c.connFailed(rc)
+				ok = false
+				return
+			}
+			// The server answered but refused the replay — most likely
+			// still shedding (ErrOverloaded). Retry after a full backoff
+			// while the budget allows; once it denies, the journal waits
+			// for the next fallback kick or reconnect drain.
+			if !c.opt.budget.TryTake(1) {
+				ok = false
+				return
+			}
+			select {
+			case <-c.opt.clk.After(c.opt.BackoffMax):
+			case <-c.done:
+				ok = false
+				return
+			}
+		}
+	}
+}
+
+// lookupAttempt is one single-shot Lookup leg for the cluster client's
+// hedged reads: it uses whatever connection is live right now and fails
+// fast — no reconnect wait, no breaker wait — because the hedge engine
+// has other replicas to try. A non-zero deadline bounds the wait inline
+// without declaring the connection wedged.
+func (c *ResilientClient) lookupAttempt(id uint32, deadline time.Time) (taint.Taint, error) {
+	if t, ok := c.memo.get(id); ok {
+		return t, nil
+	}
+	rc := c.inner.Load()
+	if rc == nil {
+		return taint.Taint{}, fmt.Errorf("%w: no connection", ErrDegraded)
+	}
+	t, err := rc.lookupDeadline(id, deadline)
+	if err != nil && isConnErr(err) {
+		c.connFailed(rc)
+	}
+	return t, err
+}
+
+// lookupBatchAttempt is lookupAttempt for an id batch. Results land in
+// the shared memo; the caller refetches from there.
+func (c *ResilientClient) lookupBatchAttempt(ids []uint32, deadline time.Time) error {
+	rc := c.inner.Load()
+	if rc == nil {
+		return fmt.Errorf("%w: no connection", ErrDegraded)
+	}
+	_, err := rc.lookupBatchDeadline(ids, deadline)
+	if err != nil && isConnErr(err) {
+		c.connFailed(rc)
+	}
+	return err
 }
 
 // await blocks until the client leaves the "disconnected, breaker not
@@ -755,13 +909,14 @@ func (c *ResilientClient) lookupBatchSlow(ids []uint32) ([]taint.Taint, error) {
 // Health is a snapshot of the resilience state, for tests, monitoring
 // and the degraded-mode banner.
 type Health struct {
-	Connected    bool  // a live connection is published
-	Degraded     bool  // breaker tripped; registers journal locally
-	JournalLen   int   // registrations queued for replay
-	Reconnects   int64 // successful reconnects
-	DialFailures int64 // failed dial attempts
-	Journaled    int64 // registrations ever journaled
-	Drained      int64 // journaled registrations replayed
+	Connected     bool  // a live connection is published
+	Degraded      bool  // breaker tripped; registers journal locally
+	JournalLen    int   // registrations queued for replay
+	Reconnects    int64 // successful reconnects
+	DialFailures  int64 // failed dial attempts
+	ProbeFailures int64 // dials that succeeded but failed the answer probe
+	Journaled     int64 // registrations ever journaled
+	Drained       int64 // journaled registrations replayed
 }
 
 // Health reports the client's current resilience state.
@@ -775,6 +930,7 @@ func (c *ResilientClient) Health() Health {
 	c.mu.Unlock()
 	h.Reconnects = c.reconnects.Load()
 	h.DialFailures = c.dialFailures.Load()
+	h.ProbeFailures = c.probeFailures.Load()
 	h.Journaled = c.journaledTotal.Load()
 	h.Drained = c.drainedTotal.Load()
 	return h

@@ -1,15 +1,87 @@
 package taintmap
 
 import (
+	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dista/internal/core/taint"
 	"dista/internal/netsim"
 )
+
+// ErrOverloaded reports a request or connection shed by the server's
+// admission control: the service is alive but at capacity, and the
+// caller should back off, hedge to a replica, or fall into the
+// journaled degraded path rather than retry immediately. It crosses the
+// wire as a typed error-response marker (see serverErr), so errors.Is
+// matches on the client side too.
+var ErrOverloaded = errors.New("taintmap: server overloaded")
+
+// admission is the server's request-level admission controller: a
+// bounded concurrency gate with a bounded FIFO-ish wait queue. Up to
+// maxActive requests execute; up to maxWait more wait their turn; any
+// further request is shed with an ErrOverloaded reply instead of
+// silently queueing behind an unbounded backlog. Shedding at the
+// *request* level keeps the connection itself healthy — a brownout
+// degrades throughput, not liveness.
+type admission struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	active    int
+	waiting   int
+	maxActive int
+	maxWait   int
+
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(maxActive, maxWait int) *admission {
+	a := &admission{maxActive: maxActive, maxWait: maxWait}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// admit blocks until a service slot is free, or reports false when the
+// wait queue is full (the request must be shed).
+func (a *admission) admit() bool {
+	a.mu.Lock()
+	if a.active < a.maxActive && a.waiting == 0 {
+		a.active++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return true
+	}
+	if a.waiting >= a.maxWait {
+		a.mu.Unlock()
+		a.shed.Add(1)
+		return false
+	}
+	a.waiting++
+	a.queued.Add(1)
+	for a.active >= a.maxActive {
+		a.cond.Wait()
+	}
+	a.waiting--
+	a.active++
+	a.mu.Unlock()
+	a.admitted.Add(1)
+	return true
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.active--
+	a.mu.Unlock()
+	a.cond.Signal()
+}
 
 // Acceptor abstracts a stream listener so the same Server runs over the
 // simulated network and over real TCP (cmd/taintmapd adapts
@@ -29,6 +101,7 @@ type Server struct {
 	maxConns    int
 	node        *ClusterNode
 	cost        func(op byte, items int)
+	adm         *admission
 
 	accOnce sync.Once // the acceptor closes once, via Shutdown or Close
 	accErr  error
@@ -38,6 +111,11 @@ type Server struct {
 	closed  bool
 	done    chan struct{}
 	started bool
+
+	accepted  atomic.Int64
+	refused   atomic.Int64
+	shedConns atomic.Int64
+	shedding  atomic.Int64 // brownout goroutines currently live
 }
 
 // ServerOption configures optional server hardening knobs.
@@ -52,12 +130,34 @@ func WithReadTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.readTimeout = d }
 }
 
-// WithMaxConns caps concurrently served connections; arrivals over the
-// cap are closed immediately rather than queued, keeping an aggressive
-// reconnect storm from exhausting server goroutines. Zero (the default)
-// means unlimited.
+// WithMaxConns caps concurrently served connections. Arrivals over the
+// cap enter brownout mode: a bounded pool of shedder goroutines answers
+// their requests with ErrOverloaded for a short grace (so well-behaved
+// clients learn to back off instead of seeing a silent close and
+// re-dialing immediately), then closes them; arrivals beyond even the
+// shedder pool are closed outright. Zero (the default) means unlimited.
 func WithMaxConns(n int) ServerOption {
 	return func(s *Server) { s.maxConns = n }
+}
+
+// WithAdmission bounds request-level concurrency: at most maxActive
+// requests execute at once, at most maxWait more wait in queue, and
+// anything beyond that is answered with ErrOverloaded instead of
+// stalling its connection — load shedding with an explicit signal,
+// replacing an unbounded implicit queue of blocked goroutines.
+// maxActive <= 0 disables admission control (the default). maxWait < 0
+// defaults to 4x maxActive.
+func WithAdmission(maxActive, maxWait int) ServerOption {
+	return func(s *Server) {
+		if maxActive <= 0 {
+			s.adm = nil
+			return
+		}
+		if maxWait < 0 {
+			maxWait = 4 * maxActive
+		}
+		s.adm = newAdmission(maxActive, maxWait)
+	}
 }
 
 // WithClusterNode makes the server one member of a partitioned Taint
@@ -129,17 +229,40 @@ func (s *Server) serve() {
 		}
 		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
 			s.mu.Unlock()
-			conn.Close()
-			s.logf("taintmap: connection refused: %d connections at cap", s.maxConns)
+			// Brownout instead of a silent close: a refused client would
+			// re-dial immediately, feeding the very storm the cap exists
+			// to survive. A bounded pool of shedder goroutines answers
+			// over-cap connections with ErrOverloaded for a short grace —
+			// an explicit back-off signal — then closes them. Beyond even
+			// the shedder pool, arrivals are closed outright.
+			pool := int64(s.maxConns)
+			if pool < 8 {
+				pool = 8
+			}
+			if s.shedding.Load() >= pool {
+				conn.Close()
+				s.refused.Add(1)
+				s.logf("taintmap: connection refused: %d connections at cap", s.maxConns)
+				continue
+			}
+			s.shedding.Add(1)
+			s.shedConns.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer s.shedding.Add(-1)
+				shedConn(conn, brownoutGrace)
+			}()
 			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.accepted.Add(1)
 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := serveConn(connHost{store: s.store, node: s.node, cost: s.cost}, conn, s.readTimeout); err != nil {
+			if err := serveConn(connHost{store: s.store, node: s.node, cost: s.cost, adm: s.adm}, conn, s.readTimeout); err != nil {
 				s.logf("taintmap: connection error: %v", err)
 			}
 			conn.Close()
@@ -149,6 +272,109 @@ func (s *Server) serve() {
 		}()
 	}
 	wg.Wait()
+}
+
+// brownoutGrace bounds how long one over-cap connection stays in
+// brownout (answering ErrOverloaded) before being closed.
+const brownoutGrace = 250 * time.Millisecond
+
+// brownoutMaxFrames caps the requests one brownout connection may have
+// answered before it is closed regardless of the grace.
+const brownoutMaxFrames = 64
+
+// shedConn serves one over-cap connection in brownout mode: every
+// request (either protocol generation) is answered with an
+// ErrOverloaded error response, payloads are discarded unexecuted, and
+// the connection closes at the grace deadline or the frame cap,
+// whichever lands first. On transports without read deadlines a silent
+// peer can hold its shedder slot past the grace; the pool bound in
+// serve() contains that.
+func shedConn(conn io.ReadWriteCloser, grace time.Duration) {
+	defer conn.Close()
+	rd, _ := conn.(readDeadliner)
+	deadline := time.Now().Add(grace)
+	br := bufio.NewReaderSize(conn, 4<<10)
+	bw := bufio.NewWriterSize(conn, 4<<10)
+	overload := fmt.Appendf(nil, "%v: connection over cap", ErrOverloaded)
+	for frames := 0; frames < brownoutMaxFrames && time.Now().Before(deadline); frames++ {
+		if rd != nil {
+			rd.SetReadDeadline(deadline)
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			break
+		}
+		_, tagged := taggedBase(op)
+		var hdr [8]byte
+		var tag, n uint32
+		if tagged {
+			if _, err := io.ReadFull(br, hdr[:8]); err != nil {
+				break
+			}
+			tag = binary.BigEndian.Uint32(hdr[0:4])
+			n = binary.BigEndian.Uint32(hdr[4:8])
+		} else {
+			if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+				break
+			}
+			n = binary.BigEndian.Uint32(hdr[0:4])
+		}
+		if n > maxFrame {
+			break
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+			break
+		}
+		if tagged {
+			if writeTaggedFrame(bw, statusTaggedErr, tag, overload) != nil {
+				break
+			}
+		} else {
+			var h [5]byte
+			h[0] = statusErr
+			binary.BigEndian.PutUint32(h[1:5], uint32(len(overload)))
+			if _, err := bw.Write(h[:]); err != nil {
+				break
+			}
+			if _, err := bw.Write(overload); err != nil {
+				break
+			}
+		}
+		if br.Buffered() == 0 {
+			if bw.Flush() != nil {
+				break
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// ServerStats is a snapshot of the server's admission and shed
+// counters, surfaced by taintmapd's -stats-every loop.
+type ServerStats struct {
+	ActiveConns  int   // connections currently in full service
+	Accepted     int64 // connections accepted into full service
+	ShedConns    int64 // connections browned out with ErrOverloaded replies
+	RefusedConns int64 // connections closed outright (shedder pool full)
+	AdmittedReqs int64 // requests admitted by the request gate
+	QueuedReqs   int64 // admitted requests that first waited for a slot
+	ShedReqs     int64 // requests answered ErrOverloaded by the gate
+}
+
+// Stats returns the server's admission/shed counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{ActiveConns: len(s.conns)}
+	s.mu.Unlock()
+	st.Accepted = s.accepted.Load()
+	st.ShedConns = s.shedConns.Load()
+	st.RefusedConns = s.refused.Load()
+	if s.adm != nil {
+		st.AdmittedReqs = s.adm.admitted.Load()
+		st.QueuedReqs = s.adm.queued.Load()
+		st.ShedReqs = s.adm.shed.Load()
+	}
+	return st
 }
 
 // Close stops accepting, closes live connections, and waits for the
