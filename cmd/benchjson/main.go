@@ -419,13 +419,20 @@ func main() {
 		"GrayFail/LookupStalled", "GrayFail/LookupHealthy", 3)
 	ratioAtMost("hedging clean-path overhead (in-run)",
 		"GrayFail/MixedHedged", "GrayFail/MixedUnhedged", 1.05)
-	// BENCH_4 criteria: the distavet suite itself. The full suite (six
-	// analyzers, idbits included) must stay within 15% of the original
-	// five-analyzer core over the same package set: each new invariant
-	// rides the one shared load/type-check, so analysis cost cannot creep
-	// linearly with analyzer count.
-	ratioAtMost("distavet full suite vs five-analyzer core (in-run)",
-		"Distavet/Suite", "Distavet/Core", 1.15)
+	// BENCH_9 criteria: the distavet suite with the interprocedural
+	// layer. The nine-analyzer suite — call graph, summary fixpoint and
+	// the two new analyzers included — must stay within 1.5x of the
+	// original five-analyzer core over the same package set: the index
+	// is built once and shared, so the summary engine may not multiply
+	// the per-analyzer cost. The warm-cache bound is the fact store's
+	// reason to exist: a re-run over an unchanged tree replays cached
+	// package entries and must land at or below 0.35x of the cold suite.
+	// (BENCH_4.json froze the pre-interprocedural 1.15x six-analyzer
+	// bound as a historical artifact; this pair supersedes it.)
+	ratioAtMost("distavet 9-analyzer suite vs five-analyzer core (in-run)",
+		"Distavet/Suite", "Distavet/Core", 1.5)
+	ratioAtMost("distavet warm fact-cache replay vs cold suite (in-run)",
+		"Distavet/SuiteWarm", "Distavet/Suite", 0.35)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

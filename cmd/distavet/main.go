@@ -7,12 +7,18 @@
 //
 // Usage:
 //
-//	distavet [-tests=false] [-run name,name] [-list] [package dirs]
+//	distavet [-tests=false] [-run name,name] [-list] [-facts dir] [-json] [package dirs]
 //
 // With no arguments (or "./...") every package of the enclosing module
 // is analyzed, test files included. Explicit directory arguments are
 // analyzed instead — including directories under testdata/, which the
 // go tool ignores; the analyzer golden corpora are loaded this way.
+//
+// -facts names a cache directory for per-package analysis facts
+// (function summaries + raw diagnostics, keyed by content hash of the
+// package, its import closure and the analyzer set): a warm run
+// replays unchanged packages instead of re-analyzing them. -json
+// emits the diagnostics as a JSON array instead of vet-style lines.
 //
 // Diagnostics print one per line as "file:line: analyzer: message".
 // The exit status is 1 when any diagnostic is reported, 2 on usage or
@@ -24,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", true, "analyze _test.go files too")
 	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	factsDir := fs.String("facts", "", "fact-cache directory; warm runs replay unchanged packages")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -103,13 +112,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	diags := analysis.Run(prog.Fset, pkgs, analyzers)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
-			name = rel
+	var facts *analysis.FactStore
+	if *factsDir != "" {
+		if facts, err = analysis.NewFactStore(*factsDir); err != nil {
+			fmt.Fprintf(stderr, "distavet: %v\n", err)
+			return 2
 		}
-		fmt.Fprintf(stdout, "%s:%d: %s: %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+	}
+
+	diags := analysis.RunWithFacts(prog, pkgs, analyzers, facts)
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+			out = append(out, jsonDiag{File: name, Line: d.Pos.Line, Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "distavet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", name, d.Pos.Line, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "distavet: %d finding(s)\n", len(diags))

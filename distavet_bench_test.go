@@ -8,14 +8,24 @@ import (
 	"dista/internal/analysis/loader"
 )
 
-// BenchmarkDistavet measures the distavet analysis pass itself: the
-// full six-analyzer suite against the original five-analyzer core, both
-// over the same pre-loaded module. Loading (parse + type-check of the
-// module and its stdlib closure) happens once outside the timed region
-// — the artifact pins the marginal cost of *analysis*, which is what
-// grows as the suite gains invariants. The acceptance criterion is the
-// in-run ratio Suite/Core <= 1.15x: each added analyzer must ride the
-// shared load, not multiply it.
+// BenchmarkDistavet measures the distavet analysis pass itself over
+// the pre-loaded module. Loading (parse + type-check of the module and
+// its stdlib closure) happens once outside the timed region — the
+// artifact pins the marginal cost of *analysis*, which is what grows
+// as the suite gains invariants. Three variants:
+//
+//   - Core: the original PR 4 five-analyzer set, cold (index rebuilt
+//     every iteration);
+//   - Suite: the full nine-analyzer interprocedural suite, cold —
+//     call-graph build, summary fixpoint and all analyzers;
+//   - SuiteWarm: the full suite against a primed fact cache — every
+//     package replays its recorded diagnostics, no analyzers and no
+//     index build run.
+//
+// Acceptance criteria (BENCH_9.json): Suite/Core <= 1.5x — the
+// interprocedural layer plus four extra analyzers must ride the
+// shared load, not multiply it — and SuiteWarm/Suite <= 0.35x — the
+// fact cache must make warm lint runs cheap.
 var distavetBench struct {
 	once sync.Once
 	prog *loader.Program
@@ -49,11 +59,15 @@ func distavetLoad(b *testing.B) (*loader.Program, []*loader.Package) {
 	return distavetBench.prog, distavetBench.pkgs
 }
 
-func benchAnalyzers(b *testing.B, as []*analysis.Analyzer) {
+func benchAnalyzers(b *testing.B, as []*analysis.Analyzer, facts *analysis.FactStore) {
 	prog, pkgs := distavetLoad(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if diags := analysis.Run(prog.Fset, pkgs, as); len(diags) != 0 {
+		// Every iteration pays the full interprocedural cost (or, in
+		// the warm variant, proves it can skip it): the memoized index
+		// would otherwise make iterations 2..N nearly free.
+		analysis.ResetIndexCache()
+		if diags := analysis.RunWithFacts(prog, pkgs, as, facts); len(diags) != 0 {
 			b.Fatalf("module is not distavet-clean: %s", diags[0])
 		}
 	}
@@ -65,9 +79,21 @@ func BenchmarkDistavet(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		benchAnalyzers(b, core)
+		benchAnalyzers(b, core, nil)
 	})
 	b.Run("Suite", func(b *testing.B) {
-		benchAnalyzers(b, analysis.All())
+		benchAnalyzers(b, analysis.All(), nil)
+	})
+	b.Run("SuiteWarm", func(b *testing.B) {
+		facts, err := analysis.NewFactStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, pkgs := distavetLoad(b)
+		analysis.ResetIndexCache()
+		if diags := analysis.RunWithFacts(prog, pkgs, analysis.All(), facts); len(diags) != 0 {
+			b.Fatalf("module is not distavet-clean: %s", diags[0])
+		}
+		benchAnalyzers(b, analysis.All(), facts)
 	})
 }

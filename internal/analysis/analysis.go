@@ -1,11 +1,16 @@
 // Package analysis is distavet's static-analysis suite: a small
 // go/analysis-style framework plus the analyzers that machine-check
-// the taint-soundness invariants of this tree (see DESIGN.md §6).
+// the taint-soundness invariants of this tree (see DESIGN.md §6, §11).
 //
 // The framework mirrors golang.org/x/tools/go/analysis in shape — an
 // Analyzer runs over one type-checked package via a Pass and reports
 // position-anchored diagnostics — but is built entirely on the
 // standard library so the module keeps zero external dependencies.
+// Since PR 9 the suite is interprocedural: before any analyzer runs,
+// the driver builds a module-wide call graph and per-function
+// summaries (callgraph.go, summary.go) that every Pass can query
+// through Pass.Index, and packages are analyzed in parallel (bounded
+// by GOMAXPROCS) with deterministic output ordering.
 //
 // A finding can be silenced with a staticcheck-style comment on the
 // offending line or the line directly above it:
@@ -13,7 +18,10 @@
 //	//lint:ignore distavet/<analyzer> reason the drop is deliberate
 //
 // The reason is mandatory: a suppression without one is itself
-// reported (as analyzer "suppression") so audits never go stale.
+// reported (as analyzer "suppression") so audits never go stale. And
+// since PR 9 a well-formed suppression whose diagnostic no longer
+// fires is reported by the deadsuppress analyzer, so stale ignores
+// can't linger after the code they excused is gone.
 package analysis
 
 import (
@@ -22,8 +30,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"dista/internal/analysis/loader"
 )
@@ -36,7 +46,7 @@ type Analyzer struct {
 }
 
 // A Pass is one (analyzer, package) execution: the type-checked
-// package plus the reporting sink.
+// package plus the interprocedural index and the reporting sink.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -44,6 +54,7 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Index    *Index // module-wide call graph + function summaries
 
 	diags *[]Diagnostic
 }
@@ -73,7 +84,8 @@ func (d Diagnostic) String() string {
 
 // All returns the full distavet suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{ShadowDrop, LabelCopy, ErrCmp, LockOrder, MustCheck, IdBits, TierEncode}
+	return []*Analyzer{ShadowDrop, LabelCopy, ErrCmp, LockOrder, MustCheck,
+		IdBits, TierEncode, TaintFlow, DeadSuppress}
 }
 
 // ByName resolves a comma-separated analyzer-name list against All.
@@ -99,12 +111,58 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// indexCache memoizes the interprocedural index per load session. A
+// Program's package set only grows (LoadDir adds golden targets), so
+// the universe size is a sufficient validity stamp: same size → same
+// packages → same summaries.
+var (
+	indexMu    sync.Mutex
+	indexCache = map[*loader.Program]*indexEntry{}
+)
+
+type indexEntry struct {
+	universe int
+	idx      *Index
+}
+
+// indexFor returns the (possibly cached) index over prog's current
+// package universe, building it with preset summaries on a miss.
+func indexFor(prog *loader.Program, preset map[*types.Func]*FuncSummary) *Index {
+	universe := prog.Packages()
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if e, ok := indexCache[prog]; ok && e.universe == len(universe) {
+		return e.idx
+	}
+	idx := BuildIndex(universe, preset)
+	indexCache[prog] = &indexEntry{universe: len(universe), idx: idx}
+	return idx
+}
+
+// ResetIndexCache drops every memoized interprocedural index. The
+// benchmarks use it to measure cold-start analysis cost; real drivers
+// never need to call it.
+func ResetIndexCache() {
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	indexCache = map[*loader.Program]*indexEntry{}
+}
+
 // Run applies the analyzers to every package (external test packages
 // included), honors //lint:ignore suppressions, and returns the
 // surviving diagnostics sorted by position. Malformed suppression
 // comments are reported under the pseudo-analyzer "suppression".
-func Run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+// Packages are analyzed concurrently; output order is deterministic.
+func Run(prog *loader.Program, pkgs []*loader.Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithFacts(prog, pkgs, analyzers, nil)
+}
+
+// RunWithFacts is Run with an optional summary/diagnostic cache: a
+// package whose fact key (content hash of itself, its import closure
+// and the analyzer set) is present in the store replays its recorded
+// raw diagnostics and summaries instead of re-running the analyzers.
+// When every target hits, even the call-graph build is skipped.
+func RunWithFacts(prog *loader.Program, pkgs []*loader.Package, analyzers []*Analyzer, facts *FactStore) []Diagnostic {
 	var targets []*loader.Package
 	for _, pkg := range pkgs {
 		targets = append(targets, pkg)
@@ -112,21 +170,86 @@ func Run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*Analyzer) []D
 			targets = append(targets, pkg.XTest)
 		}
 	}
-	for _, pkg := range targets {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Path:     pkg.Path,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
+
+	runSet := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		runSet[a.Name] = true
+	}
+
+	// Facts: compute keys and probe the store.
+	keys := make([]string, len(targets))
+	cached := make([]*factEntry, len(targets))
+	allCached := facts != nil
+	if facts != nil {
+		keyer := newFactKeyer(prog, analyzers)
+		for i, t := range targets {
+			keys[i] = keyer.key(t)
+			cached[i] = facts.load(keys[i])
+			if cached[i] == nil {
+				allCached = false
 			}
-			a.Run(pass)
 		}
 	}
-	sup, bad := collectSuppressions(fset, targets)
+
+	// The interprocedural index. Cached packages contribute their
+	// stored summaries as presets; on a full hit no index is needed
+	// at all — that is the warm-lint fast path.
+	var idx *Index
+	if !allCached {
+		preset := make(map[*types.Func]*FuncSummary)
+		for i, e := range cached {
+			if e != nil {
+				e.presetInto(targets[i], preset)
+			}
+		}
+		idx = indexFor(prog, preset)
+	}
+
+	// Per-target analysis, cached targets replayed, the rest run
+	// concurrently with pass-local diagnostic slices.
+	results := make([][]Diagnostic, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range targets {
+		if cached[i] != nil {
+			results[i] = cached[i].Diags
+			continue
+		}
+		wg.Add(1)
+		go func(i int, pkg *loader.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Diagnostic
+			for _, a := range analyzers {
+				a.Run(&Pass{
+					Analyzer: a,
+					Fset:     prog.Fset,
+					Path:     pkg.Path,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					Index:    idx,
+					diags:    &local,
+				})
+			}
+			results[i] = local
+			if facts != nil {
+				facts.save(keys[i], newFactEntry(local, idx, pkg))
+			}
+		}(i, pkg)
+	}
+	wg.Wait()
+
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
+	}
+
+	sup, bad := collectSuppressions(prog.Fset, targets)
+	if runSet[DeadSuppress.Name] {
+		diags = append(diags, deadSuppressions(diags, sup, runSet)...)
+	}
 	diags = append(diags, bad...)
 	diags = applySuppressions(diags, sup)
 	diags = dedup(diags)
@@ -227,4 +350,47 @@ func applySuppressions(diags []Diagnostic, sups []suppression) []Diagnostic {
 		}
 	}
 	return keep
+}
+
+// deadSuppressions implements the deadsuppress analyzer: a well-formed
+// suppression is dead when every analyzer it names was part of this
+// run and none of them produced a diagnostic the suppression covers —
+// the finding it once excused no longer fires. Suppressions naming an
+// analyzer outside the run set are left alone (a partial run proves
+// nothing about them).
+func deadSuppressions(raw []Diagnostic, sups []suppression, runSet map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range sups {
+		judgeable := true
+		var names []string
+		for name := range s.analyzers {
+			names = append(names, name)
+			if !runSet[name] {
+				judgeable = false
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		matched := false
+		for _, d := range raw {
+			if s.file == d.Pos.Filename && (s.line == d.Pos.Line || s.line+1 == d.Pos.Line) &&
+				s.analyzers[d.Analyzer] {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Analyzer: DeadSuppress.Name,
+			Pos:      token.Position{Filename: s.file, Line: s.line},
+			Message: fmt.Sprintf("suppression of distavet/%s matches no diagnostic; "+
+				"the finding it excused no longer fires — delete the stale //lint:ignore",
+				strings.Join(names, ", distavet/")),
+		})
+	}
+	return out
 }

@@ -71,6 +71,16 @@ var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 // comments in the package's files.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{a}, dir)
+}
+
+// RunAnalyzers is Run for an analyzer set — needed by analyzers whose
+// findings are a whole-run property (deadsuppress judges suppressions
+// against the diagnostics of the other analyzers in the same run).
+// Unnamed want comments default to the first analyzer; the named form
+// (`// want deadsuppress "..."`) picks any analyzer in the set.
+func RunAnalyzers(t *testing.T, as []*analysis.Analyzer, dir string) {
+	t.Helper()
 	prog := sharedProgram(t)
 	progMu.Lock()
 	pkg, err := prog.LoadDir(dir)
@@ -90,7 +100,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 				}
 				name := strings.TrimSpace(m[1])
 				if name == "" {
-					name = a.Name
+					name = as[0].Name
 				}
 				line := prog.Fset.Position(c.Pos()).Line
 				for _, q := range wantStrRE.FindAllStringSubmatch(m[2], -1) {
@@ -102,7 +112,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 		}
 	}
 
-	diags := analysis.Run(prog.Fset, []*loader.Package{pkg}, []*analysis.Analyzer{a})
+	diags := analysis.Run(prog, []*loader.Package{pkg}, as)
 	for _, d := range diags {
 		if matchWant(wants, d) {
 			continue

@@ -1,0 +1,24 @@
+package analysis
+
+// DeadSuppress reports //lint:ignore comments whose diagnostic no
+// longer fires. A suppression is an audited exception — the two zk
+// snapshot ignores from PR 4 each pin a deliberate, justified label
+// drop — and an exception that outlives the code it excused is worse
+// than noise: it will silently swallow the next real finding on that
+// line. A well-formed suppression is dead when every analyzer it
+// names ran in this invocation and none of them produced a diagnostic
+// the suppression covers.
+//
+// The check is a whole-run property, not a per-package walk, so the
+// logic lives in the driver (deadSuppressions in analysis.go), which
+// sees the raw pre-suppression diagnostics of every package; this
+// analyzer's Run is intentionally empty and only puts the name into
+// the run set. Suppressions naming an analyzer outside the run set
+// are never judged: a partial `-run` invocation proves nothing about
+// them.
+var DeadSuppress = &Analyzer{
+	Name: "deadsuppress",
+	Doc: "a //lint:ignore whose diagnostic no longer fires is stale and must " +
+		"be deleted (checked over the whole run in the driver)",
+	Run: func(*Pass) {},
+}

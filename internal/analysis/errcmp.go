@@ -16,10 +16,19 @@ import (
 // class errors.Is exists for. Comparisons against io sentinels
 // (io.EOF et al.) are exempt: the io.Reader contract guarantees they
 // are returned unwrapped.
+//
+// It also flags errors.As(err, &Sentinel) where Sentinel is one of
+// those package sentinels: the target then has type *error, so As
+// matches the first error in the chain unconditionally and assigns it
+// into the package-level sentinel — a mutation of shared state dressed
+// up as a check. The wire path makes this tempting: the client
+// re-types the server's ErrOverloaded marker into a fresh %w wrap
+// (protocol decode), and As "works" on it in tests while silently
+// corrupting the sentinel for every other comparison in the process.
 var ErrCmp = &Analyzer{
 	Name: "errcmp",
-	Doc: "sentinel errors (Err*/err*) must be matched with errors.Is, not ==/!= " +
-		"or switch cases; io.EOF conventions are exempt",
+	Doc: "sentinel errors (Err*/err*) must be matched with errors.Is, not ==/!=, " +
+		"switch cases, or errors.As against the sentinel; io.EOF conventions are exempt",
 	Run: runErrCmp,
 }
 
@@ -49,6 +58,22 @@ func runErrCmp(pass *Pass) {
 				pass.Reportf(n.Pos(),
 					"sentinel error %s compared with %s; wrapped errors will not match — use errors.Is",
 					s.Name(), n.Op)
+			case *ast.CallExpr:
+				if !isErrorsAs(pass, n) || len(n.Args) != 2 {
+					return true
+				}
+				addr, ok := unparen(n.Args[1]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				s := sentinelVar(pass, unparen(addr.X))
+				if s == nil || hasPathSuffix(s.Pkg(), "io") {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"errors.As target &%s is a pointer to the sentinel itself: it matches any error "+
+						"and overwrites %s — use errors.Is(err, %s)",
+					s.Name(), s.Name(), s.Name())
 			case *ast.SwitchStmt:
 				if n.Tag == nil {
 					return true
@@ -95,6 +120,16 @@ func sentinelVar(pass *Pass, e ast.Expr) *types.Var {
 		return nil
 	}
 	return v
+}
+
+// isErrorsAs reports whether call invokes the stdlib errors.As.
+func isErrorsAs(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "As" {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "errors"
 }
 
 // isNilIdent reports whether e is the predeclared nil.

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"dista/internal/analysis/loader"
+)
+
+// factsVersion invalidates every cached entry when the summary lattice
+// or the serialization shape changes. Bump it whenever FuncSummary or
+// an analyzer's semantics change in a way the content hash can't see.
+const factsVersion = 1
+
+// A FactStore caches per-package analysis facts on disk: the raw
+// (pre-suppression) diagnostics and the function summaries of one
+// package, keyed by a content hash of the package, its import closure
+// and the analyzer set. A warm `make lint` replays unchanged packages
+// from the store instead of re-running the analyzers; when everything
+// hits, even the call-graph build is skipped.
+//
+// Known approximation: the key covers a package's import closure, but
+// interface-dispatch edges can cross it — editing an implementation
+// outside the closure of a cached caller does not invalidate the
+// caller's entry. `make lint FACTS=` (cold run) or deleting the cache
+// dir restores full precision; the tier-1 tests always run cold.
+type FactStore struct {
+	dir string
+}
+
+// NewFactStore opens (creating if needed) a fact cache rooted at dir.
+func NewFactStore(dir string) (*FactStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FactStore{dir: dir}, nil
+}
+
+// factEntry is the serialized record of one (package, analyzer-set)
+// analysis: raw diagnostics plus the summaries of the package's own
+// functions, keyed by stable function ID.
+type factEntry struct {
+	Diags     []Diagnostic            `json:"diags"`
+	Summaries map[string]*FuncSummary `json:"summaries"`
+}
+
+func (s *FactStore) load(key string) *factEntry {
+	data, err := os.ReadFile(filepath.Join(s.dir, key+".json"))
+	if err != nil {
+		return nil
+	}
+	var e factEntry
+	if json.Unmarshal(data, &e) != nil {
+		return nil
+	}
+	return &e
+}
+
+func (s *FactStore) save(key string, e *factEntry) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	// Write-then-rename so a concurrent reader never sees a torn
+	// entry; a lost race overwrites with identical content.
+	tmp := filepath.Join(s.dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(s.dir, key+".json"))
+}
+
+// newFactEntry captures the analysis products of one package.
+func newFactEntry(diags []Diagnostic, idx *Index, pkg *loader.Package) *factEntry {
+	e := &factEntry{Diags: diags, Summaries: make(map[string]*FuncSummary)}
+	if idx != nil {
+		for fn, s := range idx.FuncsOf(pkg) {
+			e.Summaries[funcIDOf(fn)] = s
+		}
+	}
+	return e
+}
+
+// presetInto resolves the entry's stored summaries against the live
+// type objects of pkg, seeding the index build so cached packages are
+// not re-evaluated.
+func (e *factEntry) presetInto(pkg *loader.Package, preset map[*types.Func]*FuncSummary) {
+	if len(e.Summaries) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if s, ok := e.Summaries[funcIDOf(fn)]; ok {
+				preset[fn] = s
+			}
+		}
+	}
+}
+
+// funcIDOf is a stable cross-process identifier for a declared
+// function: package path, receiver type (with pointerness) and name.
+func funcIDOf(fn *types.Func) string {
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			recv = "*"
+			t = p.Elem()
+		}
+		if named, ok := namedOf(t); ok {
+			recv += named.Obj().Name() + "."
+		}
+	}
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	return path + "::" + recv + fn.Name()
+}
+
+// factKeyer computes per-package cache keys: a content hash over the
+// facts version, toolchain, analyzer set, the package's files, and —
+// recursively — the keys of its loaded import closure (out-of-module
+// imports contribute their path only; the stdlib is pinned by the
+// toolchain version).
+type factKeyer struct {
+	prog      *loader.Program
+	byPath    map[string]*loader.Package
+	analyzers string
+	memo      map[string]string
+}
+
+func newFactKeyer(prog *loader.Program, analyzers []*Analyzer) *factKeyer {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	byPath := make(map[string]*loader.Package)
+	for _, pkg := range prog.Packages() {
+		byPath[pkg.Path] = pkg
+	}
+	return &factKeyer{
+		prog:      prog,
+		byPath:    byPath,
+		analyzers: strings.Join(names, ","),
+		memo:      make(map[string]string),
+	}
+}
+
+func (k *factKeyer) key(pkg *loader.Package) string {
+	if v, ok := k.memo[pkg.Path]; ok {
+		return v
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "distavet-facts/v%d\n%s\n%s\n%s\n",
+		factsVersion, runtime.Version(), k.analyzers, pkg.Path)
+	for _, f := range pkg.Files {
+		name := k.prog.Fset.File(f.Pos()).Name()
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(h, "file %s unreadable\n", name)
+			continue
+		}
+		fmt.Fprintf(h, "file %s %d\n", name, len(data))
+		h.Write(data)
+	}
+	var depKeys []string
+	for _, imp := range pkg.Types.Imports() {
+		if dep, ok := k.byPath[imp.Path()]; ok {
+			depKeys = append(depKeys, dep.Path+"="+k.key(dep))
+		} else {
+			depKeys = append(depKeys, "std:"+imp.Path())
+		}
+	}
+	sort.Strings(depKeys)
+	for _, dk := range depKeys {
+		fmt.Fprintln(h, dk)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))[:32]
+	k.memo[pkg.Path] = sum
+	return sum
+}

@@ -17,9 +17,31 @@ import (
 func TestGolden(t *testing.T) {
 	for _, a := range analysis.All() {
 		t.Run(a.Name, func(t *testing.T) {
+			if a.Name == analysis.DeadSuppress.Name {
+				// deadsuppress judges suppressions against another
+				// analyzer's findings, so its golden runs as a pair.
+				analysistest.RunAnalyzers(t,
+					[]*analysis.Analyzer{analysis.ShadowDrop, analysis.DeadSuppress},
+					filepath.Join("testdata", "src", a.Name))
+				return
+			}
 			analysistest.Run(t, a, filepath.Join("testdata", "src", a.Name))
 		})
 	}
+}
+
+// TestTaintFlowRecursion pins the summary fixpoint: a raw escape
+// reachable only through a mutually recursive helper pair must still
+// be found, and the recursion must converge rather than loop.
+func TestTaintFlowRecursion(t *testing.T) {
+	analysistest.Run(t, analysis.TaintFlow, filepath.Join("testdata", "src", "taintflowrec"))
+}
+
+// TestTaintFlowDispatch pins interface-method resolution: an escape
+// inside one concrete implementation must surface at a call through
+// the interface, and a clean implementation must not taint it.
+func TestTaintFlowDispatch(t *testing.T) {
+	analysistest.Run(t, analysis.TaintFlow, filepath.Join("testdata", "src", "taintflowiface"))
 }
 
 // TestTierEncodeWireRules runs the tierencode analyzer over a package
@@ -47,7 +69,7 @@ func TestSuppressions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := analysis.Run(prog.Fset, []*loader.Package{pkg}, []*analysis.Analyzer{analysis.ErrCmp})
+	diags := analysis.Run(prog, []*loader.Package{pkg}, []*analysis.Analyzer{analysis.ErrCmp})
 	var got []string
 	for _, d := range diags {
 		got = append(got, d.Analyzer+": "+d.Message)

@@ -52,12 +52,18 @@ func namedOf(t types.Type) (*types.Named, bool) {
 // calleeFunc resolves the called function or method of a call, or nil
 // for builtins, conversions and calls through function values.
 func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	return calleeFuncInfo(pass.Info, call)
+}
+
+// calleeFuncInfo is calleeFunc against a bare types.Info, usable from
+// the summary engine where no Pass exists.
+func calleeFuncInfo(info *types.Info, call *ast.CallExpr) *types.Func {
 	var obj types.Object
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.Ident:
-		obj = pass.Info.Uses[fun]
+		obj = info.Uses[fun]
 	case *ast.SelectorExpr:
-		obj = pass.Info.Uses[fun.Sel]
+		obj = info.Uses[fun.Sel]
 	}
 	fn, _ := obj.(*types.Func)
 	return fn
@@ -92,12 +98,17 @@ func taintedValueType(named *types.Named) (string, bool) {
 // taint.Bytes or jni.DirectBuffer. The returned string names the
 // owning type for the diagnostic.
 func taintedRawData(pass *Pass, e ast.Expr) (string, bool) {
+	return taintedRawDataInfo(pass.Info, e)
+}
+
+// taintedRawDataInfo is taintedRawData against a bare types.Info.
+func taintedRawDataInfo(info *types.Info, e ast.Expr) (string, bool) {
 	for {
 		switch v := unparen(e).(type) {
 		case *ast.SliceExpr:
 			e = v.X
 		case *ast.SelectorExpr:
-			sel := pass.Info.Selections[v]
+			sel := info.Selections[v]
 			if sel == nil || sel.Kind() != types.FieldVal || sel.Obj().Name() != "Data" {
 				return "", false
 			}
@@ -128,6 +139,117 @@ func isCorePackage(pass *Pass) bool {
 	for _, suffix := range corePackages {
 		// The "_test" variant of a core package is core too.
 		if pathHasSuffix(strings.TrimSuffix(pass.Path, "_test"), suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// trustedPackage reports whether pkg belongs to the label-moving trust
+// domain: the core layers plus the wire codec. Functions defined here
+// may take raw tainted storage — moving labels next to data is exactly
+// their job — so their summaries never mark a parameter as escaping,
+// and raw .Data handed to their label-safe parameters is the sanctioned
+// fast path rather than a drop. The boundary is the package layer, not
+// a naming convention: a lookalike helper elsewhere earns nothing.
+func trustedPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	if hasPathSuffix(pkg, "internal/core/wire") {
+		return true
+	}
+	for _, suffix := range corePackages {
+		if hasPathSuffix(pkg, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// byteSlice reports whether t's underlying type is []byte.
+func byteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// carriesLabels reports whether the signature has a parameter that can
+// hold a payload's labels: []Run, []DirtyRange, []uint32, a single
+// uint32 Global ID, or a core taint.Taint value.
+func carriesLabels(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Uint32 {
+			return true
+		}
+		if named, ok := namedOf(t); ok {
+			if named.Obj().Name() == "Taint" && hasPathSuffix(named.Obj().Pkg(), "internal/core/taint") {
+				return true
+			}
+		}
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint32 {
+			return true
+		}
+		if named, ok := namedOf(s.Elem()); ok {
+			if n := named.Obj().Name(); n == "Run" || n == "DirtyRange" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// labelSafeCallee reports whether handing the raw .Data of a tracked
+// value to fn is sanctioned. This replaces the old name-based
+// *Passthrough*/*Uniform*/*Sparse* allowlist: the exemption is now a
+// fact derived from the callee, not its name. fn is label-safe when it
+// is defined in the trust domain AND either
+//
+//   - its signature carries the payload's labels ([]Run, []DirtyRange,
+//     Global IDs, or a taint.Taint) — the uniform/sparse tier shape
+//     that Rule A of tierencode verifies, or
+//   - its summary declares the payload untainted (DeclaresClean): the
+//     parameter flows, possibly through wrappers, into a passthrough
+//     emission — semantics the caller must have Clean()-gated, which
+//     tierencode Rule B enforces.
+//
+// Interface methods and other bodiless functions fall back to the
+// signature test plus the passthrough name marker (Rule A pins that
+// naming in the wire codec), preserving the old behavior where no
+// summary can exist.
+func labelSafeCallee(idx *Index, fn *types.Func) bool {
+	if fn == nil || !trustedPackage(fn.Pkg()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if carriesLabels(sig) {
+		return true
+	}
+	if idx != nil {
+		if s := idx.SummaryOf(fn); s != nil {
+			return s.AnyDeclaresClean()
+		}
+	}
+	// Bodiless (interface method, or no index): the declaration marker.
+	return strings.Contains(fn.Name(), "Passthrough") ||
+		strings.Contains(fn.Name(), "Uniform") || strings.Contains(fn.Name(), "Sparse")
+}
+
+// writeVerb reports whether a function name is write-shaped I/O.
+func writeVerb(name string) bool {
+	for _, prefix := range []string{"Write", "Send", "Publish", "Post", "Broadcast"} {
+		if strings.HasPrefix(name, prefix) {
 			return true
 		}
 	}

@@ -16,10 +16,12 @@ import (
 //
 // Like shadowdrop, the core label-moving layers are whitelisted; the
 // analysis is per enclosing function, so a paired operation in a
-// different function does not count. A call to a core fast-path helper
-// (*Passthrough*/*Uniform*/*Sparse*) also counts as the paired label
-// operation: those helpers move or declare the labels themselves, so a
-// raw byte move feeding one is the sanctioned tier encode.
+// different function does not count. A call to a label-safe core
+// fast-path helper (labelSafeCallee: trust domain + label-carrying
+// signature or a DeclaresClean summary) also counts as the paired
+// label operation: those helpers move or declare the labels
+// themselves, so a raw byte move feeding one is the sanctioned tier
+// encode.
 var LabelCopy = &Analyzer{
 	Name: "labelcopy",
 	Doc: "copy/append on the raw .Data of a tracked value needs a paired label " +
@@ -85,7 +87,7 @@ func checkLabelCopy(pass *Pass, body *ast.BlockStmt) {
 			if fn == nil {
 				break
 			}
-			if (labelOps[fn.Name()] && labelOpReceiver(fn)) || fastPathHelper(fn) {
+			if (labelOps[fn.Name()] && labelOpReceiver(fn)) || labelSafeCallee(pass.Index, fn) {
 				paired = true
 			}
 		}

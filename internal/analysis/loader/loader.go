@@ -166,6 +166,29 @@ func (p *Program) Package(path string) (*Package, error) {
 	return p.load(path)
 }
 
+// Packages returns a snapshot of every package loaded so far — module
+// packages and LoadDir targets, external test packages included as
+// their own entries — in deterministic import-path order. The
+// interprocedural analysis layer uses this as the summary universe:
+// a target package's callees are always in here, because type-checking
+// the target forced their load.
+func (p *Program) Packages() []*Package {
+	paths := make([]string, 0, len(p.pkgs))
+	for path := range p.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		pkg := p.pkgs[path]
+		out = append(out, pkg)
+		if pkg.XTest != nil {
+			out = append(out, pkg.XTest)
+		}
+	}
+	return out
+}
+
 // LoadDir type-checks the single package rooted at dir — which may be
 // anywhere under the module, including testdata trees the go tool
 // ignores — under a synthetic import path derived from its location.

@@ -11,20 +11,44 @@ import "go/ast"
 //   - taint map store (taintmap/store.go): shard locks come before
 //     growMu — growMu is the innermost lock, so acquiring a shard
 //     lock while holding growMu inverts the Reset/RegisterBlob order
-//     and can deadlock against them.
+//     and can deadlock against them;
+//   - admission control (taintmap/server.go, PR 8): the admission
+//     semaphore is a mutex+cond pair whose admit() can block
+//     indefinitely waiting for a slot. admission.mu is therefore the
+//     outermost tracked lock — taking it (or calling admit(), which
+//     is modeled as a transient acquire+release) while any tracked
+//     lock is held parks that lock behind the admission queue.
+//     release() only signals under a brief a.mu critical section that
+//     acquires nothing else, so it is safe under other locks and not
+//     modeled. The hedgeTracker next to it is atomics-only (no
+//     mutex), so it has no lock class at all;
+//   - cluster client (taintmap/clusterclient.go, PR 8):
+//     ClusterClient.mu guards membership changes only; the routing
+//     table is a lock-free atomic.Pointer read on the request path.
+//     It is a leaf — no tracked lock may be acquired under it.
+//
+// The pinned global order is therefore:
+//
+//	admission.mu  >  shard.mu > growMu  |  node.mu, Tree.cmu (disjoint)  >  ClusterClient.mu
+//
+// (admission outermost, growMu inside shard, ClusterClient.mu a leaf;
+// the tree locks never interleave with the store locks in code today,
+// so no cross pair is in the table.)
 //
 // Lock classes are recognized by (receiver type name, field name) —
-// node.mu, Tree.cmu, shard.mu, Store.growMu — so a refactor that
-// renames the fields must update this table (a cheap, visible cost;
-// silently losing the check would be the expensive one). The analysis
-// is intra-procedural and path-insensitive: statements are scanned in
-// order, branches with a copy of the held set, and a deferred Unlock
-// keeps its mutex held to the end of the function, which matches how
-// these functions are written.
+// node.mu, Tree.cmu, shard.mu, Store.growMu, admission.mu,
+// ClusterClient.mu — so a refactor that renames the fields must update
+// this table (a cheap, visible cost; silently losing the check would
+// be the expensive one). The analysis is intra-procedural and
+// path-insensitive: statements are scanned in order, branches with a
+// copy of the held set, and a deferred Unlock keeps its mutex held to
+// the end of the function, which matches how these functions are
+// written.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc: "documented mutex orders: at most one taint-tree node mutex; Tree.cmu " +
-		"never under a node mutex; no shard lock while Store.growMu is held",
+		"never under a node mutex; no shard lock while Store.growMu is held; " +
+		"admission.mu (and blocking admit()) outermost; ClusterClient.mu a leaf",
 	Run: runLockOrder,
 }
 
@@ -37,14 +61,25 @@ const (
 	lockTreeCmu
 	lockShardMu
 	lockGrowMu
+	lockAdmissionMu
+	lockClusterMu
 )
 
 var lockClassName = map[lockClass]string{
-	lockNodeMu:  "node.mu",
-	lockTreeCmu: "Tree.cmu",
-	lockShardMu: "shard.mu",
-	lockGrowMu:  "Store.growMu",
+	lockNodeMu:      "node.mu",
+	lockTreeCmu:     "Tree.cmu",
+	lockShardMu:     "shard.mu",
+	lockGrowMu:      "Store.growMu",
+	lockAdmissionMu: "admission.mu",
+	lockClusterMu:   "ClusterClient.mu",
 }
+
+const (
+	admissionOutermost = "the admission semaphore can block on its condition variable; " +
+		"admission.mu must be the outermost tracked lock (admission lock order)"
+	clusterLeaf = "ClusterClient.mu guards membership only and is a leaf; " +
+		"no tracked lock may be acquired under it (cluster lock order)"
+)
 
 // forbiddenNesting maps (held, acquiring) pairs to the invariant they
 // violate.
@@ -52,6 +87,25 @@ var forbiddenNesting = map[[2]lockClass]string{
 	{lockNodeMu, lockNodeMu}:  "at most one node mutex may be held at a time (taint tree lock order)",
 	{lockNodeMu, lockTreeCmu}: "the combine-cache mutex is taken only while no node mutex is held",
 	{lockGrowMu, lockShardMu}: "shard locks come before growMu (Store lock order); growMu is innermost",
+
+	// admission.mu is outermost: admit() may park the caller on the
+	// cond var for as long as the server is saturated, so any lock
+	// held across it is held for that whole wait.
+	{lockNodeMu, lockAdmissionMu}:      admissionOutermost,
+	{lockTreeCmu, lockAdmissionMu}:     admissionOutermost,
+	{lockShardMu, lockAdmissionMu}:     admissionOutermost,
+	{lockGrowMu, lockAdmissionMu}:      admissionOutermost,
+	{lockClusterMu, lockAdmissionMu}:   admissionOutermost,
+	{lockAdmissionMu, lockAdmissionMu}: admissionOutermost,
+
+	// ClusterClient.mu is a leaf: membership swaps publish through an
+	// atomic.Pointer, so nothing slower than a field update belongs
+	// under it.
+	{lockClusterMu, lockNodeMu}:    clusterLeaf,
+	{lockClusterMu, lockTreeCmu}:   clusterLeaf,
+	{lockClusterMu, lockShardMu}:   clusterLeaf,
+	{lockClusterMu, lockGrowMu}:    clusterLeaf,
+	{lockClusterMu, lockClusterMu}: clusterLeaf,
 }
 
 func runLockOrder(pass *Pass) {
@@ -178,6 +232,17 @@ func applyLockCall(pass *Pass, call *ast.CallExpr, held []lockClass) []lockClass
 		acquire = true
 	case "Unlock", "RUnlock":
 		acquire = false
+	case "admit":
+		// admission.admit() is a transient acquire+release of
+		// admission.mu that can park on the cond var: report it like
+		// an acquisition, but leave the held set unchanged.
+		if admissionReceiver(pass, sel.X) {
+			for _, h := range held {
+				pass.Reportf(call.Pos(), "admit() blocks on %s while %s is held: %s",
+					lockClassName[lockAdmissionMu], lockClassName[h], admissionOutermost)
+			}
+		}
+		return held
 	default:
 		return held
 	}
@@ -226,8 +291,23 @@ func lockClassOf(pass *Pass, e ast.Expr) lockClass {
 		return lockShardMu
 	case [2]string{"Store", "growMu"}:
 		return lockGrowMu
+	case [2]string{"admission", "mu"}:
+		return lockAdmissionMu
+	case [2]string{"ClusterClient", "mu"}:
+		return lockClusterMu
 	}
 	return lockNone
+}
+
+// admissionReceiver reports whether e has the admission semaphore type
+// (by type name, matching the class table's convention).
+func admissionReceiver(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := namedOf(t)
+	return ok && named.Obj().Name() == "admission"
 }
 
 func cloneLocks(held []lockClass) []lockClass {

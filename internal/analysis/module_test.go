@@ -33,7 +33,7 @@ func TestModuleClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("module load found only %d packages; the loader is missing most of the tree", len(pkgs))
 	}
-	for _, d := range analysis.Run(prog.Fset, pkgs, analysis.All()) {
+	for _, d := range analysis.Run(prog, pkgs, analysis.All()) {
 		t.Errorf("%s", d)
 	}
 }

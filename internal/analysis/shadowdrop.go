@@ -22,13 +22,18 @@ import (
 // The core layers that are responsible for moving labels next to data
 // (internal/core/taint, internal/jni, internal/jre,
 // internal/instrument) are whitelisted wholesale, and so are the
-// fast-path helpers those layers export (methods named *Passthrough*,
-// *Uniform* or *Sparse* on core types): a passthrough send declares
-// the bytes untainted on the wire after the caller proved them
-// Clean(), and the uniform/sparse tier helpers carry the labels
-// out-of-band right next to the raw bytes, so handing them the raw
-// slice drops nothing. Anywhere else a deliberate drop needs a
-// //lint:ignore with its justification.
+// label-safe fast-path helpers those layers export: a passthrough
+// send declares the bytes untainted on the wire after the caller
+// proved them Clean(), and the uniform/sparse tier helpers carry the
+// labels out-of-band right next to the raw bytes, so handing them the
+// raw slice drops nothing. Since PR 9 that exemption is a derived
+// fact, not a naming convention: labelSafeCallee (helpers.go) demands
+// the callee live in the trust domain AND either carry labels in its
+// signature or have a summary that declares its payload clean.
+// Anywhere else a deliberate drop needs a //lint:ignore with its
+// justification. Escapes laundered through a helper call or a local
+// binding are the taintflow analyzer's findings; shadowdrop stays the
+// precise syntactic check for direct .Data-into-sink arguments.
 var ShadowDrop = &Analyzer{
 	Name: "shadowdrop",
 	Doc: "raw .Data of a tracked value must not escape into I/O/network calls " +
@@ -75,7 +80,7 @@ func escapeCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
 	}
 	name := fn.Name()
 	if sig.Recv() != nil {
-		if !writeVerb(name) || fastPathHelper(fn) {
+		if !writeVerb(name) || labelSafeCallee(pass.Index, fn) {
 			return "", false
 		}
 		recv := sig.Recv().Type()
@@ -104,40 +109,3 @@ func escapeCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-// fastPathHelper reports whether fn is one of the fast-path helpers
-// exported by the core label-moving layers or the wire codec. Those
-// helpers either declare their payload untainted on the wire
-// (*Passthrough*, e.g. instrument.Endpoint.WritePassthrough) or carry
-// the labels out-of-band right next to the raw bytes (*Uniform*,
-// *Sparse*, e.g. Endpoint.WriteUniform or wire.AppendSparseFrame), so
-// feeding them a raw .Data slice is the sanctioned fast path rather
-// than a label drop. The exemption is deliberately narrow: the name
-// must contain one of the fast-path markers and the function must be
-// defined in a core package or internal/core/wire — a lookalike helper
-// elsewhere is still flagged.
-func fastPathHelper(fn *types.Func) bool {
-	name := fn.Name()
-	if !strings.Contains(name, "Passthrough") &&
-		!strings.Contains(name, "Uniform") && !strings.Contains(name, "Sparse") {
-		return false
-	}
-	if hasPathSuffix(fn.Pkg(), "internal/core/wire") {
-		return true
-	}
-	for _, suffix := range corePackages {
-		if hasPathSuffix(fn.Pkg(), suffix) {
-			return true
-		}
-	}
-	return false
-}
-
-// writeVerb reports whether a function name is write-shaped I/O.
-func writeVerb(name string) bool {
-	for _, prefix := range []string{"Write", "Send", "Publish", "Post", "Broadcast"} {
-		if strings.HasPrefix(name, prefix) {
-			return true
-		}
-	}
-	return false
-}

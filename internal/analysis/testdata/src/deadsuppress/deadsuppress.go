@@ -1,0 +1,34 @@
+// Package deadsuppress seeds //lint:ignore comments in both states for
+// the distavet deadsuppress golden test, which runs the shadowdrop +
+// deadsuppress pair: a suppression still covering a live finding is
+// honored silently, one whose finding no longer fires is itself
+// reported, and one naming an analyzer outside the run set is never
+// judged.
+package deadsuppress
+
+import (
+	"io"
+
+	"dista/internal/core/taint"
+)
+
+// liveSuppression still excuses a real shadowdrop finding: honored,
+// not reported.
+func liveSuppression(w io.Writer, b taint.Bytes) {
+	//lint:ignore distavet/shadowdrop deliberate drop pinned by this golden
+	w.Write(b.Data)
+}
+
+// staleSuppression outlived its finding — the escape it once excused
+// was refactored into a harmless length read.
+func staleSuppression(b taint.Bytes) int {
+	//lint:ignore distavet/shadowdrop the sink here was removed long ago // want deadsuppress "matches no diagnostic"
+	return len(b.Data)
+}
+
+// otherAnalyzer names an analyzer that is not part of this run:
+// a partial run proves nothing, so it must not be judged.
+func otherAnalyzer(err error) bool {
+	//lint:ignore distavet/errcmp wire-frozen comparison audited in PR 4
+	return err != nil
+}

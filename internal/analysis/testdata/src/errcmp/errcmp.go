@@ -63,6 +63,39 @@ func badCrossPackage(err error) int {
 	return 0
 }
 
+// badAs aims errors.As at the sentinels themselves. The wire decode
+// path re-types the server's overload marker into a fresh %w wrap, so
+// As(err, &ErrOverloaded) "matches" every such reply — its target is
+// *error, which accepts anything — and assigns the wrap into the
+// package sentinel, corrupting every later comparison against it.
+func badAs(err error) int {
+	if errors.As(err, &taintmap.ErrOverloaded) { // want "matches any error and overwrites ErrOverloaded"
+		return 1
+	}
+	if errors.As(err, &ErrClosed) { // want "overwrites ErrClosed"
+		return 2
+	}
+	return 0
+}
+
+// goodAs uses As for what it is for: extracting a concrete typed error
+// into a local target.
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return "code" }
+
+func goodAs(err error) int {
+	var ce *codeError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	var plain error
+	if errors.As(err, &plain) { // a local *error target is odd but mutates nothing shared
+		return 1
+	}
+	return 0
+}
+
 func goodCrossPackage(err error) bool {
 	return errors.Is(err, taintmap.ErrOverloaded) ||
 		errors.Is(err, taintmap.ErrBudgetExhausted) ||

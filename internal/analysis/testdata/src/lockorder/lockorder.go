@@ -1,8 +1,10 @@
 // Package lockorder seeds violations of the documented mutex orders
 // for the distavet lockorder golden test. The types mirror the shapes
 // the analyzer keys on — (type name, field name) pairs node.mu,
-// Tree.cmu, shard.mu, Store.growMu — without importing the real
-// packages, whose lock fields are unexported.
+// Tree.cmu, shard.mu, Store.growMu, admission.mu, ClusterClient.mu —
+// without importing the real packages, whose lock fields are
+// unexported. The admission mirror also carries the blocking admit()
+// / non-blocking release() method pair the analyzer models.
 package lockorder
 
 import "sync"
@@ -25,6 +27,37 @@ type shard struct {
 type Store struct {
 	shards [4]shard
 	growMu sync.Mutex
+}
+
+// admission mirrors the server's mutex+cond semaphore: admit() parks
+// on the cond var until a slot frees, release() only signals.
+type admission struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	slots int
+}
+
+func (a *admission) admit() {
+	a.mu.Lock()
+	for a.slots == 0 {
+		a.cond.Wait()
+	}
+	a.slots--
+	a.mu.Unlock()
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.slots++
+	a.cond.Signal()
+	a.mu.Unlock()
+}
+
+// ClusterClient mirrors the membership guard; the request path reads
+// an atomic routing table and never touches mu.
+type ClusterClient struct {
+	mu    sync.Mutex
+	epoch uint64
 }
 
 func badTwoNodes(a, b *node) {
@@ -112,6 +145,62 @@ func goodClosure(a *node) {
 		b.mu.Unlock()
 	}
 	f(a)
+}
+
+// badAdmitUnderShard calls the blocking admit() with a shard lock
+// held: every writer to that shard now waits behind the admission
+// queue.
+func badAdmitUnderShard(s *Store, a *admission) {
+	s.shards[0].mu.Lock()
+	a.admit() // want "blocks on admission.mu while shard.mu is held"
+	s.shards[0].mu.Unlock()
+	a.release()
+}
+
+// badAdmissionUnderNode takes the semaphore mutex directly under a
+// node mutex — same inversion without the method sugar.
+func badAdmissionUnderNode(n *node, a *admission) {
+	n.mu.Lock()
+	a.mu.Lock() // want "admission.mu acquired while node.mu is held"
+	a.mu.Unlock()
+	n.mu.Unlock()
+}
+
+// badLockUnderCluster nests a shard lock under the membership guard,
+// which is a leaf.
+func badLockUnderCluster(c *ClusterClient, s *Store) {
+	c.mu.Lock()
+	s.shards[2].mu.Lock() // want "shard.mu acquired while ClusterClient.mu is held"
+	s.shards[2].mu.Unlock()
+	c.mu.Unlock()
+}
+
+// goodAdmitFirst is the documented shape: admit before any lock,
+// release after every lock is gone.
+func goodAdmitFirst(s *Store, a *admission) {
+	a.admit()
+	s.shards[0].mu.Lock()
+	s.shards[0].mu.Unlock()
+	a.release()
+}
+
+// goodReleaseUnderLock: release() only signals under a short critical
+// section of its own and is safe (and common) with locks held.
+func goodReleaseUnderLock(s *Store, a *admission) {
+	a.admit()
+	s.shards[1].mu.Lock()
+	a.release()
+	s.shards[1].mu.Unlock()
+}
+
+// goodClusterUnderShard: taking the leaf under another lock is fine —
+// only acquisitions beneath it are forbidden.
+func goodClusterUnderShard(c *ClusterClient, s *Store) {
+	s.shards[3].mu.Lock()
+	c.mu.Lock()
+	c.epoch++
+	c.mu.Unlock()
+	s.shards[3].mu.Unlock()
 }
 
 func suppressed(a, b *node) {

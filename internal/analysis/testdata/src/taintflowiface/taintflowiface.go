@@ -1,0 +1,54 @@
+// Package taintflowiface pins interface-method resolution in the
+// summary engine: a call through an interface fans out to every
+// in-universe implementation (types.Implements), so an escape inside
+// one concrete emitter surfaces at the abstract call site — while an
+// interface whose only implementations are clean stays silent.
+package taintflowiface
+
+import (
+	"io"
+
+	"dista/internal/core/taint"
+)
+
+// emitter is satisfied by both implementations below; Emit is not a
+// write-verb name, so nothing here is a syntactic sink.
+type emitter interface {
+	Emit(p []byte)
+}
+
+// fileEmitter leaks its payload into the writer.
+type fileEmitter struct {
+	w io.Writer
+}
+
+func (f *fileEmitter) Emit(p []byte) {
+	f.w.Write(p)
+}
+
+// countEmitter only measures it.
+type countEmitter struct {
+	n int
+}
+
+func (c *countEmitter) Emit(p []byte) {
+	c.n += len(p)
+}
+
+func badDispatch(e emitter, b taint.Bytes) {
+	e.Emit(b.Data) // want "dispatching to Emit"
+}
+
+// sizer's implementations are all clean: dispatch over them must not
+// invent an escape.
+type sizer interface {
+	Size(p []byte) int
+}
+
+type byteSizer struct{}
+
+func (byteSizer) Size(p []byte) int { return len(p) }
+
+func goodDispatch(s sizer, b taint.Bytes) int {
+	return s.Size(b.Data)
+}

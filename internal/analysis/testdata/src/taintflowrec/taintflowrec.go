@@ -1,0 +1,68 @@
+// Package taintflowrec pins the summary fixpoint on mutual recursion:
+// pingEscape/pongEscape call each other and only the base case sinks
+// the bytes, so the escape fact must survive an SCC iteration — and
+// the clean recursive pair must converge without inventing one.
+package taintflowrec
+
+import (
+	"io"
+
+	"dista/internal/core/taint"
+)
+
+// pingEscape / pongEscape recurse into each other; the bytes reach
+// the writer only in pongEscape's base case. A single bottom-up pass
+// without a fixpoint would miss the cycle-carried fact.
+func pingEscape(w io.Writer, p []byte, depth int) {
+	if depth <= 0 {
+		return
+	}
+	pongEscape(w, p, depth-1)
+}
+
+func pongEscape(w io.Writer, p []byte, depth int) {
+	if depth == 0 {
+		w.Write(p)
+		return
+	}
+	pingEscape(w, p, depth-1)
+}
+
+func badRecursive(w io.Writer, b taint.Bytes) {
+	pingEscape(w, b.Data, 4) // want "laundered through pingEscape"
+}
+
+// pingClean / pongClean recurse the same way but never sink: the
+// fixpoint must terminate with a clean summary, not loop or smear an
+// escape onto them.
+func pingClean(p []byte, depth int) int {
+	if depth <= 0 {
+		return 0
+	}
+	return pongClean(p, depth-1)
+}
+
+func pongClean(p []byte, depth int) int {
+	if depth == 0 {
+		return len(p)
+	}
+	return pingClean(p, depth-1)
+}
+
+func goodRecursive(b taint.Bytes) int {
+	return pingClean(b.Data, 4)
+}
+
+// selfEscape is the one-node SCC: direct self-recursion ending in a
+// sink.
+func selfEscape(w io.Writer, p []byte, depth int) {
+	if depth == 0 {
+		w.Write(p)
+		return
+	}
+	selfEscape(w, p, depth-1)
+}
+
+func badSelfRecursive(w io.Writer, b taint.Bytes) {
+	selfEscape(w, b.Data, 2) // want "laundered through selfEscape"
+}

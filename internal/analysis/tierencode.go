@@ -21,14 +21,20 @@ import (
 // their labels is a label drop waiting for a call site.
 //
 // Rule B — clean gating. Everywhere (core packages included), handing
-// the raw .Data of a tracked value to a Passthrough-named helper is
-// only sound if the enclosing function established that the bytes are
+// the raw .Data of a tracked value to a passthrough emission is only
+// sound if the enclosing function established that the bytes are
 // label-free: it must contain a cleanliness classification call
 // (Clean / Uniform / Stats / ForEachDirtyRun on a tracked value, or
-// wire.RunsAllUntainted), or be itself Passthrough-named so the
-// obligation moves to its callers. Uniform- and Sparse-named helpers
-// are exempt from Rule B: their signatures carry the labels, which is
-// exactly what Rule A verifies.
+// wire.RunsAllUntainted), or itself declare the payload clean so the
+// obligation moves to its callers. Since PR 9 both sides of the rule
+// are summary-driven (DESIGN.md §11), not purely name-driven: a
+// callee is a passthrough sink when it is Passthrough-named OR its
+// summary says the parameter receiving the bytes DeclaresClean —
+// wrappers around WritePassthrough no longer launder the obligation
+// away — and the enclosing function is exempt when Passthrough-named
+// OR when its own summary declares a payload parameter clean.
+// Uniform- and Sparse-named helpers are exempt from Rule B: their
+// signatures carry the labels, which is exactly what Rule A verifies.
 var TierEncode = &Analyzer{
 	Name: "tierencode",
 	Doc: "wire-tier encoders must carry labels in their signature or be " +
@@ -111,31 +117,6 @@ func takesRawPayload(sig *types.Signature) bool {
 	return false
 }
 
-// carriesLabels reports whether the signature has a parameter that can
-// hold the payload's labels: []Run, []DirtyRange, []uint32, or a
-// single uint32 Global ID.
-func carriesLabels(sig *types.Signature) bool {
-	for i := 0; i < sig.Params().Len(); i++ {
-		t := sig.Params().At(i).Type()
-		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Uint32 {
-			return true
-		}
-		s, ok := t.Underlying().(*types.Slice)
-		if !ok {
-			continue
-		}
-		if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint32 {
-			return true
-		}
-		if named, ok := namedOf(s.Elem()); ok {
-			if n := named.Obj().Name(); n == "Run" || n == "DirtyRange" {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // cleanlinessOps are the tracked-value methods that classify a
 // buffer's labels; any one of them in the enclosing function
 // discharges Rule B's gating obligation.
@@ -150,6 +131,14 @@ var cleanlinessOps = map[string]bool{
 func checkPassthroughGating(pass *Pass, fd *ast.FuncDecl) {
 	if strings.Contains(fd.Name.Name, "Passthrough") {
 		return // the obligation is the callers'
+	}
+	if self, _ := pass.Info.Defs[fd.Name].(*types.Func); self != nil && pass.Index != nil {
+		if s := pass.Index.SummaryOf(self); s != nil && s.AnyDeclaresClean() {
+			// The summary form of the same exemption: this function
+			// forwards a payload parameter into a passthrough, so the
+			// cleanliness obligation sits with its callers.
+			return
+		}
 	}
 	type sink struct {
 		pos    ast.Expr
@@ -168,15 +157,28 @@ func checkPassthroughGating(pass *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		name := fn.Name()
-		switch {
-		case name == "RunsAllUntainted",
-			cleanlinessOps[name] && labelOpReceiver(fn):
+		if name == "RunsAllUntainted" || (cleanlinessOps[name] && labelOpReceiver(fn)) {
 			gated = true
-		case strings.Contains(name, "Passthrough"):
-			for _, arg := range call.Args {
-				if owner, ok := taintedRawData(pass, arg); ok {
-					sinks = append(sinks, sink{pos: arg, callee: name, owner: owner})
+			return true
+		}
+		var cs *FuncSummary
+		if pass.Index != nil {
+			cs = pass.Index.SummaryOf(fn)
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		for argIdx, arg := range call.Args {
+			owner, ok := taintedRawData(pass, arg)
+			if !ok {
+				continue
+			}
+			passthrough := strings.Contains(name, "Passthrough")
+			if !passthrough && cs != nil && sig != nil {
+				if j := paramIndexForArg(sig, argIdx); j >= 0 && j < len(cs.DeclaresClean) && cs.DeclaresClean[j] {
+					passthrough = true
 				}
+			}
+			if passthrough {
+				sinks = append(sinks, sink{pos: arg, callee: name, owner: owner})
 			}
 		}
 		return true
