@@ -77,9 +77,14 @@ type result struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	P99NsPerOp  float64 `json:"p99_ns_per_op,omitempty"`
+	P999NsPerOp float64 `json:"p999_ns_per_op,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
+
+	// Metrics holds the remaining b.ReportMetric units (medians), e.g.
+	// the load plane's goroutine counts and taints/sec.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 
 	SeedNsPerOp     float64 `json:"seed_ns_per_op,omitempty"`
 	SeedAllocsPerOp int64   `json:"seed_allocs_per_op,omitempty"`
@@ -103,11 +108,12 @@ type report struct {
 	Criteria []criterion `json:"criteria"`
 }
 
-// Custom metrics reported with b.ReportMetric print between ns/op (and
-// MB/s) and the -benchmem pair; p99-ns/op is the tail-latency metric
-// the gray-failure suite emits.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) p99-ns/op)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchName strips the GOMAXPROCS suffix from a benchmark line's first
+// field. The rest of the line is free-form (value, unit) pairs — ns/op
+// and the -benchmem pair interleaved with whatever custom units
+// b.ReportMetric emitted, printed in the testing package's order — so
+// the parser tokenizes pairs generically instead of pinning an order.
+var benchName = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
 
 func median(xs []float64) float64 {
 	sort.Float64s(xs)
@@ -143,10 +149,12 @@ func main() {
 	}
 
 	type agg struct {
-		ns     []float64
-		p99    []float64
-		bytes  []float64
-		allocs []float64
+		ns      []float64
+		p99     []float64
+		p999    []float64
+		bytes   []float64
+		allocs  []float64
+		metrics map[string][]float64
 	}
 	aggs := map[string]*agg{}
 	var order []string
@@ -163,30 +171,45 @@ func main() {
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
 			continue
 		}
-		name := strings.TrimPrefix(m[1], "Benchmark")
+		nm := benchName.FindStringSubmatch(fields[0])
+		if nm == nil {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count — not a result line
+		}
+		name := strings.TrimPrefix(nm[1], "Benchmark")
 		a := aggs[name]
 		if a == nil {
-			a = &agg{}
+			a = &agg{metrics: map[string][]float64{}}
 			aggs[name] = a
 			order = append(order, name)
 		}
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		a.ns = append(a.ns, ns)
-		if m[4] != "" {
-			p, _ := strconv.ParseFloat(m[4], 64)
-			a.p99 = append(a.p99, p)
-		}
-		if m[5] != "" {
-			b, _ := strconv.ParseFloat(m[5], 64)
-			a.bytes = append(a.bytes, b)
-		}
-		if m[6] != "" {
-			al, _ := strconv.ParseFloat(m[6], 64)
-			a.allocs = append(a.allocs, al)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				a.ns = append(a.ns, v)
+			case "p99-ns/op":
+				a.p99 = append(a.p99, v)
+			case "p999-ns/op":
+				a.p999 = append(a.p999, v)
+			case "B/op":
+				a.bytes = append(a.bytes, v)
+			case "allocs/op":
+				a.allocs = append(a.allocs, v)
+			case "MB/s":
+				// throughput restatement of ns/op; skip
+			default:
+				a.metrics[unit] = append(a.metrics[unit], v)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -200,9 +223,16 @@ func main() {
 			Name:        name,
 			NsPerOp:     median(a.ns),
 			P99NsPerOp:  median(a.p99),
+			P999NsPerOp: median(a.p999),
 			BytesPerOp:  int64(median(a.bytes)),
 			AllocsPerOp: int64(median(a.allocs)),
 			Samples:     len(a.ns),
+		}
+		for unit, vs := range a.metrics {
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = median(vs)
 		}
 		if sb, ok := seedBaselines[name]; ok {
 			res.SeedNsPerOp = sb.NsPerOp
@@ -344,6 +374,46 @@ func main() {
 		}
 		rep.Criteria = append(rep.Criteria, c)
 	}
+	// p999RatioAtMost is p99RatioAtMost one decade further out: the
+	// load-plane soak criterion compares p999-ns/op between two runs of
+	// the same per-op workload at different connection counts, so the
+	// bound prices fabric scaling alone.
+	p999RatioAtMost := func(label, num, denom string, max float64) {
+		rn, rd := find(num), find(denom)
+		if rn == nil || rd == nil {
+			return
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: num,
+			Require:   fmt.Sprintf("p999 <= %.1fx of %s p999 (same run)", max, denom),
+		}
+		if rn.P999NsPerOp > 0 && rd.P999NsPerOp > 0 {
+			c.Measured = rn.P999NsPerOp / rd.P999NsPerOp
+			c.Pass = c.Measured <= max
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
+	// metricRatioAtLeast bounds the ratio of an arbitrary custom metric
+	// between two same-run benchmarks — the goroutine-headroom form:
+	// sink-goroutines under the goroutine-per-connection sink over the
+	// polled sink's.
+	metricRatioAtLeast := func(label, num, denom, metric string, min float64) {
+		rn, rd := find(num), find(denom)
+		if rn == nil || rd == nil {
+			return
+		}
+		c := criterion{
+			Name:      label,
+			Benchmark: num,
+			Require:   fmt.Sprintf("%s >= %.1fx of %s (same run)", metric, min, denom),
+		}
+		if rn.Metrics[metric] > 0 && rd.Metrics[metric] > 0 {
+			c.Measured = rn.Metrics[metric] / rd.Metrics[metric]
+			c.Pass = c.Measured >= min
+		}
+		rep.Criteria = append(rep.Criteria, c)
+	}
 	// allocsAtMost bounds a benchmark's allocs/op — the pool-leak check
 	// for the zero-allocation clean path. Requires the run to have been
 	// collected with -benchmem.
@@ -433,6 +503,20 @@ func main() {
 		"Distavet/Suite", "Distavet/Core", 1.5)
 	ratioAtMost("distavet warm fact-cache replay vs cold suite (in-run)",
 		"Distavet/SuiteWarm", "Distavet/Suite", 0.35)
+	// BENCH_10 criteria: the scheduler-fabric load plane. Both soaks run
+	// the identical closed-loop per-connection workload (2 ops x 512 B,
+	// default transport and taint mix), differing only in connection
+	// count, so the 50k/1k p999 ratio measures how the fabric's run
+	// queues, accept rings and credit backpressure price a 50x fan-in —
+	// the bound holds the tail to single-digit growth where a
+	// goroutine-per-connection fabric would not finish at all. The
+	// headroom criterion compares the echo sink's goroutine bill for the
+	// same 5k-connection workload under the polled fabric versus the
+	// pre-fabric one-goroutine-per-accept shape.
+	p999RatioAtMost("50k-conn soak tail vs 1k-conn baseline (in-run)",
+		"LoadPlane/Soak50k", "LoadPlane/Soak1k", 12)
+	metricRatioAtLeast("sink goroutine headroom, per-conn vs polled (in-run)",
+		"LoadPlane/SinkGoroutine5k", "LoadPlane/SinkPolled5k", "sink-goroutines", 5)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,101 @@
+// Package hist provides a lock-free log-scale latency histogram shared
+// by the taintmap cluster client's hedge tracker and the load plane's
+// tail-latency reporting (DESIGN.md §12). HardTaint's argument — that
+// production viability must be measured at the tail, not the mean — is
+// why every consumer reports quantiles out of this structure rather
+// than averages.
+//
+// Buckets are log-scale with 4 sub-buckets per octave, so a reported
+// quantile is an upper bound at most 25% above the true value. The
+// direction of the error is deliberate: a hedge fired slightly late
+// costs latency, one fired slightly early costs a token; a p999
+// criterion that over-reports errs toward strictness. Observations and
+// quantile reads are atomics only — the zero value is ready to use and
+// any number of goroutines may Observe concurrently.
+package hist
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	subBits = 2 // sub-buckets per octave = 1<<subBits
+	// NumBuckets spans sub-microsecond to ~9 hours at 4 buckets per
+	// octave — every latency a simulated fabric can produce.
+	NumBuckets = 128
+)
+
+// Hist is the histogram. The zero value is empty and ready to use; do
+// not copy a Hist after first use.
+type Hist struct {
+	count   atomic.Int64
+	buckets [NumBuckets]atomic.Int64
+}
+
+// bucket maps a microsecond value onto its histogram bucket.
+func bucket(us uint64) int {
+	const sub = 1 << subBits
+	if us < sub {
+		return int(us) // 0..3 exact
+	}
+	k := bits.Len64(us) - 1 // us in [2^k, 2^k+1)
+	i := sub + (k-subBits)*sub + int((us>>(k-subBits))-sub)
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the exclusive upper bound of bucket i, in microseconds.
+func bucketUpper(i int) uint64 {
+	const sub = 1 << subBits
+	if i < sub {
+		return uint64(i + 1)
+	}
+	i -= sub
+	k := i/sub + subBits
+	m := uint64(i%sub) + sub
+	return (m + 1) << (k - subBits)
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	h.buckets[bucket(us)].Add(1)
+	h.count.Add(1)
+}
+
+// Count returns how many samples have been observed.
+func (h *Hist) Count() int64 {
+	return h.count.Load()
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed
+// samples (at most 25% above the true value), or ok=false while the
+// histogram is empty. Concurrent Observes may land mid-scan; the result
+// is a valid quantile of some interleaving, which is all a live gauge
+// needs.
+func (h *Hist) Quantile(q float64) (time.Duration, bool) {
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	want := int64(math.Ceil(q * float64(total)))
+	if want < 1 {
+		want = 1
+	}
+	if want > total {
+		want = total
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= want {
+			return time.Duration(bucketUpper(i)) * time.Microsecond, true
+		}
+	}
+	return time.Duration(bucketUpper(NumBuckets-1)) * time.Microsecond, true
+}

@@ -1,0 +1,135 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every microsecond value must land in a bucket whose bounds contain
+	// it: value < upper(bucket) and (bucket 0 or value >= upper(bucket-1)).
+	values := []uint64{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 100, 1000, 4095, 4096, 1 << 20, 1 << 40}
+	for _, us := range values {
+		i := bucket(us)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", us, i)
+		}
+		if i < NumBuckets-1 && us >= bucketUpper(i) {
+			t.Fatalf("bucket(%d) = %d but upper bound is %d", us, i, bucketUpper(i))
+		}
+		if i > 0 && us < bucketUpper(i-1) {
+			t.Fatalf("bucket(%d) = %d but previous upper bound is %d", us, i, bucketUpper(i-1))
+		}
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<16; us += 7 {
+		i := bucket(us)
+		if i < prev {
+			t.Fatalf("bucket not monotone at %d: %d < %d", us, i, prev)
+		}
+		prev = i
+	}
+	for i := 1; i < NumBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not increasing at %d", i)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Hist
+	if _, ok := h.Quantile(0.99); ok {
+		t.Fatal("quantile reported ready on an empty histogram")
+	}
+	h.Observe(time.Millisecond)
+	if d, ok := h.Quantile(0.99); !ok || d < time.Millisecond {
+		t.Fatalf("quantile after one sample = %v, %v", d, ok)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestQuantileUpperBound(t *testing.T) {
+	var h Hist
+	// 99 fast observations at 1ms, one slow at 100ms: p50 must report
+	// near 1ms, p99.5 near 100ms — each as a bucket upper bound, so at
+	// most 25% above the true value.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	p50, ok := h.Quantile(0.50)
+	if !ok {
+		t.Fatal("quantile not ready")
+	}
+	if p50 < time.Millisecond || p50 > time.Millisecond*5/4 {
+		t.Fatalf("p50 = %v, want within 25%% above 1ms", p50)
+	}
+	p995, _ := h.Quantile(0.995)
+	if p995 < 100*time.Millisecond || p995 > 100*time.Millisecond*5/4 {
+		t.Fatalf("p99.5 = %v, want within 25%% above 100ms", p995)
+	}
+	if p50 > p995 {
+		t.Fatalf("quantiles not monotone: p50 %v > p99.5 %v", p50, p995)
+	}
+}
+
+// TestQuantileErrorBoundRandom pins the <=25% upper-bound error against
+// an exact quantile over a log-uniform random sample — the contract the
+// load plane's p999 criteria and the hedge delay both rely on.
+func TestQuantileErrorBoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	samples := make([]time.Duration, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~1µs .. ~1s.
+		d := time.Duration(float64(time.Microsecond) * float64(uint64(1)<<uint(rng.Intn(20))) * (1 + rng.Float64()))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		got, ok := h.Quantile(q)
+		if !ok {
+			t.Fatalf("quantile(%v) not ready", q)
+		}
+		// Exact q-quantile by the same ceil(q*n) rank convention.
+		rank := int(q*float64(len(samples))+0.9999999) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		exact := samples[rank]
+		if got < exact {
+			t.Fatalf("quantile(%v) = %v under-reports exact %v", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.25+float64(time.Microsecond) {
+			t.Fatalf("quantile(%v) = %v exceeds exact %v by more than 25%%", q, got, exact)
+		}
+	}
+}
+
+func TestObserveConcurrent(t *testing.T) {
+	var h Hist
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+}

@@ -1,0 +1,115 @@
+package load
+
+import (
+	"testing"
+
+	"dista/internal/bench/hist"
+)
+
+// TestRunSmall exercises every (path, kind) combination end to end:
+// payloads must echo back byte- and label-intact through all three
+// transports against the shared local store.
+func TestRunSmall(t *testing.T) {
+	var h hist.Hist
+	r, err := Run(Config{Conns: 200, Ops: 4, Payload: 2048, Hist: &h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 200*4 {
+		t.Fatalf("ops = %d, want %d", r.Ops, 200*4)
+	}
+	if r.Bytes != 200*4*2048 {
+		t.Fatalf("bytes = %d, want %d", r.Bytes, 200*4*2048)
+	}
+	if r.TaintBytes == 0 {
+		t.Fatal("no tainted bytes carried — the mix should include tainted kinds")
+	}
+	if r.P50 <= 0 || r.P999 < r.P50 {
+		t.Fatalf("quantiles implausible: p50=%v p999=%v", r.P50, r.P999)
+	}
+	if h.Count() != r.Ops {
+		t.Fatalf("external hist got %d samples, want %d", h.Count(), r.Ops)
+	}
+}
+
+// TestRunAdaptive runs the same shape over the tiering endpoints.
+func TestRunAdaptive(t *testing.T) {
+	r, err := Run(Config{Conns: 100, Ops: 3, Payload: 1024, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 100*3 {
+		t.Fatalf("ops = %d, want %d", r.Ops, 100*3)
+	}
+}
+
+// TestRunCluster routes registrations and lookups through a live
+// 3-member simulated taintmap cluster.
+func TestRunCluster(t *testing.T) {
+	r, err := Run(Config{Conns: 60, Ops: 2, Payload: 512, ClusterMembers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 60*2 {
+		t.Fatalf("ops = %d, want %d", r.Ops, 60*2)
+	}
+}
+
+// TestRunGoroutinePerConnSink pins the comparison sink shape: its
+// goroutine bill must scale with connections, the polled default's must
+// not.
+func TestRunGoroutinePerConnSink(t *testing.T) {
+	polled, err := Run(Config{Conns: 300, Ops: 2, Payload: 512,
+		Paths: PathMix{Stream: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perConn, err := Run(Config{Conns: 300, Ops: 2, Payload: 512,
+		Paths: PathMix{Stream: 100}, SinkGoroutinePerConn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perConn.SinkGoroutines <= 300 {
+		t.Fatalf("per-conn sink goroutines = %d, want > conns", perConn.SinkGoroutines)
+	}
+	if polled.SinkGoroutines >= perConn.SinkGoroutines/5 {
+		t.Fatalf("polled sink goroutines = %d, want >=5x headroom vs %d",
+			polled.SinkGoroutines, perConn.SinkGoroutines)
+	}
+}
+
+// TestSoak50k is the PR 10 acceptance soak: 50,000 concurrent
+// instrumented connections through the scheduler fabric, every payload
+// echoed and decoded label-intact. Run under -race by `make soak-load`;
+// the whole run multiplexes over a few dozen goroutines, which is the
+// point — the race runtime's goroutine ceiling would kill a
+// goroutine-per-connection design at a fraction of this fan-in.
+func TestSoak50k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping 50k-connection soak")
+	}
+	r, err := Run(Config{Conns: 50000, Ops: 2, Payload: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 50000*2 {
+		t.Fatalf("ops = %d, want %d", r.Ops, 50000*2)
+	}
+	if r.PeakGoroutines > 1000 {
+		t.Fatalf("peak goroutines = %d — the fabric is supposed to multiplex, not spawn", r.PeakGoroutines)
+	}
+	t.Logf("%v", r)
+}
+
+// TestConfigValidation rejects malformed mixes.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("zero Conns accepted")
+	}
+	if _, err := Run(Config{Conns: 1, Mix: Mix{Clean: 50}}); err == nil {
+		t.Fatal("mix not summing to 100 accepted")
+	}
+	if _, err := Run(Config{Conns: 1, Paths: PathMix{Stream: 150}}); err == nil {
+		t.Fatal("path mix not summing to 100 accepted")
+	}
+}

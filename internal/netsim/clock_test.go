@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestVirtualClockOrdering: callbacks fire in (time, insertion) order,
+// each seeing the clock at its own timestamp.
+func TestVirtualClockOrdering(t *testing.T) {
+	vc := NewVirtualClock()
+	var fired []int
+	var stamps []time.Time
+	note := func(id int) func() {
+		return func() {
+			fired = append(fired, id)
+			stamps = append(stamps, vc.Now())
+		}
+	}
+	vc.AfterFunc(30*time.Millisecond, note(3))
+	vc.AfterFunc(10*time.Millisecond, note(1))
+	vc.AfterFunc(10*time.Millisecond, note(2)) // same instant: insertion order
+	vc.AfterFunc(50*time.Millisecond, note(4))
+
+	vc.Advance(40 * time.Millisecond)
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", fired)
+	}
+	if !stamps[0].Equal(stamps[1]) {
+		t.Fatalf("same-instant callbacks saw different clocks: %v", stamps)
+	}
+	if d := stamps[2].Sub(stamps[0]); d != 20*time.Millisecond {
+		t.Fatalf("stamp gap = %v, want 20ms", d)
+	}
+	if vc.PendingTimers() != 1 {
+		t.Fatalf("pending = %d, want 1", vc.PendingTimers())
+	}
+	if !vc.AdvanceToNext() {
+		t.Fatal("AdvanceToNext found nothing")
+	}
+	if len(fired) != 4 || fired[3] != 4 {
+		t.Fatalf("fire order after AdvanceToNext = %v", fired)
+	}
+	if vc.AdvanceToNext() {
+		t.Fatal("AdvanceToNext fired on an empty heap")
+	}
+}
+
+// TestVirtualClockStop: a stopped timer never fires and reports whether
+// it was still pending.
+func TestVirtualClockStop(t *testing.T) {
+	vc := NewVirtualClock()
+	ran := false
+	tm := vc.AfterFunc(time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	vc.Advance(time.Second)
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+
+	fired := 0
+	tm2 := vc.AfterFunc(time.Millisecond, func() { fired++ })
+	vc.Advance(2 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm2.Stop() {
+		t.Fatal("Stop after firing reported true")
+	}
+}
+
+// TestVirtualClockReentrantArm: a callback may schedule further events
+// (the latency release chain does); events landing inside the current
+// Advance window fire within the same Advance.
+func TestVirtualClockReentrantArm(t *testing.T) {
+	vc := NewVirtualClock()
+	var seq []string
+	vc.AfterFunc(10*time.Millisecond, func() {
+		seq = append(seq, "first")
+		vc.AfterFunc(5*time.Millisecond, func() { seq = append(seq, "chained") })
+	})
+	vc.Advance(20 * time.Millisecond)
+	if len(seq) != 2 || seq[0] != "first" || seq[1] != "chained" {
+		t.Fatalf("seq = %v, want [first chained]", seq)
+	}
+}
+
+// TestVirtualClockDeadline: a read deadline on a virtual clock fires
+// exactly when advanced past, with no wall-clock wait.
+func TestVirtualClockDeadline(t *testing.T) {
+	n := New()
+	vc := n.UseVirtualClock()
+	a, _ := n.Pipe()
+
+	a.SetReadDeadline(vc.Now().Add(10 * time.Millisecond))
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := a.Read(make([]byte, 1))
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		t.Fatalf("read returned before the deadline: %v", err)
+	case <-time.After(10 * time.Millisecond): // wall time; clock is frozen
+	}
+	vc.Advance(10 * time.Millisecond)
+	select {
+	case err := <-readErr:
+		if !errors.Is(err, ErrDeadline) {
+			t.Fatalf("read error = %v, want ErrDeadline", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline did not wake the reader")
+	}
+}

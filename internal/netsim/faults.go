@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
@@ -13,6 +14,12 @@ import (
 // connections reset mid-flight, frozen (stalled) writes, and corrupted
 // bytes. All injection is driven by the Network's own seeded generator
 // (see Reseed) so a failing schedule replays exactly.
+//
+// The plane is built for the million-connection load path: every
+// configured fault lives in an atomically published snapshot, so the
+// write hot path reads one pointer instead of taking the Network mutex,
+// and a stalled writer parks on a per-host gate channel — un-stalling
+// one host wakes only that host's writers, never the whole fabric.
 //
 // Hosts are the address prefix before the first ':' (the whole address
 // when there is none): "tm:7" is host "tm", a dial-side synthesized
@@ -45,13 +52,60 @@ func normPair(a, b string) hostPair {
 	return hostPair{a, b}
 }
 
+// faultSnap is the immutable fault-plane snapshot the write path reads
+// with one atomic load. Mutators build a fresh snapshot under n.mu and
+// publish it; in-flight writers keep the one they loaded — exactly the
+// read-copy-update shape.
+type faultSnap struct {
+	partitions  map[hostPair]struct{}
+	stallAll    chan struct{}            // non-nil while SetStall(true); closed on thaw
+	stallHosts  map[string]chan struct{} // per-host gates; closed on per-host thaw
+	hostLatency map[string]time.Duration
+	resetRate   float64
+}
+
+// emptySnap avoids a nil check on the hot path.
+var emptySnap = &faultSnap{}
+
+// snap returns the current fault snapshot (never nil).
+func (n *Network) snap() *faultSnap {
+	if s := n.faults.Load(); s != nil {
+		return s
+	}
+	return emptySnap
+}
+
+// mutateFaults builds and publishes a new snapshot under n.mu. fn edits
+// a shallow copy; maps it wants to change must be re-made (copy-on-
+// write), because readers may still hold the old snapshot.
+func (n *Network) mutateFaults(fn func(s *faultSnap)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	old := n.snap()
+	next := *old
+	fn(&next)
+	n.faults.Store(&next)
+	n.faulty.Store(next.stallAll != nil || next.resetRate > 0 ||
+		len(next.partitions) > 0 || len(next.stallHosts) > 0 ||
+		len(next.hostLatency) > 0)
+}
+
 // Reseed replaces the network's random generator with one seeded as
 // given, so a fault-injection schedule (datagram loss, stream resets)
 // is reproducible run to run. New starts every network at seed 1.
 func (n *Network) Reseed(seed int64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	n.rng = rand.New(rand.NewSource(seed))
+}
+
+// coin flips the seeded generator against rate, under the small rng
+// mutex (only fault-configured paths reach it).
+func (n *Network) coin(rate float64) bool {
+	n.rngMu.Lock()
+	hit := n.rng.Float64() < rate
+	n.rngMu.Unlock()
+	return hit
 }
 
 // SetStreamResetRate configures the probability in [0,1] that any
@@ -59,10 +113,7 @@ func (n *Network) Reseed(seed int64) {
 // ErrReset on every subsequent read and write, as a TCP RST would
 // cause. Zero (the default) disables injection.
 func (n *Network) SetStreamResetRate(rate float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.resetRate = rate
-	n.refreshFaultyLocked()
+	n.mutateFaults(func(s *faultSnap) { s.resetRate = rate })
 }
 
 // SetStall freezes (true) or thaws (false) every stream write on the
@@ -71,11 +122,15 @@ func (n *Network) SetStreamResetRate(rate float64) {
 // but not draining its socket, the failure mode read deadlines exist
 // for.
 func (n *Network) SetStall(stalled bool) {
-	n.mu.Lock()
-	n.stalled = stalled
-	n.refreshFaultyLocked()
-	n.stallCond.Broadcast()
-	n.mu.Unlock()
+	n.mutateFaults(func(s *faultSnap) {
+		switch {
+		case stalled && s.stallAll == nil:
+			s.stallAll = make(chan struct{})
+		case !stalled && s.stallAll != nil:
+			close(s.stallAll)
+			s.stallAll = nil
+		}
+	})
 }
 
 // SetHostStall freezes (true) or thaws (false) every stream write
@@ -86,36 +141,52 @@ func (n *Network) SetStall(stalled bool) {
 // breaker logic must detect. Frozen writes block (they do not error)
 // until the stall is lifted or their connection dies.
 func (n *Network) SetHostStall(h string, stalled bool) {
-	n.mu.Lock()
-	if stalled {
-		if n.stalledHosts == nil {
-			n.stalledHosts = make(map[string]struct{})
+	n.mutateFaults(func(s *faultSnap) {
+		if stalled {
+			if _, ok := s.stallHosts[h]; ok {
+				return
+			}
+			next := make(map[string]chan struct{}, len(s.stallHosts)+1)
+			for k, v := range s.stallHosts {
+				next[k] = v
+			}
+			next[h] = make(chan struct{})
+			s.stallHosts = next
+			return
 		}
-		n.stalledHosts[h] = struct{}{}
-	} else {
-		delete(n.stalledHosts, h)
-	}
-	n.refreshFaultyLocked()
-	n.stallCond.Broadcast()
-	n.mu.Unlock()
+		gate, ok := s.stallHosts[h]
+		if !ok {
+			return
+		}
+		close(gate)
+		next := make(map[string]chan struct{}, len(s.stallHosts)-1)
+		for k, v := range s.stallHosts {
+			if k != h {
+				next[k] = v
+			}
+		}
+		s.stallHosts = next
+	})
 }
 
 // SetHostLatency delays every stream write issued by host h's
 // connections by d — a limping member rather than a frozen one. Zero
 // clears the injection. Unlike SetLatency this is one-sided: traffic
-// toward h is unaffected.
+// toward h is unaffected. The writer is not blocked; delivery to the
+// peer is deferred by d on the fabric clock.
 func (n *Network) SetHostLatency(h string, d time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if d <= 0 {
-		delete(n.hostLatency, h)
-	} else {
-		if n.hostLatency == nil {
-			n.hostLatency = make(map[string]time.Duration)
+	n.mutateFaults(func(s *faultSnap) {
+		next := make(map[string]time.Duration, len(s.hostLatency)+1)
+		for k, v := range s.hostLatency {
+			next[k] = v
 		}
-		n.hostLatency[h] = d
-	}
-	n.refreshFaultyLocked()
+		if d <= 0 {
+			delete(next, h)
+		} else {
+			next[h] = d
+		}
+		s.hostLatency = next
+	})
 }
 
 // Partition cuts all traffic between hosts a and b (either may be the
@@ -125,56 +196,49 @@ func (n *Network) SetHostLatency(h string, d time.Duration) {
 // resumes on them after Heal, like a routing failure rather than a
 // crash.
 func (n *Network) Partition(a, b string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.partitions == nil {
-		n.partitions = make(map[hostPair]struct{})
-	}
-	n.partitions[normPair(a, b)] = struct{}{}
-	n.refreshFaultyLocked()
+	n.mutateFaults(func(s *faultSnap) {
+		next := make(map[hostPair]struct{}, len(s.partitions)+1)
+		for k := range s.partitions {
+			next[k] = struct{}{}
+		}
+		next[normPair(a, b)] = struct{}{}
+		s.partitions = next
+	})
 }
 
 // Heal removes the Partition cut between a and b.
 func (n *Network) Heal(a, b string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.partitions, normPair(a, b))
-	n.refreshFaultyLocked()
+	n.mutateFaults(func(s *faultSnap) {
+		next := make(map[hostPair]struct{}, len(s.partitions))
+		for k := range s.partitions {
+			if k != normPair(a, b) {
+				next[k] = struct{}{}
+			}
+		}
+		s.partitions = next
+	})
 }
 
 // HealAll removes every partition cut.
 func (n *Network) HealAll() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	clear(n.partitions)
-	n.refreshFaultyLocked()
+	n.mutateFaults(func(s *faultSnap) { s.partitions = nil })
 }
 
-// refreshFaultyLocked recomputes the fast-path flag that lets fault-free
-// writes skip the injection checks entirely. Caller holds n.mu.
-func (n *Network) refreshFaultyLocked() {
-	n.faulty.Store(n.stalled || n.resetRate > 0 || len(n.partitions) > 0 ||
-		len(n.stalledHosts) > 0 || len(n.hostLatency) > 0)
+// StalledWriters reports how many stream writers are currently parked
+// on a stall gate. Deterministic tests use it as the condition wait
+// that replaces "sleep and hope the goroutine got there" timing.
+func (n *Network) StalledWriters() int {
+	return int(n.stalledWriters.Load())
 }
 
-// hostStalledLocked reports whether writes from host h are frozen.
-// Caller holds n.mu.
-func (n *Network) hostStalledLocked(h string) bool {
-	if n.stalled {
-		return true
-	}
-	_, ok := n.stalledHosts[h]
-	return ok
-}
-
-// partitionedLocked reports whether hosts ha and hb are across any
-// configured cut. Caller holds n.mu.
-func (n *Network) partitionedLocked(ha, hb string) bool {
-	if len(n.partitions) == 0 {
+// partitioned reports whether hosts ha and hb are across any configured
+// cut in snapshot s.
+func (s *faultSnap) partitioned(ha, hb string) bool {
+	if len(s.partitions) == 0 {
 		return false
 	}
 	match := func(pat, h string) bool { return pat == "*" || pat == h }
-	for p := range n.partitions {
+	for p := range s.partitions {
 		if (match(p.a, ha) && match(p.b, hb)) || (match(p.a, hb) && match(p.b, ha)) {
 			return true
 		}
@@ -182,43 +246,66 @@ func (n *Network) partitionedLocked(ha, hb string) bool {
 	return false
 }
 
-// writeFaults applies the configured stream faults to one Write on c:
-// it blocks while the network is stalled, fails the write across a
-// partition cut, and flips the reset coin. A nil return means the write
-// may proceed.
-func (n *Network) writeFaults(c *Conn) error {
-	local := host(c.localAddr)
-	n.mu.Lock()
-	for n.hostStalledLocked(local) && !c.dead.Load() {
-		n.stallCond.Wait()
-	}
-	if c.dead.Load() {
-		// The connection died while frozen; let the pipe report the
-		// precise error (reset vs closed).
-		n.mu.Unlock()
-		return nil
-	}
-	if n.partitionedLocked(local, host(c.remoteAddr)) {
-		n.mu.Unlock()
-		return ErrPartitioned
-	}
-	lag := n.hostLatency[local]
-	reset := n.resetRate > 0 && n.rng.Float64() < n.resetRate
-	n.mu.Unlock()
-	if reset {
-		c.Reset()
-		return ErrReset
-	}
-	if lag > 0 {
-		time.Sleep(lag)
-	}
-	return nil
+// stallGates returns the gates a write from host h must wait on: the
+// network-wide gate and h's own (either may be nil).
+func (s *faultSnap) stallGates(h string) (all, host chan struct{}) {
+	return s.stallAll, s.stallHosts[h]
 }
 
-// wakeStalled unblocks writers frozen by SetStall so they can observe
-// their connection dying.
-func (n *Network) wakeStalled() {
-	n.mu.Lock()
-	n.stallCond.Broadcast()
-	n.mu.Unlock()
+// writeFaults applies the configured stream faults to one Write on c:
+// it parks while the writing host is stalled, fails the write across a
+// partition cut, and flips the reset coin. It returns the extra
+// one-sided latency the write's delivery must carry. A nil error means
+// the write may proceed.
+func (n *Network) writeFaults(c *Conn) (time.Duration, error) {
+	local := host(c.localAddr)
+	for {
+		s := n.snap()
+		all, gate := s.stallGates(local)
+		if all == nil && gate == nil {
+			// Not (or no longer) stalled; fall through to the other
+			// faults using this same snapshot.
+			if c.dead.Load() {
+				// The connection died while frozen; let the pipe report
+				// the precise error (reset vs closed).
+				return 0, nil
+			}
+			if s.partitioned(local, host(c.remoteAddr)) {
+				return 0, ErrPartitioned
+			}
+			if s.resetRate > 0 && n.coin(s.resetRate) {
+				c.Reset()
+				return 0, ErrReset
+			}
+			return s.hostLatency[local], nil
+		}
+		// Park on whichever gate closes first — or the connection
+		// dying. A nil gate blocks forever in the select, which is
+		// exactly right: only the armed gates can release the writer.
+		n.stalledWriters.Add(1)
+		select {
+		case <-all:
+		case <-gate:
+		case <-c.deadCh:
+		}
+		n.stalledWriters.Add(-1)
+		if c.dead.Load() {
+			return 0, nil
+		}
+		// Loop: the other gate may still be armed, or the stall was
+		// re-imposed; the next snapshot decides.
+	}
+}
+
+// ---- atomically published scalar knobs ----
+
+// latencyNow returns the network-wide one-way delay currently
+// configured (an atomic read; the write path calls this on every op).
+func (n *Network) latencyNow() time.Duration {
+	return time.Duration(n.latencyNs.Load())
+}
+
+// lossRateNow returns the datagram loss probability.
+func (n *Network) lossRateNow() float64 {
+	return math.Float64frombits(n.lossBits.Load())
 }

@@ -138,6 +138,20 @@ func TestStreamReset(t *testing.T) {
 	}
 }
 
+// waitStalledWriters blocks until at least want writers are parked on a
+// stall gate — the deterministic condition wait that replaces "sleep
+// and hope the goroutine got there" timing.
+func waitStalledWriters(t *testing.T, n *Network, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for n.StalledWriters() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled writers = %d, want >= %d", n.StalledWriters(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 // TestStallFreezesWrites: a stalled network blocks writes without
 // erroring; lifting the stall releases them; closing a conn releases
 // its frozen writer too.
@@ -178,7 +192,7 @@ func TestStallFreezesWrites(t *testing.T) {
 		_, err := c.Write([]byte("doomed"))
 		wrote2 <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	waitStalledWriters(t, n, 1)
 	c.Close()
 	select {
 	case err := <-wrote2:

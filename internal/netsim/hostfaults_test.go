@@ -89,7 +89,7 @@ func TestHostStallClosedConnReleases(t *testing.T) {
 		_, err := peer.Write([]byte("doomed"))
 		wrote <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	waitStalledWriters(t, n, 1)
 	peer.Close()
 	select {
 	case err := <-wrote:
@@ -101,10 +101,12 @@ func TestHostStallClosedConnReleases(t *testing.T) {
 	}
 }
 
-// TestHostLatency: per-host latency delays that host's writes without
-// blocking them, and clearing it restores full speed.
+// TestHostLatency: per-host latency defers delivery of that host's
+// writes on the fabric clock — one-sided, non-blocking, and gone the
+// moment it is cleared. Runs entirely on a virtual clock.
 func TestHostLatency(t *testing.T) {
 	n := New()
+	vc := n.UseVirtualClock()
 	l, err := n.Listen("srv:1")
 	if err != nil {
 		t.Fatal(err)
@@ -120,28 +122,31 @@ func TestHostLatency(t *testing.T) {
 	}
 	n.SetHostLatency("srv", 30*time.Millisecond)
 
-	start := time.Now()
+	// The lagged host's write returns immediately but delivers late.
 	if _, err := peer.Write([]byte("slow")); err != nil {
 		t.Fatal(err)
 	}
-	if took := time.Since(start); took < 25*time.Millisecond {
-		t.Fatalf("lagged write took %v, want >= ~30ms", took)
+	if got := conn.Buffered(); got != 0 {
+		t.Fatalf("lagged write deliverable before 30ms elapsed: %d bytes", got)
 	}
-	// The other direction pays nothing.
-	start = time.Now()
+	// The other direction pays nothing: deliverable with no advance.
 	if _, err := conn.Write([]byte("fast")); err != nil {
 		t.Fatal(err)
 	}
-	if took := time.Since(start); took > 20*time.Millisecond {
-		t.Fatalf("un-lagged write took %v", took)
+	if got := peer.Buffered(); got != 4 {
+		t.Fatalf("un-lagged direction deliverable = %d bytes, want 4", got)
+	}
+	vc.Advance(30 * time.Millisecond)
+	buf := make([]byte, 16)
+	if m, err := conn.Read(buf); err != nil || string(buf[:m]) != "slow" {
+		t.Fatalf("lagged read = %q, %v", buf[:m], err)
 	}
 
 	n.SetHostLatency("srv", 0)
-	start = time.Now()
 	if _, err := peer.Write([]byte("quick")); err != nil {
 		t.Fatal(err)
 	}
-	if took := time.Since(start); took > 20*time.Millisecond {
-		t.Fatalf("write after clearing latency took %v", took)
+	if got := conn.Buffered(); got != 5 {
+		t.Fatalf("write after clearing latency deliverable = %d, want 5", got)
 	}
 }

@@ -4,6 +4,13 @@
 // addressed by strings, plus byte counters used by the network-overhead
 // experiment (E7) and optional fault injection for robustness tests.
 //
+// The fabric is a shared-scheduler design sized for ~100k concurrent
+// connections (DESIGN.md §12): time-dependent behaviour (latency,
+// deadlines) is an event on the Network's Clock rather than a sleeping
+// goroutine, readiness is delivered through per-pipe edge hooks a
+// Poller multiplexes, and the fault plane publishes atomic snapshots so
+// the per-write hot path never takes the Network mutex.
+//
 // The JNI primitive layer (internal/jni) is the only intended consumer;
 // it plays the role of the NET_SEND / NET_READ system calls of the
 // paper's Figure 1.
@@ -12,6 +19,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -43,19 +51,25 @@ type Network struct {
 	listeners map[string]*Listener
 	udp       map[string]*UDPSocket
 	down      bool
-	lossRate  float64
-	latency   time.Duration // one-way delay injected per send operation
-	rng       *rand.Rand
 
-	// Fault-injection state (see faults.go). faulty caches whether any
-	// stream fault is configured so fault-free writes skip the checks.
-	partitions   map[hostPair]struct{}
-	resetRate    float64
-	stalled      bool
-	stalledHosts map[string]struct{}
-	hostLatency  map[string]time.Duration
-	stallCond    *sync.Cond
-	faulty       atomic.Bool
+	// clock drives every time-dependent behaviour: latency delivery and
+	// read deadlines. Immutable after UseVirtualClock/SetClock, which
+	// must run before traffic starts.
+	clock Clock
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Atomically published knobs, read on every send without locking.
+	latencyNs atomic.Int64  // network-wide one-way delay, nanoseconds
+	lossBits  atomic.Uint64 // datagram loss rate as float64 bits
+
+	// Fault-injection snapshot (see faults.go). faulty caches whether
+	// any stream fault is configured so fault-free writes skip even the
+	// snapshot load.
+	faults         atomic.Pointer[faultSnap]
+	faulty         atomic.Bool
+	stalledWriters atomic.Int64
 
 	streamBytes   atomic.Int64
 	datagramBytes atomic.Int64
@@ -64,43 +78,48 @@ type Network struct {
 	conns         atomic.Int64
 }
 
-// New returns an empty network.
+// New returns an empty network on the wall clock.
 func New() *Network {
-	n := &Network{
+	return &Network{
 		listeners: make(map[string]*Listener),
 		udp:       make(map[string]*UDPSocket),
+		clock:     realClock{},
 		rng:       rand.New(rand.NewSource(1)),
 	}
-	n.stallCond = sync.NewCond(&n.mu)
-	return n
 }
+
+// SetClock installs clk as the fabric's time source. Call it before any
+// traffic flows (it is not synchronized against in-flight operations);
+// the intended use is a test installing a VirtualClock right after New.
+func (n *Network) SetClock(clk Clock) {
+	n.clock = clk
+}
+
+// UseVirtualClock installs and returns a fresh VirtualClock, the
+// one-line setup for deterministic latency/deadline tests.
+func (n *Network) UseVirtualClock() *VirtualClock {
+	vc := NewVirtualClock()
+	n.clock = vc
+	return vc
+}
+
+// Clock returns the fabric's time source.
+func (n *Network) Clock() Clock { return n.clock }
 
 // SetDatagramLoss configures the probability in [0,1] that a datagram is
 // silently dropped, using a deterministic generator. Streams are never
 // lossy (they model TCP).
 func (n *Network) SetDatagramLoss(rate float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.lossRate = rate
+	n.lossBits.Store(math.Float64bits(rate))
 }
 
 // SetLatency injects a one-way delay per send operation (stream write
 // or datagram send), turning the instantaneous in-memory fabric into a
-// WAN-ish one. Zero (the default) disables the delay.
+// WAN-ish one. The sender is never blocked: delivery to the peer is
+// deferred by d on the fabric clock, like a link with propagation delay
+// rather than a throttled NIC. Zero (the default) disables the delay.
 func (n *Network) SetLatency(d time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.latency = d
-}
-
-// delay sleeps for the configured link latency, if any.
-func (n *Network) delay() {
-	n.mu.Lock()
-	d := n.latency
-	n.mu.Unlock()
-	if d > 0 {
-		time.Sleep(d)
-	}
+	n.latencyNs.Store(int64(d))
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -147,13 +166,16 @@ func (n *Network) Shutdown() {
 
 // ---- stream (TCP-like) ----
 
-// Listener accepts stream connections on one address.
+// Listener accepts stream connections on one address. The backlog is a
+// head-indexed ring: Accept pops in O(1) and released slots are nil'd
+// so accepted connections don't linger in backing memory.
 type Listener struct {
 	net    *Network
 	addr   string
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []*Conn
+	head   int
 	closed bool
 }
 
@@ -176,18 +198,28 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 // Addr returns the listener's bound address.
 func (l *Listener) Addr() string { return l.addr }
 
+// backlogLenLocked is the number of queued, not-yet-accepted conns.
+func (l *Listener) backlogLenLocked() int { return len(l.queue) - l.head }
+
 // Accept blocks until a connection arrives or the listener closes.
 func (l *Listener) Accept() (*Conn, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.queue) == 0 && !l.closed {
+	for l.backlogLenLocked() == 0 && !l.closed {
 		l.cond.Wait()
 	}
 	if l.closed {
 		return nil, ErrClosed
 	}
-	c := l.queue[0]
-	l.queue = l.queue[1:]
+	c := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	if l.head == len(l.queue) {
+		// Drained: rewind so the slice is reused instead of growing
+		// without bound across the listener's lifetime.
+		l.queue = l.queue[:0]
+		l.head = 0
+	}
 	return c, nil
 }
 
@@ -200,8 +232,9 @@ func (l *Listener) Close() error {
 		return nil
 	}
 	l.closed = true
-	pending := l.queue
+	pending := l.queue[l.head:]
 	l.queue = nil
+	l.head = 0
 	l.cond.Broadcast()
 	l.mu.Unlock()
 
@@ -227,44 +260,53 @@ func (n *Network) Dial(addr string) (*Conn, error) {
 // dialing side a stable host identity that Partition can target. An
 // empty local address synthesizes one from the dial count.
 func (n *Network) DialFrom(local, addr string) (*Conn, error) {
-	n.mu.Lock()
-	if n.down {
-		n.mu.Unlock()
-		return nil, ErrNetDown
-	}
-	l, ok := n.listeners[addr]
 	// A synthesized local name only ever matches a "*" cut, so any
 	// placeholder host gives the same partition answer.
 	dialHost := "client"
 	if local != "" {
 		dialHost = host(local)
 	}
-	if n.partitionedLocked(dialHost, host(addr)) {
+	for {
+		n.mu.Lock()
+		if n.down {
+			n.mu.Unlock()
+			return nil, ErrNetDown
+		}
+		l, ok := n.listeners[addr]
 		n.mu.Unlock()
-		return nil, fmt.Errorf("%w: dial %s", ErrPartitioned, addr)
-	}
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
-	}
+		if n.snap().partitioned(dialHost, host(addr)) {
+			return nil, fmt.Errorf("%w: dial %s", ErrPartitioned, addr)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+		}
 
-	id := n.conns.Add(1)
-	if local == "" {
-		local = fmt.Sprintf("client-%d", id)
-	}
-	client, server := newConnPair(n, local, addr)
+		id := n.conns.Add(1)
+		lc := local
+		if lc == "" {
+			lc = fmt.Sprintf("client-%d", id)
+		}
+		client, server := newConnPair(n, lc, addr)
 
-	l.mu.Lock()
-	if l.closed {
+		l.mu.Lock()
+		if l.closed {
+			// The listener closed between our lookup and here. It may
+			// merely be gone — but the address may also have been
+			// re-bound by a fresh listener (a server restart), in which
+			// case refusing the dial would be a race the real stack
+			// doesn't have. Retry the lookup; a genuinely unbound addr
+			// returns ErrConnRefused on the next pass.
+			l.mu.Unlock()
+			client.Close()
+			server.Close()
+			n.conns.Add(-1)
+			continue
+		}
+		l.queue = append(l.queue, server)
+		l.cond.Signal()
 		l.mu.Unlock()
-		client.Close()
-		server.Close()
-		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+		return client, nil
 	}
-	l.queue = append(l.queue, server)
-	l.cond.Signal()
-	l.mu.Unlock()
-	return client, nil
 }
 
 // Pipe returns a connected pair of Conns without any listener, useful

@@ -325,28 +325,57 @@ func TestUDPPeekLeavesQueueIntact(t *testing.T) {
 	}
 }
 
+// TestLatencyInjection: injected latency defers delivery on the fabric
+// clock without blocking the writer. Under a virtual clock the schedule
+// is fully deterministic: nothing is deliverable before the delay
+// elapses, everything is after.
 func TestLatencyInjection(t *testing.T) {
 	n := New()
+	vc := n.UseVirtualClock()
 	a, b := n.Pipe()
-	go io.Copy(io.Discard, b)
-	// Baseline: 20 writes with no delay.
-	start := timeNow()
-	for i := 0; i < 20; i++ {
-		a.Write([]byte("x"))
-	}
-	base := timeSince(start)
 
 	n.SetLatency(2 * time.Millisecond)
-	start = timeNow()
 	for i := 0; i < 20; i++ {
-		a.Write([]byte("x"))
+		if _, err := a.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
 	}
-	delayed := timeSince(start)
-	if delayed < 20*2*time.Millisecond {
-		t.Fatalf("20 writes at 2ms latency took %v (baseline %v)", delayed, base)
+	if got := b.Buffered(); got != 0 {
+		t.Fatalf("bytes deliverable before the delay elapsed: %d", got)
 	}
-	n.SetLatency(0)
-}
+	// 1ms in: still in flight.
+	vc.Advance(time.Millisecond)
+	if got := b.Buffered(); got != 0 {
+		t.Fatalf("bytes deliverable at t=1ms of a 2ms delay: %d", got)
+	}
+	// The writes were issued at the same instant, so one more 1ms step
+	// releases all 20 spans at once.
+	vc.Advance(time.Millisecond)
+	if got := b.Buffered(); got != 20 {
+		t.Fatalf("deliverable after delay = %d, want 20", got)
+	}
+	buf := make([]byte, 32)
+	m, err := b.Read(buf)
+	if err != nil || m != 20 {
+		t.Fatalf("read = %d, %v", m, err)
+	}
 
-func timeNow() time.Time                  { return time.Now() }
-func timeSince(t time.Time) time.Duration { return time.Since(t) }
+	// Clearing the latency makes delivery immediate again — but a span
+	// written while earlier spans are still pending must not overtake
+	// them (FIFO is preserved across the transition).
+	n.SetLatency(5 * time.Millisecond)
+	a.Write([]byte("late"))
+	n.SetLatency(0)
+	a.Write([]byte("rush"))
+	if got := b.Buffered(); got != 0 {
+		t.Fatalf("zero-delay span overtook a pending one: %d deliverable", got)
+	}
+	vc.Advance(5 * time.Millisecond)
+	m, err = b.Read(buf)
+	if err != nil || string(buf[:m]) != "laterush" {
+		t.Fatalf("post-advance read = %q, %v", buf[:m], err)
+	}
+	if vc.PendingTimers() != 0 {
+		t.Fatalf("release chain left %d timers armed", vc.PendingTimers())
+	}
+}

@@ -1,0 +1,167 @@
+package netsim
+
+import "sync"
+
+// Poller multiplexes read-readiness across many endpoints — the epoll
+// analogue that makes a 50k-connection sink cost a handful of
+// goroutines instead of one parked reader per connection. Registered
+// endpoints are one-shot (like EPOLLONESHOT): a handle is delivered by
+// Wait at most once per arming, and the consumer re-arms it after
+// draining, so a chatty connection can never flood the run queue with
+// duplicate entries.
+//
+// Readiness means "a read would not block": buffered deliverable bytes
+// or datagrams, EOF, a reset, or a closed endpoint. Bytes still held
+// back by latency injection do not count until their release fires.
+type Poller struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  []*PollHandle // run queue: head-indexed ring, O(1) pop
+	head   int
+	closed bool
+}
+
+// NewPoller returns an empty poller.
+func NewPoller() *Poller {
+	p := &Poller{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// PollHandle is one registered endpoint. Tag carries the consumer's
+// per-connection state back out of Wait.
+type PollHandle struct {
+	poller *Poller
+	Tag    any
+
+	probe  func() bool // readiness probe, called without poller.mu
+	detach func()      // uninstalls the endpoint's edge hook
+
+	armed  bool // next readable edge should enqueue
+	queued bool // sitting on the run queue now
+}
+
+// AddConn registers c's read side and arms it. If c is already readable
+// the handle is queued immediately.
+func (p *Poller) AddConn(c *Conn, tag any) *PollHandle {
+	h := p.RegisterConn(c, tag)
+	h.Rearm()
+	return h
+}
+
+// AddUDP registers s's receive queue and arms it.
+func (p *Poller) AddUDP(s *UDPSocket, tag any) *PollHandle {
+	h := p.RegisterUDP(s, tag)
+	h.Rearm()
+	return h
+}
+
+// RegisterConn installs the readiness hook without arming: no delivery
+// can happen until the caller's first Rearm. Use it when the handle
+// must be published (stored where the consumer will find it) before
+// the first delivery can race in.
+func (p *Poller) RegisterConn(c *Conn, tag any) *PollHandle {
+	return p.register(c.readReady, c.in.setOnReadable, tag)
+}
+
+// RegisterUDP is RegisterConn for a datagram socket.
+func (p *Poller) RegisterUDP(s *UDPSocket, tag any) *PollHandle {
+	return p.register(s.readReady, s.setOnReadable, tag)
+}
+
+func (p *Poller) register(probe func() bool, install func(func()), tag any) *PollHandle {
+	h := &PollHandle{poller: p, Tag: tag, probe: probe}
+	h.detach = func() { install(nil) }
+	install(h.edge)
+	return h
+}
+
+// edge is the endpoint's not-readable -> readable hook. It runs with
+// the endpoint's lock released, so taking poller.mu here cannot form a
+// lock cycle with the pipe.
+func (h *PollHandle) edge() {
+	p := h.poller
+	p.mu.Lock()
+	if h.armed && !h.queued && !p.closed {
+		h.armed = false
+		h.queued = true
+		p.ready = append(p.ready, h)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// Rearm re-enables delivery after the consumer has drained the
+// endpoint. The arm flag is raised before the readiness probe runs, so
+// an edge firing between the two cannot be lost — at worst both paths
+// race to enqueue and the queued flag deduplicates them.
+func (h *PollHandle) Rearm() {
+	p := h.poller
+	p.mu.Lock()
+	if p.closed || h.queued {
+		p.mu.Unlock()
+		return
+	}
+	h.armed = true
+	p.mu.Unlock()
+	if h.probe() {
+		h.edge()
+	}
+}
+
+// Close unregisters the handle from its endpoint. It does not pull an
+// already-queued delivery back out of the run queue.
+func (h *PollHandle) Close() {
+	p := h.poller
+	p.mu.Lock()
+	h.armed = false
+	p.mu.Unlock()
+	h.detach()
+}
+
+// Wait blocks until an armed endpoint becomes readable and returns its
+// handle, or returns ok=false once the poller is closed. The handle is
+// disarmed on delivery; the consumer drains and calls Rearm.
+func (p *Poller) Wait() (h *PollHandle, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.ready)-p.head == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return nil, false
+	}
+	h = p.ready[p.head]
+	p.ready[p.head] = nil
+	p.head++
+	if p.head == len(p.ready) {
+		p.ready = p.ready[:0]
+		p.head = 0
+	}
+	h.queued = false
+	return h, true
+}
+
+// Close wakes every Wait with ok=false and stops all future deliveries.
+func (p *Poller) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// readReady is the poller's readiness probe for a Conn.
+func (c *Conn) readReady() bool {
+	c.in.mu.Lock()
+	r := c.in.readableLocked()
+	c.in.mu.Unlock()
+	return r
+}
+
+// readReady is the poller's readiness probe for a UDPSocket.
+func (s *UDPSocket) readReady() bool {
+	s.mu.Lock()
+	r := s.readableLocked()
+	s.mu.Unlock()
+	return r
+}

@@ -17,14 +17,18 @@ type datagram struct {
 
 // UDPSocket is an unreliable, message-oriented endpoint — the UDP
 // analogue. Datagram boundaries are preserved; reads into a short buffer
-// truncate (like recvfrom).
+// truncate (like recvfrom). The receive queue is a head-indexed ring
+// popped in O(1).
 type UDPSocket struct {
 	net    *Network
 	addr   string
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []datagram
+	head   int
 	closed bool
+
+	onReadable func() // poller hook, fired on empty -> nonempty edges
 }
 
 // ListenPacket binds a datagram socket to addr.
@@ -46,9 +50,13 @@ func (n *Network) ListenPacket(addr string) (*UDPSocket, error) {
 // Addr returns the socket's bound address.
 func (s *UDPSocket) Addr() string { return s.addr }
 
+// queueLenLocked is the number of queued, unread datagrams.
+func (s *UDPSocket) queueLenLocked() int { return len(s.queue) - s.head }
+
 // SendTo sends one datagram to the socket bound at dst. Delivery is
 // best-effort: unknown destinations, full queues and injected loss all
-// drop silently, as UDP does.
+// drop silently, as UDP does. Injected latency defers delivery on the
+// fabric clock; the sender never blocks.
 func (s *UDPSocket) SendTo(payload []byte, dst string) error {
 	s.mu.Lock()
 	if s.closed {
@@ -58,21 +66,20 @@ func (s *UDPSocket) SendTo(payload []byte, dst string) error {
 	s.mu.Unlock()
 
 	n := s.net
-	n.delay()
 	n.datagrams.Add(1)
 	n.datagramBytes.Add(int64(len(payload)))
 
+	// Loss, partition and routing are decided at send time (the moment
+	// the packet hits the wire); queue overflow at delivery time.
+	if n.snap().partitioned(host(s.addr), host(dst)) {
+		n.datagramsLost.Add(1)
+		return nil
+	}
+	if rate := n.lossRateNow(); rate > 0 && n.coin(rate) {
+		n.datagramsLost.Add(1)
+		return nil
+	}
 	n.mu.Lock()
-	if n.partitionedLocked(host(s.addr), host(dst)) {
-		n.mu.Unlock()
-		n.datagramsLost.Add(1)
-		return nil
-	}
-	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
-		n.mu.Unlock()
-		n.datagramsLost.Add(1)
-		return nil
-	}
 	peer, ok := n.udp[dst]
 	n.mu.Unlock()
 	if !ok {
@@ -82,15 +89,54 @@ func (s *UDPSocket) SendTo(payload []byte, dst string) error {
 
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
-	peer.mu.Lock()
-	defer peer.mu.Unlock()
-	if peer.closed || len(peer.queue) >= udpQueueCap {
-		n.datagramsLost.Add(1)
+	d := datagram{payload: buf, from: s.addr}
+	if delay := n.latencyNow(); delay > 0 {
+		n.clock.AfterFunc(delay, func() { peer.deliver(d) })
 		return nil
 	}
-	peer.queue = append(peer.queue, datagram{payload: buf, from: s.addr})
-	peer.cond.Signal()
+	peer.deliver(d)
 	return nil
+}
+
+// deliver enqueues d on the socket, dropping on close or overflow, and
+// fires the poller hook on the empty -> nonempty edge.
+func (s *UDPSocket) deliver(d datagram) {
+	s.mu.Lock()
+	if s.closed || s.queueLenLocked() >= udpQueueCap {
+		s.mu.Unlock()
+		s.net.datagramsLost.Add(1)
+		return
+	}
+	wasEmpty := s.queueLenLocked() == 0
+	s.queue = append(s.queue, d)
+	s.cond.Signal()
+	var notify func()
+	if wasEmpty && s.onReadable != nil {
+		notify = s.onReadable
+	}
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Pending reports how many datagrams a receive could return right now.
+func (s *UDPSocket) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queueLenLocked()
+}
+
+// setOnReadable installs the poller's readiness hook (nil removes it).
+func (s *UDPSocket) setOnReadable(fn func()) {
+	s.mu.Lock()
+	s.onReadable = fn
+	s.mu.Unlock()
+}
+
+// readableLocked mirrors halfPipe.readableLocked for the poller.
+func (s *UDPSocket) readableLocked() bool {
+	return s.queueLenLocked() > 0 || s.closed
 }
 
 // ReceiveFrom blocks for the next datagram, copies up to len(b) bytes of
@@ -109,15 +155,20 @@ func (s *UDPSocket) PeekFrom(b []byte) (int, string, error) {
 func (s *UDPSocket) receive(b []byte, consume bool) (int, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.closed {
+	for s.queueLenLocked() == 0 && !s.closed {
 		s.cond.Wait()
 	}
 	if s.closed {
 		return 0, "", ErrClosed
 	}
-	d := s.queue[0]
+	d := s.queue[s.head]
 	if consume {
-		s.queue = s.queue[1:]
+		s.queue[s.head] = datagram{}
+		s.head++
+		if s.head == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
 	}
 	n := copy(b, d.payload)
 	return n, d.from, nil
@@ -132,7 +183,11 @@ func (s *UDPSocket) Close() error {
 	}
 	s.closed = true
 	s.cond.Broadcast()
+	notify := s.onReadable
 	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 
 	s.net.mu.Lock()
 	if s.net.udp[s.addr] == s {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dista/internal/bench/hist"
 	"dista/internal/core/taint"
 )
 
@@ -59,7 +60,7 @@ type ClusterClient struct {
 	// member's reconnect dials and this layer's hedges, so a brownout
 	// cannot multiply into a cluster-wide retry storm.
 	budget *Budget
-	hedge  hedgeTracker
+	hedge  hist.Hist
 
 	hedges       atomic.Int64 // hedge attempts launched
 	hedgeWins    atomic.Int64 // lookups won by the hedged attempt
@@ -405,12 +406,19 @@ func (c *ClusterClient) replicaOrder(part uint32) []*clusterMember {
 	return cms
 }
 
+// hedgeWarmup is the observation count below which the latency
+// histogram is considered too sparse to trust and the configured
+// initial hedge delay is used instead.
+const hedgeWarmup = 32
+
 // hedgeDelay is the delay before a lookup's first attempt gets raced by
 // the next replica: the tracked p99 once warm, the configured initial
 // delay before that.
 func (c *ClusterClient) hedgeDelay() time.Duration {
-	if d, ok := c.hedge.quantile(0.99); ok {
-		return d
+	if c.hedge.Count() >= hedgeWarmup {
+		if d, ok := c.hedge.Quantile(0.99); ok {
+			return d
+		}
 	}
 	return c.opt.HedgeDelay
 }
@@ -461,7 +469,7 @@ func (c *ClusterClient) hedgedCall(cms []*clusterMember, call func(cm *clusterMe
 		case out := <-results:
 			inflight--
 			if out.err == nil {
-				c.hedge.observe(out.took)
+				c.hedge.Observe(out.took)
 				if out.hedged {
 					c.hedgeWins.Add(1)
 				}

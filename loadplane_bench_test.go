@@ -1,0 +1,77 @@
+package dista
+
+import (
+	"testing"
+
+	"dista/internal/load"
+)
+
+// BenchmarkLoadPlane measures the PR 10 scheduler-fabric criteria with
+// the closed-loop generator (DESIGN.md §12). Each iteration is one
+// whole load run, so these are macro-benchmarks: run them with
+// -benchtime=1x and use -count for repetitions. Every run reports its
+// latency quantiles (p50/p99/p999-ns/op), tainted-byte throughput and
+// goroutine bill as custom metrics; default ns/op is whole-run wall
+// time and is not used by any criterion.
+//
+//	Soak1k           — 1,000-connection baseline, default mix over all
+//	                   three transports.
+//	Soak50k          — the same per-connection shape at 50,000
+//	                   connections. The acceptance criterion bounds its
+//	                   p999 by a fixed multiple of Soak1k's p999: on the
+//	                   closed loop both runs carry the same per-op work,
+//	                   so the multiple prices pure fabric scaling (run
+//	                   queues, accept rings, credit backpressure), not a
+//	                   bigger payload.
+//	SinkPolled5k     — 5,000 stream connections against the default
+//	                   poller-based echo sink: the sink's goroutine bill
+//	                   is a handful of workers regardless of fan-in.
+//	SinkGoroutine5k  — the identical workload against the pre-fabric
+//	                   goroutine-per-connection sink shape. The
+//	                   sink-goroutines ratio between these two is the
+//	                   >=5x connections-per-goroutine headroom claim.
+// Both soaks carry the same per-op work (512 B, default mixes); the
+// baseline runs more ops per session so its quantiles come from
+// steady-state closed-loop samples rather than the setup burst alone.
+const (
+	soakPayload  = 512
+	soak1kOps    = 16
+	soak50kOps   = 2
+	sinkSoakOps  = 2
+	sinkSoakConn = 5000
+)
+
+func benchLoadPlane(b *testing.B, cfg load.Config) {
+	b.Helper()
+	var r load.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = load.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.P50.Nanoseconds()), "p50-ns/op")
+	b.ReportMetric(float64(r.P99.Nanoseconds()), "p99-ns/op")
+	b.ReportMetric(float64(r.P999.Nanoseconds()), "p999-ns/op")
+	b.ReportMetric(r.TaintsPerSec(), "taints/sec")
+	b.ReportMetric(float64(r.PeakGoroutines), "goroutines")
+	b.ReportMetric(float64(r.SinkGoroutines), "sink-goroutines")
+}
+
+func BenchmarkLoadPlane(b *testing.B) {
+	b.Run("Soak1k", func(b *testing.B) {
+		benchLoadPlane(b, load.Config{Conns: 1000, Ops: soak1kOps, Payload: soakPayload})
+	})
+	b.Run("Soak50k", func(b *testing.B) {
+		benchLoadPlane(b, load.Config{Conns: 50000, Ops: soak50kOps, Payload: soakPayload})
+	})
+	b.Run("SinkPolled5k", func(b *testing.B) {
+		benchLoadPlane(b, load.Config{Conns: sinkSoakConn, Ops: sinkSoakOps, Payload: soakPayload,
+			Paths: load.PathMix{Stream: 100}})
+	})
+	b.Run("SinkGoroutine5k", func(b *testing.B) {
+		benchLoadPlane(b, load.Config{Conns: sinkSoakConn, Ops: sinkSoakOps, Payload: soakPayload,
+			Paths: load.PathMix{Stream: 100}, SinkGoroutinePerConn: true})
+	})
+}
